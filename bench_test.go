@@ -1,0 +1,151 @@
+// Benchmark harness: one testing.B benchmark per experiment in the paper
+// index (DESIGN.md §4, EXPERIMENTS.md), plus micro-benchmarks of the
+// substrates. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the Small-scale workloads; use
+// cmd/paperbench -scale full for the paper-shaped tables.
+package localmix
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/fixedpoint"
+	"repro/internal/gen"
+	"repro/internal/spread"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(bench.Small); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkE1BarbellGap(b *testing.B)        { benchExperiment(b, "E1") }
+func BenchmarkE2GraphClasses(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3ApproxRounds(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4ExactRounds(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5PartialSpreading(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6LocalVsGlobalCost(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE7RoundingError(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8EscapeBound(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9SamplingGreyArea(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE10SpectralBounds(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11WeakConductance(b *testing.B)  { benchExperiment(b, "E11") }
+func BenchmarkE12MaxCoverage(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkA1DoublingAblation(b *testing.B)  { benchExperiment(b, "A1") }
+func BenchmarkA2EpsilonRelaxation(b *testing.B) { benchExperiment(b, "A2") }
+func BenchmarkA3TieBreak(b *testing.B)          { benchExperiment(b, "A3") }
+func BenchmarkA4Laziness(b *testing.B)          { benchExperiment(b, "A4") }
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkFloodingStep measures one centralized fixed-point walk step
+// (the per-round work Algorithm 1 induces at every node).
+func BenchmarkFloodingStep(b *testing.B) {
+	for _, k := range []int{8, 16, 32} {
+		g, err := gen.RingOfCliques(8, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scale := fixedpoint.MustScaleFor(g.N(), fixedpoint.DefaultC)
+		b.Run(fmt.Sprintf("n=%d", g.N()), func(b *testing.B) {
+			fw, err := exact.NewFixedWalk(g, 0, scale, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fw.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkCongestAlgorithm2 measures a complete distributed Algorithm 2
+// run, engine overhead included.
+func BenchmarkCongestAlgorithm2(b *testing.B) {
+	for _, k := range []int{8, 16} {
+		g, err := gen.RingOfCliques(8, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", g.N()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ApproxLocalMixingTime(g, 0, 8, 0.15); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateRW measures the distributed Algorithm 1 at several walk
+// lengths (ℓ+1 CONGEST rounds each).
+func BenchmarkEstimateRW(b *testing.B) {
+	g, err := gen.RingOfCliques(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ell := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("ell=%d", ell), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EstimateRWProbability(g, 0, ell, core.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPushPull measures the gossip engine per full partial-spreading
+// run on the barbell.
+func BenchmarkPushPull(b *testing.B) {
+	g, err := gen.Barbell(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := spread.Run(g, spread.Config{Beta: 8, Seed: int64(i), StopAtPartial: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleLocalMixing measures the centralized oracle (grid mode).
+func BenchmarkOracleLocalMixing(b *testing.B) {
+	g, err := gen.Barbell(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.LocalMixing(g, 0, 8, bench.PaperEps, exact.LocalOptions{MaxT: 1 << 16, Grid: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomRegularGen measures the repaired pairing-model generator.
+func BenchmarkRandomRegularGen(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.RandomRegular(256, 6, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13CongestSpreading(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14GraphLocalMixing(b *testing.B) { benchExperiment(b, "E14") }

@@ -1,0 +1,164 @@
+// Command lmt computes mixing quantities of a generated graph: the exact
+// (centralized) mixing and local mixing times, and the distributed
+// CONGEST-model computations of the paper with full round/message
+// accounting.
+//
+// Usage examples:
+//
+//	lmt -graph barbell -beta 8 -k 16                 # Figure 1 graph
+//	lmt -graph ringcliques -beta 8 -k 16 -mode all
+//	lmt -graph expander -n 256 -d 6 -mode approx
+//	lmt -graph path -n 128 -lazy -mode exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		graphFlag = flag.String("graph", "barbell", "family: barbell|ringcliques|complete|path|cycle|torus|hypercube|expander|lollipop|dumbbell")
+		nFlag     = flag.Int("n", 128, "vertex count (complete, path, cycle, expander)")
+		kFlag     = flag.Int("k", 16, "clique/block size (barbell, ringcliques, lollipop, dumbbell)")
+		betaFlag  = flag.Float64("beta", 8, "β: local mixing set size is ≥ n/β; also the clique count for barbell/ringcliques")
+		dFlag     = flag.Int("d", 6, "degree (expander)")
+		dimFlag   = flag.Int("dim", 7, "dimension (hypercube, torus side)")
+		epsFlag   = flag.Float64("eps", 1.0/21.746, "accuracy parameter ε (default ≈ 1/8e)")
+		srcFlag   = flag.Int("source", 0, "source vertex s")
+		lazyFlag  = flag.Bool("lazy", false, "use the lazy walk (required on bipartite graphs)")
+		modeFlag  = flag.String("mode", "all", "what to compute: oracle|approx|exact|mixing|all")
+		seedFlag  = flag.Int64("seed", 1, "random seed (generators and engine)")
+		dotFlag   = flag.String("dot", "", "write a Graphviz file with the oracle's witness local-mixing set highlighted")
+	)
+	flag.Parse()
+
+	g, err := build(*graphFlag, *nFlag, *kFlag, int(*betaFlag), *dFlag, *dimFlag, *seedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("graph: %s  n=%d m=%d", g.Name(), g.N(), g.M())
+	if d, ok := g.Regular(); ok {
+		fmt.Printf("  %d-regular", d)
+	}
+	if diam, err := g.DiameterApprox(); err == nil {
+		fmt.Printf("  diam≈%d", diam)
+	}
+	fmt.Println()
+
+	opts := []core.Option{core.WithSeed(*seedFlag), core.WithIrregular()}
+	if *lazyFlag {
+		opts = append(opts, core.WithLazy())
+	}
+
+	run := func(label string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Printf("%-22s ERROR: %v\n", label, err)
+		}
+	}
+
+	mode := *modeFlag
+	if mode == "oracle" || mode == "all" {
+		run("oracle", func() error {
+			tm, err := exact.MixingTime(g, *srcFlag, *epsFlag, *lazyFlag, 8*g.N()*g.N())
+			if err != nil {
+				return err
+			}
+			lr, err := exact.LocalMixing(g, *srcFlag, *betaFlag, *epsFlag,
+				exact.LocalOptions{MaxT: 8 * g.N() * g.N(), Grid: true, Lazy: *lazyFlag})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-22s τ_mix=%d  τ_local(β=%g)=%d  witness |S|=%d  gap=%.1f×\n",
+				"oracle (centralized)", tm, *betaFlag, lr.T, lr.R, float64(tm)/float64(maxi(1, lr.T)))
+			if *dotFlag != "" {
+				f, err := os.Create(*dotFlag)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := g.WriteDOT(f, lr.Set); err != nil {
+					return err
+				}
+				fmt.Printf("%-22s wrote %s (witness set highlighted)\n", "", *dotFlag)
+			}
+			return nil
+		})
+	}
+	if mode == "approx" || mode == "all" {
+		run("approx", func() error {
+			res, err := core.ApproxLocalMixingTime(g, *srcFlag, *betaFlag, *epsFlag, opts...)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-22s τ̂=%d  R=%d  Σ=%.4f  rounds=%d  msgs=%d  maxEdgeBits=%d\n",
+				"Algorithm 2 (Thm 1)", res.Tau, res.R, res.Sum, res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxEdgeBits)
+			return nil
+		})
+	}
+	if mode == "exact" || mode == "all" {
+		run("exact", func() error {
+			res, err := core.ExactLocalMixingTime(g, *srcFlag, *betaFlag, *epsFlag, opts...)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-22s τ=%d  R=%d  Σ=%.4f  rounds=%d  msgs=%d\n",
+				"exact variant (Thm 2)", res.Tau, res.R, res.Sum, res.Stats.Rounds, res.Stats.Messages)
+			return nil
+		})
+	}
+	if mode == "mixing" || mode == "all" {
+		run("mixing", func() error {
+			res, err := core.MixingTime(g, *srcFlag, *epsFlag, opts...)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-22s τ_mix=%d  rounds=%d  msgs=%d\n",
+				"mixing baseline [18]", res.Tau, res.Stats.Rounds, res.Stats.Messages)
+			return nil
+		})
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func build(family string, n, k, beta, d, dim int, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch family {
+	case "barbell":
+		return gen.Barbell(beta, k)
+	case "ringcliques":
+		return gen.RingOfCliques(beta, k)
+	case "complete":
+		return gen.Complete(n)
+	case "path":
+		return gen.Path(n)
+	case "cycle":
+		return gen.Cycle(n)
+	case "torus":
+		return gen.Torus(dim, dim)
+	case "hypercube":
+		return gen.Hypercube(dim)
+	case "expander":
+		return gen.RandomRegular(n, d, rng)
+	case "lollipop":
+		return gen.Lollipop(k, k)
+	case "dumbbell":
+		return gen.Dumbbell(k, 1)
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}

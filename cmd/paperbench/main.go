@@ -1,0 +1,75 @@
+// Command paperbench regenerates every table and figure-equivalent of the
+// paper's evaluation (see DESIGN.md §4 and EXPERIMENTS.md). Each experiment
+// prints an aligned table; absolute numbers are simulator-specific, the
+// shapes (who wins, growth rates, approximation factors) are the
+// reproduction targets.
+//
+// Usage:
+//
+//	paperbench                  # run everything at small scale
+//	paperbench -scale full      # paper-shaped workloads (minutes)
+//	paperbench -exp E1,E5,A3    # selected experiments
+//	paperbench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "small", "workload scale: small or full")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (E1..E12, A1..A4) or 'all'")
+		listFlag  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var selected []bench.Experiment
+	if strings.EqualFold(*expFlag, "all") {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+package localmix_test
+
+import (
+	"fmt"
+
+	localmix "repro"
+)
+
+// The Figure 1 separation: mixing time grows with β², local mixing stays
+// constant.
+func ExampleLocalMixingTime() {
+	g, _ := localmix.Barbell(8, 12) // 8 cliques of 12 vertices
+	eps := 1.0 / 21.746
+	local, _ := localmix.LocalMixingTime(g, 0, 8, eps,
+		localmix.LocalMixingOptions{MaxT: 1 << 20, Grid: true})
+	mix, _ := localmix.MixingTime(g, 0, eps, false, 1<<20)
+	fmt.Printf("local mixing time: %d (witness set size %d)\n", local.T, local.R)
+	fmt.Printf("mixing time: %d\n", mix)
+	// Output:
+	// local mixing time: 2 (witness set size 12)
+	// mixing time: 3382
+}
+
+// Running the paper's distributed Algorithm 2 in a simulated CONGEST
+// network.
+func ExampleDistributedLocalMixingTime() {
+	g, _ := localmix.RingOfCliques(8, 12) // exactly 11-regular
+	res, _ := localmix.DistributedLocalMixingTime(g, 0, 8, 0.15, localmix.WithSeed(1))
+	fmt.Printf("tau = %d with witness size %d\n", res.Tau, res.R)
+	fmt.Printf("all nodes halted: %v\n", res.Stats.HaltedAll)
+	// Output:
+	// tau = 1 with witness size 12
+	// all nodes halted: true
+}
+
+// Algorithm 1 standalone: the fixed-point estimate of p_ℓ conserves mass
+// exactly.
+func ExampleEstimateRWProbability() {
+	g, _ := localmix.Complete(16)
+	est, _ := localmix.EstimateRWProbability(g, 0, 3, false)
+	fmt.Printf("rounds used: %d\n", est.Stats.Rounds)
+	fmt.Printf("mass conserved: %v\n", est.TotalMass() == est.Scale.One)
+	// Output:
+	// rounds used: 4
+	// mass conserved: true
+}
+
+// Partial information spreading with the Theorem 3 termination rule.
+func ExamplePushPull() {
+	g, _ := localmix.Barbell(8, 16)
+	res, _ := localmix.PushPull(g, localmix.SpreadConfig{Beta: 8, Seed: 42, FixedRounds: 21})
+	target := g.N() / 8
+	fmt.Printf("after %d rounds, every node holds at least n/beta = %d tokens: %v\n",
+		res.Rounds, target, res.MinTokensPerNode >= target)
+	// Output:
+	// after 21 rounds, every node holds at least n/beta = 16 tokens: true
+}

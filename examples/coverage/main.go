@@ -1,0 +1,46 @@
+// Coverage: distributed maximum coverage over partial information spreading.
+//
+// The paper's motivating application chain (§1, following Censor-Hillel &
+// Shachnai): partial information spreading → maximum coverage. Every node
+// owns a set of elements (think: a sensor's observed area, a machine's
+// runnable jobs); the network must pick k nodes maximizing the union. Full
+// dissemination would cost Ω(full spreading); partial spreading of the n/β
+// strongest candidates is enough to get within a few percent of the
+// centralized greedy.
+//
+//	go run ./examples/coverage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	localmix "repro"
+)
+
+func main() {
+	const beta = 4
+	g, err := localmix.RingOfCliques(8, 16) // n = 128, exactly 15-regular
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A tight universe (n/2 elements, 6 per node) forces heavy overlap, so
+	// *which* k sets are picked matters and the candidate pool size shows.
+	rng := localmix.NewRand(11)
+	inst, err := localmix.RandomCoverageInstance(g.N(), g.N()/2, 6, 6, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph %s: n=%d; universe of %d elements, %d sets to pick\n",
+		g.Name(), g.N(), inst.Universe, inst.K)
+
+	for _, b := range []float64{2, 4, 8, 16} {
+		res, err := localmix.DistributedMaxCoverage(g, inst, b, 23)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("β=%-3.0f spread %2d rounds, min sets seen %3d → covered %d/%d (%.1f%% of centralized greedy)\n",
+			b, res.SpreadRounds, res.MinSetsSeen, res.BestCovered, res.CentralCovered, 100*res.Ratio)
+	}
+	fmt.Println("larger β spreads less and is cheaper; quality degrades gracefully — the paper's §4 trade-off")
+}

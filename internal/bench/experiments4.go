@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/spread"
+)
+
+// E13CongestSpreading measures the paper's footnote 10: in the CONGEST
+// model — one O(log n)-bit token id per message — push–pull partial
+// spreading needs Õ(τ(β,ε) + n/β) rounds, since a node must receive n/β
+// distinct tokens over O(log n)-bit channels. The LOCAL-model rounds from
+// E5 are shown for contrast.
+func E13CongestSpreading(sc Scale) (*Table, error) {
+	const beta = 8
+	ks := []int{8, 16, 32}
+	if sc == Full {
+		ks = []int{8, 16, 32, 64}
+	}
+	t := &Table{
+		ID:    "E13",
+		Title: "footnote 10: push–pull under CONGEST (one token id per message)",
+		Note: fmt.Sprintf("β-barbell, β=%d, clique size k sweep (so n/β = k grows); bound = τ·log₂n + (n/β)·log₂(n/β)"+
+			" (the Õ's coupon-collector log made explicit); CONGEST rounds grow with n/β while LOCAL stays near-flat", beta),
+		Header: []string{"k", "n", "n/beta", "tau_local", "congest_rounds", "bound", "ratio", "local_rounds"},
+	}
+	for _, k := range ks {
+		g, err := gen.Barbell(beta, k)
+		if err != nil {
+			return nil, err
+		}
+		tau := 0
+		for _, s := range []int{0, k - 1} {
+			r, err := exact.LocalMixing(g, s, float64(beta), PaperEps, exact.LocalOptions{MaxT: 1 << 20, Grid: true})
+			if err != nil {
+				return nil, err
+			}
+			if r.T > tau {
+				tau = r.T
+			}
+		}
+		cg, err := spread.RunCongest(g, spread.Config{Beta: float64(beta), Seed: 17, StopAtPartial: true, MaxRounds: 1 << 16})
+		if err != nil {
+			return nil, err
+		}
+		lc, err := spread.Run(g, spread.Config{Beta: float64(beta), Seed: 17, StopAtPartial: true, MaxRounds: 1 << 16})
+		if err != nil {
+			return nil, err
+		}
+		nOverBeta := float64(g.N()) / float64(beta)
+		// The Õ in footnote 10 hides the coupon-collector log: collecting
+		// n/β distinct tokens over O(log n)-bit channels costs
+		// Θ((n/β)·log(n/β)) rounds.
+		bound := float64(max(1, tau))*math.Log2(float64(g.N())) + nOverBeta*math.Log2(nOverBeta)
+		t.Add(k, g.N(), nOverBeta, tau, cg.RoundsToPartial, bound,
+			float64(cg.RoundsToPartial)/bound, lc.RoundsToPartial)
+	}
+	return t, nil
+}
+
+// E14GraphLocalMixing computes the graph-wide τ(β,ε) = max_v τ_v(β,ε)
+// (Definition 2) on the barbell, showing the per-source structure the
+// paper describes: ports pay slightly more than clique interiors, and the
+// max is still O(1) — plus the sampling mitigation (footnote 6) in action.
+func E14GraphLocalMixing(sc Scale) (*Table, error) {
+	k := 12
+	if sc == Full {
+		k = 16
+	}
+	g, err := gen.Barbell(8, k)
+	if err != nil {
+		return nil, err
+	}
+	all, err := exact.GraphLocalMixing(g, 8, PaperEps, exact.LocalOptions{MaxT: 1 << 20, Grid: true}, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Footnote 6 sampling: one interior + one port per end clique.
+	sampled, err := exact.GraphLocalMixing(g, 8, PaperEps, exact.LocalOptions{MaxT: 1 << 20, Grid: true},
+		[]int{1, k - 1, g.N() - k, g.N() - 1})
+	if err != nil {
+		return nil, err
+	}
+	hist := map[int]int{}
+	for _, st := range all.PerSource {
+		hist[st.Tau]++
+	}
+	t := &Table{
+		ID:    "E14",
+		Title: "graph-wide τ(β,ε) = max_v τ_v(β,ε) (Definition 2, footnote 6)",
+		Note: fmt.Sprintf("β-barbell, β=8, k=%d, all %d sources in parallel; sampled = 4 representative sources",
+			k, g.N()),
+		Header: []string{"quantity", "value"},
+	}
+	t.Add("tau(beta,eps) over all sources", all.Tau)
+	t.Add("argmax source", all.ArgMax)
+	t.Add("tau via 4 sampled sources", sampled.Tau)
+	for tau := 0; tau <= all.Tau; tau++ {
+		if cnt := hist[tau]; cnt > 0 {
+			t.Add(fmt.Sprintf("sources with tau = %d", tau), cnt)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,130 @@
+// Package bitset provides a dense fixed-capacity bitset used to represent
+// token sets in the push–pull information-spreading engine (§4 of the
+// paper): node u's set of received tokens is a bitset over token ids, and a
+// push–pull exchange is a union.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Set is a fixed-capacity bitset over [0, Cap()).
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity n bits.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative capacity %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Cap returns the capacity in bits.
+func (s *Set) Cap() int { return s.n }
+
+// Add sets bit i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// UnionWith sets s = s ∪ o. Capacities must match.
+func (s *Set) UnionWith(o *Set) {
+	s.sameCap(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith sets s = s ∩ o. Capacities must match.
+func (s *Set) IntersectWith(o *Set) {
+	s.sameCap(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// Equal reports whether two sets have identical capacity and contents.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every set bit in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Fill sets every bit in [0, Cap()).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if rem := s.n & 63; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (1 << uint(rem)) - 1
+	}
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+func (s *Set) sameCap(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}

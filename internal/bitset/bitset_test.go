@@ -1,0 +1,180 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	s := New(130)
+	if s.Cap() != 130 || s.Count() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Count() != 3 {
+		t.Errorf("count %d", s.Count())
+	}
+	if !s.Contains(64) || s.Contains(63) {
+		t.Error("contains wrong")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 2 {
+		t.Error("remove failed")
+	}
+	s.Remove(64) // idempotent
+	if s.Count() != 2 {
+		t.Error("double remove changed count")
+	}
+}
+
+func TestBoundsPanic(t *testing.T) {
+	s := New(10)
+	for _, idx := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("index %d did not panic", idx)
+				}
+			}()
+			s.Add(idx)
+		}()
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(1)
+	a.Add(50)
+	b.Add(50)
+	b.Add(99)
+	u := a.Clone()
+	u.UnionWith(b)
+	if u.Count() != 3 || !u.Contains(1) || !u.Contains(99) {
+		t.Error("union wrong")
+	}
+	i := a.Clone()
+	i.IntersectWith(b)
+	if i.Count() != 1 || !i.Contains(50) {
+		t.Error("intersect wrong")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity mismatch did not panic")
+		}
+	}()
+	New(10).UnionWith(New(20))
+}
+
+func TestFillAndClear(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 200} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Errorf("Fill(%d): count %d", n, s.Count())
+		}
+		s.Clear()
+		if s.Count() != 0 {
+			t.Errorf("Clear(%d): count %d", n, s.Count())
+		}
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 127, 199}
+	for _, v := range want {
+		s.Add(v)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(50), New(50)
+	a.Add(7)
+	b.Add(7)
+	if !a.Equal(b) {
+		t.Error("equal sets reported different")
+	}
+	b.Add(8)
+	if a.Equal(b) {
+		t.Error("different sets reported equal")
+	}
+	if a.Equal(New(51)) {
+		t.Error("different capacities reported equal")
+	}
+}
+
+// Property: a bitset agrees with a reference map implementation under a
+// random operation sequence.
+func TestAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		ref := make(map[int]bool)
+		for i := 0; i < 200; i++ {
+			v := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(v)
+				ref[v] = true
+			case 1:
+				s.Remove(v)
+				delete(ref, v)
+			case 2:
+				if s.Contains(v) != ref[v] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		ok := true
+		s.ForEach(func(i int) {
+			if !ref[i] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan-ish algebra — |A ∪ B| + |A ∩ B| = |A| + |B|.
+func TestInclusionExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(256)
+		a, b := New(n), New(n)
+		for i := 0; i < n/2; i++ {
+			a.Add(rng.Intn(n))
+			b.Add(rng.Intn(n))
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		x := a.Clone()
+		x.IntersectWith(b)
+		return u.Count()+x.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

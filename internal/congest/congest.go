@@ -1,0 +1,488 @@
+// Package congest simulates the synchronous CONGEST and LOCAL models of
+// distributed computing on a static undirected graph (paper §1.1).
+//
+// Execution proceeds in globally synchronous rounds. In round r every
+// non-halted node is stepped exactly once; it sees the messages its
+// neighbors sent during round r−1 and may send messages to neighbors, which
+// arrive at the start of round r+1. Nodes are stepped concurrently by a pool
+// of worker goroutines — each node's Step runs on some goroutine with
+// exclusive access to that node's state, mirroring the "one processor per
+// vertex" model — and the engine is deterministic for a fixed seed
+// regardless of the worker count.
+//
+// In CONGEST mode the engine *enforces* the bandwidth constraint: the total
+// size of the messages a node sends over one directed edge in one round must
+// not exceed the per-edge budget B = Θ(log n) bits. Violations abort the run
+// with a descriptive error; the algorithms in internal/core are written so
+// that this never fires, and the tests exercise the enforcement path
+// deliberately.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Model selects the communication model.
+type Model int
+
+const (
+	// CONGEST limits every directed edge to B bits per round.
+	CONGEST Model = iota
+	// LOCAL places no limit on message sizes (paper §4 push–pull analysis).
+	LOCAL
+)
+
+func (m Model) String() string {
+	switch m {
+	case CONGEST:
+		return "CONGEST"
+	case LOCAL:
+		return "LOCAL"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Message is one message in flight. The fixed fields cover every payload the
+// CONGEST algorithms need (a kind tag, a sequence number and two integer
+// words); Extra carries arbitrary LOCAL-model payloads such as token
+// bitsets. Bits is the size charged against the bandwidth budget and must be
+// positive.
+type Message struct {
+	From  int32 // sender id, filled by the engine
+	Round int32 // round in which the message was delivered, filled by the engine
+	Kind  uint8
+	Seq   int32
+	Value int64
+	Aux   int64
+	Bits  int32
+	Extra interface{}
+}
+
+// Process is the per-node algorithm. Init runs before round 1 and may send
+// messages (delivered in round 1). Step runs once per round.
+type Process interface {
+	Init(ctx *Context)
+	Step(ctx *Context)
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// Model is CONGEST (default) or LOCAL.
+	Model Model
+	// BandwidthBits is the per-directed-edge per-round budget in CONGEST
+	// mode. Zero selects the default Θ(log n) budget from DefaultBandwidth.
+	BandwidthBits int
+	// MaxRounds aborts the run with ErrRoundLimit when exceeded.
+	// Zero selects a generous default of 64·n + 10^6.
+	MaxRounds int
+	// Seed feeds the deterministic per-node RNGs.
+	Seed int64
+	// Workers is the number of stepping goroutines; zero means GOMAXPROCS.
+	Workers int
+	// OnRound, when non-nil, is invoked after each round's delivery with
+	// the round number just completed; returning true stops the run
+	// gracefully (Stats.HaltedAll stays false, no error). All node
+	// goroutines are quiescent during the call, so the callback may safely
+	// read process state it captured at construction.
+	OnRound func(round int) (stop bool)
+}
+
+// BandwidthFactor is the constant in the default per-edge budget
+// B = BandwidthFactor·⌈log₂ n⌉ bits. The paper's algorithms need a small
+// constant number of O(log n)-bit words per edge per round; 16 words is a
+// comfortable, explicit choice.
+const BandwidthFactor = 16
+
+// DefaultBandwidth returns the default CONGEST budget for an n-node graph.
+func DefaultBandwidth(n int) int {
+	logn := 1
+	for v := n - 1; v > 0; v >>= 1 {
+		logn++
+	}
+	if logn < 8 {
+		logn = 8
+	}
+	return BandwidthFactor * logn
+}
+
+// ErrRoundLimit is returned when MaxRounds elapses before every node halts.
+var ErrRoundLimit = errors.New("congest: round limit exceeded")
+
+// BandwidthError reports a CONGEST bandwidth violation.
+type BandwidthError struct {
+	From, To    int
+	Round       int
+	Used, Limit int
+}
+
+func (e *BandwidthError) Error() string {
+	return fmt.Sprintf("congest: bandwidth violation on edge %d→%d in round %d: %d bits > limit %d",
+		e.From, e.To, e.Round, e.Used, e.Limit)
+}
+
+// SendError reports an illegal send (non-neighbor target or bad size).
+type SendError struct {
+	From, To int
+	Round    int
+	Reason   string
+}
+
+func (e *SendError) Error() string {
+	return fmt.Sprintf("congest: illegal send %d→%d in round %d: %s", e.From, e.To, e.Round, e.Reason)
+}
+
+// Stats summarizes a completed (or aborted) run.
+type Stats struct {
+	Rounds       int   // rounds executed
+	Messages     int64 // total messages delivered
+	Bits         int64 // total message bits delivered
+	MaxEdgeBits  int   // max bits observed on one directed edge in one round
+	HaltedAll    bool  // whether every node halted
+	ActiveSteps  int64 // total Step invocations (excludes halted/sleeping nodes)
+	DeliverCalls int64 // messages enqueued (same as Messages; kept for clarity)
+}
+
+// Context is the per-node view of the network, passed to Init and Step.
+// Contexts are owned by the engine; algorithms must not retain them across
+// rounds.
+type Context struct {
+	net         *Network
+	id          int
+	inbox       []Message
+	outbox      []outMsg
+	rng         *rand.Rand
+	halted      bool
+	sleep       int // absolute round before which the node need not be stepped
+	err         error
+	maxEdgeBits int // max per-edge bits observed by this sender (merged into Stats)
+}
+
+type outMsg struct {
+	to  int32
+	msg Message
+}
+
+// ID returns this node's identifier in [0, N()).
+func (c *Context) ID() int { return c.id }
+
+// N returns the number of nodes (known to all nodes per the model, §1.1).
+func (c *Context) N() int { return c.net.g.N() }
+
+// M returns the number of edges (known to all nodes per the model, §1.1).
+func (c *Context) M() int { return c.net.g.M() }
+
+// Round returns the current global round (0 during Init).
+func (c *Context) Round() int { return c.net.round }
+
+// Degree returns this node's degree.
+func (c *Context) Degree() int { return c.net.g.Degree(c.id) }
+
+// Neighbors returns this node's neighbor ids (shared slice, do not modify).
+func (c *Context) Neighbors() []int32 { return c.net.g.Neighbors(c.id) }
+
+// Inbox returns the messages delivered to this node since it was last
+// stepped, ordered by (round, sender). The slice is reused; copy anything
+// retained across rounds.
+func (c *Context) Inbox() []Message { return c.inbox }
+
+// Rand returns this node's private deterministic RNG.
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// Send queues a message to neighbor `to` for delivery next round. The engine
+// fills From. Sends to non-neighbors or with non-positive Bits abort the run.
+func (c *Context) Send(to int, m Message) {
+	if c.err != nil {
+		return
+	}
+	if m.Bits <= 0 {
+		c.err = &SendError{From: c.id, To: to, Round: c.net.round, Reason: "non-positive Bits"}
+		return
+	}
+	if m.Extra != nil && c.net.cfg.Model == CONGEST {
+		c.err = &SendError{From: c.id, To: to, Round: c.net.round, Reason: "Extra payloads are LOCAL-model only"}
+		return
+	}
+	ei := c.net.edgeIndex(c.id, to)
+	if ei < 0 {
+		c.err = &SendError{From: c.id, To: to, Round: c.net.round, Reason: "not a neighbor"}
+		return
+	}
+	if c.net.cfg.Model == CONGEST {
+		used := c.net.chargeEdge(ei, int(m.Bits))
+		if used > c.maxEdgeBits {
+			c.maxEdgeBits = used
+		}
+		if used > c.net.bandwidth {
+			c.err = &BandwidthError{From: c.id, To: to, Round: c.net.round, Used: used, Limit: c.net.bandwidth}
+			return
+		}
+	}
+	m.From = int32(c.id)
+	c.outbox = append(c.outbox, outMsg{to: int32(to), msg: m})
+}
+
+// Broadcast sends the same message to every neighbor.
+func (c *Context) Broadcast(m Message) {
+	for _, v := range c.Neighbors() {
+		c.Send(int(v), m)
+	}
+}
+
+// Halt marks this node as permanently finished. The run ends when every
+// node has halted.
+func (c *Context) Halt() { c.halted = true }
+
+// Sleep declares that this node has no scheduled activity for the next
+// `rounds` rounds. The engine may skip stepping it, but any message arrival
+// wakes it immediately (the skipped rounds still elapse globally). Purely an
+// optimization: correctness never depends on it.
+func (c *Context) Sleep(rounds int) {
+	if rounds > 0 {
+		c.sleep = c.net.round + rounds
+	}
+}
+
+// Network is a configured simulation instance.
+type Network struct {
+	g         *graph.Graph
+	cfg       Config
+	bandwidth int
+	round     int
+
+	ctxs  []Context
+	procs []Process
+
+	// rowOff[u] is the CSR start of u's adjacency row; used to index the
+	// per-directed-edge bandwidth accounting arrays below. Each directed
+	// edge u→v is written only by its sender u, so stepping in parallel is
+	// race-free.
+	rowOff    []int
+	edgeBits  []int32
+	edgeStamp []int32
+
+	stats Stats
+}
+
+// NewNetwork prepares a simulation of the given graph. The graph must be
+// non-empty.
+func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
+	if g.N() == 0 {
+		return nil, errors.New("congest: empty graph")
+	}
+	if cfg.BandwidthBits == 0 {
+		cfg.BandwidthBits = DefaultBandwidth(g.N())
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 64*g.N() + 1_000_000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	net := &Network{
+		g:         g,
+		cfg:       cfg,
+		bandwidth: cfg.BandwidthBits,
+		rowOff:    make([]int, g.N()+1),
+		edgeBits:  make([]int32, 2*g.M()),
+		edgeStamp: make([]int32, 2*g.M()),
+	}
+	for i := range net.edgeStamp {
+		net.edgeStamp[i] = -1
+	}
+	for v := 0; v < g.N(); v++ {
+		net.rowOff[v+1] = net.rowOff[v] + g.Degree(v)
+	}
+	return net, nil
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Bandwidth returns the per-edge budget in bits (CONGEST mode).
+func (n *Network) Bandwidth() int { return n.bandwidth }
+
+// edgeIndex returns the CSR position of directed edge u→v, or -1.
+func (n *Network) edgeIndex(u, v int) int {
+	row := n.g.Neighbors(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	if i < len(row) && row[i] == int32(v) {
+		return n.rowOff[u] + i
+	}
+	return -1
+}
+
+// chargeEdge adds bits to the edge's usage in the current round and returns
+// the new total. Uses a round stamp for O(1) lazy reset. Only the edge's
+// sender ever touches index ei, so this is safe under parallel stepping.
+func (n *Network) chargeEdge(ei, bits int) int {
+	if n.edgeStamp[ei] != int32(n.round) {
+		n.edgeStamp[ei] = int32(n.round)
+		n.edgeBits[ei] = 0
+	}
+	n.edgeBits[ei] += int32(bits)
+	return int(n.edgeBits[ei])
+}
+
+// Run executes the simulation. newProc is called once per node id to create
+// its Process; the caller typically captures the created processes to read
+// their outputs afterwards. Run returns the statistics and the first error
+// (bandwidth violation, illegal send, or round-limit exhaustion), if any.
+func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
+	nn := n.g.N()
+	n.ctxs = make([]Context, nn)
+	n.procs = make([]Process, nn)
+	for u := 0; u < nn; u++ {
+		n.ctxs[u] = Context{
+			net: n,
+			id:  u,
+			rng: rand.New(rand.NewSource(n.cfg.Seed ^ (int64(u)*0x5E3779B97F4A7C15 + 0x1234567))),
+		}
+		n.procs[u] = newProc(u)
+	}
+
+	// Round 0: Init everyone (sequential: Init is cheap and often empty).
+	n.round = 0
+	for u := 0; u < nn; u++ {
+		n.procs[u].Init(&n.ctxs[u])
+		if err := n.ctxs[u].err; err != nil {
+			return n.finalize(), err
+		}
+	}
+	n.deliver()
+
+	halted := 0
+	for u := 0; u < nn; u++ {
+		if n.ctxs[u].halted {
+			halted++
+		}
+	}
+
+	for halted < nn {
+		n.round++
+		if n.round > n.cfg.MaxRounds {
+			n.round--
+			return n.finalize(), fmt.Errorf("%w after %d rounds (%d/%d nodes halted)", ErrRoundLimit, n.cfg.MaxRounds, halted, nn)
+		}
+		if err := n.stepAll(); err != nil {
+			return n.finalize(), err
+		}
+		n.deliver()
+		if n.cfg.OnRound != nil && n.cfg.OnRound(n.round) {
+			return n.finalize(), nil
+		}
+		halted = 0
+		for u := 0; u < nn; u++ {
+			if n.ctxs[u].halted {
+				halted++
+			}
+		}
+	}
+	st := n.finalize()
+	st.HaltedAll = true
+	return st, nil
+}
+
+// finalize merges per-node accounting into the run statistics.
+func (n *Network) finalize() *Stats {
+	n.stats.Rounds = n.round
+	for u := range n.ctxs {
+		if n.ctxs[u].maxEdgeBits > n.stats.MaxEdgeBits {
+			n.stats.MaxEdgeBits = n.ctxs[u].maxEdgeBits
+		}
+	}
+	return &n.stats
+}
+
+// stepAll steps every active node, possibly in parallel.
+func (n *Network) stepAll() error {
+	nn := n.g.N()
+	workers := n.cfg.Workers
+	if workers > nn {
+		workers = nn
+	}
+	var steps int64
+	if workers <= 1 || nn < 64 {
+		for u := 0; u < nn; u++ {
+			if n.stepOne(u) {
+				steps++
+			}
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				local := int64(0)
+				for {
+					base := atomic.AddInt64(&next, 256) - 256
+					if base >= int64(nn) {
+						break
+					}
+					end := base + 256
+					if end > int64(nn) {
+						end = int64(nn)
+					}
+					for u := int(base); u < int(end); u++ {
+						if n.stepOne(u) {
+							local++
+						}
+					}
+				}
+				atomic.AddInt64(&steps, local)
+			}()
+		}
+		wg.Wait()
+	}
+	n.stats.ActiveSteps += steps
+	for u := 0; u < nn; u++ {
+		if err := n.ctxs[u].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepOne steps node u if it is active; returns whether Step ran.
+func (n *Network) stepOne(u int) bool {
+	ctx := &n.ctxs[u]
+	if ctx.halted {
+		return false
+	}
+	if ctx.sleep > n.round && len(ctx.inbox) == 0 {
+		return false
+	}
+	ctx.sleep = 0
+	n.procs[u].Step(ctx)
+	ctx.inbox = ctx.inbox[:0]
+	return true
+}
+
+// deliver moves every outbox message into its destination inbox. Iterating
+// senders in increasing id keeps inboxes deterministically ordered.
+func (n *Network) deliver() {
+	nn := n.g.N()
+	for u := 0; u < nn; u++ {
+		out := n.ctxs[u].outbox
+		for _, om := range out {
+			m := om.msg
+			m.Round = int32(n.round + 1)
+			dst := &n.ctxs[om.to]
+			dst.inbox = append(dst.inbox, m)
+			n.stats.Messages++
+			n.stats.Bits += int64(m.Bits)
+		}
+		n.ctxs[u].outbox = out[:0]
+	}
+	n.stats.DeliverCalls = n.stats.Messages
+}

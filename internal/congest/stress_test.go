@@ -1,0 +1,97 @@
+package congest
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// torusGraph builds a side×side torus without importing gen (avoiding an
+// import cycle in tests).
+func torusGraph(side int) *graph.Graph {
+	b := graph.NewBuilder(side * side)
+	id := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			b.AddEdge(id(r, c), id((r+1)%side, c))
+			b.AddEdge(id(r, c), id(r, (c+1)%side))
+		}
+	}
+	return b.Build()
+}
+
+// floodAndCount floods a wave from node 0 and counts receipts; used as a
+// deterministic workload for the stress test.
+type floodAndCount struct {
+	id       int
+	received int
+	relayed  bool
+}
+
+func (p *floodAndCount) Init(ctx *Context) {
+	if p.id == 0 {
+		ctx.Broadcast(Message{Kind: 1, Bits: 16})
+		p.relayed = true
+	}
+}
+
+func (p *floodAndCount) Step(ctx *Context) {
+	for _, m := range ctx.Inbox() {
+		if m.Kind == 1 {
+			p.received++
+			if !p.relayed {
+				p.relayed = true
+				ctx.Broadcast(Message{Kind: 1, Bits: 16})
+			}
+		}
+	}
+	if ctx.Round() > 2*ctx.N() {
+		ctx.Halt()
+	}
+	if p.relayed && ctx.Round() > 64 {
+		ctx.Halt()
+	}
+}
+
+// TestStressLargeParallel runs a 10k-node torus flood under maximal
+// parallelism and compares the aggregate outcome against a sequential run:
+// the engine must be deterministic and race-free at scale (run with -race
+// in CI fashion to get the full value).
+func TestStressLargeParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const side = 100 // n = 10_000
+	g := torusGraph(side)
+	run := func(workers int) (int64, int64) {
+		net, err := NewNetwork(g, Config{Workers: workers, Seed: 3, MaxRounds: 4 * side * side})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs := make([]*floodAndCount, g.N())
+		stats, err := net.Run(func(id int) Process {
+			procs[id] = &floodAndCount{id: id}
+			return procs[id]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var totalReceived int64
+		for _, p := range procs {
+			if !p.relayed {
+				t.Fatal("flood did not reach every node")
+			}
+			totalReceived += int64(p.received)
+		}
+		return totalReceived, stats.Messages
+	}
+	seqR, seqM := run(1)
+	parR, parM := run(8)
+	if seqR != parR || seqM != parM {
+		t.Fatalf("parallel run diverged: received %d vs %d, messages %d vs %d", seqR, parR, seqM, parM)
+	}
+	// Every node broadcasts exactly once: 2m messages in total.
+	if want := int64(2 * g.M()); seqM != want {
+		t.Errorf("messages %d, want %d", seqM, want)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/fixedpoint"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+// rwProc is the standalone Algorithm 1 process: every node knows the length
+// ℓ up front (it is an input of ESTIMATE-RW-PROBABILITY), floods for exactly
+// ℓ steps and halts. Step t sends during round t and is ingested during
+// round t+1.
+type rwProc struct {
+	sh  *shared
+	ell int
+	w   int64
+}
+
+func (p *rwProc) Init(ctx *congest.Context) {}
+
+func (p *rwProc) Step(ctx *congest.Context) {
+	var in int64
+	for _, m := range ctx.Inbox() {
+		if m.Kind == protocol.KindWalk {
+			in += m.Value
+		}
+	}
+	p.w += in
+	r := ctx.Round()
+	if r <= p.ell && p.w > 0 {
+		avail := p.w
+		var hold int64
+		if p.sh.cfg.Lazy {
+			hold = p.w - p.w/2
+			avail = p.w / 2
+		}
+		d := int64(ctx.Degree())
+		share := avail / d
+		p.w = hold + (avail - d*share)
+		if share > 0 {
+			ctx.Broadcast(congest.Message{Kind: protocol.KindWalk, Value: share, Bits: p.sh.sizes.Value()})
+		}
+	}
+	if r >= p.ell+1 {
+		ctx.Halt()
+	}
+}
+
+// RWEstimate is the output of the standalone Algorithm 1 run.
+type RWEstimate struct {
+	// W holds each node's fixed-point estimate of p_ℓ(u).
+	W []int64
+	// Scale is the grid the estimates live on.
+	Scale fixedpoint.Scale
+	// Stats are the engine counters (Rounds is ℓ+1: ℓ flooding steps plus
+	// the final ingestion round).
+	Stats *congest.Stats
+}
+
+// Float converts the estimates to probabilities.
+func (e *RWEstimate) Float() []float64 {
+	p := make([]float64, len(e.W))
+	for i, v := range e.W {
+		p[i] = e.Scale.Float(v)
+	}
+	return p
+}
+
+// TotalMass returns Σw; the flooding conserves it exactly (= Scale.One).
+func (e *RWEstimate) TotalMass() int64 {
+	var s int64
+	for _, v := range e.W {
+		s += v
+	}
+	return s
+}
+
+// EstimateRWProbability runs Algorithm 1 (ESTIMATE-RW-PROBABILITY, §2.4)
+// distributed: it computes the fixed-point estimate of the length-ℓ walk
+// distribution from source in ℓ+1 rounds of the CONGEST model. It matches
+// exact.FixedWalk bit for bit.
+func EstimateRWProbability(g *graph.Graph, source, ell int, cfg Config) (*RWEstimate, error) {
+	cfg.Mode = ApproxLocal // irrelevant; reuse validation
+	cfg.Source = source
+	if cfg.Beta == 0 {
+		cfg.Beta = 1
+	}
+	if cfg.Eps == 0 {
+		cfg.Eps = 0.1
+	}
+	cfg.AllowIrregular = true
+	full, err := cfg.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	if ell < 0 {
+		return nil, fmt.Errorf("core: negative walk length %d", ell)
+	}
+	scale, err := fixedpoint.ScaleFor(g.N(), full.C)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shared{cfg: full, scale: scale, sizes: protocol.NewSizes(g.N(), scale), twoM: int64(2 * g.M())}
+	engCfg := full.Engine
+	if engCfg.MaxRounds == 0 {
+		engCfg.MaxRounds = ell + 16
+	}
+	net, err := congest.NewNetwork(g, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]*rwProc, g.N())
+	stats, err := net.Run(func(id int) congest.Process {
+		p := &rwProc{sh: sh, ell: ell}
+		if id == source {
+			p.w = scale.One
+		}
+		procs[id] = p
+		return p
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &RWEstimate{W: make([]int64, g.N()), Scale: scale, Stats: stats}
+	for i, p := range procs {
+		out.W[i] = p.w
+	}
+	return out, nil
+}

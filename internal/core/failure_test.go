@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+)
+
+// Failure-injection tests: the distributed runs must fail loudly and with
+// typed errors when the model or resource limits are violated.
+
+func TestBandwidthTooSmallFailsLoudly(t *testing.T) {
+	g, _ := gen.RingOfCliques(4, 8)
+	cfg := Config{Mode: ApproxLocal, Source: 0, Beta: 4, Eps: 0.1}
+	cfg.Engine.BandwidthBits = 4 // absurd: below one control word
+	_, err := Run(g, cfg)
+	var be *congest.BandwidthError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want BandwidthError", err)
+	}
+}
+
+func TestRoundLimitSurfaces(t *testing.T) {
+	g, _ := gen.RingOfCliques(4, 8)
+	cfg := Config{Mode: ApproxLocal, Source: 0, Beta: 4, Eps: 0.1}
+	cfg.Engine.MaxRounds = 3 // cannot even finish BFS
+	_, err := Run(g, cfg)
+	if !errors.Is(err, congest.ErrRoundLimit) {
+		t.Fatalf("got %v, want ErrRoundLimit", err)
+	}
+}
+
+func TestMaxLengthExhaustion(t *testing.T) {
+	// A path locally mixes slowly at strict ε; with a tiny length cap the
+	// run must abort with ErrNoConvergence — and still halt the network
+	// cleanly (no round-limit error, all nodes stopped).
+	g, _ := gen.Path(64)
+	cfg := Config{Mode: ExactLocal, Source: 0, Beta: 4, Eps: 0.05, Lazy: true,
+		AllowIrregular: true, MaxLength: 3}
+	res, err := Run(g, cfg)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("got %v, want ErrNoConvergence", err)
+	}
+	if res == nil || res.Stats == nil || !res.Stats.HaltedAll {
+		t.Error("network did not halt cleanly after abort")
+	}
+}
+
+func TestMixingModeMaxLength(t *testing.T) {
+	g, _ := gen.Path(64)
+	cfg := Config{Mode: MixTime, Source: 0, Eps: 0.05, Lazy: true, MaxLength: 8}
+	_, err := Run(g, cfg)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("got %v, want ErrNoConvergence", err)
+	}
+}
+
+// TestStatsAccounting sanity-checks the engine counters exposed through
+// Result: messages, bits and rounds are all positive and consistent.
+func TestStatsAccounting(t *testing.T) {
+	g, _ := gen.RingOfCliques(4, 8)
+	res, err := ApproxLocalMixingTime(g, 0, 4, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Rounds <= 0 || st.Messages <= 0 || st.Bits <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if st.Bits < st.Messages { // every message is ≥ 1 bit
+		t.Error("bits < messages")
+	}
+	if st.MaxEdgeBits <= 0 || st.MaxEdgeBits > congest.DefaultBandwidth(g.N()) {
+		t.Errorf("max edge bits %d outside (0, budget]", st.MaxEdgeBits)
+	}
+	if !st.HaltedAll {
+		t.Error("run ended without halting everyone")
+	}
+	if len(res.Phases) == 0 {
+		t.Error("no phase trace recorded")
+	}
+	for i, ph := range res.Phases {
+		if ph.Ell <= 0 {
+			t.Errorf("phase %d has ℓ=%d", i, ph.Ell)
+		}
+	}
+}
+
+// TestDeterministicDistributedRuns: identical seeds give identical results
+// and traces across repeated runs and worker counts.
+func TestDeterministicDistributedRuns(t *testing.T) {
+	g, _ := gen.RingOfCliques(4, 8)
+	run := func(workers int) *Result {
+		res, err := ApproxLocalMixingTime(g, 0, 4, 0.15, WithSeed(9), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b, c := run(1), run(1), run(4)
+	for _, other := range []*Result{b, c} {
+		if a.Tau != other.Tau || a.R != other.R || a.Stats.Rounds != other.Stats.Rounds ||
+			a.Stats.Messages != other.Stats.Messages || a.Stats.Bits != other.Stats.Bits {
+			t.Fatalf("nondeterministic run: %+v vs %+v", a.Stats, other.Stats)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/fixedpoint"
+	"repro/internal/gen"
+)
+
+func TestGraphLocalMixingTimeAllSources(t *testing.T) {
+	g, err := gen.RingOfCliques(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: ExactLocal, Beta: 3, Eps: 0.1}
+	multi, err := GraphLocalMixingTime(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Results) != g.N() {
+		t.Fatalf("results for %d sources, want %d", len(multi.Results), g.N())
+	}
+	// The distributed max must equal the max of per-source twins.
+	scale := fixedpoint.MustScaleFor(g.N(), fixedpoint.DefaultC)
+	want := -1
+	for s := 0; s < g.N(); s++ {
+		twin, err := exact.FixedLocalMixing(g, s, scale, 3, 0.1, false, exact.Units(4*g.N()*g.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if twin.Tau > want {
+			want = twin.Tau
+		}
+	}
+	if multi.Tau != want {
+		t.Errorf("graph-wide τ = %d, twin max %d", multi.Tau, want)
+	}
+	if multi.TotalRounds < g.N() {
+		t.Error("total rounds suspiciously small")
+	}
+}
+
+func TestGraphLocalMixingTimeSampled(t *testing.T) {
+	g, err := gen.RingOfCliques(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Mode: ApproxLocal, Beta: 3, Eps: 0.1}
+	multi, err := GraphLocalMixingTime(g, cfg, []int{0, 7, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Results) != 3 {
+		t.Fatalf("results %d", len(multi.Results))
+	}
+	full, err := GraphLocalMixingTime(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling under-approximates but never exceeds the full max, and on
+	// this symmetric graph should match it.
+	if multi.Tau > full.Tau {
+		t.Errorf("sampled τ %d exceeds full τ %d", multi.Tau, full.Tau)
+	}
+	if multi.Tau != full.Tau {
+		t.Logf("note: sampled %d vs full %d (symmetric graph, usually equal)", multi.Tau, full.Tau)
+	}
+}
+
+func TestGraphLocalMixingTimeValidation(t *testing.T) {
+	g, _ := gen.Complete(8)
+	if _, err := GraphLocalMixingTime(g, Config{Mode: MixTime, Eps: 0.1}, nil); err == nil {
+		t.Error("MixTime mode accepted")
+	}
+	if _, err := GraphLocalMixingTime(g, Config{Mode: ExactLocal, Beta: 2, Eps: 0.1}, []int{}); err == nil {
+		t.Error("empty sources accepted")
+	}
+	if _, err := GraphLocalMixingTime(g, Config{Mode: ExactLocal, Beta: 2, Eps: 0.1}, []int{99}); err == nil {
+		t.Error("bad source accepted")
+	}
+}

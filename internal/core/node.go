@@ -1,0 +1,209 @@
+package core
+
+import (
+	"repro/internal/congest"
+	"repro/internal/fixedpoint"
+	"repro/internal/protocol"
+)
+
+// shared holds the immutable per-run parameters every process sees. All
+// fields are public inputs of the algorithm (the CONGEST model gives every
+// node n, m and the protocol parameters up front, §1.1).
+type shared struct {
+	cfg   Config
+	scale fixedpoint.Scale
+	sizes protocol.Sizes
+	twoM  int64
+}
+
+// node is the responder process run by every non-source vertex (and
+// embedded by the source's driver): it maintains the BFS tree, floods walk
+// mass, answers SETR/QUERY/CHECK aggregations, and halts on STOP.
+type node struct {
+	sh   *shared
+	tree protocol.Tree
+	agg  protocol.Agg
+
+	// Walk state. phase identifies the current flooding window; in
+	// ApproxLocal and MixTime modes the walk restarts every phase, in
+	// ExactLocal it persists across phases and advances one step per phase.
+	phase int32
+	f0    int   // absolute round at which the window opens
+	flen  int   // number of flooding steps in the window
+	w     int64 // current fixed-point mass
+
+	// Aggregation contribution state.
+	targetVal int64 // ⌊One/R⌋ after SETR (or π_u·One during CHECK)
+	x         int64 // |w − targetVal|
+
+	// Final output, for inspection after the run.
+	stopValue int64
+	stopSeen  bool
+}
+
+func newNode(sh *shared) *node {
+	return &node{sh: sh, phase: -1}
+}
+
+// Init implements congest.Process.
+func (nd *node) Init(ctx *congest.Context) {}
+
+// Step implements congest.Process.
+func (nd *node) Step(ctx *congest.Context) {
+	nd.processRound(ctx)
+}
+
+// processRound runs the responder logic for one round: ingest the inbox,
+// advance the census schedule, and emit flooding shares if the round lies in
+// the current window. The driver calls this too before its own logic.
+func (nd *node) processRound(ctx *congest.Context) {
+	sz := nd.sh.sizes
+	var walkIn int64
+	for _, m := range ctx.Inbox() {
+		switch m.Kind {
+		case protocol.KindBFS:
+			if nd.tree.OnBFS(ctx, sz, m) {
+				nd.agg = protocol.Agg{}
+			}
+		case protocol.KindJoin:
+			nd.tree.OnJoin(m)
+		case protocol.KindCensus:
+			nd.tree.OnCensus(m)
+		case protocol.KindFloodStart:
+			nd.onFloodStart(ctx, m)
+		case protocol.KindWalk:
+			if m.Seq == nd.phase {
+				walkIn += m.Value
+			}
+		case protocol.KindSetR:
+			nd.onSetR(ctx, m)
+		case protocol.KindQuery:
+			nd.onQuery(ctx, m)
+		case protocol.KindCheck:
+			nd.onCheck(ctx, m)
+		case protocol.KindMinMax, protocol.KindReply, protocol.KindCheckReply:
+			if nd.agg.Merge(m) && nd.agg.Complete() {
+				nd.agg.ReplyUp(ctx, sz, &nd.tree)
+			}
+		case protocol.KindStop:
+			nd.onStop(ctx, m)
+			return
+		}
+	}
+	if walkIn != 0 {
+		nd.w += walkIn
+	}
+	nd.tree.Advance(ctx, sz)
+	nd.maybeFlood(ctx)
+}
+
+// onFloodStart opens a flooding window: Value=F0, Aux=ℓ, Seq=phase.
+// In the restarting modes the walk state is cleared; the source re-seeds its
+// own mass in the driver.
+func (nd *node) onFloodStart(ctx *congest.Context, m congest.Message) {
+	if m.Seq <= nd.phase {
+		return // stale or duplicate
+	}
+	nd.phase = m.Seq
+	nd.f0 = int(m.Value)
+	nd.flen = int(m.Aux)
+	if nd.sh.cfg.Mode != ExactLocal {
+		nd.w = 0
+	}
+	for _, c := range nd.tree.Children {
+		ctx.Send(int(c), congest.Message{
+			Kind: protocol.KindFloodStart, Seq: m.Seq,
+			Value: m.Value, Aux: m.Aux, Bits: nd.sh.sizes.Control(),
+		})
+	}
+}
+
+// maybeFlood emits this round's walk shares when the round lies in the
+// window [F0, F0+ℓ). This is Algorithm 1's per-round action in fixed point:
+// send ⌊w/d⌋ (lazy: hold ⌈w/2⌉ first) per neighbor, keep the remainder.
+func (nd *node) maybeFlood(ctx *congest.Context) {
+	if nd.phase < 0 || nd.w == 0 {
+		return
+	}
+	r := ctx.Round()
+	if r < nd.f0 || r >= nd.f0+nd.flen {
+		return
+	}
+	avail := nd.w
+	var hold int64
+	if nd.sh.cfg.Lazy {
+		hold = nd.w - nd.w/2
+		avail = nd.w / 2
+	}
+	d := int64(ctx.Degree())
+	share := avail / d
+	rem := avail - d*share
+	nd.w = hold + rem
+	if share > 0 {
+		msg := congest.Message{
+			Kind: protocol.KindWalk, Seq: nd.phase,
+			Value: share, Bits: nd.sh.sizes.Value(),
+		}
+		ctx.Broadcast(msg)
+	}
+}
+
+// onSetR handles a set-size announcement: recompute x and convergecast
+// (min, max) of x over the subtree. With randomized tie-breaking enabled
+// (§3.1), x is shifted up and a private random value fills the low bits, so
+// all x are distinct w.h.p.; the perturbation adds at most R·2^-TieBits grid
+// units to the final sum, which is absorbed by the 4ε margin exactly as the
+// paper's r_u ∈ [1/n⁸, 1/n⁴] is.
+func (nd *node) onSetR(ctx *congest.Context, m congest.Message) {
+	nd.targetVal = nd.sh.scale.One / m.Value
+	x := fixedpoint.Abs(nd.w, nd.targetVal)
+	if tb := nd.sh.cfg.TieBreakBits; tb > 0 {
+		x = x<<uint(tb) | ctx.Rand().Int63n(1<<uint(tb))
+	}
+	nd.x = x
+	nd.openAgg(ctx, protocol.KindSetR, m.Seq, 0, m)
+}
+
+// onQuery handles a binary-search probe: convergecast (Σ x ≤ mid, #x ≤ mid).
+func (nd *node) onQuery(ctx *congest.Context, m congest.Message) {
+	nd.openAgg(ctx, protocol.KindQuery, m.Seq, m.Value, m)
+}
+
+// onCheck handles the global mixing test: x = |w − π_u·One|, convergecast Σ.
+func (nd *node) onCheck(ctx *congest.Context, m congest.Message) {
+	nd.targetVal = nd.sh.scale.One * int64(ctx.Degree()) / nd.sh.twoM
+	nd.x = fixedpoint.Abs(nd.w, nd.targetVal)
+	nd.openAgg(ctx, protocol.KindCheck, m.Seq, 0, m)
+}
+
+// openAgg starts an aggregation with this node's contribution, forwards the
+// request down the tree, and replies immediately when the node is a leaf.
+func (nd *node) openAgg(ctx *congest.Context, kind uint8, seq int32, mid int64, m congest.Message) {
+	sz := nd.sh.sizes
+	nd.agg.Open(kind, seq, len(nd.tree.Children), nd.x, mid)
+	fwd := congest.Message{Kind: kind, Seq: seq, Value: m.Value, Aux: m.Aux, Bits: sz.Control()}
+	if kind == protocol.KindQuery {
+		fwd.Bits = sz.Value()
+	}
+	for _, c := range nd.tree.Children {
+		ctx.Send(int(c), fwd)
+	}
+	if nd.agg.Complete() {
+		nd.agg.ReplyUp(ctx, sz, &nd.tree)
+	}
+}
+
+// onStop floods the final result and halts.
+func (nd *node) onStop(ctx *congest.Context, m congest.Message) {
+	if nd.stopSeen {
+		return
+	}
+	nd.stopSeen = true
+	nd.stopValue = m.Value
+	for _, v := range ctx.Neighbors() {
+		if v != m.From {
+			ctx.Send(int(v), congest.Message{Kind: protocol.KindStop, Value: m.Value, Bits: nd.sh.sizes.Control()})
+		}
+	}
+	ctx.Halt()
+}

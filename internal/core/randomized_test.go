@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/fixedpoint"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestTwinEquivalenceRandomizedSweep is the flagship property test: across
+// randomly generated regular graphs, random sources and both chains, the
+// distributed exact algorithm must return precisely the centralized
+// fixed-point twin's answer, and the approx algorithm must match the twin
+// at doubling checkpoints. Any protocol bug — timing, aggregation, virtual
+// node accounting, binary search — breaks this equality.
+func TestTwinEquivalenceRandomizedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep")
+	}
+	const eps = 0.1
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		var g *graph.Graph
+		var err error
+		switch seed % 4 {
+		case 0:
+			n := 12 + 2*rng.Intn(10)
+			g, err = gen.RandomRegular(n, 4, rng)
+		case 1:
+			n := 16 + 2*rng.Intn(12)
+			g, err = gen.RandomRegular(n, 6, rng)
+		case 2:
+			g, err = gen.RingOfCliques(3+rng.Intn(3), 5+rng.Intn(4))
+		case 3:
+			g, err = gen.Torus(3+rng.Intn(3), 3+rng.Intn(4))
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		source := rng.Intn(g.N())
+		lazy := g.IsBipartite()
+		beta := []float64{2, 3, 5}[rng.Intn(3)]
+		scale := fixedpoint.MustScaleFor(g.N(), fixedpoint.DefaultC)
+
+		twinExact, err := exact.FixedLocalMixing(g, source, scale, beta, eps, lazy, exact.Units(8*g.N()*g.N()))
+		if err != nil {
+			t.Fatalf("seed %d twin: %v", seed, err)
+		}
+		distExact, err := ExactLocalMixingTime(g, source, beta, eps, WithLazyIf(lazy), WithSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d %s src=%d: %v", seed, g.Name(), source, err)
+		}
+		if distExact.Tau != twinExact.Tau || distExact.R != twinExact.R {
+			t.Errorf("seed %d %s src=%d β=%g: exact distributed (τ=%d,R=%d) != twin (τ=%d,R=%d)",
+				seed, g.Name(), source, beta, distExact.Tau, distExact.R, twinExact.Tau, twinExact.R)
+		}
+
+		twinApprox, err := exact.FixedLocalMixing(g, source, scale, beta, eps, lazy, exact.Doublings(8*g.N()*g.N()))
+		if err != nil {
+			t.Fatalf("seed %d twin approx: %v", seed, err)
+		}
+		distApprox, err := ApproxLocalMixingTime(g, source, beta, eps, WithLazyIf(lazy), WithSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d approx: %v", seed, err)
+		}
+		if distApprox.Tau != twinApprox.Tau || distApprox.R != twinApprox.R {
+			t.Errorf("seed %d %s src=%d β=%g: approx distributed (τ=%d,R=%d) != twin (τ=%d,R=%d)",
+				seed, g.Name(), source, beta, distApprox.Tau, distApprox.R, twinApprox.Tau, twinApprox.R)
+		}
+	}
+}
+
+// TestEstimateRandomizedSweep: Algorithm 1 vs the fixed walk on random
+// graphs, random lengths, random sources — bit-exact.
+func TestEstimateRandomizedSweep(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		n := 10 + 2*rng.Intn(15)
+		g, err := gen.RandomRegular(n, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		source := rng.Intn(n)
+		ell := rng.Intn(30)
+		lazy := seed%2 == 0
+		scale := fixedpoint.MustScaleFor(n, fixedpoint.DefaultC)
+		fw, err := exact.NewFixedWalk(g, source, scale, lazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.StepN(ell)
+		est, err := EstimateRWProbability(g, source, ell, Config{Lazy: lazy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, want := range fw.W() {
+			if est.W[u] != want {
+				t.Fatalf("seed %d node %d: %d != %d", seed, u, est.W[u], want)
+			}
+		}
+	}
+}
+
+// TestMixingRefinementMatchesOracle: the [18] baseline's binary-search
+// refinement must land on the exact fixed-point mixing time across random
+// graphs (monotonicity makes the refinement sound; this guards it).
+func TestMixingRefinementMatchesOracle(t *testing.T) {
+	const eps = 0.2
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(3000 + seed))
+		n := 12 + 2*rng.Intn(10)
+		g, err := gen.RandomRegular(n, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := fixedpoint.MustScaleFor(n, fixedpoint.DefaultC)
+		fw, _ := exact.NewFixedWalk(g, 0, scale, false)
+		threshold := scale.FromFloat(eps)
+		want := -1
+		for tt := 0; tt <= 8*n*n; tt++ {
+			if _, ok := exact.FixedMixingCheck(g, fw.W(), scale, threshold); ok {
+				want = tt
+				break
+			}
+			fw.Step()
+		}
+		if want == 0 {
+			want = 1 // the distributed search starts at ℓ=1
+		}
+		got, err := MixingTime(g, 0, eps, WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tau != want {
+			t.Errorf("seed %d n=%d: distributed τ_mix=%d, oracle %d", seed, n, got.Tau, want)
+		}
+	}
+}

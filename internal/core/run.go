@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/fixedpoint"
+	"repro/internal/graph"
+	"repro/internal/protocol"
+)
+
+// Run executes one distributed algorithm on the graph per the Config and
+// returns the source's result together with the engine statistics. The run
+// fails if the engine detects a model violation, the round limit elapses, or
+// the walk-length cap is reached without the test passing.
+func Run(g *graph.Graph, cfg Config) (*Result, error) {
+	full, err := cfg.withDefaults(g)
+	if err != nil {
+		return nil, err
+	}
+	scale, err := fixedpoint.ScaleForHeadroom(g.N(), full.C, full.TieBreakBits)
+	if err != nil {
+		return nil, err
+	}
+	sizes := protocol.NewSizes(g.N(), scale)
+	sizes.TieBits = full.TieBreakBits
+	sh := &shared{
+		cfg:   full,
+		scale: scale,
+		sizes: sizes,
+		twoM:  int64(2 * g.M()),
+	}
+	engCfg := full.Engine
+	if engCfg.MaxRounds == 0 {
+		// Generous default: every epoch costs O(ℓ + D·log·log); bound the
+		// whole run by the length cap times a polylog cushion.
+		engCfg.MaxRounds = 400*full.MaxLength + 200*g.N() + 2_000_000
+	}
+	net, err := congest.NewNetwork(g, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	var drv *driver
+	stats, err := net.Run(func(id int) congest.Process {
+		if id == full.Source {
+			drv = newDriver(sh)
+			return drv
+		}
+		return newNode(sh)
+	})
+	if drv != nil {
+		drv.res.Stats = stats
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %s run failed: %w", full.Mode, err)
+	}
+	if drv.failErr != nil {
+		return &drv.res, drv.failErr
+	}
+	return &drv.res, nil
+}
+
+// ApproxLocalMixingTime runs Algorithm 2 (LOCAL-MIXING-TIME, Theorem 1): a
+// 2-approximation of τ_s(β, ε) via doubling walk lengths, valid when
+// τ_s·φ(S) = o(1).
+func ApproxLocalMixingTime(g *graph.Graph, source int, beta, eps float64, opts ...Option) (*Result, error) {
+	cfg := Config{Mode: ApproxLocal, Source: source, Beta: beta, Eps: eps}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return Run(g, cfg)
+}
+
+// ExactLocalMixingTime runs the §3.2 variant (Theorem 2): unit length
+// increments with a persistent walk; exact τ_s(β, ε) without assumptions.
+func ExactLocalMixingTime(g *graph.Graph, source int, beta, eps float64, opts ...Option) (*Result, error) {
+	cfg := Config{Mode: ExactLocal, Source: source, Beta: beta, Eps: eps}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return Run(g, cfg)
+}
+
+// MixingTime runs the baseline distributed mixing-time computation in the
+// style of Molla–Pandurangan [18]: doubling plus binary-search refinement
+// over lengths, O(τ_mix log n) rounds, returning the exact τ_mix_s(ε) on
+// the fixed-point grid.
+func MixingTime(g *graph.Graph, source int, eps float64, opts ...Option) (*Result, error) {
+	cfg := Config{Mode: MixTime, Source: source, Eps: eps}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return Run(g, cfg)
+}
+
+// Option mutates a Config in the convenience constructors.
+type Option func(*Config)
+
+// WithLazy selects the lazy walk.
+func WithLazy() Option { return func(c *Config) { c.Lazy = true } }
+
+// WithSeed seeds the engine RNGs.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Engine.Seed = seed } }
+
+// WithC sets the fixed-point exponent (the paper's c in 1/n^c).
+func WithC(cc int) Option { return func(c *Config) { c.C = cc } }
+
+// WithMaxLength caps the walk length searched.
+func WithMaxLength(n int) Option { return func(c *Config) { c.MaxLength = n } }
+
+// WithIrregular permits near-regular graphs (e.g. the Figure 1 barbell) in
+// the local modes.
+func WithIrregular() Option { return func(c *Config) { c.AllowIrregular = true } }
+
+// WithWorkers sets the engine's stepping parallelism.
+func WithWorkers(w int) Option { return func(c *Config) { c.Engine.Workers = w } }
+
+// WithRandomTieBreak enables the paper's §3.1 randomized tie-breaking with
+// the given number of sub-grid bits (the deterministic threshold resolution
+// is the default).
+func WithRandomTieBreak(bits int) Option {
+	return func(c *Config) { c.TieBreakBits = bits }
+}

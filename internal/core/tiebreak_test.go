@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestTieBreakVariantsAgree (ablation A3): the paper's randomized
+// perturbation and the deterministic threshold accounting must compute the
+// same local mixing time — the perturbation is designed to vanish inside
+// the 4ε margin.
+func TestTieBreakVariantsAgree(t *testing.T) {
+	const beta, eps = 3.0, 0.046
+	for name, g := range testGraphs(t) {
+		lazy := g.IsBipartite()
+		det, err := ExactLocalMixingTime(g, 0, beta, eps, WithLazyIf(lazy), WithIrregular())
+		if err != nil {
+			t.Fatalf("%s deterministic: %v", name, err)
+		}
+		for _, bits := range []int{4, 8} {
+			rnd, err := ExactLocalMixingTime(g, 0, beta, eps,
+				WithLazyIf(lazy), WithIrregular(), WithRandomTieBreak(bits), WithSeed(77))
+			if err != nil {
+				t.Fatalf("%s randomized(%d): %v", name, bits, err)
+			}
+			if rnd.Tau != det.Tau || rnd.R != det.R {
+				t.Errorf("%s bits=%d: randomized (τ=%d R=%d) != deterministic (τ=%d R=%d)",
+					name, bits, rnd.Tau, rnd.R, det.Tau, det.R)
+			}
+		}
+	}
+}
+
+// TestTieBreakSeedIndependence: different seeds for the perturbation give
+// the same τ (the result may not depend on the randomness, only the
+// internal search path may).
+func TestTieBreakSeedIndependence(t *testing.T) {
+	g := testGraphs(t)["ringcliques4x8"]
+	var taus []int
+	for _, seed := range []int64{1, 2, 3} {
+		res, err := ApproxLocalMixingTime(g, 0, 3, 0.046, WithRandomTieBreak(6), WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		taus = append(taus, res.Tau)
+	}
+	if taus[0] != taus[1] || taus[1] != taus[2] {
+		t.Errorf("τ varies with perturbation seed: %v", taus)
+	}
+}
+
+func TestTieBreakValidation(t *testing.T) {
+	g := testGraphs(t)["complete16"]
+	if _, err := ApproxLocalMixingTime(g, 0, 2, 0.05, WithRandomTieBreak(99)); err == nil {
+		t.Error("absurd tie bits accepted")
+	}
+	if _, err := ApproxLocalMixingTime(g, 0, 2, 0.05, WithRandomTieBreak(-1)); err == nil {
+		t.Error("negative tie bits accepted")
+	}
+}

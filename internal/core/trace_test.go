@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestPhaseTraceDoubling: the approx algorithm's phase trace must show the
+// doubling schedule ℓ = 1, 2, 4, … and monotone start rounds.
+func TestPhaseTraceDoubling(t *testing.T) {
+	g, err := gen.Cycle(48) // slow local mixing forces several epochs
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApproxLocalMixingTime(g, 0, 8, 0.05, WithLazy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) < 3 {
+		t.Fatalf("expected several epochs, got %d", len(res.Phases))
+	}
+	for i, ph := range res.Phases {
+		if want := 1 << uint(i); ph.Ell != want {
+			t.Errorf("phase %d: ℓ=%d, want %d", i, ph.Ell, want)
+		}
+		if i > 0 && ph.StartRound <= res.Phases[i-1].StartRound {
+			t.Errorf("phase %d starts at %d, not after %d", i, ph.StartRound, res.Phases[i-1].StartRound)
+		}
+		if ph.SizesChecked < 1 {
+			t.Errorf("phase %d checked no sizes", i)
+		}
+	}
+	// The final phase's ℓ is the answer.
+	if last := res.Phases[len(res.Phases)-1]; last.Ell != res.Tau {
+		t.Errorf("final phase ℓ=%d but τ̂=%d", last.Ell, res.Tau)
+	}
+}
+
+// TestPhaseTraceUnitIncrements: the exact variant walks ℓ = 1, 2, 3, ….
+func TestPhaseTraceUnitIncrements(t *testing.T) {
+	g, err := gen.Cycle(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExactLocalMixingTime(g, 0, 8, 0.05, WithLazy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ph := range res.Phases {
+		if ph.Ell != i+1 {
+			t.Errorf("phase %d: ℓ=%d, want %d", i, ph.Ell, i+1)
+		}
+	}
+	if len(res.Phases) != res.Tau {
+		t.Errorf("phases %d but τ=%d", len(res.Phases), res.Tau)
+	}
+}
+
+// TestPhaseTraceTreeReuse: once the BFS tree spans the graph, later phases
+// must not rebuild it (the footnote 8 optimization).
+func TestPhaseTraceTreeReuse(t *testing.T) {
+	g, err := gen.Cycle(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExactLocalMixingTime(g, 0, 8, 0.05, WithLazy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(g.N())
+	sawComplete := false
+	for i, ph := range res.Phases {
+		if sawComplete && ph.TreeRebuilt {
+			t.Errorf("phase %d rebuilt the tree after it spanned the graph", i)
+		}
+		if ph.TreeSize == n {
+			sawComplete = true
+		}
+	}
+	if !sawComplete {
+		t.Skip("tree never spanned the graph within τ — cannot exercise reuse here")
+	}
+}
+
+// TestWitnessSemantics: the reported witness size respects β, and the
+// reported sum is below the 4ε threshold.
+func TestWitnessSemantics(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		lazy := g.IsBipartite()
+		const beta, eps = 3.0, 0.1
+		res, err := ExactLocalMixingTime(g, 0, beta, eps, WithLazyIf(lazy), WithIrregular())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		minR := int(float64(g.N())/beta + 0.999)
+		if res.R < minR {
+			t.Errorf("%s: witness R=%d below ⌈n/β⌉=%d", name, res.R, minR)
+		}
+		if res.Sum >= 4*eps {
+			t.Errorf("%s: reported sum %v ≥ 4ε", name, res.Sum)
+		}
+		if res.Sum < 0 {
+			t.Errorf("%s: negative sum %v", name, res.Sum)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package exact
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/graph"
+)
+
+// FixedWalk is the centralized twin of the distributed Algorithm 1
+// (ESTIMATE-RW-PROBABILITY): it evolves the walk on the fixed-point grid
+// with *identical* integer arithmetic — per-neighbor shares are floored and
+// the sender keeps the remainder — so the distributed flooding must produce
+// byte-identical mass vectors. The test suite exploits this for exact
+// cross-validation, and the harness uses it to measure the Lemma 2 rounding
+// error against the float64 walk.
+type FixedWalk struct {
+	g     *graph.Graph
+	scale fixedpoint.Scale
+	lazy  bool
+	t     int
+	w     []int64
+	next  []int64
+}
+
+// NewFixedWalk starts the fixed-point walk at source with mass One.
+func NewFixedWalk(g *graph.Graph, source int, scale fixedpoint.Scale, lazy bool) (*FixedWalk, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("exact: source %d out of range [0,%d)", source, g.N())
+	}
+	f := &FixedWalk{
+		g:     g,
+		scale: scale,
+		lazy:  lazy,
+		w:     make([]int64, g.N()),
+		next:  make([]int64, g.N()),
+	}
+	f.w[source] = scale.One
+	return f, nil
+}
+
+// T returns the number of steps taken.
+func (f *FixedWalk) T() int { return f.t }
+
+// Scale returns the fixed-point grid.
+func (f *FixedWalk) Scale() fixedpoint.Scale { return f.scale }
+
+// W returns the current mass vector (owned by the walk; copy to retain).
+func (f *FixedWalk) W() []int64 { return f.w }
+
+// TotalMass returns Σw, which is invariant (= One) under Step.
+func (f *FixedWalk) TotalMass() int64 {
+	var s int64
+	for _, v := range f.w {
+		s += v
+	}
+	return s
+}
+
+// Step advances one flooding step. Simple walk: each node sends ⌊w/d⌋ to
+// every neighbor and keeps the remainder. Lazy walk: each node holds back
+// ⌈w/2⌉ and distributes the rest the same way.
+func (f *FixedWalk) Step() {
+	g := f.g
+	n := g.N()
+	for v := 0; v < n; v++ {
+		f.next[v] = 0
+	}
+	for u := 0; u < n; u++ {
+		w := f.w[u]
+		if w == 0 {
+			continue
+		}
+		avail := w
+		var hold int64
+		if f.lazy {
+			hold = w - w/2 // ⌈w/2⌉ stays
+			avail = w / 2
+		}
+		d := int64(g.Degree(u))
+		share := avail / d
+		rem := avail - d*share
+		f.next[u] += hold + rem
+		if share > 0 {
+			for _, v := range g.Neighbors(u) {
+				f.next[v] += share
+			}
+		}
+	}
+	f.w, f.next = f.next, f.w
+	f.t++
+}
+
+// StepN advances k steps.
+func (f *FixedWalk) StepN(k int) {
+	for i := 0; i < k; i++ {
+		f.Step()
+	}
+}
+
+// Float returns the current mass vector as float64 probabilities.
+func (f *FixedWalk) Float() []float64 {
+	p := make([]float64, len(f.w))
+	for i, v := range f.w {
+		p[i] = f.scale.Float(v)
+	}
+	return p
+}
+
+// SumRSmallest returns the sum of the R smallest values of xs — the quantity
+// Algorithm 2's source computes via distributed binary search. Reference
+// implementation by sorting; used by the centralized twins and as the test
+// oracle for the distributed k-smallest-sum protocol.
+func SumRSmallest(xs []int64, r int) int64 {
+	if r < 0 || r > len(xs) {
+		panic(fmt.Sprintf("exact: SumRSmallest r=%d of %d", r, len(xs)))
+	}
+	tmp := make([]int64, len(xs))
+	copy(tmp, xs)
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	var s int64
+	for i := 0; i < r; i++ {
+		s += tmp[i]
+	}
+	return s
+}
+
+// FixedLocalCheck evaluates Algorithm 2's per-length test on a fixed-point
+// mass vector: for each candidate size R it computes x_u = |w_u − ⌊One/R⌋|
+// for every node and tests whether the R smallest sum below threshold.
+// It returns the first passing size, its sum, and ok.
+func FixedLocalCheck(w []int64, scale fixedpoint.Scale, sizes []int, threshold int64) (r int, sum int64, ok bool) {
+	xs := make([]int64, len(w))
+	for _, R := range sizes {
+		target := scale.One / int64(R)
+		for i, wv := range w {
+			xs[i] = fixedpoint.Abs(wv, target)
+		}
+		s := SumRSmallest(xs, R)
+		if s < threshold {
+			return R, s, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FixedLocalResult reports a centralized fixed-point local-mixing run.
+type FixedLocalResult struct {
+	Tau int   // the length at which the check first passed
+	R   int   // the passing set size
+	Sum int64 // the achieved fixed-point sum (< threshold)
+}
+
+// FixedLocalMixing is the centralized twin of the distributed algorithms in
+// internal/core: it steps the fixed-point walk and applies Algorithm 2's
+// 4ε grid check at every length in lengths (ascending). The distributed
+// exact algorithm must agree with lengths = 1,2,3,…; the distributed approx
+// algorithm must agree with lengths = 1,2,4,8,… (deterministic flooding
+// restarted at length ℓ equals the continued walk at time ℓ, so doubling
+// with restarts is equivalent to checkpointing one continuous walk).
+func FixedLocalMixing(g *graph.Graph, source int, scale fixedpoint.Scale, beta, eps float64, lazy bool, lengths []int) (*FixedLocalResult, error) {
+	fw, err := NewFixedWalk(g, source, scale, lazy)
+	if err != nil {
+		return nil, err
+	}
+	sizes := CandidateSizes(g.N(), beta, true, eps)
+	threshold := scale.FromFloat(4 * eps)
+	for _, ell := range lengths {
+		if ell < fw.T() {
+			return nil, fmt.Errorf("exact: FixedLocalMixing lengths must be ascending")
+		}
+		fw.StepN(ell - fw.T())
+		if r, sum, ok := FixedLocalCheck(fw.W(), scale, sizes, threshold); ok {
+			return &FixedLocalResult{Tau: ell, R: r, Sum: sum}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (fixed local, lengths up to %d)", ErrNoMixing, lengths[len(lengths)-1])
+}
+
+// Doublings returns 1, 2, 4, …, capped at max (inclusive of the first value
+// ≥ max to mirror Algorithm 2's final probe).
+func Doublings(max int) []int {
+	var out []int
+	for l := 1; ; l *= 2 {
+		out = append(out, l)
+		if l >= max {
+			return out
+		}
+	}
+}
+
+// Units returns 1, 2, 3, …, max.
+func Units(max int) []int {
+	out := make([]int, max)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// FixedMixingCheck evaluates the [18]-style global test on a fixed-point
+// vector: Σ_u |w_u − ⌊One·d(u)/2m⌋| < threshold.
+func FixedMixingCheck(g *graph.Graph, w []int64, scale fixedpoint.Scale, threshold int64) (int64, bool) {
+	twoM := int64(2 * g.M())
+	var s int64
+	for u, wv := range w {
+		target := scale.One * int64(g.Degree(u)) / twoM
+		s += fixedpoint.Abs(wv, target)
+	}
+	return s, s < threshold
+}

@@ -1,0 +1,191 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/gen"
+)
+
+// TestFixedWalkConservesMass: the defining invariant of the fixed-point
+// flooding — total mass is exactly One forever, both chains.
+func TestFixedWalkConservesMass(t *testing.T) {
+	g, err := gen.Barbell(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := fixedpoint.MustScaleFor(g.N(), 6)
+	for _, lazy := range []bool{false, true} {
+		fw, err := NewFixedWalk(g, 3, scale, lazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if m := fw.TotalMass(); m != scale.One {
+				t.Fatalf("lazy=%v t=%d: mass %d ≠ %d", lazy, i, m, scale.One)
+			}
+			fw.Step()
+		}
+	}
+}
+
+// TestLemma2ErrorBound: the fixed-point estimate tracks the float64 walk
+// within t·d_max·ulp per coordinate (the power-of-two analogue of Lemma 2).
+func TestLemma2ErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := gen.RandomRegular(60, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := fixedpoint.MustScaleFor(g.N(), 6)
+	fw, _ := NewFixedWalk(g, 0, scale, false)
+	w, _ := NewWalk(g, 0, false)
+	for step := 1; step <= 120; step++ {
+		fw.Step()
+		w.Step()
+		bound := float64(step) * float64(g.MaxDegree()) * scale.Ulp()
+		for u, wantP := range w.P() {
+			got := scale.Float(fw.W()[u])
+			if diff := absf(got - wantP); diff > bound {
+				t.Fatalf("t=%d node %d: |p̃−p| = %g > bound %g", step, u, diff, bound)
+			}
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestSumRSmallest(t *testing.T) {
+	xs := []int64{5, 1, 4, 1, 9}
+	if s := SumRSmallest(xs, 3); s != 6 {
+		t.Errorf("sum of 3 smallest = %d, want 6", s)
+	}
+	if s := SumRSmallest(xs, 0); s != 0 {
+		t.Errorf("r=0 sum = %d", s)
+	}
+	if s := SumRSmallest(xs, 5); s != 20 {
+		t.Errorf("r=n sum = %d", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("r>n should panic")
+		}
+	}()
+	SumRSmallest(xs, 6)
+}
+
+// TestSumRSmallestAgainstThresholdFormula mirrors the driver's threshold
+// arithmetic: sum of R smallest = sum(x ≤ T) − (count(x ≤ T) − R)·T where T
+// is the R-th smallest. Property-checked on random multisets (including
+// ties, which the formula must handle exactly).
+func TestSumRSmallestAgainstThresholdFormula(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(10)) // small range forces ties
+		}
+		r := 1 + rng.Intn(n)
+		want := SumRSmallest(xs, r)
+		// Find T = r-th smallest via the count function, as the driver does.
+		lo, hi := int64(0), int64(9)
+		count := func(mid int64) (c, s int64) {
+			for _, x := range xs {
+				if x <= mid {
+					c++
+					s += x
+				}
+			}
+			return
+		}
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			c, _ := count(mid)
+			if c >= int64(r) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		cT, sT := count(lo)
+		got := sT - (cT-int64(r))*lo
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedLocalCheckMatchesFloatOracle(t *testing.T) {
+	// On a well-mixed barbell clique the fixed-point check and the float
+	// oracle agree about passing.
+	g, err := gen.Barbell(6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := fixedpoint.MustScaleFor(g.N(), 6)
+	res, err := FixedLocalMixing(g, 0, scale, 6, eps, false, Units(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tau > 12 {
+		t.Errorf("fixed local mixing on barbell = %d, want small", res.Tau)
+	}
+	// Float oracle with the algorithm's semantics (grid, 4ε) as reference.
+	fres, err := LocalMixing(g, 0, 6, eps, LocalOptions{MaxT: 500, Grid: true, ThresholdMult: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.Tau - fres.T; diff < -1 || diff > 1 {
+		t.Errorf("fixed τ=%d vs float τ=%d differ by more than rounding slack", res.Tau, fres.T)
+	}
+}
+
+func TestDoublingsAndUnits(t *testing.T) {
+	d := Doublings(10)
+	want := []int{1, 2, 4, 8, 16}
+	if len(d) != len(want) {
+		t.Fatalf("doublings %v", d)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("doublings %v", d)
+		}
+	}
+	u := Units(4)
+	if len(u) != 4 || u[0] != 1 || u[3] != 4 {
+		t.Errorf("units %v", u)
+	}
+}
+
+func TestFixedLocalMixingRejectsDescendingLengths(t *testing.T) {
+	// A path is slow to mix, so the check fails at ℓ=2 and the descending
+	// ℓ=1 must be detected rather than silently skipped.
+	g, _ := gen.Path(32)
+	scale := fixedpoint.MustScaleFor(32, 6)
+	if _, err := FixedLocalMixing(g, 0, scale, 1, eps, true, []int{2, 1}); err == nil {
+		t.Error("descending lengths accepted")
+	}
+}
+
+func TestFixedMixingCheck(t *testing.T) {
+	g, _ := gen.Complete(16)
+	scale := fixedpoint.MustScaleFor(16, 6)
+	fw, _ := NewFixedWalk(g, 0, scale, false)
+	threshold := scale.FromFloat(eps)
+	if _, ok := FixedMixingCheck(g, fw.W(), scale, threshold); ok {
+		t.Error("point mass should not pass the mixing check")
+	}
+	fw.StepN(3)
+	if sum, ok := FixedMixingCheck(g, fw.W(), scale, threshold); !ok {
+		t.Errorf("K16 not mixed after 3 steps (sum %d)", sum)
+	}
+}

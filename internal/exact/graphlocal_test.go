@@ -1,0 +1,84 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestGraphLocalMixingBarbell(t *testing.T) {
+	g, err := gen.Barbell(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GraphLocalMixing(g, 4, eps, LocalOptions{MaxT: 1 << 18, Grid: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSource) != g.N() {
+		t.Fatalf("per-source results: %d, want %d", len(res.PerSource), g.N())
+	}
+	if res.Tau > 10 {
+		t.Errorf("graph-wide τ = %d, want O(1) on the barbell", res.Tau)
+	}
+	// The max must actually be the max of the per-source values.
+	maxSeen := 0
+	for _, st := range res.PerSource {
+		if st.Tau > maxSeen {
+			maxSeen = st.Tau
+		}
+	}
+	if maxSeen != res.Tau {
+		t.Errorf("Tau=%d but per-source max is %d", res.Tau, maxSeen)
+	}
+}
+
+// TestGraphLocalMixingMatchesSequential: the parallel worker pool must give
+// the same per-source values as direct sequential calls.
+func TestGraphLocalMixingMatchesSequential(t *testing.T) {
+	g, err := gen.RingOfCliques(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := LocalOptions{MaxT: 1 << 18, Grid: true}
+	res, err := GraphLocalMixing(g, 3, eps, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.PerSource {
+		single, err := LocalMixing(g, st.Source, 3, eps, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.T != st.Tau {
+			t.Errorf("source %d: parallel %d vs sequential %d", st.Source, st.Tau, single.T)
+		}
+	}
+}
+
+func TestGraphLocalMixingSampledSources(t *testing.T) {
+	g, err := gen.Barbell(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GraphLocalMixing(g, 4, eps, LocalOptions{MaxT: 1 << 18, Grid: true}, []int{0, 9, 39})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSource) != 3 {
+		t.Fatalf("sampled run returned %d sources", len(res.PerSource))
+	}
+	if res.PerSource[0].Source != 0 || res.PerSource[2].Source != 39 {
+		t.Errorf("sources not sorted: %+v", res.PerSource)
+	}
+}
+
+func TestGraphLocalMixingValidation(t *testing.T) {
+	g, _ := gen.Complete(8)
+	if _, err := GraphLocalMixing(g, 2, eps, LocalOptions{MaxT: 10}, []int{}); err == nil {
+		t.Error("empty source list accepted")
+	}
+	if _, err := GraphLocalMixing(g, 2, eps, LocalOptions{MaxT: 10}, []int{99}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

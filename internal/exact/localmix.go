@@ -1,0 +1,280 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// LocalOptions configures the exact local-mixing-time oracle.
+type LocalOptions struct {
+	// Lazy selects the lazy chain (needed on bipartite graphs).
+	Lazy bool
+	// MaxT is the step budget; the oracle fails with ErrNoMixing beyond it.
+	MaxT int
+	// Grid restricts the candidate set sizes to the (1+GridStep)-geometric
+	// grid starting at ⌈n/β⌉, exactly like Algorithm 2's loop over R. When
+	// false every integer size in [⌈n/β⌉, n] is examined (the literal
+	// Definition 2 minimum).
+	Grid bool
+	// GridStep is the grid ratio minus one (defaults to Eps when zero).
+	GridStep float64
+	// ThresholdMult scales the acceptance threshold: the test is
+	// Σ < ThresholdMult·ε. Algorithm 2 uses 4 (Lemma 3); the plain
+	// definition uses 1. Defaults to 1.
+	ThresholdMult float64
+	// RequireSource forces the witness set to contain the source, per the
+	// letter of Definition 2. Algorithm 2 omits the constraint (it takes the
+	// R smallest differences over all nodes); the default matches the
+	// algorithm. Enabling it costs an extra O(n log n) per (t, R).
+	RequireSource bool
+}
+
+// LocalResult reports an exact local-mixing-time computation.
+type LocalResult struct {
+	// T is the local mixing time τ_s(β, ε): the first step at which some
+	// admissible set passes the L1 test.
+	T int
+	// R is the size of the witness set.
+	R int
+	// Dist is the restricted L1 distance achieved by the witness set.
+	Dist float64
+	// Set is the witness local-mixing set (vertex ids, ascending).
+	Set []int
+}
+
+// LocalMixing computes the local mixing time τ_s(β, ε) of Definition 2 with
+// the uniform target 1/|S| (the regular-graph form, which is also precisely
+// the quantity Algorithm 2 computes on any graph). For each step t it asks:
+// does there exist a set size R ≥ ⌈n/β⌉ whose R best-matching vertices have
+// Σ_{v∈S} |p_t(v) − 1/R| below threshold?
+func LocalMixing(g *graph.Graph, source int, beta float64, eps float64, o LocalOptions) (*LocalResult, error) {
+	if beta < 1 {
+		return nil, fmt.Errorf("exact: LocalMixing needs β ≥ 1, got %g", beta)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("exact: LocalMixing needs ε ∈ (0,1), got %g", eps)
+	}
+	if o.MaxT <= 0 {
+		return nil, fmt.Errorf("exact: LocalMixing needs MaxT > 0, got %d", o.MaxT)
+	}
+	w, err := NewWalk(g, source, o.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	threshold := eps
+	if o.ThresholdMult > 0 {
+		threshold = eps * o.ThresholdMult
+	}
+	sizes := CandidateSizes(g.N(), beta, o.Grid, gridStep(eps, o))
+	scratch := newWindowScratch(g.N())
+	for t := 0; t <= o.MaxT; t++ {
+		if res := checkLocalAt(w.P(), source, sizes, threshold, o.RequireSource, scratch); res != nil {
+			res.T = t
+			return res, nil
+		}
+		w.Step()
+	}
+	return nil, fmt.Errorf("%w (local, maxT=%d, source=%d, β=%g)", ErrNoMixing, o.MaxT, source, beta)
+}
+
+// LocalMixingProfile returns, for each t in [0, maxT], the best restricted
+// L1 distance achievable by any admissible set size (used by experiments to
+// plot convergence; the local distance is *not* monotone in t, unlike
+// Lemma 1's global distance, which this makes observable).
+func LocalMixingProfile(g *graph.Graph, source int, beta float64, eps float64, o LocalOptions) ([]float64, error) {
+	if o.MaxT <= 0 {
+		return nil, fmt.Errorf("exact: LocalMixingProfile needs MaxT > 0")
+	}
+	w, err := NewWalk(g, source, o.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	sizes := CandidateSizes(g.N(), beta, o.Grid, gridStep(eps, o))
+	scratch := newWindowScratch(g.N())
+	prof := make([]float64, o.MaxT+1)
+	for t := 0; t <= o.MaxT; t++ {
+		scratch.load(w.P())
+		best := math.Inf(1)
+		for _, r := range sizes {
+			d, _ := bestSetDist(w.P(), source, r, o.RequireSource, scratch, false)
+			if d < best {
+				best = d
+			}
+		}
+		prof[t] = best
+		w.Step()
+	}
+	return prof, nil
+}
+
+func gridStep(eps float64, o LocalOptions) float64 {
+	if o.GridStep > 0 {
+		return o.GridStep
+	}
+	return eps
+}
+
+// CandidateSizes enumerates the set sizes examined: either every integer in
+// [⌈n/β⌉, n], or the geometric grid ⌈(n/β)(1+step)^i⌉ capped at n
+// (Algorithm 2's schedule), deduplicated and ascending.
+func CandidateSizes(n int, beta float64, grid bool, step float64) []int {
+	lo := int(math.Ceil(float64(n) / beta))
+	if lo < 1 {
+		lo = 1
+	}
+	if lo > n {
+		lo = n
+	}
+	if !grid {
+		sizes := make([]int, 0, n-lo+1)
+		for r := lo; r <= n; r++ {
+			sizes = append(sizes, r)
+		}
+		return sizes
+	}
+	var sizes []int
+	f := float64(lo)
+	prev := -1
+	for {
+		r := int(math.Ceil(f))
+		if r > n {
+			break
+		}
+		if r != prev {
+			sizes = append(sizes, r)
+			prev = r
+		}
+		f *= 1 + step
+	}
+	if len(sizes) == 0 || sizes[len(sizes)-1] != n {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// windowScratch holds the reusable buffers for the sliding-window search.
+type windowScratch struct {
+	order  []int     // vertex ids sorted by p value
+	sorted []float64 // p in ascending order
+	prefix []float64 // prefix sums of sorted
+	dists  []float64 // distances buffer for RequireSource mode
+}
+
+func newWindowScratch(n int) *windowScratch {
+	return &windowScratch{
+		order:  make([]int, n),
+		sorted: make([]float64, n),
+		prefix: make([]float64, n+1),
+		dists:  make([]float64, 0, n),
+	}
+}
+
+func (s *windowScratch) load(p []float64) {
+	n := len(p)
+	for i := 0; i < n; i++ {
+		s.order[i] = i
+	}
+	sort.Slice(s.order, func(a, b int) bool { return p[s.order[a]] < p[s.order[b]] })
+	for i, v := range s.order {
+		s.sorted[i] = p[v]
+	}
+	s.prefix[0] = 0
+	for i := 0; i < n; i++ {
+		s.prefix[i+1] = s.prefix[i] + s.sorted[i]
+	}
+}
+
+// checkLocalAt tests whether any size in sizes passes the threshold for the
+// current distribution p; it returns the witness with the smallest size that
+// passes (matching Algorithm 2, which scans sizes in increasing order), or
+// nil.
+func checkLocalAt(p []float64, source int, sizes []int, threshold float64, requireSource bool, s *windowScratch) *LocalResult {
+	s.load(p)
+	for _, r := range sizes {
+		d, set := bestSetDist(p, source, r, requireSource, s, true)
+		if d < threshold {
+			sort.Ints(set)
+			return &LocalResult{R: r, Dist: d, Set: set}
+		}
+	}
+	return nil
+}
+
+// bestSetDist returns the minimum of Σ_{v∈S} |p(v) − 1/R| over sets S of
+// size exactly R (optionally constrained to contain source), together with
+// the witness set when wantSet is set. The scratch must have been loaded
+// with p (checkLocalAt does this; standalone callers must call s.load(p)).
+//
+// For the unconstrained case the optimal S is the R values closest to 1/R,
+// which form a contiguous window of the value-sorted vertices; the window
+// cost is evaluated in O(1) with prefix sums.
+func bestSetDist(p []float64, source, r int, requireSource bool, s *windowScratch, wantSet bool) (float64, []int) {
+	n := len(p)
+	if r < 1 || r > n {
+		return math.Inf(1), nil
+	}
+	tau := 1 / float64(r)
+	if requireSource {
+		return bestSetDistWithSource(p, source, r, tau, s, wantSet)
+	}
+	// firstGE = first sorted index with value ≥ τ.
+	firstGE := sort.SearchFloat64s(s.sorted[:n], tau)
+	best := math.Inf(1)
+	bestStart := 0
+	for i := 0; i+r <= n; i++ {
+		k := firstGE
+		if k < i {
+			k = i
+		}
+		if k > i+r {
+			k = i + r
+		}
+		below := tau*float64(k-i) - (s.prefix[k] - s.prefix[i])
+		above := (s.prefix[i+r] - s.prefix[k]) - tau*float64(i+r-k)
+		cost := below + above
+		if cost < best {
+			best = cost
+			bestStart = i
+		}
+	}
+	if !wantSet {
+		return best, nil
+	}
+	set := make([]int, r)
+	copy(set, s.order[bestStart:bestStart+r])
+	return best, set
+}
+
+// bestSetDistWithSource forces the source into the set: cost =
+// |p(s) − τ| + sum of the R−1 smallest distances among the rest.
+func bestSetDistWithSource(p []float64, source, r int, tau float64, s *windowScratch, wantSet bool) (float64, []int) {
+	s.dists = s.dists[:0]
+	type dv struct {
+		d float64
+		v int
+	}
+	pairs := make([]dv, 0, len(p)-1)
+	for v := range p {
+		if v == source {
+			continue
+		}
+		pairs = append(pairs, dv{math.Abs(p[v] - tau), v})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].d < pairs[b].d })
+	cost := math.Abs(p[source] - tau)
+	var set []int
+	if wantSet {
+		set = make([]int, 0, r)
+		set = append(set, source)
+	}
+	for i := 0; i < r-1; i++ {
+		cost += pairs[i].d
+		if wantSet {
+			set = append(set, pairs[i].v)
+		}
+	}
+	return cost, set
+}

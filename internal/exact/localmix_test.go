@@ -1,0 +1,316 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func TestCandidateSizesFull(t *testing.T) {
+	sizes := CandidateSizes(10, 2.5, false, 0)
+	if sizes[0] != 4 || sizes[len(sizes)-1] != 10 || len(sizes) != 7 {
+		t.Errorf("full sizes %v", sizes)
+	}
+}
+
+func TestCandidateSizesGrid(t *testing.T) {
+	sizes := CandidateSizes(1000, 10, true, 0.5)
+	if sizes[0] != 100 {
+		t.Errorf("grid starts at %d, want 100", sizes[0])
+	}
+	if sizes[len(sizes)-1] != 1000 {
+		t.Errorf("grid ends at %d, want n", sizes[len(sizes)-1])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Errorf("grid not increasing: %v", sizes)
+		}
+	}
+	// Ratio between consecutive interior sizes ≈ 1.5.
+	for i := 1; i+1 < len(sizes); i++ {
+		r := float64(sizes[i]) / float64(sizes[i-1])
+		if r > 1.51+1e-9 {
+			t.Errorf("grid ratio %v too large at %d", r, i)
+		}
+	}
+}
+
+func TestCandidateSizesEdgeCases(t *testing.T) {
+	if s := CandidateSizes(5, 1, true, 0.1); len(s) != 1 || s[0] != 5 {
+		t.Errorf("β=1 grid %v, want [n]", s)
+	}
+	if s := CandidateSizes(5, 100, false, 0); s[0] != 1 {
+		t.Errorf("huge β should floor at 1, got %v", s)
+	}
+}
+
+// TestBestSetDistAgainstBruteForce: the sliding-window optimum equals the
+// brute-force "R smallest |p − 1/R|" sum.
+func TestBestSetDistAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		p := make([]float64, n)
+		sum := 0.0
+		for i := range p {
+			p[i] = rng.Float64()
+			sum += p[i]
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		s := newWindowScratch(n)
+		s.load(p)
+		for _, r := range []int{1, n / 3, n / 2, n} {
+			if r < 1 {
+				continue
+			}
+			got, set := bestSetDist(p, 0, r, false, s, true)
+			// Brute force.
+			tau := 1 / float64(r)
+			d := make([]float64, n)
+			for i := range p {
+				d[i] = math.Abs(p[i] - tau)
+			}
+			sort.Float64s(d)
+			want := 0.0
+			for i := 0; i < r; i++ {
+				want += d[i]
+			}
+			if math.Abs(got-want) > 1e-12 {
+				return false
+			}
+			if len(set) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBestSetDistWithSource: forcing the source costs at least as much as
+// the unconstrained optimum and includes the source.
+func TestBestSetDistWithSource(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		src := rng.Intn(n)
+		p := make([]float64, n)
+		sum := 0.0
+		for i := range p {
+			p[i] = rng.Float64()
+			sum += p[i]
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		s := newWindowScratch(n)
+		s.load(p)
+		r := 2 + rng.Intn(n-2)
+		free, _ := bestSetDist(p, src, r, false, s, false)
+		forced, set := bestSetDist(p, src, r, true, s, true)
+		if forced+1e-15 < free {
+			return false
+		}
+		found := false
+		for _, v := range set {
+			if v == src {
+				found = true
+			}
+		}
+		return found && len(set) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBarbellLocalMixingConstant reproduces §2.3(d): on the β-barbell the
+// local mixing time is O(1) — the walk mixes inside the source clique —
+// while the global mixing time is large.
+func TestBarbellLocalMixingConstant(t *testing.T) {
+	g, err := gen.Barbell(8, 16) // n = 128, β = 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LocalMixing(g, 0, 8, eps, LocalOptions{MaxT: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T > 10 {
+		t.Errorf("barbell local mixing time %d, want O(1)", res.T)
+	}
+	if res.R < 16 {
+		t.Errorf("witness size %d below n/β = 16", res.R)
+	}
+	// The witness set should be (essentially) the source clique.
+	inClique := 0
+	for _, v := range res.Set {
+		if v < 16 {
+			inClique++
+		}
+	}
+	if inClique < res.R*3/4 {
+		t.Errorf("witness set has only %d/%d vertices in the source clique", inClique, res.R)
+	}
+	gm, err := MixingTime(g, 0, eps, false, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gm < 10*res.T {
+		t.Errorf("expected large gap: local %d vs global %d", res.T, gm)
+	}
+}
+
+// TestCompleteLocalEqualsGlobal: on K_n both quantities are 1 (§2.3 a).
+func TestCompleteLocalEqualsGlobal(t *testing.T) {
+	g, _ := gen.Complete(64)
+	res, err := LocalMixing(g, 0, 4, eps, LocalOptions{MaxT: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != 1 {
+		t.Errorf("K64 local mixing time %d, want 1", res.T)
+	}
+}
+
+// TestLocalMixingMonotoneInBeta: τ_s(β₁) ≤ τ_s(β₂) for β₁ ≥ β₂ (§2.3).
+func TestLocalMixingMonotoneInBeta(t *testing.T) {
+	g, err := gen.Path(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := LocalOptions{MaxT: 1 << 16, Lazy: true}
+	prev := math.MaxInt
+	for _, beta := range []float64{2, 4, 8, 16} {
+		res, err := LocalMixing(g, 0, beta, 0.25, opts)
+		if err != nil {
+			t.Fatalf("β=%v: %v", beta, err)
+		}
+		if res.T > prev {
+			t.Errorf("τ(β=%v) = %d exceeds τ at smaller β (%d)", beta, res.T, prev)
+		}
+		prev = res.T
+	}
+}
+
+// TestLocalMixingBetaOneIsMixing: τ_s(1, ε) = τ_mix_s(ε) by definition.
+func TestLocalMixingBetaOneIsMixing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := gen.RandomRegular(40, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LocalMixing(g, 0, 1, eps, LocalOptions{MaxT: 1 << 14, Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := MixingTime(g, 0, eps, true, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With β=1 the only admissible size is n, and on a regular graph the
+	// 1/n target is exactly π, so the two definitions coincide.
+	if res.T != tm {
+		t.Errorf("τ_s(1) = %d but τ_mix = %d", res.T, tm)
+	}
+}
+
+func TestLocalMixingValidation(t *testing.T) {
+	g, _ := gen.Complete(8)
+	if _, err := LocalMixing(g, 0, 0.5, eps, LocalOptions{MaxT: 10}); err == nil {
+		t.Error("β < 1 accepted")
+	}
+	if _, err := LocalMixing(g, 0, 2, 0, LocalOptions{MaxT: 10}); err == nil {
+		t.Error("ε = 0 accepted")
+	}
+	if _, err := LocalMixing(g, 0, 2, eps, LocalOptions{}); err == nil {
+		t.Error("MaxT = 0 accepted")
+	}
+}
+
+// TestRestrictedDistanceNonMonotone: the paper stresses that, unlike
+// Lemma 1's global distance, the restricted distance ‖p_{t,S} − π_S‖₁ for a
+// *fixed* set S is not monotone in t — this is why binary search over ℓ
+// fails and Algorithm 2 must double. Witness: the source clique of a
+// barbell. The distance dips below ε when the walk saturates the clique,
+// then rises permanently as mass leaks over the bridge.
+func TestRestrictedDistanceNonMonotone(t *testing.T) {
+	g, err := gen.Barbell(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LocalMixing(g, 0, 4, eps, LocalOptions{MaxT: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := g.Members(res.Set)
+	target := UniformOn(g.N(), members)
+	w, _ := NewWalk(g, 0, false)
+	w.StepN(res.T)
+	early := RestrictedL1(w.P(), target, members)
+	w.StepN(4000) // long after global mixing
+	late := RestrictedL1(w.P(), target, members)
+	if early >= eps {
+		t.Fatalf("distance at τ = %v, want < ε", early)
+	}
+	if late <= early {
+		t.Errorf("restricted distance should rise after mass escapes: early %v, late %v", early, late)
+	}
+	if late < 2*eps {
+		t.Errorf("late distance %v unexpectedly small — no escape observed", late)
+	}
+}
+
+func TestLocalMixingProfileComputes(t *testing.T) {
+	g, err := gen.Barbell(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := LocalMixingProfile(g, 0, 4, eps, LocalOptions{MaxT: 60, Grid: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 61 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	if prof[0] < 1 {
+		t.Errorf("profile at t=0 should be near 2(1−1/R), got %v", prof[0])
+	}
+	min := prof[0]
+	for _, v := range prof {
+		if v < min {
+			min = v
+		}
+	}
+	if min >= eps {
+		t.Errorf("profile never dips below ε: min %v", min)
+	}
+}
+
+func TestLemma4OnBarbell(t *testing.T) {
+	g, err := gen.Barbell(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Lemma4Measure(g, 0, 8, eps, LocalOptions{MaxT: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DistAtL >= eps {
+		t.Errorf("distance at ℓ = %v, should be < ε", rep.DistAtL)
+	}
+	if rep.DistAt2L > rep.Bound+1e-9 {
+		t.Errorf("Lemma 4 violated: dist at 2ℓ = %v > bound %v", rep.DistAt2L, rep.Bound)
+	}
+	if rep.Phi <= 0 || rep.Phi >= 1 {
+		t.Errorf("witness conductance %v out of range", rep.Phi)
+	}
+}

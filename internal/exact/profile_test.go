@@ -1,0 +1,42 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestMixingProfileMonotone(t *testing.T) {
+	g, err := gen.Dumbbell(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := MixingProfile(g, 0, true, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 501 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	for i := 1; i < len(prof); i++ {
+		if prof[i] > prof[i-1]+1e-12 {
+			t.Fatalf("Lemma 1 violated at t=%d: %v > %v", i, prof[i], prof[i-1])
+		}
+	}
+	if prof[0] < 1 {
+		t.Errorf("initial distance %v, want ≈ 2(1−π(s))", prof[0])
+	}
+	if prof[500] > prof[0]/2 {
+		t.Errorf("no visible convergence: %v → %v", prof[0], prof[500])
+	}
+}
+
+func TestMixingProfileValidation(t *testing.T) {
+	g, _ := gen.Complete(4)
+	if _, err := MixingProfile(g, 0, false, -1); err == nil {
+		t.Error("negative maxT accepted")
+	}
+	if _, err := MixingProfile(g, 9, false, 5); err == nil {
+		t.Error("bad source accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Package exact provides centralized ground-truth oracles for everything the
+// distributed algorithms estimate: the random-walk probability distribution
+// p_t (float64 power iteration), the stationary distribution π, the mixing
+// time τ_mix_s(ε) (Definition 1), the local mixing time τ_s(β, ε)
+// (Definition 2) together with a witness local-mixing set, and the Lemma 4
+// escape-probability quantities.
+//
+// These oracles are used by the test suite to validate the CONGEST
+// algorithms and by the benchmark harness to report paper-vs-measured
+// numbers.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Walk evolves the probability distribution of a random walk from a single
+// source. It implements exactly the chain the paper analyzes: the simple
+// walk P(u,v) = 1/d(u) for neighbors, or the lazy walk that stays put with
+// probability 1/2 (footnote 5; required on bipartite graphs).
+type Walk struct {
+	g    *graph.Graph
+	lazy bool
+	t    int
+	p    []float64
+	next []float64
+}
+
+// NewWalk starts a walk at source: p_0 = e_source.
+func NewWalk(g *graph.Graph, source int, lazy bool) (*Walk, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("exact: source %d out of range [0,%d)", source, g.N())
+	}
+	if g.MinDegree() == 0 {
+		return nil, errors.New("exact: graph has isolated vertices")
+	}
+	w := &Walk{
+		g:    g,
+		lazy: lazy,
+		p:    make([]float64, g.N()),
+		next: make([]float64, g.N()),
+	}
+	w.p[source] = 1
+	return w, nil
+}
+
+// T returns the number of steps taken so far.
+func (w *Walk) T() int { return w.t }
+
+// Lazy reports whether this is the lazy chain.
+func (w *Walk) Lazy() bool { return w.lazy }
+
+// P returns the current distribution p_t. The slice is owned by the walk and
+// is invalidated by Step; callers who retain it must copy.
+func (w *Walk) P() []float64 { return w.p }
+
+// Step advances the walk one step.
+func (w *Walk) Step() {
+	g := w.g
+	n := g.N()
+	next := w.next
+	if w.lazy {
+		for v := 0; v < n; v++ {
+			next[v] = w.p[v] / 2
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			next[v] = 0
+		}
+	}
+	for u := 0; u < n; u++ {
+		pu := w.p[u]
+		if pu == 0 {
+			continue
+		}
+		share := pu / float64(g.Degree(u))
+		if w.lazy {
+			share /= 2
+		}
+		for _, v := range g.Neighbors(u) {
+			next[v] += share
+		}
+	}
+	w.p, w.next = next, w.p
+	w.t++
+}
+
+// StepN advances the walk k steps.
+func (w *Walk) StepN(k int) {
+	for i := 0; i < k; i++ {
+		w.Step()
+	}
+}
+
+// Stationary returns π(v) = d(v)/2m, the stationary distribution of both the
+// simple and the lazy walk on a connected graph.
+func Stationary(g *graph.Graph) []float64 {
+	pi := make([]float64, g.N())
+	twoM := float64(2 * g.M())
+	for v := 0; v < g.N(); v++ {
+		pi[v] = float64(g.Degree(v)) / twoM
+	}
+	return pi
+}
+
+// L1 returns ‖a − b‖₁.
+func L1(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("exact: L1 length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// RestrictedL1 returns ‖p_S − target_S‖₁ over the vertices marked in
+// members: Σ_{v∈S} |p(v) − target(v)|. This is the Definition 2 distance
+// when target is π_S.
+func RestrictedL1(p, target []float64, members []bool) float64 {
+	s := 0.0
+	for v, in := range members {
+		if in {
+			s += math.Abs(p[v] - target[v])
+		}
+	}
+	return s
+}
+
+// ErrNoMixing is returned when the walk does not reach the requested L1
+// threshold within the step budget.
+var ErrNoMixing = errors.New("exact: walk did not mix within the step budget")
+
+// MixingTime returns τ_mix_s(ε) = min{t : ‖p_t − π‖₁ < ε} (Definition 1),
+// searching up to maxT steps. Lemma 1 guarantees the distance is monotone,
+// so the first hit is the answer.
+func MixingTime(g *graph.Graph, source int, eps float64, lazy bool, maxT int) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("exact: MixingTime needs ε ∈ (0,1), got %g", eps)
+	}
+	if !lazy && g.IsBipartite() {
+		return 0, errors.New("exact: simple walk does not mix on a bipartite graph; use lazy=true")
+	}
+	w, err := NewWalk(g, source, lazy)
+	if err != nil {
+		return 0, err
+	}
+	pi := Stationary(g)
+	for t := 0; t <= maxT; t++ {
+		if L1(w.P(), pi) < eps {
+			return t, nil
+		}
+		w.Step()
+	}
+	return 0, fmt.Errorf("%w (maxT=%d, source=%d)", ErrNoMixing, maxT, source)
+}
+
+// GraphMixingTime returns τ_mix(ε) = max_s τ_mix_s(ε) over all sources.
+// O(n) walks; intended for small graphs.
+func GraphMixingTime(g *graph.Graph, eps float64, lazy bool, maxT int) (int, error) {
+	worst := 0
+	for s := 0; s < g.N(); s++ {
+		t, err := MixingTime(g, s, eps, lazy, maxT)
+		if err != nil {
+			return 0, err
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst, nil
+}

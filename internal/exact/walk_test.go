@@ -1,0 +1,196 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+const eps = 1.0 / (8 * math.E) // the paper's running accuracy choice
+
+func TestWalkIsDistribution(t *testing.T) {
+	g, _ := gen.RingOfCliques(3, 5)
+	for _, lazy := range []bool{false, true} {
+		w, err := NewWalk(g, 2, lazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 30; step++ {
+			sum, min := 0.0, math.Inf(1)
+			for _, p := range w.P() {
+				sum += p
+				if p < min {
+					min = p
+				}
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("lazy=%v t=%d: Σp = %v", lazy, step, sum)
+			}
+			if min < 0 {
+				t.Fatalf("lazy=%v t=%d: negative probability", lazy, step)
+			}
+			w.Step()
+		}
+	}
+}
+
+func TestStationaryIsFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, _ := gen.ErdosRenyi(30, 0.2, rng)
+	pi := Stationary(g)
+	// One step from π must return π (for both chains).
+	for _, lazy := range []bool{false, true} {
+		w, _ := NewWalk(g, 0, lazy)
+		copy(w.p, pi)
+		w.Step()
+		if d := L1(w.P(), pi); d > 1e-12 {
+			t.Errorf("lazy=%v: ‖Pπ − π‖₁ = %v", lazy, d)
+		}
+	}
+}
+
+// TestLemma1Monotonicity: ‖p_{t+1} − π‖₁ ≤ ‖p_t − π‖₁ on random graphs.
+func TestLemma1Monotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		d := 3 + rng.Intn(3)
+		if n*d%2 == 1 {
+			n++
+		}
+		g, err := gen.RandomRegular(n, d, rng)
+		if err != nil {
+			return true // skip unlucky parameter combos
+		}
+		w, _ := NewWalk(g, rng.Intn(n), true)
+		pi := Stationary(g)
+		prev := L1(w.P(), pi)
+		for step := 0; step < 40; step++ {
+			w.Step()
+			cur := L1(w.P(), pi)
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixingTimeCompleteIsOne(t *testing.T) {
+	g, _ := gen.Complete(64)
+	tm, err := MixingTime(g, 0, eps, false, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm != 1 {
+		t.Errorf("K64 mixing time %d, want 1 (§2.3 a)", tm)
+	}
+}
+
+func TestMixingTimeRejectsBipartiteSimpleWalk(t *testing.T) {
+	g, _ := gen.Hypercube(3)
+	if _, err := MixingTime(g, 0, eps, false, 100); err == nil {
+		t.Error("bipartite + simple walk should be rejected")
+	}
+	if _, err := MixingTime(g, 0, eps, true, 10000); err != nil {
+		t.Errorf("lazy walk should mix: %v", err)
+	}
+}
+
+func TestMixingTimeBudget(t *testing.T) {
+	g, _ := gen.Path(200)
+	if _, err := MixingTime(g, 0, eps, true, 10); err == nil {
+		t.Error("tiny budget should fail with ErrNoMixing")
+	}
+}
+
+func TestMixingTimeBadEps(t *testing.T) {
+	g, _ := gen.Complete(8)
+	for _, e := range []float64{0, 1, -0.5, 2} {
+		if _, err := MixingTime(g, 0, e, false, 10); err == nil {
+			t.Errorf("ε=%v accepted", e)
+		}
+	}
+}
+
+// TestExpanderMixesInLogTime: random regular graphs mix in O(log n) (§2.3 b).
+func TestExpanderMixesInLogTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := gen.RandomRegular(256, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := MixingTime(g, 0, eps, true, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm > 12*8 { // generous c·log₂(256)
+		t.Errorf("expander mixing time %d looks super-logarithmic", tm)
+	}
+}
+
+// TestPathMixingQuadratic: on P_n the mixing time grows ~n² (§2.3 c).
+func TestPathMixingQuadratic(t *testing.T) {
+	t32, err := MixingTime(mustPath(t, 32), 0, 0.25, true, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t64, err := MixingTime(mustPath(t, 64), 0, 0.25, true, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(t64) / float64(t32)
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("path mixing growth ratio %v, want ≈ 4 (quadratic)", ratio)
+	}
+}
+
+func mustPath(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := gen.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGraphMixingTimeIsMax(t *testing.T) {
+	g, _ := gen.Lollipop(8, 6)
+	worst, err := GraphMixingTime(g, 0.25, true, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The far end of the path should be at least as slow as the clique side.
+	tClique, _ := MixingTime(g, 0, 0.25, true, 1<<16)
+	tTip, _ := MixingTime(g, g.N()-1, 0.25, true, 1<<16)
+	if worst < tClique || worst < tTip {
+		t.Errorf("graph mixing time %d below per-source times %d, %d", worst, tClique, tTip)
+	}
+}
+
+func TestRestrictedL1(t *testing.T) {
+	p := []float64{0.5, 0.25, 0.25, 0}
+	target := []float64{0.5, 0.5, 0, 0}
+	members := []bool{true, true, false, false}
+	if d := RestrictedL1(p, target, members); math.Abs(d-0.25) > 1e-15 {
+		t.Errorf("restricted L1 = %v, want 0.25", d)
+	}
+}
+
+func TestWalkRejectsBadSource(t *testing.T) {
+	g, _ := gen.Complete(4)
+	if _, err := NewWalk(g, -1, false); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := NewWalk(g, 4, false); err == nil {
+		t.Error("overflow source accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Package fixedpoint implements the O(log n)-bit probability words exchanged
+// by the paper's Algorithm 1 (ESTIMATE-RW-PROBABILITY).
+//
+// The paper rounds probabilities to the closest integer multiple of 1/n^c
+// (c ≥ 6) so that a value fits in O(log n) bits per message (Lemma 2 bounds
+// the accumulated error by t·n^-c after t steps). We realize the same idea on
+// a power-of-two grid 2^-F, which admits exact int64 arithmetic: a
+// probability p is represented by the integer round(p·2^F). F is chosen as
+// Θ(log n) — F = min(c·⌈log₂ n⌉, 62 − ⌈log₂ n⌉ − 1) — so that
+//
+//	(i)  a value occupies F+1 = O(log n) bits, and
+//	(ii) sums of n values never overflow int64.
+//
+// The substitution (2^-F grid instead of n^-c) preserves Lemma 2's form: the
+// flooding error after t steps is at most t·d_max·2^-F per coordinate.
+package fixedpoint
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Scale describes a fixed-point grid with resolution 2^-F.
+type Scale struct {
+	// F is the number of fractional bits.
+	F uint
+	// One is 2^F, the representation of probability 1.
+	One int64
+}
+
+// DefaultC is the default grid exponent: F ≈ DefaultC·log₂(n), mirroring the
+// paper's choice c = 6 in Algorithm 1 (any c ≥ 6 suffices there; we keep the
+// same knob).
+const DefaultC = 6
+
+// minF is a floor on the fractional bits so that tiny test graphs still get
+// a usable grid.
+const minF = 16
+
+// ScaleFor returns the scale used for an n-vertex graph with grid exponent c.
+// It guarantees that n·2^F < 2^62, so convergecast sums of up to n values,
+// each at most 2·One, cannot overflow int64.
+func ScaleFor(n, c int) (Scale, error) {
+	return ScaleForHeadroom(n, c, 0)
+}
+
+// ScaleForHeadroom is ScaleFor with `extra` additional reserved low-order
+// bits: callers that append sub-grid information to values (the randomized
+// tie-breaking of §3.1 appends tie bits) pass the number of appended bits so
+// that sums still cannot overflow.
+func ScaleForHeadroom(n, c, extra int) (Scale, error) {
+	if n < 2 {
+		return Scale{}, fmt.Errorf("fixedpoint: need n ≥ 2, got %d", n)
+	}
+	if c < 1 {
+		return Scale{}, fmt.Errorf("fixedpoint: need c ≥ 1, got %d", c)
+	}
+	if extra < 0 || extra > 32 {
+		return Scale{}, fmt.Errorf("fixedpoint: headroom %d out of range", extra)
+	}
+	logn := bits.Len(uint(n - 1)) // ⌈log₂ n⌉
+	f := c * logn
+	if cap := 62 - logn - 1 - extra; f > cap {
+		f = cap
+	}
+	if f < minF {
+		f = minF
+	}
+	if f >= 62-logn-extra {
+		return Scale{}, fmt.Errorf("fixedpoint: n=%d too large for int64 fixed point with %d headroom bits", n, extra)
+	}
+	return Scale{F: uint(f), One: int64(1) << uint(f)}, nil
+}
+
+// MustScaleFor is ScaleFor, panicking on error. For use with compile-time
+// constant arguments in tests and examples.
+func MustScaleFor(n, c int) Scale {
+	s, err := ScaleFor(n, c)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FromFloat converts x ∈ [0, 4] to the nearest grid point. Values outside
+// the representable range are clamped; NaN maps to 0.
+func (s Scale) FromFloat(x float64) int64 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	v := math.Round(x * float64(s.One))
+	if v < 0 {
+		return 0
+	}
+	if max := float64(s.One) * 4; v > max {
+		return 4 * s.One
+	}
+	return int64(v)
+}
+
+// Float converts a grid value back to float64.
+func (s Scale) Float(v int64) float64 {
+	return float64(v) / float64(s.One)
+}
+
+// Ulp returns the grid resolution 2^-F as a float64.
+func (s Scale) Ulp() float64 {
+	return 1 / float64(s.One)
+}
+
+// ValueBits returns the number of bits needed to transmit one probability
+// value in [0, 1]: F+1. This is the message size charged for walk shares.
+func (s Scale) ValueBits() int { return int(s.F) + 1 }
+
+// SumBits returns the number of bits needed to transmit a sum of up to n
+// values each ≤ 2·One (convergecast payloads).
+func (s Scale) SumBits(n int) int {
+	return int(s.F) + 2 + bits.Len(uint(n))
+}
+
+// DivFloor returns ⌊v/d⌋ for v ≥ 0, d > 0. This is the per-neighbor share in
+// a flooding step; the sender keeps the remainder v − d·⌊v/d⌋ so that total
+// mass is conserved exactly.
+func DivFloor(v int64, d int) int64 {
+	if v < 0 || d <= 0 {
+		panic(fmt.Sprintf("fixedpoint: DivFloor(%d, %d)", v, d))
+	}
+	return v / int64(d)
+}
+
+// Abs returns |a − b| without overflow for a, b ≥ 0.
+func Abs(a, b int64) int64 {
+	if a >= b {
+		return a - b
+	}
+	return b - a
+}
+
+// L1Dist returns Σ|a_i − b_i| over two equal-length grid vectors.
+func L1Dist(a, b []int64) int64 {
+	if len(a) != len(b) {
+		panic("fixedpoint: L1Dist length mismatch")
+	}
+	var sum int64
+	for i := range a {
+		sum += Abs(a[i], b[i])
+	}
+	return sum
+}
+
+// String formats the scale for diagnostics.
+func (s Scale) String() string {
+	return fmt.Sprintf("fixedpoint(F=%d)", s.F)
+}

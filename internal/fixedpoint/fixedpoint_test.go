@@ -1,0 +1,149 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaleForBasics(t *testing.T) {
+	s, err := ScaleFor(1024, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.One != int64(1)<<s.F {
+		t.Errorf("One=%d, F=%d inconsistent", s.One, s.F)
+	}
+	// Sums of n values ≤ 2·One must fit in int64 with room to spare.
+	if bitsNeeded := float64(s.F) + math.Log2(1024) + 1; bitsNeeded >= 63 {
+		t.Errorf("overflow headroom violated: %f bits", bitsNeeded)
+	}
+}
+
+func TestScaleForErrors(t *testing.T) {
+	if _, err := ScaleFor(1, 6); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := ScaleFor(100, 0); err == nil {
+		t.Error("c=0 should fail")
+	}
+}
+
+func TestScaleForGrowsWithC(t *testing.T) {
+	s1 := MustScaleFor(256, 2)
+	s2 := MustScaleFor(256, 6)
+	if s1.F >= s2.F {
+		t.Errorf("F should grow with c until the cap: c=2→%d, c=6→%d", s1.F, s2.F)
+	}
+}
+
+func TestScaleForCapsLargeN(t *testing.T) {
+	s := MustScaleFor(1<<20, 6)
+	// F + log n must stay below 62.
+	if int(s.F)+20 >= 62 {
+		t.Errorf("cap violated: F=%d for n=2^20", s.F)
+	}
+}
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	s := MustScaleFor(1000, 6)
+	for _, x := range []float64{0, 0.25, 0.5, 1.0 / 3, 1, 0.046} {
+		v := s.FromFloat(x)
+		back := s.Float(v)
+		if math.Abs(back-x) > s.Ulp() {
+			t.Errorf("round trip %v → %d → %v (ulp %v)", x, v, back, s.Ulp())
+		}
+	}
+}
+
+func TestFromFloatClamps(t *testing.T) {
+	s := MustScaleFor(64, 6)
+	if s.FromFloat(-1) != 0 {
+		t.Error("negative should clamp to 0")
+	}
+	if s.FromFloat(100) != 4*s.One {
+		t.Error("huge should clamp to 4·One")
+	}
+	if s.FromFloat(math.NaN()) != 0 {
+		t.Error("NaN should map to 0")
+	}
+}
+
+func TestValueAndSumBits(t *testing.T) {
+	s := MustScaleFor(1024, 4)
+	if s.ValueBits() != int(s.F)+1 {
+		t.Errorf("ValueBits=%d", s.ValueBits())
+	}
+	if s.SumBits(1024) <= s.ValueBits() {
+		t.Error("SumBits must exceed ValueBits")
+	}
+}
+
+func TestDivFloor(t *testing.T) {
+	if DivFloor(10, 3) != 3 {
+		t.Error("10/3 floor")
+	}
+	if DivFloor(0, 5) != 0 {
+		t.Error("0/5")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative DivFloor should panic")
+		}
+	}()
+	DivFloor(-1, 2)
+}
+
+func TestAbs(t *testing.T) {
+	if Abs(3, 7) != 4 || Abs(7, 3) != 4 || Abs(5, 5) != 0 {
+		t.Error("Abs")
+	}
+}
+
+func TestL1Dist(t *testing.T) {
+	if L1Dist([]int64{1, 5, 2}, []int64{2, 2, 2}) != 4 {
+		t.Error("L1Dist")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	L1Dist([]int64{1}, []int64{1, 2})
+}
+
+// Property: quantization error of FromFloat is at most half an ulp for
+// values in [0, 1].
+func TestFromFloatQuantization(t *testing.T) {
+	s := MustScaleFor(512, 6)
+	f := func(raw uint32) bool {
+		x := float64(raw) / float64(math.MaxUint32) // ∈ [0,1]
+		v := s.FromFloat(x)
+		return math.Abs(s.Float(v)-x) <= s.Ulp()/2+1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Abs is symmetric and satisfies the triangle inequality on
+// non-negative int64 triples (bounded to avoid overflow).
+func TestAbsProperties(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		x, y, z := int64(a), int64(b), int64(c)
+		if Abs(x, y) != Abs(y, x) {
+			return false
+		}
+		return Abs(x, z) <= Abs(x, y)+Abs(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := MustScaleFor(64, 3)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

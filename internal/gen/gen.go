@@ -1,0 +1,467 @@
+// Package gen constructs the graph families used throughout the paper's
+// discussion and evaluation: the complete graph, paths and cycles (§2.3 a,c),
+// d-regular expanders via random regular graphs (§2.3 b), the β-barbell graph
+// of Figure 1 (§2.3 d), its exactly-regular ring-of-cliques variant, and
+// assorted classical families (torus, hypercube, lollipop, dumbbell,
+// Erdős–Rényi) used by the test suite and the benchmark harness.
+//
+// All generators return simple connected graphs or an error; randomized
+// generators take an explicit *rand.Rand so experiments are reproducible.
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Complete returns the complete graph K_n (n ≥ 2). Both the mixing time and
+// the local mixing time of K_n are Θ(1) (§2.3 a).
+func Complete(n int) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Complete needs n ≥ 2, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("complete(n=%d)", n))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build(), nil
+}
+
+// Path returns the path P_n (n ≥ 2). τ_mix = Θ(n²); the local mixing time is
+// Θ((n/β)²) (§2.3 c).
+func Path(n int) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Path needs n ≥ 2, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("path(n=%d)", n))
+	for u := 0; u+1 < n; u++ {
+		b.AddEdge(u, u+1)
+	}
+	return b.Build(), nil
+}
+
+// Cycle returns the cycle C_n (n ≥ 3). 2-regular; bipartite iff n is even.
+func Cycle(n int) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: Cycle needs n ≥ 3, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("cycle(n=%d)", n))
+	for u := 0; u < n; u++ {
+		b.AddEdge(u, (u+1)%n)
+	}
+	return b.Build(), nil
+}
+
+// Star returns the star K_{1,n-1}: vertex 0 is the hub. Deliberately
+// irregular — used to exercise non-regular code paths and error handling.
+func Star(n int) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Star needs n ≥ 2, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("star(n=%d)", n))
+	for u := 1; u < n; u++ {
+		b.AddEdge(0, u)
+	}
+	return b.Build(), nil
+}
+
+// Torus returns the rows×cols 2-dimensional torus (4-regular when both
+// dimensions are ≥ 3). τ_mix = Θ(max(rows, cols)²) for square tori.
+func Torus(rows, cols int) (*graph.Graph, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("gen: Torus needs rows, cols ≥ 3, got %d×%d", rows, cols)
+	}
+	b := graph.NewBuilder(rows * cols)
+	b.SetName(fmt.Sprintf("torus(%dx%d)", rows, cols))
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(id(r, c), id((r+1)%rows, c))
+			b.AddEdge(id(r, c), id(r, (c+1)%cols))
+		}
+	}
+	return b.Build(), nil
+}
+
+// Grid returns the rows×cols 2-dimensional grid (no wraparound, irregular at
+// the border).
+func Grid(rows, cols int) (*graph.Graph, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("gen: Grid needs rows, cols ≥ 2, got %d×%d", rows, cols)
+	}
+	b := graph.NewBuilder(rows * cols)
+	b.SetName(fmt.Sprintf("grid(%dx%d)", rows, cols))
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim vertices
+// (dim-regular, bipartite — a natural test for the lazy-walk requirement).
+func Hypercube(dim int) (*graph.Graph, error) {
+	if dim < 1 || dim > 24 {
+		return nil, fmt.Errorf("gen: Hypercube needs 1 ≤ dim ≤ 24, got %d", dim)
+	}
+	n := 1 << dim
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("hypercube(dim=%d)", dim))
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < dim; bit++ {
+			v := u ^ (1 << bit)
+			if v > u {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Lollipop returns the classic lollipop graph: a clique on cliqueSize
+// vertices with a path of pathLen extra vertices attached to clique vertex 0.
+// A standard slow-mixing benchmark family.
+func Lollipop(cliqueSize, pathLen int) (*graph.Graph, error) {
+	if cliqueSize < 3 || pathLen < 1 {
+		return nil, fmt.Errorf("gen: Lollipop needs cliqueSize ≥ 3 and pathLen ≥ 1, got %d, %d", cliqueSize, pathLen)
+	}
+	n := cliqueSize + pathLen
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("lollipop(clique=%d,path=%d)", cliqueSize, pathLen))
+	for u := 0; u < cliqueSize; u++ {
+		for v := u + 1; v < cliqueSize; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(0, cliqueSize)
+	for u := cliqueSize; u+1 < n; u++ {
+		b.AddEdge(u, u+1)
+	}
+	return b.Build(), nil
+}
+
+// Dumbbell returns two cliques of size cliqueSize joined by a path of
+// bridgeLen intermediate vertices (bridgeLen may be 0 for a single bridging
+// edge). The classical "barbell": τ_mix = Θ(n²)-ish, local mixing O(1).
+func Dumbbell(cliqueSize, bridgeLen int) (*graph.Graph, error) {
+	if cliqueSize < 3 || bridgeLen < 0 {
+		return nil, fmt.Errorf("gen: Dumbbell needs cliqueSize ≥ 3, bridgeLen ≥ 0, got %d, %d", cliqueSize, bridgeLen)
+	}
+	n := 2*cliqueSize + bridgeLen
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("dumbbell(clique=%d,bridge=%d)", cliqueSize, bridgeLen))
+	clique := func(base int) {
+		for u := 0; u < cliqueSize; u++ {
+			for v := u + 1; v < cliqueSize; v++ {
+				b.AddEdge(base+u, base+v)
+			}
+		}
+	}
+	clique(0)
+	clique(cliqueSize + bridgeLen)
+	left, right := 0, cliqueSize+bridgeLen
+	prev := left
+	for i := 0; i < bridgeLen; i++ {
+		b.AddEdge(prev, cliqueSize+i)
+		prev = cliqueSize + i
+	}
+	b.AddEdge(prev, right)
+	return b.Build(), nil
+}
+
+// Barbell returns the β-barbell graph of Figure 1: a path of beta cliques,
+// each of size cliqueSize, with consecutive cliques joined by a single edge
+// between dedicated port vertices. Vertex layout: clique i occupies
+// [i·k, (i+1)·k); its right port is i·k + k−1 and its left port is i·k.
+// Nearly regular: interior clique vertices have degree k−1, ports k.
+// Local mixing time is O(1) while the mixing time is Ω(β²) (§2.3 d).
+func Barbell(beta, cliqueSize int) (*graph.Graph, error) {
+	if beta < 1 || cliqueSize < 3 {
+		return nil, fmt.Errorf("gen: Barbell needs beta ≥ 1, cliqueSize ≥ 3, got %d, %d", beta, cliqueSize)
+	}
+	k := cliqueSize
+	n := beta * k
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("barbell(beta=%d,k=%d)", beta, k))
+	for i := 0; i < beta; i++ {
+		base := i * k
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				b.AddEdge(base+u, base+v)
+			}
+		}
+		if i+1 < beta {
+			b.AddEdge(base+k-1, base+k) // right port of clique i to left port of clique i+1
+		}
+	}
+	return b.Build(), nil
+}
+
+// RingOfCliques returns a cycle of beta cliques of size cliqueSize in which
+// the internal edge between each clique's two port vertices is removed, so
+// the graph is exactly (cliqueSize−1)-regular. This is the "β equal-sized
+// components connected via a ring" family the paper names as having a large
+// mixing/local-mixing gap, and is the regular workhorse for Theorem 1
+// experiments (the approximation algorithm assumes regular graphs).
+// Requires beta ≥ 3 so port pairs are distinct, and cliqueSize ≥ 4 so the
+// clique stays connected after the port edge is removed.
+func RingOfCliques(beta, cliqueSize int) (*graph.Graph, error) {
+	if beta < 3 || cliqueSize < 4 {
+		return nil, fmt.Errorf("gen: RingOfCliques needs beta ≥ 3, cliqueSize ≥ 4, got %d, %d", beta, cliqueSize)
+	}
+	k := cliqueSize
+	n := beta * k
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("ringcliques(beta=%d,k=%d)", beta, k))
+	for i := 0; i < beta; i++ {
+		base := i * k
+		// Ports: left = base+0, right = base+k-1. Omit the edge {left,right}.
+		for u := 0; u < k; u++ {
+			for v := u + 1; v < k; v++ {
+				if u == 0 && v == k-1 {
+					continue
+				}
+				b.AddEdge(base+u, base+v)
+			}
+		}
+		next := ((i + 1) % beta) * k
+		b.AddEdge(base+k-1, next) // right port of clique i to left port of clique i+1
+	}
+	return b.Build(), nil
+}
+
+// RandomRegular returns a random d-regular simple graph on n vertices via
+// the pairing model with restarts, rejecting self-loops, parallel edges and
+// disconnected outcomes. Random d-regular graphs are expanders with high
+// probability for d ≥ 3, so this is the paper's §2.3(b) family.
+// n·d must be even; d < n.
+func RandomRegular(n, d int, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 || d < 1 || d >= n {
+		return nil, fmt.Errorf("gen: RandomRegular needs n ≥ 2 and 1 ≤ d < n, got n=%d d=%d", n, d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("gen: RandomRegular needs n·d even, got n=%d d=%d", n, d)
+	}
+	const maxAttempts = 200
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		g, ok := tryPairing(n, d, rng)
+		if ok && g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("gen: RandomRegular(n=%d, d=%d) failed after %d attempts", n, d, maxAttempts)
+}
+
+// tryPairing runs one round of the configuration model — n·d stubs shuffled
+// and paired — followed by switching repair: conflicting pairs (self-loops
+// or duplicate edges) are resolved by 2-swaps with random good pairs, the
+// standard McKay–Wormald style fix that keeps the degree sequence intact.
+// The attempt fails only if repair stalls.
+func tryPairing(n, d int, rng *rand.Rand) (*graph.Graph, bool) {
+	pairs := make([][2]int32, 0, n*d/2)
+	stubs := make([]int32, n*d)
+	for u := 0; u < n; u++ {
+		for j := 0; j < d; j++ {
+			stubs[u*d+j] = int32(u)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i < len(stubs); i += 2 {
+		pairs = append(pairs, [2]int32{stubs[i], stubs[i+1]})
+	}
+	type edge struct{ u, v int32 }
+	key := func(u, v int32) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	count := make(map[edge]int, len(pairs))
+	bad := func(p [2]int32) bool {
+		return p[0] == p[1] || count[key(p[0], p[1])] > 1
+	}
+	for _, p := range pairs {
+		if p[0] != p[1] {
+			count[key(p[0], p[1])]++
+		}
+	}
+	// Repair loop: while some pair is bad, 2-swap it with a random pair.
+	budget := 200 * len(pairs)
+	for {
+		badIdx := -1
+		for i, p := range pairs {
+			if bad(p) {
+				badIdx = i
+				break
+			}
+		}
+		if badIdx < 0 {
+			break
+		}
+		if budget <= 0 {
+			return nil, false
+		}
+		budget--
+		j := rng.Intn(len(pairs))
+		if j == badIdx {
+			continue
+		}
+		a, b := pairs[badIdx], pairs[j]
+		// Propose (a0,b0),(a1,b1) or (a0,b1),(a1,b0), chosen at random.
+		n1, n2 := [2]int32{a[0], b[0]}, [2]int32{a[1], b[1]}
+		if rng.Intn(2) == 0 {
+			n1, n2 = [2]int32{a[0], b[1]}, [2]int32{a[1], b[0]}
+		}
+		if n1[0] == n1[1] || n2[0] == n2[1] {
+			continue
+		}
+		// Apply tentatively and verify no new conflicts.
+		rm := func(p [2]int32) {
+			if p[0] != p[1] {
+				count[key(p[0], p[1])]--
+			}
+		}
+		add := func(p [2]int32) {
+			if p[0] != p[1] {
+				count[key(p[0], p[1])]++
+			}
+		}
+		rm(a)
+		rm(b)
+		if count[key(n1[0], n1[1])] > 0 || count[key(n2[0], n2[1])] > 0 || key(n1[0], n1[1]) == key(n2[0], n2[1]) {
+			add(a)
+			add(b)
+			continue
+		}
+		add(n1)
+		add(n2)
+		pairs[badIdx], pairs[j] = n1, n2
+	}
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("random-regular(n=%d,d=%d)", n, d))
+	for _, p := range pairs {
+		b.AddEdge(int(p[0]), int(p[1]))
+	}
+	return b.Build(), true
+}
+
+// ErdosRenyi returns a connected sample of G(n, p), retrying until connected.
+// Returns an error if connectivity is not achieved in a bounded number of
+// attempts (caller chose p below the connectivity threshold).
+func ErdosRenyi(n int, p float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 || p <= 0 || p > 1 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs n ≥ 2 and p ∈ (0,1], got n=%d p=%g", n, p)
+	}
+	const maxAttempts = 100
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		b := graph.NewBuilder(n)
+		b.SetName(fmt.Sprintf("gnp(n=%d,p=%.4f)", n, p))
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.Build()
+		if g.IsConnected() {
+			return g, nil
+		}
+	}
+	return nil, errors.New("gen: ErdosRenyi failed to produce a connected graph")
+}
+
+// RingOfExpanders returns beta random d-regular expanders of size
+// cliqueSize each, arranged in a ring: in each block the edge between the
+// two port vertices (0 and cliqueSize−1 of the block) is replaced if present,
+// keeping the graph exactly d-regular. This scales the Theorem 1 workload to
+// sizes where Θ(k²) clique edges would be too many.
+func RingOfExpanders(beta, blockSize, d int, rng *rand.Rand) (*graph.Graph, error) {
+	if beta < 3 || blockSize < d+1 || d < 3 {
+		return nil, fmt.Errorf("gen: RingOfExpanders needs beta ≥ 3, blockSize > d ≥ 3, got beta=%d blockSize=%d d=%d", beta, blockSize, d)
+	}
+	if blockSize*d%2 != 0 {
+		return nil, fmt.Errorf("gen: RingOfExpanders needs blockSize·d even, got blockSize=%d d=%d", blockSize, d)
+	}
+	n := beta * blockSize
+	b := graph.NewBuilder(n)
+	b.SetName(fmt.Sprintf("ringexpanders(beta=%d,block=%d,d=%d)", beta, blockSize, d))
+	for i := 0; i < beta; i++ {
+		base := i * blockSize
+		left, right := 0, blockSize-1
+		// Sample a block whose ports are adjacent, then drop that edge and
+		// wire the ports to the neighboring blocks: degrees stay exactly d.
+		var block *graph.Graph
+		for {
+			g, err := RandomRegular(blockSize, d, rng)
+			if err != nil {
+				return nil, err
+			}
+			if g.HasEdge(left, right) {
+				// Check the block stays connected without the port edge.
+				if blockConnectedWithout(g, left, right) {
+					block = g
+					break
+				}
+			}
+		}
+		for u := 0; u < blockSize; u++ {
+			for _, v := range block.Neighbors(u) {
+				if int(v) > u {
+					if u == left && int(v) == right {
+						continue
+					}
+					b.AddEdge(base+u, base+int(v))
+				}
+			}
+		}
+		next := ((i + 1) % beta) * blockSize
+		b.AddEdge(base+right, next+left)
+	}
+	return b.Build(), nil
+}
+
+// blockConnectedWithout reports whether g stays connected after removing the
+// edge {a, b}.
+func blockConnectedWithout(g *graph.Graph, a, b int) bool {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int{0}
+	visited := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, vv := range g.Neighbors(u) {
+			v := int(vv)
+			if (u == a && v == b) || (u == b && v == a) {
+				continue
+			}
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				visited++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return visited == n
+}

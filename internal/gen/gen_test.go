@@ -1,0 +1,248 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// requireInvariants asserts the universal generator contract: simple,
+// connected, expected vertex count.
+func requireInvariants(t *testing.T, g *graph.Graph, wantN int) {
+	t.Helper()
+	if g.N() != wantN {
+		t.Fatalf("%s: n=%d, want %d", g.Name(), g.N(), wantN)
+	}
+	if !g.IsConnected() {
+		t.Fatalf("%s: not connected", g.Name())
+	}
+	for u := 0; u < g.N(); u++ {
+		row := g.Neighbors(u)
+		for i, v := range row {
+			if int(v) == u {
+				t.Fatalf("%s: self-loop at %d", g.Name(), u)
+			}
+			if i > 0 && row[i-1] >= v {
+				t.Fatalf("%s: duplicate/unsorted row at %d", g.Name(), u)
+			}
+		}
+	}
+}
+
+func requireRegular(t *testing.T, g *graph.Graph, d int) {
+	t.Helper()
+	got, ok := g.Regular()
+	if !ok || got != d {
+		t.Fatalf("%s: regular=%v degree=%d, want %d-regular", g.Name(), ok, got, d)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, g, 7)
+	requireRegular(t, g, 6)
+	if g.M() != 21 {
+		t.Errorf("K7 edges = %d, want 21", g.M())
+	}
+	if _, err := Complete(1); err == nil {
+		t.Error("Complete(1) should fail")
+	}
+}
+
+func TestPathAndCycle(t *testing.T) {
+	p, err := Path(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, p, 10)
+	if d, _ := p.Diameter(); d != 9 {
+		t.Errorf("path diameter %d", d)
+	}
+	c, err := Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, c, 10)
+	requireRegular(t, c, 2)
+	if d, _ := c.Diameter(); d != 5 {
+		t.Errorf("cycle diameter %d", d)
+	}
+	if _, err := Path(1); err == nil {
+		t.Error("Path(1) should fail")
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Error("Cycle(2) should fail")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, g, 9)
+	if g.Degree(0) != 8 {
+		t.Errorf("hub degree %d", g.Degree(0))
+	}
+	if g.Degree(3) != 1 {
+		t.Errorf("leaf degree %d", g.Degree(3))
+	}
+}
+
+func TestTorusAndGrid(t *testing.T) {
+	tor, err := Torus(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, tor, 24)
+	requireRegular(t, tor, 4)
+	if tor.M() != 48 {
+		t.Errorf("torus edges %d, want 48", tor.M())
+	}
+	gr, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, gr, 12)
+	if gr.M() != 17 {
+		t.Errorf("grid edges %d, want 17", gr.M())
+	}
+	if _, err := Torus(2, 5); err == nil {
+		t.Error("Torus(2,·) should fail")
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g, err := Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, g, 16)
+	requireRegular(t, g, 4)
+	if !g.IsBipartite() {
+		t.Error("hypercube must be bipartite")
+	}
+	if d, _ := g.Diameter(); d != 4 {
+		t.Errorf("Q4 diameter %d, want 4", d)
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Hypercube(0) should fail")
+	}
+}
+
+func TestLollipopAndDumbbell(t *testing.T) {
+	l, err := Lollipop(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, l, 11)
+	d, err := Dumbbell(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, d, 13)
+	if diam, _ := d.Diameter(); diam != 6 {
+		t.Errorf("dumbbell diameter %d, want 6", diam)
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g, err := Barbell(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, g, 40)
+	// Near-regular: interior degree k−1=7, ports 8.
+	h := g.DegreeHistogram()
+	if h[7] != 32 || h[8] != 8 {
+		t.Errorf("barbell degree histogram %v", h)
+	}
+	// Diameter: cross 5 cliques = 2 hops inside each end + bridges.
+	if d, _ := g.Diameter(); d < 5 || d > 3*5 {
+		t.Errorf("barbell diameter %d out of expected range", d)
+	}
+	if _, err := Barbell(1, 3); err != nil {
+		t.Errorf("single-clique barbell should work: %v", err)
+	}
+}
+
+func TestRingOfCliques(t *testing.T) {
+	g, err := RingOfCliques(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, g, 24)
+	requireRegular(t, g, 5) // exactly (k−1)-regular by construction
+	if _, err := RingOfCliques(2, 6); err == nil {
+		t.Error("RingOfCliques(2,·) should fail")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ n, d int }{{10, 3}, {20, 4}, {16, 5}, {30, 6}} {
+		g, err := RandomRegular(tc.n, tc.d, rng)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		requireInvariants(t, g, tc.n)
+		requireRegular(t, g, tc.d)
+	}
+	if _, err := RandomRegular(7, 3, rng); err == nil {
+		t.Error("odd n·d should fail")
+	}
+	if _, err := RandomRegular(4, 4, rng); err == nil {
+		t.Error("d ≥ n should fail")
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a, err := RandomRegular(20, 4, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomRegular(20, 4, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 20; u++ {
+		ra, rb := a.Neighbors(u), b.Neighbors(u)
+		if len(ra) != len(rb) {
+			t.Fatal("nondeterministic generator")
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatal("nondeterministic generator")
+			}
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := ErdosRenyi(40, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, g, 40)
+	if _, err := ErdosRenyi(3, 0, rng); err == nil {
+		t.Error("p=0 should fail")
+	}
+}
+
+func TestRingOfExpanders(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := RingOfExpanders(4, 12, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireInvariants(t, g, 48)
+	requireRegular(t, g, 4)
+	if _, err := RingOfExpanders(2, 12, 4, rng); err == nil {
+		t.Error("beta < 3 should fail")
+	}
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := triangle()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"0 -- 1;", "0 -- 2;", "1 -- 2;", "0 [style=filled", "2 [style=filled"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "1 [style=filled") {
+		t.Error("unhighlighted vertex was filled")
+	}
+}
+
+func TestWriteDOTValidation(t *testing.T) {
+	g := triangle()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, []int{7}); err == nil {
+		t.Error("out-of-range highlight accepted")
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	g := pathGraph(6)
+	var a, b strings.Builder
+	if err := g.WriteDOT(&a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOT(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("nondeterministic DOT output")
+	}
+}

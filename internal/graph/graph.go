@@ -1,0 +1,305 @@
+// Package graph provides the static undirected-graph substrate used by every
+// other module: a compact CSR (compressed sparse row) adjacency structure,
+// construction via Builder, and the structural queries (BFS, diameter,
+// connectivity, bipartiteness, cuts, conductance) that the paper's
+// definitions are stated in terms of.
+//
+// Graphs are simple (no self-loops, no parallel edges), undirected and
+// unweighted, matching the network model of the paper (§1.1).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in CSR form.
+// The zero value is the empty graph.
+type Graph struct {
+	name    string
+	offsets []int32 // len n+1; neighbors of u are edges[offsets[u]:offsets[u+1]]
+	edges   []int32 // len 2m, sorted within each row
+}
+
+// ErrNotConnected is returned by operations that require a connected graph.
+var ErrNotConnected = errors.New("graph: not connected")
+
+// N returns the number of vertices.
+func (g *Graph) N() int {
+	if g.offsets == nil {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) / 2 }
+
+// Name returns the human-readable label attached at construction time
+// (for example "barbell(beta=8,k=128)"). It may be empty.
+func (g *Graph) Name() string { return g.name }
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbors returns the neighbors of u as a shared, sorted, read-only slice.
+// Callers must not modify it.
+func (g *Graph) Neighbors(u int) []int32 {
+	return g.edges[g.offsets[u]:g.offsets[u+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	row := g.Neighbors(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	return i < len(row) && row[i] == int32(v)
+}
+
+// MinDegree returns the minimum degree, or 0 for the empty graph.
+func (g *Graph) MinDegree() int {
+	if g.N() == 0 {
+		return 0
+	}
+	min := g.Degree(0)
+	for u := 1; u < g.N(); u++ {
+		if d := g.Degree(u); d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// MaxDegree returns the maximum degree, or 0 for the empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Regular reports whether every vertex has the same degree, and that degree.
+func (g *Graph) Regular() (d int, ok bool) {
+	if g.N() == 0 {
+		return 0, true
+	}
+	d = g.Degree(0)
+	for u := 1; u < g.N(); u++ {
+		if g.Degree(u) != d {
+			return d, false
+		}
+	}
+	return d, true
+}
+
+// Volume returns the sum of degrees of the given vertex set, µ(S) in the
+// paper. Vertices may appear at most once; duplicates are the caller's bug.
+func (g *Graph) Volume(set []int) int {
+	vol := 0
+	for _, u := range set {
+		vol += g.Degree(u)
+	}
+	return vol
+}
+
+// CutSize returns |E(S, V\S)|, the number of edges crossing the set boundary.
+// members must have length n and mark membership of every vertex.
+func (g *Graph) CutSize(members []bool) int {
+	if len(members) != g.N() {
+		panic(fmt.Sprintf("graph: CutSize membership length %d, want %d", len(members), g.N()))
+	}
+	cut := 0
+	for u := 0; u < g.N(); u++ {
+		if !members[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if !members[v] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Conductance returns φ(S) = |E(S, V\S)| / min{µ(S), µ(V\S)} for the set
+// marked by members. It returns an error when either side has zero volume
+// (conductance is undefined there).
+func (g *Graph) Conductance(members []bool) (float64, error) {
+	if len(members) != g.N() {
+		return 0, fmt.Errorf("graph: Conductance membership length %d, want %d", len(members), g.N())
+	}
+	volS := 0
+	for u := 0; u < g.N(); u++ {
+		if members[u] {
+			volS += g.Degree(u)
+		}
+	}
+	volC := 2*g.M() - volS
+	if volS == 0 || volC == 0 {
+		return 0, errors.New("graph: conductance undefined for empty side")
+	}
+	cut := g.CutSize(members)
+	den := volS
+	if volC < den {
+		den = volC
+	}
+	return float64(cut) / float64(den), nil
+}
+
+// Members converts a vertex list to a membership mask of length n.
+func (g *Graph) Members(set []int) []bool {
+	m := make([]bool, g.N())
+	for _, u := range set {
+		m[u] = true
+	}
+	return m
+}
+
+// Builder accumulates edges and produces a Graph. Self-loops are rejected;
+// duplicate edges are deduplicated at Build time.
+type Builder struct {
+	n    int
+	name string
+	us   []int32
+	vs   []int32
+}
+
+// NewBuilder creates a builder for a graph with n vertices labelled 0..n-1.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// SetName attaches a label to the graph under construction.
+func (b *Builder) SetName(name string) { b.name = name }
+
+// AddEdge records the undirected edge {u, v}. It panics on out-of-range
+// vertices or self-loops: those are programming errors in generators, not
+// runtime conditions.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+	}
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+}
+
+// HasEdgeSlow reports whether the edge was already added (either direction).
+// It is linear in the number of edges and intended for generator retry loops
+// on small graphs; generators on large graphs should track their own sets.
+func (b *Builder) HasEdgeSlow(u, v int) bool {
+	for i := range b.us {
+		if (b.us[i] == int32(u) && b.vs[i] == int32(v)) || (b.us[i] == int32(v) && b.vs[i] == int32(u)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Build finalizes the graph, sorting adjacency rows and removing duplicate
+// edges. The builder can be reused afterwards only by adding more edges.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	deg := make([]int32, n+1)
+	for i := range b.us {
+		deg[b.us[i]+1]++
+		deg[b.vs[i]+1]++
+	}
+	for u := 0; u < n; u++ {
+		deg[u+1] += deg[u]
+	}
+	edges := make([]int32, len(b.us)*2)
+	cursor := make([]int32, n)
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		edges[deg[u]+cursor[u]] = v
+		cursor[u]++
+		edges[deg[v]+cursor[v]] = u
+		cursor[v]++
+	}
+	// Sort each row; rebuild performs deduplication.
+	for u := 0; u < n; u++ {
+		row := edges[deg[u]:deg[u+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	return rebuild(n, b.name, edges, deg)
+}
+
+// rebuild produces the final CSR from per-row sorted (possibly duplicated)
+// adjacency data.
+func rebuild(n int, name string, edges []int32, rowOff []int32) *Graph {
+	offsets := make([]int32, n+1)
+	total := int32(0)
+	for u := 0; u < n; u++ {
+		row := edges[rowOff[u]:rowOff[u+1]]
+		var prev int32 = -1
+		cnt := int32(0)
+		for _, v := range row {
+			if v != prev {
+				cnt++
+				prev = v
+			}
+		}
+		offsets[u+1] = offsets[u] + cnt
+		total += cnt
+	}
+	final := make([]int32, total)
+	for u := 0; u < n; u++ {
+		row := edges[rowOff[u]:rowOff[u+1]]
+		w := offsets[u]
+		var prev int32 = -1
+		for _, v := range row {
+			if v != prev {
+				final[w] = v
+				w++
+				prev = v
+			}
+		}
+	}
+	return &Graph{name: name, offsets: offsets, edges: final}
+}
+
+// FromAdjacency builds a graph directly from an adjacency list. Used by
+// tests and by generators that construct adjacency explicitly. Rows are
+// copied; self-loops panic; duplicates are removed.
+func FromAdjacency(name string, adj [][]int) *Graph {
+	b := NewBuilder(len(adj))
+	b.SetName(name)
+	for u, row := range adj {
+		for _, v := range row {
+			if v > u { // add each undirected edge once
+				b.AddEdge(u, v)
+			} else if v == u {
+				panic(fmt.Sprintf("graph: self-loop at vertex %d", u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Clone returns a deep copy with a new name.
+func (g *Graph) Clone(name string) *Graph {
+	off := make([]int32, len(g.offsets))
+	copy(off, g.offsets)
+	ed := make([]int32, len(g.edges))
+	copy(ed, g.edges)
+	return &Graph{name: name, offsets: off, edges: ed}
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree. Useful in tests of generators.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for u := 0; u < g.N(); u++ {
+		h[g.Degree(u)]++
+	}
+	return h
+}

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func triangle() *Graph {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	return b.Build()
+}
+
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := triangle()
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("triangle: n=%d m=%d", g.N(), g.M())
+	}
+	for u := 0; u < 3; u++ {
+		if g.Degree(u) != 2 {
+			t.Errorf("degree(%d) = %d, want 2", u, g.Degree(u))
+		}
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Error("missing edge 0-2")
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("phantom self-loop")
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("m=%d, want 2 after dedup", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Errorf("degrees after dedup: %d, %d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self-loop did not panic")
+		}
+	}()
+	b := NewBuilder(2)
+	b.AddEdge(1, 1)
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range edge did not panic")
+		}
+	}()
+	b := NewBuilder(2)
+	b.AddEdge(0, 5)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(4, 0)
+	b.AddEdge(4, 2)
+	b.AddEdge(4, 1)
+	b.AddEdge(4, 3)
+	g := b.Build()
+	row := g.Neighbors(4)
+	for i := 1; i < len(row); i++ {
+		if row[i-1] >= row[i] {
+			t.Fatalf("row not sorted: %v", row)
+		}
+	}
+}
+
+func TestFromAdjacency(t *testing.T) {
+	g := FromAdjacency("tri", [][]int{{1, 2}, {0, 2}, {0, 1}})
+	if g.M() != 3 || g.Name() != "tri" {
+		t.Fatalf("FromAdjacency: m=%d name=%q", g.M(), g.Name())
+	}
+}
+
+func TestRegular(t *testing.T) {
+	if d, ok := triangle().Regular(); !ok || d != 2 {
+		t.Errorf("triangle Regular() = %d,%v", d, ok)
+	}
+	if _, ok := pathGraph(4).Regular(); ok {
+		t.Error("path should not be regular")
+	}
+	empty := NewBuilder(0).Build()
+	if _, ok := empty.Regular(); !ok {
+		t.Error("empty graph is vacuously regular")
+	}
+}
+
+func TestMinMaxDegree(t *testing.T) {
+	p := pathGraph(5)
+	if p.MinDegree() != 1 || p.MaxDegree() != 2 {
+		t.Errorf("path degrees: min=%d max=%d", p.MinDegree(), p.MaxDegree())
+	}
+}
+
+func TestVolumeAndCut(t *testing.T) {
+	g := pathGraph(4) // 0-1-2-3
+	if v := g.Volume([]int{0, 1}); v != 3 {
+		t.Errorf("volume({0,1}) = %d, want 3", v)
+	}
+	members := g.Members([]int{0, 1})
+	if c := g.CutSize(members); c != 1 {
+		t.Errorf("cut({0,1}) = %d, want 1", c)
+	}
+	phi, err := g.Conductance(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phi != 1.0/3 {
+		t.Errorf("conductance = %v, want 1/3", phi)
+	}
+}
+
+func TestConductanceErrors(t *testing.T) {
+	g := pathGraph(3)
+	if _, err := g.Conductance(make([]bool, 3)); err == nil {
+		t.Error("empty side should error")
+	}
+	if _, err := g.Conductance(make([]bool, 5)); err == nil {
+		t.Error("wrong length should error")
+	}
+	all := []bool{true, true, true}
+	if _, err := g.Conductance(all); err == nil {
+		t.Error("full set should error")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := pathGraph(5).DegreeHistogram()
+	if h[1] != 2 || h[2] != 3 {
+		t.Errorf("histogram %v", h)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := triangle()
+	c := g.Clone("copy")
+	if c.Name() != "copy" || c.M() != g.M() || c.N() != g.N() {
+		t.Error("clone mismatch")
+	}
+}
+
+// TestBuildRandomInvariants property-checks the builder: for random edge
+// lists, the built graph has sorted deduplicated rows, symmetric adjacency
+// and consistent degree sums.
+func TestBuildRandomInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < rng.Intn(80); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		total := 0
+		for u := 0; u < n; u++ {
+			row := g.Neighbors(u)
+			total += len(row)
+			for i, v := range row {
+				if i > 0 && row[i-1] >= v {
+					return false // unsorted or duplicate
+				}
+				if !g.HasEdge(int(v), u) {
+					return false // asymmetric
+				}
+				if int(v) == u {
+					return false // self-loop
+				}
+			}
+		}
+		return total == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInduced(t *testing.T) {
+	g := pathGraph(5)
+	sub, orig := g.Induced([]int{1, 2, 3})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("induced: n=%d m=%d", sub.N(), sub.M())
+	}
+	if orig[0] != 1 || orig[2] != 3 {
+		t.Errorf("orig mapping %v", orig)
+	}
+	// Non-adjacent selection.
+	sub2, _ := g.Induced([]int{0, 2, 4})
+	if sub2.M() != 0 {
+		t.Errorf("induced of independent set has %d edges", sub2.M())
+	}
+}
+
+func TestInducedPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate vertex did not panic")
+		}
+	}()
+	pathGraph(4).Induced([]int{1, 1})
+}

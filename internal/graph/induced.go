@@ -1,0 +1,31 @@
+package graph
+
+import "fmt"
+
+// Induced returns the subgraph induced by the given vertex set, along with
+// the mapping from new ids to original ids. Vertices keep their relative
+// order. Duplicate vertices in set are a caller bug and panic.
+func (g *Graph) Induced(set []int) (*Graph, []int) {
+	inv := make(map[int]int, len(set))
+	orig := make([]int, len(set))
+	for i, v := range set {
+		if v < 0 || v >= g.N() {
+			panic(fmt.Sprintf("graph: Induced vertex %d out of range", v))
+		}
+		if _, dup := inv[v]; dup {
+			panic(fmt.Sprintf("graph: Induced duplicate vertex %d", v))
+		}
+		inv[v] = i
+		orig[i] = v
+	}
+	b := NewBuilder(len(set))
+	b.SetName(g.name + "/induced")
+	for i, v := range set {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := inv[int(w)]; ok && j > i {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build(), orig
+}

@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := pathGraph(6)
+	dist := g.BFS(0)
+	for v, d := range dist {
+		if d != v {
+			t.Errorf("dist[%d] = %d, want %d", v, d, v)
+		}
+	}
+}
+
+func TestBFSLimited(t *testing.T) {
+	g := pathGraph(6)
+	dist := g.BFSLimited(0, 2)
+	want := []int{0, 1, 2, Unreachable, Unreachable, Unreachable}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Errorf("limited dist[%d] = %d, want %d", v, dist[v], want[v])
+		}
+	}
+}
+
+func TestBFSOutOfRangeSource(t *testing.T) {
+	g := pathGraph(3)
+	dist := g.BFS(-1)
+	for _, d := range dist {
+		if d != Unreachable {
+			t.Fatal("out-of-range source should reach nothing")
+		}
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	g := pathGraph(7)
+	ecc, err := g.Eccentricity(3)
+	if err != nil || ecc != 3 {
+		t.Errorf("ecc(3) = %d, %v; want 3", ecc, err)
+	}
+	d, err := g.Diameter()
+	if err != nil || d != 6 {
+		t.Errorf("diameter = %d, %v; want 6", d, err)
+	}
+	da, err := g.DiameterApprox()
+	if err != nil || da != 6 {
+		t.Errorf("approx diameter = %d, %v; want 6 (exact on paths)", da, err)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := pathGraph(4)
+	if !g.IsConnected() {
+		t.Error("path should be connected")
+	}
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	h := b.Build()
+	if h.IsConnected() {
+		t.Error("two components reported connected")
+	}
+	if _, err := h.Diameter(); err == nil {
+		t.Error("diameter of disconnected graph should error")
+	}
+	if _, err := h.Eccentricity(0); err == nil {
+		t.Error("eccentricity in disconnected graph should error")
+	}
+	empty := NewBuilder(0).Build()
+	if !empty.IsConnected() {
+		t.Error("empty graph should be connected by convention")
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want bool
+	}{
+		{pathGraph(5), true},
+		{triangle(), false},
+		{cycleGraph(6), true},
+		{cycleGraph(7), false},
+	}
+	for i, c := range cases {
+		if got := c.g.IsBipartite(); got != c.want {
+			t.Errorf("case %d: IsBipartite = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func cycleGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+func TestComponentOf(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	comp := g.ComponentOf(1)
+	if len(comp) != 3 || comp[0] != 0 || comp[2] != 2 {
+		t.Errorf("component %v", comp)
+	}
+}
+
+// TestBFSTriangleInequality property-checks BFS distances on random
+// connected graphs: |d(s,u) − d(s,v)| ≤ 1 for every edge {u,v}.
+func TestBFSTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 1; i < n; i++ { // random spanning tree keeps it connected
+			b.AddEdge(i, rng.Intn(i))
+		}
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		dist := g.BFS(rng.Intn(n))
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				diff := dist[u] - dist[v]
+				if diff < -1 || diff > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiameterApproxBounds: the double sweep is a lower bound on the true
+// diameter and never exceeds it.
+func TestDiameterApproxBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		b := NewBuilder(n)
+		for i := 1; i < n; i++ {
+			b.AddEdge(i, rng.Intn(i))
+		}
+		for i := 0; i < n/2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		exact, err1 := g.Diameter()
+		approx, err2 := g.DiameterApprox()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return approx <= exact && approx*2 >= exact && approx >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// TestCensusMatchesBFSBall property-checks the tree protocol on random
+// connected graphs with random depth caps: the census must report exactly
+// the number of vertices within the cap distance of the root, and the tree
+// depth must equal the true eccentricity capped at the budget.
+func TestCensusMatchesBFSBall(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 1; i < n; i++ { // random spanning tree for connectivity
+			b.AddEdge(i, rng.Intn(i))
+		}
+		extra := rng.Intn(2 * n)
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		cap := int64(1 + rng.Intn(n))
+		procs := runTreeQuiet(t, g, cap)
+		root := procs[0]
+		if !root.tree.CensusDone {
+			return false
+		}
+		dist := g.BFSLimited(0, int(cap))
+		wantSize, wantDepth := 0, 0
+		for _, d := range dist {
+			if d != graph.Unreachable {
+				wantSize++
+				if d > wantDepth {
+					wantDepth = d
+				}
+			}
+		}
+		if root.tree.TreeSize != int64(wantSize) || root.tree.MaxDepth != int64(wantDepth) {
+			t.Logf("seed %d: census (size=%d depth=%d) vs BFS ball (size=%d depth=%d), cap=%d",
+				seed, root.tree.TreeSize, root.tree.MaxDepth, wantSize, wantDepth, cap)
+			return false
+		}
+		// Every in-ball node must be in the tree at its true distance.
+		for v, d := range dist {
+			if d == graph.Unreachable {
+				if procs[v].tree.InTree {
+					return false
+				}
+				continue
+			}
+			if !procs[v].tree.InTree || procs[v].tree.Depth != int64(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// runTreeQuiet is runTree without fatal-on-error semantics suitable for
+// property checks.
+func runTreeQuiet(t *testing.T, g *graph.Graph, cap int64) []*treeProc {
+	t.Helper()
+	scale := mustScaleQuiet(g.N())
+	sizes := NewSizes(g.N(), scale)
+	net, err := congest.NewNetwork(g, congest.Config{MaxRounds: 10*g.N() + 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]*treeProc, g.N())
+	if _, err := net.Run(func(id int) congest.Process {
+		procs[id] = &treeProc{id: id, cap: cap, sizes: sizes}
+		return procs[id]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return procs
+}

@@ -1,0 +1,247 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/fixedpoint"
+	"repro/internal/graph"
+)
+
+func lineGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func starGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// treeProc runs one BFS epoch with census and halts once the census is done
+// (root) or sent (others). It exercises Tree end to end.
+type treeProc struct {
+	id    int
+	cap   int64
+	tree  Tree
+	sizes Sizes
+}
+
+func (p *treeProc) Init(ctx *congest.Context) {
+	if p.id == 0 {
+		p.tree.StartRoot(ctx, p.sizes, 1, p.cap)
+	}
+}
+
+func (p *treeProc) Step(ctx *congest.Context) {
+	for _, m := range ctx.Inbox() {
+		switch m.Kind {
+		case KindBFS:
+			p.tree.OnBFS(ctx, p.sizes, m)
+		case KindJoin:
+			p.tree.OnJoin(m)
+		case KindCensus:
+			p.tree.OnCensus(m)
+		}
+	}
+	p.tree.Advance(ctx, p.sizes)
+	if p.tree.CensusDone || ctx.Round() > 6*ctx.N()+20 {
+		ctx.Halt()
+		return
+	}
+	if !p.tree.IsRoot && p.tree.InTree && ctx.Round() > 4*ctx.N() {
+		ctx.Halt()
+	}
+}
+
+func runTree(t *testing.T, g *graph.Graph, cap int64) []*treeProc {
+	t.Helper()
+	scale := fixedpoint.MustScaleFor(g.N(), 4)
+	sizes := NewSizes(g.N(), scale)
+	net, err := congest.NewNetwork(g, congest.Config{MaxRounds: 10*g.N() + 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := make([]*treeProc, g.N())
+	_, err = net.Run(func(id int) congest.Process {
+		procs[id] = &treeProc{id: id, cap: cap, sizes: sizes}
+		return procs[id]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return procs
+}
+
+func TestBFSTreeOnLine(t *testing.T) {
+	const n = 9
+	procs := runTree(t, lineGraph(n), int64(n))
+	root := procs[0]
+	if !root.tree.CensusDone {
+		t.Fatal("census did not complete")
+	}
+	if root.tree.TreeSize != n {
+		t.Errorf("tree size %d, want %d", root.tree.TreeSize, n)
+	}
+	if root.tree.MaxDepth != n-1 {
+		t.Errorf("max depth %d, want %d", root.tree.MaxDepth, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if !procs[i].tree.InTree {
+			t.Fatalf("node %d not in tree", i)
+		}
+		if procs[i].tree.Parent != int32(i-1) {
+			t.Errorf("node %d parent %d, want %d", i, procs[i].tree.Parent, i-1)
+		}
+		if procs[i].tree.Depth != int64(i) {
+			t.Errorf("node %d depth %d, want %d", i, procs[i].tree.Depth, i)
+		}
+	}
+}
+
+func TestBFSTreeDepthCap(t *testing.T) {
+	const n = 9
+	procs := runTree(t, lineGraph(n), 3)
+	root := procs[0]
+	if root.tree.TreeSize != 4 { // depths 0..3
+		t.Errorf("capped tree size %d, want 4", root.tree.TreeSize)
+	}
+	if root.tree.MaxDepth != 3 {
+		t.Errorf("capped max depth %d, want 3", root.tree.MaxDepth)
+	}
+	if procs[5].tree.InTree {
+		t.Error("node beyond cap joined the tree")
+	}
+}
+
+func TestBFSTreeOnStar(t *testing.T) {
+	const n = 12
+	procs := runTree(t, starGraph(n), int64(n))
+	root := procs[0]
+	if root.tree.TreeSize != n || root.tree.MaxDepth != 1 {
+		t.Errorf("star census: size=%d depth=%d", root.tree.TreeSize, root.tree.MaxDepth)
+	}
+	if len(root.tree.Children) != n-1 {
+		t.Errorf("root has %d children, want %d", len(root.tree.Children), n-1)
+	}
+}
+
+// TestBFSParentTieBreak: with multiple same-round BFS offers the lowest
+// sender id wins (engine inbox order).
+func TestBFSParentTieBreak(t *testing.T) {
+	// Diamond: 0-1, 0-2, 1-3, 2-3. Node 3 hears from 1 and 2 simultaneously.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	procs := runTree(t, b.Build(), 4)
+	if procs[3].tree.Parent != 1 {
+		t.Errorf("node 3 parent %d, want 1 (lowest id)", procs[3].tree.Parent)
+	}
+	if procs[0].tree.TreeSize != 4 {
+		t.Errorf("census %d", procs[0].tree.TreeSize)
+	}
+}
+
+func TestAggSetRMinMax(t *testing.T) {
+	var a Agg
+	a.Open(KindSetR, 7, 2, 10, 0)
+	if a.Complete() {
+		t.Fatal("pending children ignored")
+	}
+	if !a.Merge(congest.Message{Kind: KindMinMax, Seq: 7, Value: 3, Aux: 20}) {
+		t.Fatal("merge rejected")
+	}
+	a.Merge(congest.Message{Kind: KindMinMax, Seq: 7, Value: 15, Aux: 16})
+	if !a.Complete() {
+		t.Fatal("not complete after all children")
+	}
+	if a.Min != 3 || a.Max != 20 {
+		t.Errorf("min=%d max=%d", a.Min, a.Max)
+	}
+}
+
+func TestAggQueryCountSum(t *testing.T) {
+	var a Agg
+	a.Open(KindQuery, 3, 1, 5, 7) // own x=5 ≤ mid=7 → counts
+	if a.Sum != 5 || a.Count != 1 {
+		t.Fatalf("own contribution sum=%d count=%d", a.Sum, a.Count)
+	}
+	a.Merge(congest.Message{Kind: KindReply, Seq: 3, Value: 11, Aux: 2})
+	if a.Sum != 16 || a.Count != 3 {
+		t.Errorf("merged sum=%d count=%d", a.Sum, a.Count)
+	}
+	// Own x above mid does not count.
+	var b Agg
+	b.Open(KindQuery, 4, 0, 9, 7)
+	if b.Sum != 0 || b.Count != 0 {
+		t.Errorf("x>mid contributed: sum=%d count=%d", b.Sum, b.Count)
+	}
+}
+
+func TestAggRejectsMismatches(t *testing.T) {
+	var a Agg
+	a.Open(KindQuery, 5, 1, 1, 10)
+	if a.Merge(congest.Message{Kind: KindReply, Seq: 6, Value: 1, Aux: 1}) {
+		t.Error("wrong seq accepted")
+	}
+	if a.Merge(congest.Message{Kind: KindMinMax, Seq: 5, Value: 1, Aux: 1}) {
+		t.Error("wrong kind accepted")
+	}
+	if a.Merge(congest.Message{Kind: KindCheckReply, Seq: 5, Value: 1}) {
+		t.Error("check reply accepted by query agg")
+	}
+}
+
+func TestAggCheck(t *testing.T) {
+	var a Agg
+	a.Open(KindCheck, 9, 1, 42, 0)
+	if a.Sum != 42 {
+		t.Fatalf("check own sum %d", a.Sum)
+	}
+	a.Merge(congest.Message{Kind: KindCheckReply, Seq: 9, Value: 8})
+	if !a.Complete() || a.Sum != 50 {
+		t.Errorf("check sum %d", a.Sum)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	kinds := []uint8{KindBFS, KindJoin, KindCensus, KindFloodStart, KindWalk,
+		KindSetR, KindMinMax, KindQuery, KindReply, KindCheck, KindCheckReply, KindStop}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		name := KindName(k)
+		if name == "UNKNOWN" || seen[name] {
+			t.Errorf("kind %d name %q", k, name)
+		}
+		seen[name] = true
+	}
+	if KindName(200) != "UNKNOWN" {
+		t.Error("unknown kind should say so")
+	}
+}
+
+func TestSizesAreLogN(t *testing.T) {
+	scale := fixedpoint.MustScaleFor(1024, 4)
+	sz := NewSizes(1024, scale)
+	if sz.Control() <= 0 || sz.Value() <= sz.Control()-8 || sz.Sum(1024) <= sz.Value() {
+		t.Errorf("sizes inconsistent: ctl=%d val=%d sum=%d", sz.Control(), sz.Value(), sz.Sum(1024))
+	}
+	// Everything must fit in the default CONGEST budget.
+	budget := congest.DefaultBandwidth(1024)
+	if int(sz.Sum(1024)) > budget {
+		t.Errorf("sum payload %d exceeds default budget %d", sz.Sum(1024), budget)
+	}
+}
+
+// mustScaleQuiet builds a default scale for property tests.
+func mustScaleQuiet(n int) fixedpoint.Scale {
+	return fixedpoint.MustScaleFor(n, 4)
+}

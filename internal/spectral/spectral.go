@@ -1,0 +1,323 @@
+// Package spectral provides the spectral quantities the paper's
+// introduction relates to mixing: the second-largest eigenvalue λ₂ of the
+// (lazy) transition matrix via deflated power iteration, the relaxation-time
+// bounds 1/(1−λ₂) ≤ τ_mix ≤ O(log n)/(1−λ₂), sweep-cut conductance profiles
+// (Cheeger), and a heuristic for the weak conductance Φ_β of Censor-Hillel &
+// Shachnai — the parameter the paper conjectures is tightly related to the
+// local mixing time.
+package spectral
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Options controls the eigen computation.
+type Options struct {
+	// Lazy analyses the lazy chain (spectrum shifted to [0,1]; always
+	// convergent). Recommended and default for SecondEigenvalue.
+	Lazy bool
+	// MaxIter bounds the power iterations (default 10·n + 2000).
+	MaxIter int
+	// Tol is the convergence tolerance on the eigenvalue (default 1e-10).
+	Tol float64
+	// Seed makes the start vector deterministic.
+	Seed int64
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 10*n + 2000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	return o
+}
+
+// applyWalk computes y = P^T x for the (lazy) walk matrix: the same operator
+// the walk distributions evolve under.
+func applyWalk(g *graph.Graph, lazy bool, x, y []float64) {
+	n := g.N()
+	if lazy {
+		for v := 0; v < n; v++ {
+			y[v] = x[v] / 2
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			y[v] = 0
+		}
+	}
+	for u := 0; u < n; u++ {
+		xu := x[u]
+		if xu == 0 {
+			continue
+		}
+		share := xu / float64(g.Degree(u))
+		if lazy {
+			share /= 2
+		}
+		for _, v := range g.Neighbors(u) {
+			y[v] += share
+		}
+	}
+}
+
+// SecondEigenvalue estimates λ₂ of the transition matrix by power iteration
+// on the space orthogonal (in the π-weighted inner product) to the principal
+// eigenvector. For the reversible chain the eigenvalues are real; for the
+// lazy chain they lie in [0, 1], so the power method converges to λ₂.
+func SecondEigenvalue(g *graph.Graph, o Options) (float64, error) {
+	n := g.N()
+	if n < 2 {
+		return 0, errors.New("spectral: need at least 2 vertices")
+	}
+	if !g.IsConnected() {
+		return 0, graph.ErrNotConnected
+	}
+	o = o.withDefaults(n)
+
+	// Work with the symmetrized operator S = D^{1/2} P D^{-1/2}: same
+	// spectrum as P, orthogonal eigenvectors in the ordinary inner product.
+	// S's principal eigenvector is v1(u) = sqrt(d(u)).
+	sqrtd := make([]float64, n)
+	norm1 := 0.0
+	for u := 0; u < n; u++ {
+		sqrtd[u] = math.Sqrt(float64(g.Degree(u)))
+		norm1 += float64(g.Degree(u))
+	}
+	norm1 = math.Sqrt(norm1)
+	for u := range sqrtd {
+		sqrtd[u] /= norm1 // unit principal eigenvector
+	}
+
+	// Deterministic pseudo-random start vector.
+	x := make([]float64, n)
+	st := uint64(o.Seed)*0x9E3779B97F4A7C15 + 0x12345
+	for u := range x {
+		st ^= st << 13
+		st ^= st >> 7
+		st ^= st << 17
+		x[u] = float64(st%2048)/1024 - 1
+	}
+	y := make([]float64, n)
+	tmp := make([]float64, n)
+
+	applyS := func(in, out []float64) {
+		// out = S·in with S = D^{-1/2} A D^{-1/2} (the symmetrization of the
+		// walk operator; same spectrum, orthogonal eigenvectors). applyWalk
+		// computes A D^{-1}·z, so S·in = D^{-1/2}·applyWalk(D^{1/2}·in).
+		// The global 1/norm1 factor in sqrtd cancels between the two stages.
+		for u := 0; u < n; u++ {
+			tmp[u] = in[u] * sqrtd[u]
+		}
+		applyWalk(g, o.Lazy, tmp, out)
+		for u := 0; u < n; u++ {
+			out[u] /= sqrtd[u]
+		}
+	}
+
+	deflate := func(v []float64) {
+		dot := 0.0
+		for u := range v {
+			dot += v[u] * sqrtd[u]
+		}
+		for u := range v {
+			v[u] -= dot * sqrtd[u]
+		}
+	}
+
+	normalize := func(v []float64) float64 {
+		s := 0.0
+		for _, a := range v {
+			s += a * a
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return 0
+		}
+		for u := range v {
+			v[u] /= s
+		}
+		return s
+	}
+
+	deflate(x)
+	if normalize(x) == 0 {
+		return 0, errors.New("spectral: degenerate start vector")
+	}
+	lambda, prev := 0.0, math.Inf(1)
+	for it := 0; it < o.MaxIter; it++ {
+		applyS(x, y)
+		deflate(y)
+		lambda = 0
+		for u := range y {
+			lambda += y[u] * x[u] // Rayleigh quotient (x is unit)
+		}
+		if normalize(y) == 0 {
+			return 0, nil // orthogonal complement annihilated: λ₂ = 0
+		}
+		x, y = y, x
+		if math.Abs(lambda-prev) < o.Tol {
+			break
+		}
+		prev = lambda
+	}
+	return lambda, nil
+}
+
+// RelaxationBounds returns the classical sandwich on the ε-mixing time
+// implied by λ₂ (paper §1): t_rel = 1/(1−λ₂) and the upper bound
+// t_rel·ln(n/ε) that holds for the lazy chain.
+func RelaxationBounds(lambda2 float64, n int, eps float64) (lower, upper float64) {
+	gap := 1 - lambda2
+	if gap <= 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	trel := 1 / gap
+	return trel - 1, trel * math.Log(float64(n)/eps)
+}
+
+// SweepCut computes the minimum-conductance sweep cut of the given score
+// vector: vertices are sorted by score/degree and prefixes are evaluated.
+// Returns the best conductance and the witness prefix. This is the standard
+// Cheeger rounding used with the second eigenvector or a diffused walk
+// vector.
+func SweepCut(g *graph.Graph, score []float64) (float64, []int, error) {
+	n := g.N()
+	if len(score) != n {
+		return 0, nil, fmt.Errorf("spectral: score length %d, want %d", len(score), n)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va := score[order[a]] / float64(g.Degree(order[a]))
+		vb := score[order[b]] / float64(g.Degree(order[b]))
+		if va != vb {
+			return va > vb
+		}
+		return order[a] < order[b]
+	})
+	members := make([]bool, n)
+	vol, cut := 0, 0
+	twoM := 2 * g.M()
+	best := math.Inf(1)
+	bestK := 0
+	for k := 0; k < n-1; k++ {
+		u := order[k]
+		members[u] = true
+		vol += g.Degree(u)
+		for _, v := range g.Neighbors(u) {
+			if members[v] {
+				cut -= 1
+			} else {
+				cut += 1
+			}
+		}
+		den := vol
+		if twoM-vol < den {
+			den = twoM - vol
+		}
+		if den == 0 {
+			continue
+		}
+		phi := float64(cut) / float64(den)
+		if phi < best {
+			best = phi
+			bestK = k + 1
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, nil, errors.New("spectral: no valid sweep cut")
+	}
+	set := make([]int, bestK)
+	copy(set, order[:bestK])
+	sort.Ints(set)
+	return best, set, nil
+}
+
+// Conductance estimates the graph conductance Φ(G) by sweeping the second
+// eigenvector (Cheeger rounding): the returned value Φ̂ satisfies
+// Φ(G) ≤ Φ̂ ≤ sqrt(2·(1−λ₂)) ≤ sqrt(4·Φ(G)) for the lazy chain.
+func Conductance(g *graph.Graph, o Options) (float64, error) {
+	vec, err := secondEigenvector(g, o)
+	if err != nil {
+		return 0, err
+	}
+	phi, _, err := SweepCut(g, vec)
+	return phi, err
+}
+
+// secondEigenvector returns (an approximation of) the eigenvector of λ₂,
+// mapped back from the symmetric operator.
+func secondEigenvector(g *graph.Graph, o Options) ([]float64, error) {
+	n := g.N()
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
+	}
+	o = o.withDefaults(n)
+	sqrtd := make([]float64, n)
+	norm1 := 0.0
+	for u := 0; u < n; u++ {
+		sqrtd[u] = math.Sqrt(float64(g.Degree(u)))
+		norm1 += float64(g.Degree(u))
+	}
+	norm1 = math.Sqrt(norm1)
+	for u := range sqrtd {
+		sqrtd[u] /= norm1
+	}
+	x := make([]float64, n)
+	st := uint64(o.Seed)*0x9E3779B97F4A7C15 + 0xABCDE
+	for u := range x {
+		st ^= st << 13
+		st ^= st >> 7
+		st ^= st << 17
+		x[u] = float64(st%2048)/1024 - 1
+	}
+	y := make([]float64, n)
+	tmp := make([]float64, n)
+	for it := 0; it < o.MaxIter; it++ {
+		// Deflate against the principal eigenvector.
+		dot := 0.0
+		for u := range x {
+			dot += x[u] * sqrtd[u]
+		}
+		for u := range x {
+			x[u] -= dot * sqrtd[u]
+		}
+		s := 0.0
+		for _, a := range x {
+			s += a * a
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			return nil, errors.New("spectral: eigenvector collapsed")
+		}
+		for u := range x {
+			x[u] /= s
+		}
+		for u := 0; u < n; u++ {
+			tmp[u] = x[u] * sqrtd[u]
+		}
+		applyWalk(g, o.Lazy, tmp, y)
+		for u := 0; u < n; u++ {
+			y[u] /= sqrtd[u]
+		}
+		x, y = y, x
+	}
+	// Map back: eigenvector of P^T is D^{1/2} v; for sweep cuts we want the
+	// P-eigenvector D^{-1/2} v, whose sweep order is v(u)/sqrt(d(u)) — the
+	// division by degree in SweepCut then matches the standard normalized
+	// sweep. Return v directly with that contract in mind.
+	out := make([]float64, n)
+	for u := 0; u < n; u++ {
+		out[u] = x[u] * math.Sqrt(float64(g.Degree(u)))
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package spectral
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// lazyLambda2 converts a known simple-chain eigenvalue to its lazy version.
+func lazyLambda2(simple float64) float64 { return (1 + simple) / 2 }
+
+func TestLambda2CompleteGraph(t *testing.T) {
+	const n = 32
+	g, _ := gen.Complete(n)
+	got, err := SecondEigenvalue(g, Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lazyLambda2(-1.0 / (n - 1))
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("K%d λ₂ = %v, want %v", n, got, want)
+	}
+}
+
+func TestLambda2Cycle(t *testing.T) {
+	const n = 24
+	g, _ := gen.Cycle(n)
+	got, err := SecondEigenvalue(g, Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lazyLambda2(math.Cos(2 * math.Pi / n))
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("C%d λ₂ = %v, want %v", n, got, want)
+	}
+}
+
+func TestLambda2Hypercube(t *testing.T) {
+	const dim = 5
+	g, _ := gen.Hypercube(dim)
+	got, err := SecondEigenvalue(g, Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lazyLambda2(float64(dim-2) / float64(dim)) // (d−2)/d for Q_d
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("Q%d λ₂ = %v, want %v", dim, got, want)
+	}
+}
+
+func TestLambda2Disconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	if _, err := SecondEigenvalue(b.Build(), Options{Lazy: true}); err == nil {
+		t.Error("disconnected accepted")
+	}
+}
+
+// TestRelaxationSandwich: 1/(1−λ₂) − 1 ≤ τ_mix(ε) ≤ ln(n/ε)/(1−λ₂) on
+// several graphs, with τ_mix from the exact oracle (lazy chain).
+func TestRelaxationSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	graphs := []*graph.Graph{}
+	if g, err := gen.RandomRegular(64, 4, rng); err == nil {
+		graphs = append(graphs, g)
+	}
+	g2, _ := gen.Cycle(32)
+	g3, _ := gen.Complete(24)
+	graphs = append(graphs, g2, g3)
+	const eps = 0.05
+	for _, g := range graphs {
+		l2, err := SecondEigenvalue(g, Options{Lazy: true})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		lower, upper := RelaxationBounds(l2, g.N(), eps)
+		tmix, err := exact.GraphMixingTime(g, eps, true, 1<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		// The classical bounds are for total-variation = L1/2; our τ uses
+		// L1 < ε. Allow the standard factor-2 slack on both sides.
+		if float64(tmix) < lower/4-2 {
+			t.Errorf("%s: τ_mix=%d below relaxation lower bound %v", g.Name(), tmix, lower)
+		}
+		if float64(tmix) > 4*upper+8 {
+			t.Errorf("%s: τ_mix=%d above relaxation upper bound %v", g.Name(), tmix, upper)
+		}
+	}
+}
+
+func TestSweepCutFindsBarbellBridge(t *testing.T) {
+	g, err := gen.Dumbbell(12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := Conductance(g, Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimal cut is the single bridge: φ = 1/(12·11) ≈ 0.0076.
+	want := 1.0 / (12*11 + 1)
+	if phi > 3*want {
+		t.Errorf("dumbbell conductance %v, want ≈ %v (the bridge cut)", phi, want)
+	}
+}
+
+// TestCheegerInequality: Φ²/2 ≤ 1−λ₂ ≤ 2Φ for the lazy chain (the paper's
+// §1 relation, in Cheeger form).
+func TestCheegerInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return gen.Cycle(20) },
+		func() (*graph.Graph, error) { return gen.Complete(16) },
+		func() (*graph.Graph, error) { return gen.RandomRegular(40, 4, rng) },
+		func() (*graph.Graph, error) { return gen.Dumbbell(8, 0) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := SecondEigenvalue(g, Options{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := 1 - l2
+		phiHat, err := Conductance(g, Options{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// φ̂ overestimates Φ, so gap ≤ 2Φ ≤ 2φ̂ must hold; and the sweep of
+		// the true eigenvector guarantees φ̂ ≤ sqrt(2·gap) (lazy chain).
+		if gap > 2*phiHat*2+1e-9 { // slack 2 for the lazy halving
+			t.Errorf("%s: gap %v > 2Φ̂=%v", g.Name(), gap, 2*phiHat)
+		}
+		if phiHat > math.Sqrt(2*gap)*2+1e-9 {
+			t.Errorf("%s: Φ̂=%v above Cheeger sqrt bound %v", g.Name(), phiHat, math.Sqrt(2*gap))
+		}
+	}
+}
+
+func TestSweepCutValidation(t *testing.T) {
+	g, _ := gen.Complete(5)
+	if _, _, err := SweepCut(g, []float64{1, 2}); err == nil {
+		t.Error("wrong score length accepted")
+	}
+}
+
+// TestWeakConductanceBarbell: the weak conductance of a barbell is large
+// (the clique communities mix internally) even though the global
+// conductance is tiny — the [4] separation the paper builds on.
+func TestWeakConductanceBarbell(t *testing.T) {
+	g, err := gen.Barbell(6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := WeakConductance(g, 0, 6, 1.0/(8*math.E), false, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := Conductance(g, Options{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Phi < 5*global {
+		t.Errorf("weak conductance %v not ≫ global %v", wc.Phi, global)
+	}
+	if wc.LocalTau > 10 {
+		t.Errorf("witness local mixing time %d, want O(1)", wc.LocalTau)
+	}
+}

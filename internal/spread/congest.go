@@ -1,0 +1,163 @@
+package spread
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitset"
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// Message kinds for the CONGEST gossip (namespaced away from the protocol
+// package's kinds; gossip runs in its own network).
+const (
+	kindPush  uint8 = 1 // Value = token id, also an implicit pull request
+	kindReply uint8 = 2 // Value = token id, answering last round's push
+)
+
+// gossipProc is one node of the CONGEST push–pull: each round it contacts a
+// uniformly random neighbor with one token id (push) and answers every
+// contact from the previous round with one token id (pull). Every message
+// is one O(log n)-bit token id, so the engine's bandwidth enforcement is
+// the paper's footnote-10 regime, where the bound becomes Õ(τ(β,ε) + n/β).
+type gossipProc struct {
+	id   int
+	bits int32
+	held *bitset.Set
+	list []int32 // held token ids, for O(1) uniform sampling
+}
+
+func (p *gossipProc) add(tok int32) bool {
+	if p.held.Contains(int(tok)) {
+		return false
+	}
+	p.held.Add(int(tok))
+	p.list = append(p.list, tok)
+	return true
+}
+
+func (p *gossipProc) random(ctx *congest.Context) int32 {
+	return p.list[ctx.Rand().Intn(len(p.list))]
+}
+
+func (p *gossipProc) Init(ctx *congest.Context) {}
+
+func (p *gossipProc) Step(ctx *congest.Context) {
+	// Ingest everything delivered this round; answer pushes.
+	for _, m := range ctx.Inbox() {
+		p.add(int32(m.Value))
+		if m.Kind == kindPush {
+			ctx.Send(int(m.From), congest.Message{Kind: kindReply, Value: int64(p.random(ctx)), Bits: p.bits})
+		}
+	}
+	// Push one random token to one random neighbor.
+	row := ctx.Neighbors()
+	v := row[ctx.Rand().Intn(len(row))]
+	ctx.Send(int(v), congest.Message{Kind: kindPush, Value: int64(p.random(ctx)), Bits: p.bits})
+}
+
+// RunCongest executes push–pull under the CONGEST constraint: one token id
+// per message (paper §4, footnote 10). The run stops as soon as
+// (·, β)-partial information spreading holds, or at MaxRounds. Unlike Run
+// (the LOCAL-model engine), this uses the congest engine with full
+// per-edge bandwidth enforcement.
+func RunCongest(g *graph.Graph, cfg Config) (*Result, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, errors.New("spread: need at least 2 nodes")
+	}
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
+	}
+	if cfg.Beta < 1 {
+		return nil, fmt.Errorf("spread: need β ≥ 1, got %g", cfg.Beta)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 64*n + 1000
+	}
+	if cfg.FixedRounds > 0 {
+		maxRounds = cfg.FixedRounds
+	}
+	target := int(float64(n)/cfg.Beta + 0.999999)
+	if target < 1 {
+		target = 1
+	}
+	msgBits := int32(bits.Len(uint(n-1)) + 8)
+
+	procs := make([]*gossipProc, n)
+	// reach[t] = #nodes holding token t; maintained by the monitor, which
+	// runs while the engine is quiescent. counted[u] tracks how much of
+	// node u's (append-only) token list has been folded into reach.
+	reach := make([]int, n)
+	counted := make([]int, n)
+	res := &Result{RoundsToPartial: -1, RoundsToFull: -1}
+
+	engCfg := congest.Config{
+		Seed:      cfg.Seed,
+		MaxRounds: maxRounds + 1,
+		OnRound: func(round int) bool {
+			res.Rounds = round
+			minHeld := n + 1
+			for u := 0; u < n; u++ {
+				p := procs[u]
+				for ; counted[u] < len(p.list); counted[u]++ {
+					reach[p.list[counted[u]]]++
+				}
+				if h := len(p.list); h < minHeld {
+					minHeld = h
+				}
+			}
+			minReach := n + 1
+			for _, r := range reach {
+				if r < minReach {
+					minReach = r
+				}
+			}
+			if res.RoundsToPartial < 0 && minHeld >= target && minReach >= target {
+				res.RoundsToPartial = round
+				if cfg.StopAtPartial && cfg.FixedRounds == 0 {
+					return true
+				}
+			}
+			if minHeld == n && minReach == n {
+				res.RoundsToFull = round
+				return true
+			}
+			return round >= maxRounds
+		},
+	}
+	net, err := congest.NewNetwork(g, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := net.Run(func(id int) congest.Process {
+		p := &gossipProc{id: id, bits: msgBits, held: bitset.New(n)}
+		p.add(int32(id))
+		procs[id] = p
+		return p
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Messages = stats.Messages
+	minHeld, minReach := n, n
+	for u := 0; u < n; u++ {
+		if h := len(procs[u].list); h < minHeld {
+			minHeld = h
+		}
+	}
+	for _, r := range reach {
+		if r < minReach {
+			minReach = r
+		}
+	}
+	res.MinTokensPerNode = minHeld
+	res.MinNodesPerToken = minReach
+	if cfg.FixedRounds == 0 && res.RoundsToPartial < 0 {
+		return res, fmt.Errorf("spread: CONGEST partial spreading not reached in %d rounds", maxRounds)
+	}
+	return res, nil
+}

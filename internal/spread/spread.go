@@ -1,0 +1,275 @@
+// Package spread implements §4 of the paper: partial information spreading
+// via the synchronous push–pull gossip mechanism in the LOCAL model.
+//
+// Every node starts with one distinct token. In each round every node picks
+// a uniformly random neighbor and the pair exchanges all tokens they hold
+// (push and pull). (δ, β)-partial information spreading (Definition 3) is
+// achieved when every token has reached at least n/β nodes AND every node
+// holds at least n/β distinct tokens. Theorem 3 shows push–pull achieves
+// this in O(τ(β,ε)·log n) rounds w.h.p., which also yields the termination
+// rule: run for Θ(τ log n) rounds, with τ computed by the algorithms in
+// internal/core.
+//
+// Token sets are bitsets and exchanges are unions, which models the LOCAL
+// assumption of unbounded per-round messages; the congest engine's LOCAL
+// mode carries them with honest accounting of the (unbounded) bits.
+package spread
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// Config controls a push–pull run.
+type Config struct {
+	// Beta is the spreading parameter: targets are n/β tokens per node and
+	// n/β nodes per token.
+	Beta float64
+	// MaxRounds aborts the run (default 64·n).
+	MaxRounds int
+	// Seed drives all random neighbor choices.
+	Seed int64
+	// StopAtPartial stops as soon as (·, β)-partial spreading holds.
+	// Otherwise the run continues to full information spreading.
+	StopAtPartial bool
+	// FixedRounds, when positive, runs exactly this many rounds and then
+	// reports whatever was achieved (the Theorem 3 termination rule).
+	FixedRounds int
+}
+
+// Result reports a push–pull run.
+type Result struct {
+	// RoundsToPartial is the first round at which (·, β)-partial spreading
+	// held (-1 if never achieved within the run).
+	RoundsToPartial int
+	// RoundsToFull is the first round at which every node had every token
+	// (-1 if the run stopped earlier).
+	RoundsToFull int
+	// Rounds is the total number of rounds executed.
+	Rounds int
+	// MinTokensPerNode and MinNodesPerToken describe the final state.
+	MinTokensPerNode int
+	MinNodesPerToken int
+	// Messages counts the pairwise exchanges performed.
+	Messages int64
+}
+
+// state is the in-memory gossip simulator. Push–pull needs no bandwidth
+// accounting (LOCAL model), so a direct simulation is both faithful and
+// fast; the congest engine is reserved for the CONGEST algorithms.
+type state struct {
+	g      *graph.Graph
+	tokens []*bitset.Set // tokens[u] = set of token ids node u holds
+	reach  []int         // reach[t] = #nodes holding token t
+	held   []int         // held[u] = #tokens node u holds
+	rng    *rand.Rand
+}
+
+func newState(g *graph.Graph, seed int64) *state {
+	n := g.N()
+	st := &state{
+		g:      g,
+		tokens: make([]*bitset.Set, n),
+		reach:  make([]int, n),
+		held:   make([]int, n),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	for u := 0; u < n; u++ {
+		st.tokens[u] = bitset.New(n)
+		st.tokens[u].Add(u)
+		st.reach[u] = 1
+		st.held[u] = 1
+	}
+	return st
+}
+
+// round performs one synchronous push–pull round: every node picks a random
+// neighbor; all chosen pairs merge token sets (both directions). Exchanges
+// are applied simultaneously, as in the standard analysis: each pair merges
+// the sets as they were at the start of the round.
+func (st *state) round() int64 {
+	n := st.g.N()
+	choice := make([]int32, n)
+	for u := 0; u < n; u++ {
+		row := st.g.Neighbors(u)
+		choice[u] = row[st.rng.Intn(len(row))]
+	}
+	// Snapshot the pre-round sets so all exchanges are simultaneous: each
+	// pair merges the sets as they stood at the start of the round.
+	snap := make([]*bitset.Set, n)
+	for u := 0; u < n; u++ {
+		snap[u] = st.tokens[u].Clone()
+	}
+	var msgs int64
+	for u := 0; u < n; u++ {
+		v := int(choice[u])
+		msgs += 2
+		st.acquire(u, snap[v])
+		st.acquire(v, snap[u])
+	}
+	return msgs
+}
+
+// acquire merges src's snapshot into node dst, maintaining reach counts.
+func (st *state) acquire(dst int, src *bitset.Set) {
+	tok := st.tokens[dst]
+	src.ForEach(func(t int) {
+		if !tok.Contains(t) {
+			tok.Add(t)
+			st.reach[t]++
+			st.held[dst]++
+		}
+	})
+}
+
+func (st *state) minHeld() int {
+	m := st.held[0]
+	for _, h := range st.held[1:] {
+		if h < m {
+			m = h
+		}
+	}
+	return m
+}
+
+func (st *state) minReach() int {
+	m := st.reach[0]
+	for _, r := range st.reach[1:] {
+		if r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Collected extends Result with the final per-node token sets, for
+// applications (e.g. max coverage) that consume what was spread.
+type Collected struct {
+	Result *Result
+	// Known[u] is the set of token ids node u ended up holding.
+	Known []*bitset.Set
+}
+
+// RunCollecting is Run, additionally returning the final token sets.
+func RunCollecting(g *graph.Graph, cfg Config) (*Collected, error) {
+	res, st, err := run(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Collected{Result: res, Known: st.tokens}, nil
+}
+
+// Run executes push–pull per the config.
+func Run(g *graph.Graph, cfg Config) (*Result, error) {
+	res, _, err := run(g, cfg)
+	return res, err
+}
+
+func run(g *graph.Graph, cfg Config) (*Result, *state, error) {
+	n := g.N()
+	if n < 2 {
+		return nil, nil, errors.New("spread: need at least 2 nodes")
+	}
+	if !g.IsConnected() {
+		return nil, nil, graph.ErrNotConnected
+	}
+	if cfg.Beta < 1 && cfg.FixedRounds == 0 {
+		return nil, nil, fmt.Errorf("spread: need β ≥ 1, got %g", cfg.Beta)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 64 * n
+	}
+	if cfg.FixedRounds > 0 {
+		maxRounds = cfg.FixedRounds
+	}
+	target := n
+	if cfg.Beta >= 1 {
+		target = int(float64(n)/cfg.Beta + 0.999999)
+		if target < 1 {
+			target = 1
+		}
+	}
+	st := newState(g, cfg.Seed)
+	res := &Result{RoundsToPartial: -1, RoundsToFull: -1}
+	if target <= 1 {
+		res.RoundsToPartial = 0
+	}
+	for r := 1; r <= maxRounds; r++ {
+		res.Messages += st.round()
+		res.Rounds = r
+		minHeld, minReach := st.minHeld(), st.minReach()
+		if res.RoundsToPartial < 0 && minHeld >= target && minReach >= target {
+			res.RoundsToPartial = r
+			if cfg.StopAtPartial && cfg.FixedRounds == 0 {
+				break
+			}
+		}
+		if minHeld == n && minReach == n {
+			res.RoundsToFull = r
+			break
+		}
+	}
+	res.MinTokensPerNode = st.minHeld()
+	res.MinNodesPerToken = st.minReach()
+	if cfg.FixedRounds == 0 && !cfg.StopAtPartial && res.RoundsToFull < 0 {
+		return res, st, fmt.Errorf("spread: full spreading not reached in %d rounds", maxRounds)
+	}
+	if cfg.FixedRounds == 0 && cfg.StopAtPartial && res.RoundsToPartial < 0 {
+		return res, st, fmt.Errorf("spread: partial spreading not reached in %d rounds", maxRounds)
+	}
+	return res, st, nil
+}
+
+// LeaderElection runs push–pull where the payload is the minimum node id
+// seen so far (the classical min-id leader election over gossip; an
+// application the paper cites for partial information spreading [4, 5]).
+// It returns the number of rounds until every node knows the global
+// minimum id.
+func LeaderElection(g *graph.Graph, seed int64, maxRounds int) (int, error) {
+	n := g.N()
+	if n < 2 {
+		return 0, errors.New("spread: need at least 2 nodes")
+	}
+	if !g.IsConnected() {
+		return 0, graph.ErrNotConnected
+	}
+	if maxRounds == 0 {
+		maxRounds = 64 * n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	min := make([]int32, n)
+	for u := range min {
+		min[u] = int32(u)
+	}
+	next := make([]int32, n)
+	for r := 1; r <= maxRounds; r++ {
+		copy(next, min)
+		for u := 0; u < n; u++ {
+			row := g.Neighbors(u)
+			v := row[rng.Intn(len(row))]
+			if min[v] < next[u] {
+				next[u] = min[v]
+			}
+			if min[u] < next[v] {
+				next[v] = min[u]
+			}
+		}
+		min, next = next, min
+		done := true
+		for _, m := range min {
+			if m != 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("spread: leader election incomplete after %d rounds", maxRounds)
+}

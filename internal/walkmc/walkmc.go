@@ -1,0 +1,113 @@
+// Package walkmc implements the sampling-based mixing estimation in the
+// style of Das Sarma et al. [10] that the paper compares against: perform K
+// independent random-walk tokens of length ℓ from the source, estimate
+// p_ℓ(u) by the fraction of tokens ending at u, and compare the empirical
+// distribution against the stationary distribution.
+//
+// The point the paper makes (§1.2) is the "grey area": with K samples the
+// empirical L1 distance to π carries Θ(√(n/K)) sampling noise, so
+// thresholds ε below that floor cannot be certified — unlike the
+// deterministic flooding of Algorithm 1. Experiment E9 measures exactly
+// this floor.
+package walkmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/exact"
+	"repro/internal/graph"
+)
+
+// Estimate holds an empirical length-ℓ distribution from K token walks.
+type Estimate struct {
+	// P is the empirical distribution: count(u)/K.
+	P []float64
+	// K is the number of walks.
+	K int
+	// Ell is the walk length.
+	Ell int
+}
+
+// Sample runs K independent simple (or lazy) random walks of length ell
+// from source and returns the empirical end-point distribution. The walks
+// are simulated exactly (token moves, not flooding): this is what [10]'s
+// sub-linear-walk framework provides.
+func Sample(g *graph.Graph, source, ell, k int, lazy bool, rng *rand.Rand) (*Estimate, error) {
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("walkmc: source %d out of range", source)
+	}
+	if k <= 0 || ell < 0 {
+		return nil, errors.New("walkmc: need k > 0 and ell ≥ 0")
+	}
+	counts := make([]int, g.N())
+	for i := 0; i < k; i++ {
+		u := source
+		for t := 0; t < ell; t++ {
+			if lazy && rng.Intn(2) == 0 {
+				continue
+			}
+			row := g.Neighbors(u)
+			u = int(row[rng.Intn(len(row))])
+		}
+		counts[u]++
+	}
+	p := make([]float64, g.N())
+	for u, c := range counts {
+		p[u] = float64(c) / float64(k)
+	}
+	return &Estimate{P: p, K: k, Ell: ell}, nil
+}
+
+// L1ToStationary returns ‖p̂_ℓ − π‖₁ for the estimate.
+func (e *Estimate) L1ToStationary(g *graph.Graph) float64 {
+	return exact.L1(e.P, exact.Stationary(g))
+}
+
+// MixingTimeMC estimates τ_mix_s(ε) by doubling ℓ until the empirical
+// distance falls below ε. Because of sampling noise the estimate is only
+// meaningful for ε well above the Θ(√(n/K)) floor; below the floor the
+// search fails (returns an error), which is precisely the grey area.
+func MixingTimeMC(g *graph.Graph, source int, eps float64, k int, lazy bool, maxT int, rng *rand.Rand) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("walkmc: need ε ∈ (0,1), got %g", eps)
+	}
+	for ell := 1; ell <= maxT; ell *= 2 {
+		est, err := Sample(g, source, ell, k, lazy, rng)
+		if err != nil {
+			return 0, err
+		}
+		if est.L1ToStationary(g) < eps {
+			return ell, nil
+		}
+	}
+	return 0, fmt.Errorf("walkmc: no ℓ ≤ %d reached ε=%g with K=%d (sampling floor ≈ √(n/K)=%.3f)",
+		maxT, eps, k, samplingFloor(g.N(), k))
+}
+
+func samplingFloor(n, k int) float64 {
+	return math.Sqrt(float64(n) / float64(k))
+}
+
+// NoiseFloor measures the empirical sampling noise directly: the L1
+// distance between the empirical and the exact distribution at length ell,
+// averaged over trials. E9 sweeps K and shows the Θ(√(n/K)) scaling.
+func NoiseFloor(g *graph.Graph, source, ell, k, trials int, lazy bool, rng *rand.Rand) (float64, error) {
+	w, err := exact.NewWalk(g, source, lazy)
+	if err != nil {
+		return 0, err
+	}
+	w.StepN(ell)
+	truth := w.P()
+	total := 0.0
+	for i := 0; i < trials; i++ {
+		est, err := Sample(g, source, ell, k, lazy, rng)
+		if err != nil {
+			return 0, err
+		}
+		total += exact.L1(est.P, truth)
+	}
+	return total / float64(trials), nil
+}

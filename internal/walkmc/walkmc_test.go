@@ -1,0 +1,144 @@
+package walkmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestSampleIsDistribution(t *testing.T) {
+	g, _ := gen.Complete(16)
+	rng := rand.New(rand.NewSource(1))
+	est, err := Sample(g, 0, 5, 1000, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range est.P {
+		if p < 0 {
+			t.Fatal("negative empirical probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("empirical sum %v", sum)
+	}
+}
+
+func TestSampleZeroLength(t *testing.T) {
+	g, _ := gen.Complete(8)
+	rng := rand.New(rand.NewSource(2))
+	est, err := Sample(g, 3, 0, 50, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.P[3] != 1 {
+		t.Error("length-0 walk should stay at the source")
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	g, _ := gen.Complete(8)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Sample(g, -1, 1, 10, false, rng); err == nil {
+		t.Error("bad source accepted")
+	}
+	if _, err := Sample(g, 0, 1, 0, false, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// TestEmpiricalConvergesToExact: with many samples the empirical
+// distribution approaches the exact p_ℓ at the expected √(n/K) rate.
+func TestEmpiricalConvergesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := gen.RandomRegular(32, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 8
+	w, _ := exact.NewWalk(g, 0, false)
+	w.StepN(ell)
+	small, err := Sample(g, 0, ell, 100, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Sample(g, 0, ell, 40_000, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSmall := exact.L1(small.P, w.P())
+	dBig := exact.L1(big.P, w.P())
+	if dBig >= dSmall {
+		t.Errorf("more samples should reduce error: K=100 → %v, K=40000 → %v", dSmall, dBig)
+	}
+	if dBig > 0.2 {
+		t.Errorf("40k-sample error %v too large", dBig)
+	}
+}
+
+// TestGreyArea is the [10]-vs-[18] comparison (§1.2): with few samples, a
+// small ε cannot be certified — MixingTimeMC fails — while a loose ε
+// succeeds.
+func TestGreyArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := gen.RandomRegular(64, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loose ε with plenty of samples: fine.
+	if _, err := MixingTimeMC(g, 0, 0.5, 20_000, false, 1<<12, rng); err != nil {
+		t.Errorf("loose ε failed: %v", err)
+	}
+	// ε far below the sampling floor √(n/K) ≈ 0.8: must fail.
+	if _, err := MixingTimeMC(g, 0, 0.05, 100, false, 1<<10, rng); err == nil {
+		t.Error("ε below the sampling floor was certified — grey area not reproduced")
+	}
+}
+
+func TestNoiseFloorShrinksWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := gen.RandomRegular(32, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := NoiseFloor(g, 0, 10, 200, 4, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NoiseFloor(g, 0, 10, 20_000, 4, false, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 >= f1 {
+		t.Errorf("noise floor should shrink with K: %v → %v", f1, f2)
+	}
+	// Scaling ≈ √(K₂/K₁) = 10; allow wide slack.
+	if f1/f2 < 3 {
+		t.Errorf("noise ratio %v, want ≈ 10", f1/f2)
+	}
+}
+
+func TestMixingTimeMCValidation(t *testing.T) {
+	g, _ := gen.Complete(8)
+	rng := rand.New(rand.NewSource(7))
+	if _, err := MixingTimeMC(g, 0, 0, 10, false, 100, rng); err == nil {
+		t.Error("ε=0 accepted")
+	}
+}
+
+func TestLazySampling(t *testing.T) {
+	// On a bipartite graph the lazy empirical distribution approaches π.
+	g, _ := gen.Hypercube(3)
+	rng := rand.New(rand.NewSource(8))
+	est, err := Sample(g, 0, 200, 30_000, true, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := est.L1ToStationary(g); d > 0.2 {
+		t.Errorf("lazy sampling distance to π = %v", d)
+	}
+}

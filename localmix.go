@@ -1,0 +1,206 @@
+// Package localmix is the public API of this repository: a full
+// implementation of "Local Mixing Time: Distributed Computation and
+// Applications" (Molla & Pandurangan, IPDPS 2018).
+//
+// The local mixing time τ_s(β, ε) of a vertex s is the earliest time at
+// which the random-walk distribution from s is ε-close (in L1) to the
+// stationary distribution restricted to *some* set S ∋ s of size ≥ n/β
+// (Definition 2 of the paper). It refines the classical mixing time: on a
+// β-barbell graph the mixing time is Ω(β²) while the local mixing time is
+// O(1).
+//
+// Three layers are exposed:
+//
+//   - Graph construction: Builder and the generator functions (Barbell,
+//     RingOfCliques, RandomRegular, Path, Complete, Torus, Hypercube, …).
+//   - Centralized oracles: MixingTime, LocalMixingTime — exact float64
+//     computations for analysis and ground truth.
+//   - Distributed algorithms: DistributedLocalMixingTime (Algorithm 2,
+//     Theorem 1), DistributedExactLocalMixingTime (§3.2, Theorem 2),
+//     DistributedMixingTime (the [18] baseline) — CONGEST-model
+//     simulations with honest round/message/bandwidth accounting — and
+//     PushPull (§4, Theorem 3) for partial information spreading.
+//
+// See examples/quickstart for a five-minute tour.
+package localmix
+
+import (
+	"math/rand"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/spread"
+)
+
+// Graph is an immutable simple undirected graph (CSR adjacency).
+type Graph = graph.Graph
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// NewBuilder creates a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Generators (paper §2.3 families and friends).
+var (
+	// Complete returns K_n (§2.3 a: both mixing times are Θ(1)).
+	Complete = gen.Complete
+	// Path returns P_n (§2.3 c: τ_mix = Θ(n²), τ_s(β) = Θ((n/β)²)).
+	Path = gen.Path
+	// Cycle returns C_n.
+	Cycle = gen.Cycle
+	// Star returns K_{1,n-1} (irregular; for testing).
+	Star = gen.Star
+	// Torus returns the rows×cols torus (4-regular).
+	Torus = gen.Torus
+	// Grid returns the rows×cols grid.
+	Grid = gen.Grid
+	// Hypercube returns the 2^dim hypercube (bipartite: use lazy walks).
+	Hypercube = gen.Hypercube
+	// Lollipop returns the clique+path lollipop.
+	Lollipop = gen.Lollipop
+	// Dumbbell returns two cliques joined by a path.
+	Dumbbell = gen.Dumbbell
+	// Barbell returns the Figure 1 β-barbell: a path of β cliques
+	// (§2.3 d: τ_mix = Ω(β²), τ_s(β) = O(1)).
+	Barbell = gen.Barbell
+	// RingOfCliques returns the exactly-regular ring variant of the
+	// barbell.
+	RingOfCliques = gen.RingOfCliques
+	// RandomRegular returns a connected random d-regular graph (an
+	// expander w.h.p., §2.3 b).
+	RandomRegular = gen.RandomRegular
+	// RingOfExpanders returns β expander blocks arranged in a ring,
+	// exactly d-regular.
+	RingOfExpanders = gen.RingOfExpanders
+	// ErdosRenyi returns a connected G(n,p) sample.
+	ErdosRenyi = gen.ErdosRenyi
+)
+
+// NewRand returns a deterministic RNG for the randomized generators.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// MixingTime computes τ_mix_s(ε) = min{t : ‖p_t − π‖₁ < ε} exactly
+// (centralized oracle; Definition 1).
+func MixingTime(g *Graph, source int, eps float64, lazy bool, maxT int) (int, error) {
+	return exact.MixingTime(g, source, eps, lazy, maxT)
+}
+
+// LocalMixingResult is the centralized local-mixing oracle output.
+type LocalMixingResult = exact.LocalResult
+
+// LocalMixingOptions configures the centralized local-mixing oracle.
+type LocalMixingOptions = exact.LocalOptions
+
+// LocalMixingTime computes τ_s(β, ε) exactly (centralized oracle;
+// Definition 2 with the uniform 1/|S| target) and returns a witness
+// local-mixing set.
+func LocalMixingTime(g *Graph, source int, beta, eps float64, o LocalMixingOptions) (*LocalMixingResult, error) {
+	return exact.LocalMixing(g, source, beta, eps, o)
+}
+
+// DistributedResult is the output of the CONGEST algorithms: the computed
+// time, the witness set size, and the engine's round/message/bit counters.
+type DistributedResult = core.Result
+
+// DistributedOption tweaks a distributed run (WithLazy, WithSeed, WithC,
+// WithMaxLength, WithIrregular, WithWorkers).
+type DistributedOption = core.Option
+
+// Re-exported distributed options.
+var (
+	WithLazy      = core.WithLazy
+	WithSeed      = core.WithSeed
+	WithC         = core.WithC
+	WithMaxLength = core.WithMaxLength
+	WithIrregular = core.WithIrregular
+	WithWorkers   = core.WithWorkers
+)
+
+// DistributedLocalMixingTime runs the paper's Algorithm 2 (LOCAL-MIXING-
+// TIME) in a simulated CONGEST network: a 2-approximation of τ_s(β, ε) in
+// O(τ_s log²n log_{1+ε}β) rounds (Theorem 1).
+func DistributedLocalMixingTime(g *Graph, source int, beta, eps float64, opts ...DistributedOption) (*DistributedResult, error) {
+	return core.ApproxLocalMixingTime(g, source, beta, eps, opts...)
+}
+
+// DistributedExactLocalMixingTime runs the §3.2 exact variant:
+// O(τ_s·D̃·log n·log_{1+ε}β) rounds, no assumptions (Theorem 2).
+func DistributedExactLocalMixingTime(g *Graph, source int, beta, eps float64, opts ...DistributedOption) (*DistributedResult, error) {
+	return core.ExactLocalMixingTime(g, source, beta, eps, opts...)
+}
+
+// DistributedMixingTime runs the baseline distributed mixing-time
+// computation ([18]; O(τ_mix log n) rounds).
+func DistributedMixingTime(g *Graph, source int, eps float64, opts ...DistributedOption) (*DistributedResult, error) {
+	return core.MixingTime(g, source, eps, opts...)
+}
+
+// EstimateRWProbability runs Algorithm 1 standalone: the fixed-point
+// estimate of the length-ℓ walk distribution, computed distributed in ℓ+1
+// CONGEST rounds.
+func EstimateRWProbability(g *Graph, source, ell int, lazy bool) (*core.RWEstimate, error) {
+	return core.EstimateRWProbability(g, source, ell, core.Config{Lazy: lazy})
+}
+
+// SpreadConfig configures the push–pull gossip run (§4).
+type SpreadConfig = spread.Config
+
+// SpreadResult reports a push–pull run.
+type SpreadResult = spread.Result
+
+// PushPull runs synchronous push–pull gossip and reports when (·, β)-partial
+// and full information spreading were reached (Definition 3, Theorem 3).
+func PushPull(g *Graph, cfg SpreadConfig) (*SpreadResult, error) {
+	return spread.Run(g, cfg)
+}
+
+// EngineStats exposes the congest engine counters type.
+type EngineStats = congest.Stats
+
+// CoverageInstance is a distributed maximum-coverage instance (§1/§4
+// application: each node owns a subset of a ground set).
+type CoverageInstance = coverage.Instance
+
+// CoverageResult reports a distributed maximum-coverage run.
+type CoverageResult = coverage.Result
+
+// RandomCoverageInstance builds a coverage instance with per-node random
+// element sets.
+func RandomCoverageInstance(n, universe, perNode, k int, rng *rand.Rand) (*CoverageInstance, error) {
+	return coverage.RandomInstance(n, universe, perNode, k, rng)
+}
+
+// DistributedMaxCoverage solves maximum coverage via partial information
+// spreading followed by local greedy, and reports quality against the
+// centralized greedy baseline.
+func DistributedMaxCoverage(g *Graph, inst *CoverageInstance, beta float64, seed int64) (*CoverageResult, error) {
+	return coverage.Distributed(g, inst, beta, seed)
+}
+
+// LeaderElection runs min-id gossip until every node knows the global
+// minimum id, returning the round count.
+func LeaderElection(g *Graph, seed int64, maxRounds int) (int, error) {
+	return spread.LeaderElection(g, seed, maxRounds)
+}
+
+// PushPullCongest runs push–pull under the CONGEST constraint — one
+// O(log n)-bit token id per message — realizing the paper's footnote 10
+// regime with bound Õ(τ(β,ε) + n/β).
+func PushPullCongest(g *Graph, cfg SpreadConfig) (*SpreadResult, error) {
+	return spread.RunCongest(g, cfg)
+}
+
+// GraphLocalMixingResult reports the graph-wide local mixing time
+// τ(β,ε) = max_v τ_v(β,ε).
+type GraphLocalMixingResult = exact.GraphLocalResult
+
+// GraphLocalMixingTime computes τ(β,ε) over all vertices (sources == nil)
+// or a sampled subset (the paper's footnote 6 mitigation), in parallel.
+func GraphLocalMixingTime(g *Graph, beta, eps float64, o LocalMixingOptions, sources []int) (*GraphLocalMixingResult, error) {
+	return exact.GraphLocalMixing(g, beta, eps, o, sources)
+}
