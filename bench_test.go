@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/fixedpoint"
@@ -93,7 +94,7 @@ func BenchmarkCongestAlgorithm2(b *testing.B) {
 }
 
 // BenchmarkEstimateRW measures the distributed Algorithm 1 at several walk
-// lengths (ℓ+1 CONGEST rounds each).
+// lengths (ℓ+1 CONGEST rounds each), reporting engine throughput.
 func BenchmarkEstimateRW(b *testing.B) {
 	g, err := gen.RingOfCliques(8, 16)
 	if err != nil {
@@ -101,13 +102,99 @@ func BenchmarkEstimateRW(b *testing.B) {
 	}
 	for _, ell := range []int{4, 16, 64} {
 		b.Run(fmt.Sprintf("ell=%d", ell), func(b *testing.B) {
+			var rounds, msgs int64
 			for i := 0; i < b.N; i++ {
-				if _, err := core.EstimateRWProbability(g, 0, ell, core.Config{}); err != nil {
+				res, err := core.EstimateRWProbability(g, 0, ell, core.Config{})
+				if err != nil {
 					b.Fatal(err)
 				}
+				rounds += int64(res.Stats.Rounds)
+				msgs += res.Stats.Messages
 			}
+			reportThroughput(b, rounds, msgs)
 		})
 	}
+}
+
+// reportThroughput attaches rounds/sec and messages/sec to a benchmark that
+// accumulated engine statistics, giving future PRs a perf trajectory beyond
+// ns/op.
+func reportThroughput(b *testing.B, rounds, msgs int64) {
+	sec := b.Elapsed().Seconds()
+	if sec <= 0 {
+		return
+	}
+	b.ReportMetric(float64(rounds)/sec, "rounds/sec")
+	b.ReportMetric(float64(msgs)/sec, "msgs/sec")
+}
+
+// BenchmarkEngineThroughput drives the round engine with a pure flooding
+// workload (every node broadcasts every round) on a 4096-node torus — the
+// engine-bound upper envelope, dominated by Send/deliver — at 1 worker and
+// at GOMAXPROCS.
+func BenchmarkEngineThroughput(b *testing.B) {
+	g, err := gen.Torus(64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const horizon = 64
+	for _, workers := range []int{1, 0} {
+		name := "workers=max"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			var rounds, msgs int64
+			for i := 0; i < b.N; i++ {
+				// Network construction (slot hash, arenas) is setup, not
+				// the round loop this benchmark tracks.
+				b.StopTimer()
+				net, err := congest.NewNetwork(g, congest.Config{Workers: workers, MaxRounds: horizon + 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				st, err := net.Run(func(int) congest.Process { return &floodBench{horizon: horizon} })
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += int64(st.Rounds)
+				msgs += st.Messages
+			}
+			reportThroughput(b, rounds, msgs)
+		})
+	}
+}
+
+// floodBench broadcasts every round until its horizon.
+type floodBench struct{ horizon int }
+
+func (p *floodBench) Init(ctx *congest.Context) {}
+func (p *floodBench) Step(ctx *congest.Context) {
+	if ctx.Round() >= p.horizon {
+		ctx.Halt()
+		return
+	}
+	ctx.Broadcast(congest.Message{Kind: 1, Value: int64(ctx.Round()), Bits: 16})
+}
+
+// BenchmarkPushPullEngine measures the engine-backed LOCAL gossip (payload
+// slabs) against the barbell workload of BenchmarkPushPull.
+func BenchmarkPushPullEngine(b *testing.B) {
+	g, err := gen.Barbell(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds, msgs int64
+	for i := 0; i < b.N; i++ {
+		res, err := spread.RunOnEngine(g, spread.Config{Beta: 8, Seed: int64(i), StopAtPartial: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += int64(res.Stats.Rounds)
+		msgs += res.Stats.Messages
+	}
+	reportThroughput(b, rounds, msgs)
 }
 
 // BenchmarkPushPull measures the gossip engine per full partial-spreading
@@ -149,3 +236,4 @@ func BenchmarkRandomRegularGen(b *testing.B) {
 
 func BenchmarkE13CongestSpreading(b *testing.B) { benchExperiment(b, "E13") }
 func BenchmarkE14GraphLocalMixing(b *testing.B) { benchExperiment(b, "E14") }
+func BenchmarkE15EngineCounters(b *testing.B)   { benchExperiment(b, "E15") }

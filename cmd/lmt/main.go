@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/gen"
@@ -25,18 +26,20 @@ import (
 
 func main() {
 	var (
-		graphFlag = flag.String("graph", "barbell", "family: barbell|ringcliques|complete|path|cycle|torus|hypercube|expander|lollipop|dumbbell")
-		nFlag     = flag.Int("n", 128, "vertex count (complete, path, cycle, expander)")
-		kFlag     = flag.Int("k", 16, "clique/block size (barbell, ringcliques, lollipop, dumbbell)")
-		betaFlag  = flag.Float64("beta", 8, "β: local mixing set size is ≥ n/β; also the clique count for barbell/ringcliques")
-		dFlag     = flag.Int("d", 6, "degree (expander)")
-		dimFlag   = flag.Int("dim", 7, "dimension (hypercube, torus side)")
-		epsFlag   = flag.Float64("eps", 1.0/21.746, "accuracy parameter ε (default ≈ 1/8e)")
-		srcFlag   = flag.Int("source", 0, "source vertex s")
-		lazyFlag  = flag.Bool("lazy", false, "use the lazy walk (required on bipartite graphs)")
-		modeFlag  = flag.String("mode", "all", "what to compute: oracle|approx|exact|mixing|all")
-		seedFlag  = flag.Int64("seed", 1, "random seed (generators and engine)")
-		dotFlag   = flag.String("dot", "", "write a Graphviz file with the oracle's witness local-mixing set highlighted")
+		graphFlag   = flag.String("graph", "barbell", "family: barbell|ringcliques|complete|path|cycle|torus|hypercube|expander|lollipop|dumbbell")
+		nFlag       = flag.Int("n", 128, "vertex count (complete, path, cycle, expander)")
+		kFlag       = flag.Int("k", 16, "clique/block size (barbell, ringcliques, lollipop, dumbbell)")
+		betaFlag    = flag.Float64("beta", 8, "β: local mixing set size is ≥ n/β; also the clique count for barbell/ringcliques")
+		dFlag       = flag.Int("d", 6, "degree (expander)")
+		dimFlag     = flag.Int("dim", 7, "dimension (hypercube, torus side)")
+		epsFlag     = flag.Float64("eps", 1.0/21.746, "accuracy parameter ε (default ≈ 1/8e)")
+		srcFlag     = flag.Int("source", 0, "source vertex s")
+		lazyFlag    = flag.Bool("lazy", false, "use the lazy walk (required on bipartite graphs)")
+		modeFlag    = flag.String("mode", "all", "what to compute: oracle|approx|exact|mixing|all")
+		seedFlag    = flag.Int64("seed", 1, "random seed (generators and engine)")
+		workersFlag = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS; never changes results)")
+		statsFlag   = flag.Bool("enginestats", false, "print the engine's liveness/allocation counters per run")
+		dotFlag     = flag.String("dot", "", "write a Graphviz file with the oracle's witness local-mixing set highlighted")
 	)
 	flag.Parse()
 
@@ -54,7 +57,7 @@ func main() {
 	}
 	fmt.Println()
 
-	opts := []core.Option{core.WithSeed(*seedFlag), core.WithIrregular()}
+	opts := []core.Option{core.WithSeed(*seedFlag), core.WithIrregular(), core.WithWorkers(*workersFlag)}
 	if *lazyFlag {
 		opts = append(opts, core.WithLazy())
 	}
@@ -62,6 +65,12 @@ func main() {
 	run := func(label string, f func() error) {
 		if err := f(); err != nil {
 			fmt.Printf("%-22s ERROR: %v\n", label, err)
+		}
+	}
+	engineStats := func(st *congest.Stats) {
+		if *statsFlag && st != nil {
+			fmt.Printf("%-22s steps=%d sleepSkips=%d wakeups=%d ffRounds=%d stepGrows=%d dlvGrows=%d payloadWords=%d\n",
+				"  engine", st.ActiveSteps, st.SleepSkips, st.Wakeups, st.SkippedRounds, st.StepGrows, st.DeliverGrows, st.PayloadWords)
 		}
 	}
 
@@ -101,6 +110,7 @@ func main() {
 			}
 			fmt.Printf("%-22s τ̂=%d  R=%d  Σ=%.4f  rounds=%d  msgs=%d  maxEdgeBits=%d\n",
 				"Algorithm 2 (Thm 1)", res.Tau, res.R, res.Sum, res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxEdgeBits)
+			engineStats(res.Stats)
 			return nil
 		})
 	}
@@ -112,6 +122,7 @@ func main() {
 			}
 			fmt.Printf("%-22s τ=%d  R=%d  Σ=%.4f  rounds=%d  msgs=%d\n",
 				"exact variant (Thm 2)", res.Tau, res.R, res.Sum, res.Stats.Rounds, res.Stats.Messages)
+			engineStats(res.Stats)
 			return nil
 		})
 	}
@@ -123,6 +134,7 @@ func main() {
 			}
 			fmt.Printf("%-22s τ_mix=%d  rounds=%d  msgs=%d\n",
 				"mixing baseline [18]", res.Tau, res.Stats.Rounds, res.Stats.Messages)
+			engineStats(res.Stats)
 			return nil
 		})
 	}

@@ -89,6 +89,25 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// CopyFrom overwrites s with o's contents without allocating. Capacities
+// must match.
+func (s *Set) CopyFrom(o *Set) {
+	s.sameCap(o)
+	copy(s.words, o.words)
+}
+
+// Words returns the number of backing 64-bit words.
+func (s *Set) Words() int { return len(s.words) }
+
+// Word returns the i-th backing word: bits [64i, 64i+64). Together with
+// OrWord it lets hot paths (the gossip engine's set merges) run word-level
+// operations without per-bit calls.
+func (s *Set) Word(i int) uint64 { return s.words[i] }
+
+// OrWord ORs w into the i-th backing word. The caller must not set bits at
+// or beyond Cap().
+func (s *Set) OrWord(i int, w uint64) { s.words[i] |= w }
+
 // Clear removes all elements.
 func (s *Set) Clear() {
 	for i := range s.words {

@@ -16,18 +16,61 @@
 // with a descriptive error; the algorithms in internal/core are written so
 // that this never fires, and the tests exercise the enforcement path
 // deliberately.
+//
+// # Architecture: sharded mailboxes and the zero-allocation round loop
+//
+// The engine is built for graphs with millions of nodes, so the round loop
+// is designed around two constraints: no per-message heap allocation in the
+// steady state, and no O(n) scans for bookkeeping that only concerns a few
+// nodes. The design:
+//
+//   - Sharding. The node set is split into W contiguous shards, one per
+//     worker. A shard owns its nodes' Contexts exclusively: it steps them,
+//     delivers into their inboxes, and maintains their liveness, so no lock
+//     is ever taken on per-node state.
+//
+//   - Sharded mailboxes. Each shard keeps one flat outbox buffer per
+//     destination shard (a W×W matrix of []pend slices). Send appends the
+//     message to out[owner(to)]; buffers are truncated, never freed, so the
+//     steady state allocates nothing. The deliver phase runs one worker per
+//     destination shard: shard s drains out[w][s] for w = 0..W-1 in order.
+//     Because shards are contiguous id ranges and every shard steps its
+//     nodes in ascending id order, this drain order reproduces exactly the
+//     canonical "ascending sender id, then send order" inbox ordering — for
+//     every worker count, which is what makes the engine deterministic
+//     under parallelism.
+//
+//   - O(1) sends. NewNetwork precomputes a directed-edge slot index (an
+//     open-addressed hash from the pair (u,v) to the CSR slot of u→v), so
+//     Send performs no binary search; SendNbr addresses a neighbor by its
+//     adjacency-row position and needs no lookup at all. The same CSR slot
+//     indexes the per-directed-edge bandwidth accounting arrays, which only
+//     the sending shard writes.
+//
+//   - Typed payload arena. LOCAL-model messages can carry an []int32 slab
+//     (SendPayload/Context.Payload) stored in a per-shard double-buffered
+//     arena instead of a boxed interface{} value. Payloads are copied once
+//     into the sender's arena at send time and read in place by the
+//     receiver next round; the buffer that fed round r is truncated and
+//     reused for round r+2.
+//
+//   - Liveness tracking. Each shard keeps a compact ascending list of its
+//     live (non-halted) nodes, compacted in place as nodes halt, plus a
+//     halted count, so round upkeep is O(live), not O(n). Sleeping nodes
+//     are skipped in O(1) and feed a per-round wake estimate; when a round
+//     delivers no messages and steps no node, the engine fast-forwards the
+//     round counter to the earliest wake-up instead of grinding through
+//     empty rounds.
+//
+// Stats exposes counters for each of these mechanisms (ActiveSteps,
+// SleepSkips, Wakeups, SkippedRounds, PayloadWords, and the per-phase
+// buffer-growth counters StepGrows/DeliverGrows), so regressions in the
+// zero-allocation property are observable from the outside.
 package congest
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
-
-	"repro/internal/graph"
 )
 
 // Model selects the communication model.
@@ -53,9 +96,11 @@ func (m Model) String() string {
 
 // Message is one message in flight. The fixed fields cover every payload the
 // CONGEST algorithms need (a kind tag, a sequence number and two integer
-// words); Extra carries arbitrary LOCAL-model payloads such as token
-// bitsets. Bits is the size charged against the bandwidth budget and must be
-// positive.
+// words); LOCAL-model runs may additionally attach an []int32 slab via
+// Context.SendPayload, carried out of band in the engine's payload arena.
+// Bits is the size charged against the bandwidth budget and must be
+// positive. A Message holds no pointers, so mailbox buffers are opaque to
+// the garbage collector.
 type Message struct {
 	From  int32 // sender id, filled by the engine
 	Round int32 // round in which the message was delivered, filled by the engine
@@ -64,8 +109,17 @@ type Message struct {
 	Value int64
 	Aux   int64
 	Bits  int32
-	Extra interface{}
+
+	// Payload arena reference, set by SendPayload and resolved by
+	// Context.Payload. Zero payLen means no payload.
+	payShard int32
+	payOff   int32
+	payLen   int32
 }
+
+// HasPayload reports whether the message carries an []int32 payload slab
+// (LOCAL model only); read it with Context.Payload.
+func (m Message) HasPayload() bool { return m.payLen > 0 }
 
 // Process is the per-node algorithm. Init runs before round 1 and may send
 // messages (delivered in round 1). Step runs once per round.
@@ -87,12 +141,15 @@ type Config struct {
 	// Seed feeds the deterministic per-node RNGs.
 	Seed int64
 	// Workers is the number of stepping goroutines; zero means GOMAXPROCS.
+	// The worker count never changes results: the sharded mailboxes keep
+	// delivery order canonical for any value.
 	Workers int
 	// OnRound, when non-nil, is invoked after each round's delivery with
 	// the round number just completed; returning true stops the run
 	// gracefully (Stats.HaltedAll stays false, no error). All node
 	// goroutines are quiescent during the call, so the callback may safely
-	// read process state it captured at construction.
+	// read process state it captured at construction. Setting OnRound
+	// disables round fast-forwarding (every round is observed).
 	OnRound func(round int) (stop bool)
 }
 
@@ -142,347 +199,27 @@ func (e *SendError) Error() string {
 
 // Stats summarizes a completed (or aborted) run.
 type Stats struct {
-	Rounds       int   // rounds executed
-	Messages     int64 // total messages delivered
-	Bits         int64 // total message bits delivered
-	MaxEdgeBits  int   // max bits observed on one directed edge in one round
-	HaltedAll    bool  // whether every node halted
-	ActiveSteps  int64 // total Step invocations (excludes halted/sleeping nodes)
-	DeliverCalls int64 // messages enqueued (same as Messages; kept for clarity)
-}
+	Rounds      int   // rounds executed (including fast-forwarded ones)
+	Messages    int64 // total messages delivered
+	Bits        int64 // total message bits delivered
+	MaxEdgeBits int   // max bits observed on one directed edge in one round
+	HaltedAll   bool  // whether every node halted
 
-// Context is the per-node view of the network, passed to Init and Step.
-// Contexts are owned by the engine; algorithms must not retain them across
-// rounds.
-type Context struct {
-	net         *Network
-	id          int
-	inbox       []Message
-	outbox      []outMsg
-	rng         *rand.Rand
-	halted      bool
-	sleep       int // absolute round before which the node need not be stepped
-	err         error
-	maxEdgeBits int // max per-edge bits observed by this sender (merged into Stats)
-}
+	// Liveness counters (see the architecture section of the package doc).
+	ActiveSteps   int64 // total Step invocations (excludes halted/sleeping nodes)
+	SleepSkips    int64 // step-phase skips of sleeping nodes
+	Wakeups       int64 // sleeping nodes woken early by message arrival
+	SkippedRounds int64 // rounds fast-forwarded while the whole network slept
 
-type outMsg struct {
-	to  int32
-	msg Message
-}
+	// Allocation counters: buffer growth events per phase. In the steady
+	// state both stay constant from one round to the next — the engine's
+	// zero-allocation property, asserted by the regression tests. Unlike
+	// every other field they describe the execution, not the simulation:
+	// more workers mean more (smaller) buffers warming up, so these two may
+	// differ across worker counts while all results stay identical.
+	StepGrows    int64 // outbox/arena growth events during step phases
+	DeliverGrows int64 // inbox growth events during deliver phases
 
-// ID returns this node's identifier in [0, N()).
-func (c *Context) ID() int { return c.id }
-
-// N returns the number of nodes (known to all nodes per the model, §1.1).
-func (c *Context) N() int { return c.net.g.N() }
-
-// M returns the number of edges (known to all nodes per the model, §1.1).
-func (c *Context) M() int { return c.net.g.M() }
-
-// Round returns the current global round (0 during Init).
-func (c *Context) Round() int { return c.net.round }
-
-// Degree returns this node's degree.
-func (c *Context) Degree() int { return c.net.g.Degree(c.id) }
-
-// Neighbors returns this node's neighbor ids (shared slice, do not modify).
-func (c *Context) Neighbors() []int32 { return c.net.g.Neighbors(c.id) }
-
-// Inbox returns the messages delivered to this node since it was last
-// stepped, ordered by (round, sender). The slice is reused; copy anything
-// retained across rounds.
-func (c *Context) Inbox() []Message { return c.inbox }
-
-// Rand returns this node's private deterministic RNG.
-func (c *Context) Rand() *rand.Rand { return c.rng }
-
-// Send queues a message to neighbor `to` for delivery next round. The engine
-// fills From. Sends to non-neighbors or with non-positive Bits abort the run.
-func (c *Context) Send(to int, m Message) {
-	if c.err != nil {
-		return
-	}
-	if m.Bits <= 0 {
-		c.err = &SendError{From: c.id, To: to, Round: c.net.round, Reason: "non-positive Bits"}
-		return
-	}
-	if m.Extra != nil && c.net.cfg.Model == CONGEST {
-		c.err = &SendError{From: c.id, To: to, Round: c.net.round, Reason: "Extra payloads are LOCAL-model only"}
-		return
-	}
-	ei := c.net.edgeIndex(c.id, to)
-	if ei < 0 {
-		c.err = &SendError{From: c.id, To: to, Round: c.net.round, Reason: "not a neighbor"}
-		return
-	}
-	if c.net.cfg.Model == CONGEST {
-		used := c.net.chargeEdge(ei, int(m.Bits))
-		if used > c.maxEdgeBits {
-			c.maxEdgeBits = used
-		}
-		if used > c.net.bandwidth {
-			c.err = &BandwidthError{From: c.id, To: to, Round: c.net.round, Used: used, Limit: c.net.bandwidth}
-			return
-		}
-	}
-	m.From = int32(c.id)
-	c.outbox = append(c.outbox, outMsg{to: int32(to), msg: m})
-}
-
-// Broadcast sends the same message to every neighbor.
-func (c *Context) Broadcast(m Message) {
-	for _, v := range c.Neighbors() {
-		c.Send(int(v), m)
-	}
-}
-
-// Halt marks this node as permanently finished. The run ends when every
-// node has halted.
-func (c *Context) Halt() { c.halted = true }
-
-// Sleep declares that this node has no scheduled activity for the next
-// `rounds` rounds. The engine may skip stepping it, but any message arrival
-// wakes it immediately (the skipped rounds still elapse globally). Purely an
-// optimization: correctness never depends on it.
-func (c *Context) Sleep(rounds int) {
-	if rounds > 0 {
-		c.sleep = c.net.round + rounds
-	}
-}
-
-// Network is a configured simulation instance.
-type Network struct {
-	g         *graph.Graph
-	cfg       Config
-	bandwidth int
-	round     int
-
-	ctxs  []Context
-	procs []Process
-
-	// rowOff[u] is the CSR start of u's adjacency row; used to index the
-	// per-directed-edge bandwidth accounting arrays below. Each directed
-	// edge u→v is written only by its sender u, so stepping in parallel is
-	// race-free.
-	rowOff    []int
-	edgeBits  []int32
-	edgeStamp []int32
-
-	stats Stats
-}
-
-// NewNetwork prepares a simulation of the given graph. The graph must be
-// non-empty.
-func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
-	if g.N() == 0 {
-		return nil, errors.New("congest: empty graph")
-	}
-	if cfg.BandwidthBits == 0 {
-		cfg.BandwidthBits = DefaultBandwidth(g.N())
-	}
-	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = 64*g.N() + 1_000_000
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	net := &Network{
-		g:         g,
-		cfg:       cfg,
-		bandwidth: cfg.BandwidthBits,
-		rowOff:    make([]int, g.N()+1),
-		edgeBits:  make([]int32, 2*g.M()),
-		edgeStamp: make([]int32, 2*g.M()),
-	}
-	for i := range net.edgeStamp {
-		net.edgeStamp[i] = -1
-	}
-	for v := 0; v < g.N(); v++ {
-		net.rowOff[v+1] = net.rowOff[v] + g.Degree(v)
-	}
-	return net, nil
-}
-
-// Graph returns the underlying topology.
-func (n *Network) Graph() *graph.Graph { return n.g }
-
-// Bandwidth returns the per-edge budget in bits (CONGEST mode).
-func (n *Network) Bandwidth() int { return n.bandwidth }
-
-// edgeIndex returns the CSR position of directed edge u→v, or -1.
-func (n *Network) edgeIndex(u, v int) int {
-	row := n.g.Neighbors(u)
-	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
-	if i < len(row) && row[i] == int32(v) {
-		return n.rowOff[u] + i
-	}
-	return -1
-}
-
-// chargeEdge adds bits to the edge's usage in the current round and returns
-// the new total. Uses a round stamp for O(1) lazy reset. Only the edge's
-// sender ever touches index ei, so this is safe under parallel stepping.
-func (n *Network) chargeEdge(ei, bits int) int {
-	if n.edgeStamp[ei] != int32(n.round) {
-		n.edgeStamp[ei] = int32(n.round)
-		n.edgeBits[ei] = 0
-	}
-	n.edgeBits[ei] += int32(bits)
-	return int(n.edgeBits[ei])
-}
-
-// Run executes the simulation. newProc is called once per node id to create
-// its Process; the caller typically captures the created processes to read
-// their outputs afterwards. Run returns the statistics and the first error
-// (bandwidth violation, illegal send, or round-limit exhaustion), if any.
-func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
-	nn := n.g.N()
-	n.ctxs = make([]Context, nn)
-	n.procs = make([]Process, nn)
-	for u := 0; u < nn; u++ {
-		n.ctxs[u] = Context{
-			net: n,
-			id:  u,
-			rng: rand.New(rand.NewSource(n.cfg.Seed ^ (int64(u)*0x5E3779B97F4A7C15 + 0x1234567))),
-		}
-		n.procs[u] = newProc(u)
-	}
-
-	// Round 0: Init everyone (sequential: Init is cheap and often empty).
-	n.round = 0
-	for u := 0; u < nn; u++ {
-		n.procs[u].Init(&n.ctxs[u])
-		if err := n.ctxs[u].err; err != nil {
-			return n.finalize(), err
-		}
-	}
-	n.deliver()
-
-	halted := 0
-	for u := 0; u < nn; u++ {
-		if n.ctxs[u].halted {
-			halted++
-		}
-	}
-
-	for halted < nn {
-		n.round++
-		if n.round > n.cfg.MaxRounds {
-			n.round--
-			return n.finalize(), fmt.Errorf("%w after %d rounds (%d/%d nodes halted)", ErrRoundLimit, n.cfg.MaxRounds, halted, nn)
-		}
-		if err := n.stepAll(); err != nil {
-			return n.finalize(), err
-		}
-		n.deliver()
-		if n.cfg.OnRound != nil && n.cfg.OnRound(n.round) {
-			return n.finalize(), nil
-		}
-		halted = 0
-		for u := 0; u < nn; u++ {
-			if n.ctxs[u].halted {
-				halted++
-			}
-		}
-	}
-	st := n.finalize()
-	st.HaltedAll = true
-	return st, nil
-}
-
-// finalize merges per-node accounting into the run statistics.
-func (n *Network) finalize() *Stats {
-	n.stats.Rounds = n.round
-	for u := range n.ctxs {
-		if n.ctxs[u].maxEdgeBits > n.stats.MaxEdgeBits {
-			n.stats.MaxEdgeBits = n.ctxs[u].maxEdgeBits
-		}
-	}
-	return &n.stats
-}
-
-// stepAll steps every active node, possibly in parallel.
-func (n *Network) stepAll() error {
-	nn := n.g.N()
-	workers := n.cfg.Workers
-	if workers > nn {
-		workers = nn
-	}
-	var steps int64
-	if workers <= 1 || nn < 64 {
-		for u := 0; u < nn; u++ {
-			if n.stepOne(u) {
-				steps++
-			}
-		}
-	} else {
-		var next int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				local := int64(0)
-				for {
-					base := atomic.AddInt64(&next, 256) - 256
-					if base >= int64(nn) {
-						break
-					}
-					end := base + 256
-					if end > int64(nn) {
-						end = int64(nn)
-					}
-					for u := int(base); u < int(end); u++ {
-						if n.stepOne(u) {
-							local++
-						}
-					}
-				}
-				atomic.AddInt64(&steps, local)
-			}()
-		}
-		wg.Wait()
-	}
-	n.stats.ActiveSteps += steps
-	for u := 0; u < nn; u++ {
-		if err := n.ctxs[u].err; err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// stepOne steps node u if it is active; returns whether Step ran.
-func (n *Network) stepOne(u int) bool {
-	ctx := &n.ctxs[u]
-	if ctx.halted {
-		return false
-	}
-	if ctx.sleep > n.round && len(ctx.inbox) == 0 {
-		return false
-	}
-	ctx.sleep = 0
-	n.procs[u].Step(ctx)
-	ctx.inbox = ctx.inbox[:0]
-	return true
-}
-
-// deliver moves every outbox message into its destination inbox. Iterating
-// senders in increasing id keeps inboxes deterministically ordered.
-func (n *Network) deliver() {
-	nn := n.g.N()
-	for u := 0; u < nn; u++ {
-		out := n.ctxs[u].outbox
-		for _, om := range out {
-			m := om.msg
-			m.Round = int32(n.round + 1)
-			dst := &n.ctxs[om.to]
-			dst.inbox = append(dst.inbox, m)
-			n.stats.Messages++
-			n.stats.Bits += int64(m.Bits)
-		}
-		n.ctxs[u].outbox = out[:0]
-	}
-	n.stats.DeliverCalls = n.stats.Messages
+	// PayloadWords counts the int32 words copied through the payload arena.
+	PayloadWords int64
 }

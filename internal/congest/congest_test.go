@@ -216,20 +216,20 @@ func TestZeroBitsRejected(t *testing.T) {
 	}
 }
 
-// extraInCongest sends an Extra payload in CONGEST mode.
-type extraInCongest struct{ id int }
+// payloadInCongest sends an []int32 payload slab in CONGEST mode.
+type payloadInCongest struct{ id int }
 
-func (e extraInCongest) Init(ctx *Context) {}
-func (e extraInCongest) Step(ctx *Context) {
+func (e payloadInCongest) Init(ctx *Context) {}
+func (e payloadInCongest) Step(ctx *Context) {
 	if e.id == 0 {
-		ctx.Send(1, Message{Kind: 1, Bits: 8, Extra: []int{1, 2, 3}})
+		ctx.SendPayload(1, Message{Kind: 1, Bits: 8}, []int32{1, 2, 3})
 	}
 	ctx.Halt()
 }
 
-func TestExtraRejectedInCongest(t *testing.T) {
+func TestPayloadRejectedInCongest(t *testing.T) {
 	net, _ := NewNetwork(pathGraph(2), Config{})
-	_, err := net.Run(func(id int) Process { return extraInCongest{id} })
+	_, err := net.Run(func(id int) Process { return payloadInCongest{id} })
 	var se *SendError
 	if !errors.As(err, &se) {
 		t.Fatalf("got %v, want SendError", err)

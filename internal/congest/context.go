@@ -1,0 +1,196 @@
+package congest
+
+import "math/rand"
+
+// Context is the per-node view of the network, passed to Init and Step.
+// Contexts are owned by the engine; algorithms must not retain them across
+// rounds.
+type Context struct {
+	net    *Network
+	sh     *shard // the shard (worker) that owns this node
+	id     int32
+	inbox  []Message
+	rng    *rand.Rand
+	halted bool
+	sleep  int32 // absolute round before which the node need not be stepped
+	err    error
+}
+
+// ID returns this node's identifier in [0, N()).
+func (c *Context) ID() int { return int(c.id) }
+
+// N returns the number of nodes (known to all nodes per the model, §1.1).
+func (c *Context) N() int { return c.net.g.N() }
+
+// M returns the number of edges (known to all nodes per the model, §1.1).
+func (c *Context) M() int { return c.net.g.M() }
+
+// Round returns the current global round (0 during Init).
+func (c *Context) Round() int { return c.net.round }
+
+// Degree returns this node's degree.
+func (c *Context) Degree() int { return c.net.g.Degree(int(c.id)) }
+
+// Neighbors returns this node's neighbor ids (shared slice, do not modify).
+func (c *Context) Neighbors() []int32 { return c.net.g.Neighbors(int(c.id)) }
+
+// Inbox returns the messages delivered to this node since it was last
+// stepped, ordered by (round, sender). The slice is reused; copy anything
+// retained across rounds.
+func (c *Context) Inbox() []Message { return c.inbox }
+
+// Rand returns this node's private deterministic RNG.
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// Send queues a message to neighbor `to` for delivery next round. The engine
+// fills From. Sends to non-neighbors or with non-positive Bits abort the
+// run. The neighbor lookup is O(1) via the precomputed edge-slot index; when
+// the caller already knows the neighbor's adjacency-row position, SendNbr
+// avoids even that. Payload references on m are dropped — a received
+// payload must be re-sent explicitly with SendPayload.
+func (c *Context) Send(to int, m Message) {
+	if c.err != nil {
+		return
+	}
+	slot := c.net.slots.lookup(c.id, int32(to))
+	if slot < 0 {
+		c.err = &SendError{From: int(c.id), To: to, Round: c.net.round, Reason: "not a neighbor"}
+		return
+	}
+	m.payShard, m.payOff, m.payLen = 0, 0, 0
+	c.deposit(slot, int32(to), m)
+}
+
+// SendNbr queues a message to the i-th neighbor (the position in
+// Neighbors()). It is the cheapest send: no lookup at all, just the CSR
+// slot arithmetic. Broadcast and loops over Neighbors() should prefer it.
+func (c *Context) SendNbr(i int, m Message) {
+	if c.err != nil {
+		return
+	}
+	row := c.net.g.Neighbors(int(c.id))
+	if i < 0 || i >= len(row) {
+		c.err = &SendError{From: int(c.id), To: -1, Round: c.net.round, Reason: "neighbor index out of range"}
+		return
+	}
+	m.payShard, m.payOff, m.payLen = 0, 0, 0
+	c.deposit(c.net.rowOff[c.id]+int32(i), row[i], m)
+}
+
+// SendPayload queues a message carrying an []int32 slab to neighbor `to`.
+// Payloads are a LOCAL-model facility (token sets, id lists, …): in CONGEST
+// mode the send aborts the run. The words are copied into the sender
+// shard's payload arena — the caller keeps ownership of the slice — and the
+// receiver reads them in place with Context.Payload during the step in
+// which the message is delivered.
+func (c *Context) SendPayload(to int, m Message, words []int32) {
+	if c.err != nil {
+		return
+	}
+	if c.net.cfg.Model == CONGEST {
+		c.err = &SendError{From: int(c.id), To: to, Round: c.net.round, Reason: "payloads are LOCAL-model only"}
+		return
+	}
+	slot := c.net.slots.lookup(c.id, int32(to))
+	if slot < 0 {
+		c.err = &SendError{From: int(c.id), To: to, Round: c.net.round, Reason: "not a neighbor"}
+		return
+	}
+	off, grew := c.sh.arena.put(words)
+	if grew {
+		c.sh.stepGrows++
+	}
+	c.sh.payloadWords += int64(len(words))
+	m.payShard = c.sh.idx
+	m.payOff = off
+	m.payLen = int32(len(words))
+	c.deposit(slot, int32(to), m)
+}
+
+// Payload resolves a received message's []int32 slab. The slice aliases the
+// engine's arena and is valid only during the step in which the message was
+// delivered; copy anything retained longer. Returns nil when the message
+// carries no payload.
+func (c *Context) Payload(m Message) []int32 {
+	if m.payLen == 0 {
+		return nil
+	}
+	a := &c.net.shards[m.payShard].arena
+	buf := a.buf[1-a.cur]
+	return buf[m.payOff : m.payOff+m.payLen]
+}
+
+// deposit routes a validated message into the sharded mailbox of the
+// destination's owner.
+func (c *Context) deposit(slot, to int32, m Message) {
+	if m.Bits <= 0 {
+		c.err = &SendError{From: int(c.id), To: int(to), Round: c.net.round, Reason: "non-positive Bits"}
+		return
+	}
+	if c.net.cfg.Model == CONGEST {
+		used := c.net.chargeEdge(slot, m.Bits)
+		if used > c.sh.maxEdgeBits {
+			c.sh.maxEdgeBits = used
+		}
+		if used > c.net.bandwidth {
+			c.err = &BandwidthError{From: int(c.id), To: int(to), Round: c.net.round, Used: used, Limit: c.net.bandwidth}
+			return
+		}
+	}
+	m.From = c.id
+	s := c.net.owner[to]
+	buf := c.sh.out[s]
+	if len(buf) == cap(buf) {
+		c.sh.stepGrows++
+	}
+	c.sh.out[s] = append(buf, pend{to: to, msg: m})
+}
+
+// Broadcast sends the same message to every neighbor.
+func (c *Context) Broadcast(m Message) {
+	for i := range c.Neighbors() {
+		c.SendNbr(i, m)
+	}
+}
+
+// Halt marks this node as permanently finished. The run ends when every
+// node has halted.
+func (c *Context) Halt() { c.halted = true }
+
+// Sleep declares that this node has no scheduled activity for the next
+// `rounds` rounds. The engine may skip stepping it, but any message arrival
+// wakes it immediately (the skipped rounds still elapse globally). Purely an
+// optimization: correctness never depends on it. When every live node
+// sleeps and no message is in flight, the engine fast-forwards whole rounds
+// (see Stats.SkippedRounds).
+func (c *Context) Sleep(rounds int) {
+	if rounds > 0 {
+		c.sleep = int32(c.net.round + rounds)
+	}
+}
+
+// payloadArena is a per-shard double-buffered []int32 slab store. Writers
+// append to buf[cur]; readers (receivers of last round's messages) read
+// buf[1-cur]. The engine flips cur between rounds, truncating the buffer
+// whose payloads were consumed, so the steady state allocates nothing.
+type payloadArena struct {
+	buf [2][]int32
+	cur int
+}
+
+// put copies words into the current write buffer, returning the offset and
+// whether the buffer had to grow.
+func (a *payloadArena) put(words []int32) (off int32, grew bool) {
+	buf := a.buf[a.cur]
+	off = int32(len(buf))
+	grew = len(buf)+len(words) > cap(buf)
+	a.buf[a.cur] = append(buf, words...)
+	return off, grew
+}
+
+// flip swaps the read and write roles: last round's write buffer becomes
+// readable, and the buffer read two rounds ago is truncated for reuse.
+func (a *payloadArena) flip() {
+	a.cur = 1 - a.cur
+	a.buf[a.cur] = a.buf[a.cur][:0]
+}

@@ -1,0 +1,371 @@
+package congest
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// pend is one queued message in a sharded mailbox.
+type pend struct {
+	to  int32
+	msg Message
+}
+
+const (
+	phaseStep int8 = iota
+	phaseDeliver
+
+	// maxShards bounds the W×W mailbox matrix; beyond this, extra workers
+	// stop paying for themselves anyway.
+	maxShards = 256
+	// parallelMin is the network size below which the engine executes its
+	// shards on one goroutine (the shard structure — and therefore the
+	// result — is identical either way).
+	parallelMin = 64
+
+	noWake = int32(math.MaxInt32)
+)
+
+// shard owns a contiguous range of nodes: it steps them, receives their
+// mail, and tracks their liveness. All fields are touched only by the
+// owning worker during a phase; the control loop merges the accumulators
+// between phases while every worker is quiescent.
+type shard struct {
+	net    *Network
+	idx    int32
+	lo, hi int32
+
+	// live lists the shard's non-halted nodes in ascending id order; it is
+	// compacted in place as nodes halt, so stepping is O(live), not
+	// O(range).
+	live []int32
+
+	// out[s] buffers this shard's messages destined to shard s, in send
+	// order. Truncated (never freed) after each deliver phase.
+	out [][]pend
+
+	// arena stores this shard's outgoing []int32 payload slabs.
+	arena payloadArena
+
+	// Per-phase accumulators, merged and reset by the control loop.
+	steps        int64
+	skips        int64
+	wakes        int64
+	halts        int
+	msgs         int64
+	bits         int64
+	payloadWords int64
+	stepGrows    int64
+	deliverGrows int64
+	maxEdgeBits  int
+	minWake      int32
+	err          error
+}
+
+// runStep steps every live node of the shard in ascending id order,
+// compacting the live list as nodes halt.
+func (sh *shard) runStep() {
+	net := sh.net
+	round := int32(net.round)
+	w := 0
+	for _, u := range sh.live {
+		ctx := &net.ctxs[u]
+		if ctx.sleep > round && len(ctx.inbox) == 0 {
+			sh.skips++
+			if ctx.sleep < sh.minWake {
+				sh.minWake = ctx.sleep
+			}
+			sh.live[w] = u
+			w++
+			continue
+		}
+		ctx.sleep = 0
+		net.procs[u].Step(ctx)
+		sh.steps++
+		ctx.inbox = ctx.inbox[:0]
+		if ctx.err != nil && sh.err == nil {
+			sh.err = ctx.err
+		}
+		if ctx.halted {
+			sh.halts++
+			continue
+		}
+		sh.live[w] = u
+		w++
+	}
+	sh.live = sh.live[:w]
+}
+
+// runDeliver drains every shard's mailbox destined to this shard, in shard
+// order. Because shards are contiguous ascending id ranges and each shard
+// steps in ascending id order, the drain reproduces the canonical
+// (ascending sender, send order) inbox ordering for any worker count.
+func (sh *shard) runDeliver() {
+	net := sh.net
+	rnd := int32(net.round + 1)
+	for w := range net.shards {
+		src := &net.shards[w]
+		buf := src.out[sh.idx]
+		for i := range buf {
+			sh.msgs++
+			sh.bits += int64(buf[i].msg.Bits)
+			dst := &net.ctxs[buf[i].to]
+			if dst.halted {
+				continue // counted, never read: drop instead of hoarding
+			}
+			m := buf[i].msg
+			m.Round = rnd
+			if dst.sleep > rnd && len(dst.inbox) == 0 {
+				sh.wakes++
+			}
+			if len(dst.inbox) == cap(dst.inbox) {
+				sh.deliverGrows++
+			}
+			dst.inbox = append(dst.inbox, m)
+		}
+		src.out[sh.idx] = buf[:0]
+	}
+}
+
+// workerPool keeps one goroutine per shard alive for the whole run; phases
+// are broadcast over per-worker channels, so the steady-state round loop
+// performs no goroutine spawns.
+type workerPool struct {
+	start []chan int8
+	wg    sync.WaitGroup
+}
+
+func (n *Network) startPool() {
+	p := &workerPool{start: make([]chan int8, len(n.shards))}
+	for w := range p.start {
+		ch := make(chan int8, 1)
+		p.start[w] = ch
+		go func(sh *shard) {
+			for ph := range ch {
+				if ph == phaseStep {
+					sh.runStep()
+				} else {
+					sh.runDeliver()
+				}
+				p.wg.Done()
+			}
+		}(&n.shards[w])
+	}
+	n.pool = p
+}
+
+func (p *workerPool) stop() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+}
+
+// runPhase executes one phase across all shards, in parallel when a pool is
+// running. Shard state is identical either way, so results never depend on
+// the execution mode.
+func (n *Network) runPhase(ph int8) {
+	if n.pool == nil {
+		for i := range n.shards {
+			if ph == phaseStep {
+				n.shards[i].runStep()
+			} else {
+				n.shards[i].runDeliver()
+			}
+		}
+		return
+	}
+	n.pool.wg.Add(len(n.shards))
+	for _, ch := range n.pool.start {
+		ch <- ph
+	}
+	n.pool.wg.Wait()
+}
+
+// mergeStep folds the step-phase accumulators into the run statistics and
+// returns the number of nodes stepped, the earliest wake-up round among
+// skipped sleepers, the number of nodes that halted, and the first error in
+// node-id order.
+func (n *Network) mergeStep() (stepped int64, minWake int32, halts int, err error) {
+	minWake = noWake
+	for i := range n.shards {
+		sh := &n.shards[i]
+		stepped += sh.steps
+		n.stats.ActiveSteps += sh.steps
+		sh.steps = 0
+		n.stats.SleepSkips += sh.skips
+		sh.skips = 0
+		n.stats.StepGrows += sh.stepGrows
+		sh.stepGrows = 0
+		n.stats.PayloadWords += sh.payloadWords
+		sh.payloadWords = 0
+		halts += sh.halts
+		sh.halts = 0
+		if sh.maxEdgeBits > n.stats.MaxEdgeBits {
+			n.stats.MaxEdgeBits = sh.maxEdgeBits
+		}
+		if sh.minWake < minWake {
+			minWake = sh.minWake
+		}
+		sh.minWake = noWake
+		if err == nil && sh.err != nil {
+			err = sh.err
+		}
+	}
+	return stepped, minWake, halts, err
+}
+
+// mergeDeliver folds the deliver-phase accumulators into the run statistics
+// and returns the number of messages delivered.
+func (n *Network) mergeDeliver() (delivered int64) {
+	for i := range n.shards {
+		sh := &n.shards[i]
+		delivered += sh.msgs
+		n.stats.Messages += sh.msgs
+		sh.msgs = 0
+		n.stats.Bits += sh.bits
+		sh.bits = 0
+		n.stats.Wakeups += sh.wakes
+		sh.wakes = 0
+		n.stats.DeliverGrows += sh.deliverGrows
+		sh.deliverGrows = 0
+	}
+	return delivered
+}
+
+// finalize merges any outstanding per-shard accounting into the run
+// statistics.
+func (n *Network) finalize() *Stats {
+	n.stats.Rounds = n.round
+	n.mergeStep()
+	n.mergeDeliver()
+	return &n.stats
+}
+
+// Run executes the simulation. newProc is called once per node id to create
+// its Process; the caller typically captures the created processes to read
+// their outputs afterwards. Run returns the statistics and the first error
+// (bandwidth violation, illegal send, or round-limit exhaustion), if any.
+func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
+	nn := n.g.N()
+	nw := n.cfg.Workers
+	if nw > nn {
+		nw = nn
+	}
+	if nw > maxShards {
+		nw = maxShards
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	n.ctxs = make([]Context, nn)
+	n.procs = make([]Process, nn)
+	n.owner = make([]int32, nn)
+	n.shards = make([]shard, nw)
+	for w := range n.shards {
+		lo, hi := w*nn/nw, (w+1)*nn/nw
+		sh := &n.shards[w]
+		sh.net = n
+		sh.idx = int32(w)
+		sh.lo, sh.hi = int32(lo), int32(hi)
+		sh.out = make([][]pend, nw)
+		sh.minWake = noWake
+		sh.live = make([]int32, 0, hi-lo)
+		for u := lo; u < hi; u++ {
+			n.owner[u] = int32(w)
+		}
+	}
+	// One RNG slab and one inbox arena for the whole network: the arena
+	// gives every node an inbox segment of capacity degree (the common
+	// per-round fan-in), so warmup growth is one allocation, not n. On
+	// huge graphs the degree-capacity arena (48 bytes per directed edge)
+	// would dwarf the CSR itself while sparse-traffic protocols never fill
+	// it, so beyond the cap inboxes start empty and grow to actual
+	// traffic instead.
+	rngs := newNodeRands(n.cfg.Seed, nn)
+	const inboxArenaCap = 1 << 20 // Message slots (~48 MB) — covers every bench-scale graph
+	var inboxArena []Message
+	if slots := 2 * n.g.M(); slots <= inboxArenaCap {
+		inboxArena = make([]Message, slots)
+	}
+	for u := 0; u < nn; u++ {
+		n.ctxs[u] = Context{
+			net: n,
+			sh:  &n.shards[n.owner[u]],
+			id:  int32(u),
+			rng: &rngs[u],
+		}
+		if inboxArena != nil {
+			lo, hi := n.rowOff[u], n.rowOff[u+1]
+			n.ctxs[u].inbox = inboxArena[lo:lo:hi]
+		}
+		n.procs[u] = newProc(u)
+	}
+	if nw > 1 && nn >= parallelMin {
+		n.startPool()
+		defer n.pool.stop()
+	}
+
+	// Round 0: Init everyone (sequential: Init is cheap and often empty).
+	n.round = 0
+	for u := 0; u < nn; u++ {
+		n.procs[u].Init(&n.ctxs[u])
+		if err := n.ctxs[u].err; err != nil {
+			return n.finalize(), err
+		}
+	}
+	halted := 0
+	for w := range n.shards {
+		sh := &n.shards[w]
+		for u := sh.lo; u < sh.hi; u++ {
+			if n.ctxs[u].halted {
+				halted++
+			} else {
+				sh.live = append(sh.live, u)
+			}
+		}
+	}
+	n.runPhase(phaseDeliver)
+	n.mergeDeliver()
+
+	for halted < nn {
+		n.round++
+		if n.round > n.cfg.MaxRounds {
+			n.round--
+			return n.finalize(), fmt.Errorf("%w after %d rounds (%d/%d nodes halted)", ErrRoundLimit, n.cfg.MaxRounds, halted, nn)
+		}
+		for i := range n.shards {
+			n.shards[i].arena.flip()
+		}
+		n.runPhase(phaseStep)
+		stepped, minWake, halts, err := n.mergeStep()
+		if err != nil {
+			return n.finalize(), err
+		}
+		halted += halts
+		n.runPhase(phaseDeliver)
+		delivered := n.mergeDeliver()
+		if n.cfg.OnRound != nil {
+			if n.cfg.OnRound(n.round) {
+				return n.finalize(), nil
+			}
+			continue
+		}
+		// Fast-forward: when nothing ran and nothing is in flight, every
+		// live node is asleep — jump straight to the earliest wake-up
+		// instead of executing empty rounds.
+		if halted < nn && stepped == 0 && delivered == 0 && minWake != noWake {
+			target := int(minWake)
+			if target > n.cfg.MaxRounds {
+				target = n.cfg.MaxRounds + 1
+			}
+			if target-1 > n.round {
+				n.stats.SkippedRounds += int64(target - 1 - n.round)
+				n.round = target - 1
+			}
+		}
+	}
+	st := n.finalize()
+	st.HaltedAll = true
+	return st, nil
+}

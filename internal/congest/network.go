@@ -1,0 +1,152 @@
+package congest
+
+import (
+	"errors"
+	"math/bits"
+	"runtime"
+
+	"repro/internal/graph"
+)
+
+// Network is a configured simulation instance.
+type Network struct {
+	g         *graph.Graph
+	cfg       Config
+	bandwidth int
+	round     int
+
+	// rowOff[u] is the CSR start of u's adjacency row. The slot of the
+	// directed edge u→(i-th neighbor) is rowOff[u]+i; that slot indexes the
+	// per-directed-edge accounting arrays below. Each directed edge u→v is
+	// written only by the shard that owns u, so parallel stepping is
+	// race-free.
+	rowOff []int32
+	// slots is the reverse directed-edge index: a precomputed open-addressed
+	// map from the pair (u,v) to the CSR slot of u→v, making Send O(1)
+	// (the seed engine ran a binary search per message).
+	slots edgeSlotIndex
+
+	// Per-directed-edge CONGEST bandwidth accounting with lazy, stamped
+	// per-round reset.
+	edgeBits  []int32
+	edgeStamp []int32
+
+	// Run state.
+	ctxs   []Context
+	procs  []Process
+	owner  []int32 // owner[u] = index of the shard that owns node u
+	shards []shard
+	pool   *workerPool
+
+	stats Stats
+}
+
+// NewNetwork prepares a simulation of the given graph. The graph must be
+// non-empty.
+func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
+	if g.N() == 0 {
+		return nil, errors.New("congest: empty graph")
+	}
+	if cfg.BandwidthBits == 0 {
+		cfg.BandwidthBits = DefaultBandwidth(g.N())
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 64*g.N() + 1_000_000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.N()
+	net := &Network{
+		g:         g,
+		cfg:       cfg,
+		bandwidth: cfg.BandwidthBits,
+		rowOff:    make([]int32, n+1),
+		edgeBits:  make([]int32, 2*g.M()),
+		edgeStamp: make([]int32, 2*g.M()),
+	}
+	for i := range net.edgeStamp {
+		net.edgeStamp[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		net.rowOff[v+1] = net.rowOff[v] + int32(g.Degree(v))
+	}
+	net.slots = buildEdgeSlots(g, net.rowOff)
+	return net, nil
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Bandwidth returns the per-edge budget in bits (CONGEST mode).
+func (n *Network) Bandwidth() int { return n.bandwidth }
+
+// chargeEdge adds bits to the edge slot's usage in the current round and
+// returns the new total. Uses a round stamp for O(1) lazy reset. Only the
+// edge's sender ever touches slot ei, so this is safe under parallel
+// stepping.
+func (n *Network) chargeEdge(ei int32, b int32) int {
+	if n.edgeStamp[ei] != int32(n.round) {
+		n.edgeStamp[ei] = int32(n.round)
+		n.edgeBits[ei] = 0
+	}
+	n.edgeBits[ei] += b
+	return int(n.edgeBits[ei])
+}
+
+// edgeSlotIndex maps a directed vertex pair (u,v) to the CSR slot of u→v in
+// O(1): an open-addressed hash table with linear probing, built once at
+// network construction. Key 0 is the empty sentinel; the pair (0,0) can
+// never occur because the graph has no self-loops.
+type edgeSlotIndex struct {
+	mask  uint64
+	shift uint
+	keys  []uint64
+	vals  []int32
+}
+
+func pairKey(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+func hashKey(k uint64) uint64 { return k * 0x9E3779B97F4A7C15 }
+
+func buildEdgeSlots(g *graph.Graph, rowOff []int32) edgeSlotIndex {
+	directed := 2 * g.M()
+	size := 2
+	for size < 2*directed {
+		size <<= 1
+	}
+	idx := edgeSlotIndex{
+		mask:  uint64(size - 1),
+		shift: uint(64 - bits.TrailingZeros(uint(size))),
+		keys:  make([]uint64, size),
+		vals:  make([]int32, size),
+	}
+	for u := 0; u < g.N(); u++ {
+		row := g.Neighbors(u)
+		for i, v := range row {
+			key := pairKey(int32(u), v)
+			pos := hashKey(key) >> idx.shift
+			for idx.keys[pos] != 0 {
+				pos = (pos + 1) & idx.mask
+			}
+			idx.keys[pos] = key
+			idx.vals[pos] = rowOff[u] + int32(i)
+		}
+	}
+	return idx
+}
+
+// lookup returns the CSR slot of u→v, or -1 when v is not a neighbor of u.
+func (idx *edgeSlotIndex) lookup(u, v int32) int32 {
+	key := pairKey(u, v)
+	pos := hashKey(key) >> idx.shift
+	for {
+		switch idx.keys[pos] {
+		case key:
+			return idx.vals[pos]
+		case 0:
+			return -1
+		}
+		pos = (pos + 1) & idx.mask
+	}
+}

@@ -365,8 +365,6 @@ func (d *driver) advanceLength(ctx *congest.Context, next int) {
 func (d *driver) finish(ctx *congest.Context, value int64) {
 	d.state = dsDone
 	d.done = true
-	for _, v := range ctx.Neighbors() {
-		ctx.Send(int(v), congest.Message{Kind: protocol.KindStop, Value: value, Bits: d.sh.sizes.Control()})
-	}
+	ctx.Broadcast(congest.Message{Kind: protocol.KindStop, Value: value, Bits: d.sh.sizes.Control()})
 	ctx.Halt()
 }

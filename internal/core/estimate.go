@@ -112,21 +112,21 @@ func EstimateRWProbability(g *graph.Graph, source, ell int, cfg Config) (*RWEsti
 	if err != nil {
 		return nil, err
 	}
-	procs := make([]*rwProc, g.N())
+	procs := make([]rwProc, g.N())
 	stats, err := net.Run(func(id int) congest.Process {
-		p := &rwProc{sh: sh, ell: ell}
+		p := &procs[id]
+		*p = rwProc{sh: sh, ell: ell}
 		if id == source {
 			p.w = scale.One
 		}
-		procs[id] = p
 		return p
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := &RWEstimate{W: make([]int64, g.N()), Scale: scale, Stats: stats}
-	for i, p := range procs {
-		out.W[i] = p.w
+	for i := range procs {
+		out.W[i] = procs[i].w
 	}
 	return out, nil
 }

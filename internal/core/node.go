@@ -200,9 +200,9 @@ func (nd *node) onStop(ctx *congest.Context, m congest.Message) {
 	}
 	nd.stopSeen = true
 	nd.stopValue = m.Value
-	for _, v := range ctx.Neighbors() {
+	for i, v := range ctx.Neighbors() {
 		if v != m.From {
-			ctx.Send(int(v), congest.Message{Kind: protocol.KindStop, Value: m.Value, Bits: nd.sh.sizes.Control()})
+			ctx.SendNbr(i, congest.Message{Kind: protocol.KindStop, Value: m.Value, Bits: nd.sh.sizes.Control()})
 		}
 	}
 	ctx.Halt()

@@ -41,12 +41,17 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	var drv *driver
+	// One slab for all responder processes: node creation is O(1)
+	// allocations for the whole network instead of one per vertex.
+	nodes := make([]node, g.N())
 	stats, err := net.Run(func(id int) congest.Process {
 		if id == full.Source {
 			drv = newDriver(sh)
 			return drv
 		}
-		return newNode(sh)
+		nd := &nodes[id]
+		*nd = *newNode(sh)
+		return nd
 	})
 	if drv != nil {
 		drv.res.Stats = stats

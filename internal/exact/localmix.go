@@ -135,7 +135,8 @@ func CandidateSizes(n int, beta float64, grid bool, step float64) []int {
 		}
 		return sizes
 	}
-	var sizes []int
+	est := int(math.Log(float64(n)/float64(lo))/math.Log1p(step)) + 3
+	sizes := make([]int, 0, est)
 	f := float64(lo)
 	prev := -1
 	for {
@@ -161,7 +162,18 @@ type windowScratch struct {
 	sorted []float64 // p in ascending order
 	prefix []float64 // prefix sums of sorted
 	dists  []float64 // distances buffer for RequireSource mode
+	sorter orderByP  // reusable sort.Interface (avoids a closure per load)
 }
+
+// orderByP sorts the order permutation by ascending p value.
+type orderByP struct {
+	order []int
+	p     []float64
+}
+
+func (b *orderByP) Len() int           { return len(b.order) }
+func (b *orderByP) Less(i, j int) bool { return b.p[b.order[i]] < b.p[b.order[j]] }
+func (b *orderByP) Swap(i, j int)      { b.order[i], b.order[j] = b.order[j], b.order[i] }
 
 func newWindowScratch(n int) *windowScratch {
 	return &windowScratch{
@@ -177,7 +189,8 @@ func (s *windowScratch) load(p []float64) {
 	for i := 0; i < n; i++ {
 		s.order[i] = i
 	}
-	sort.Slice(s.order, func(a, b int) bool { return p[s.order[a]] < p[s.order[b]] })
+	s.sorter.order, s.sorter.p = s.order[:n], p
+	sort.Sort(&s.sorter)
 	for i, v := range s.order {
 		s.sorted[i] = p[v]
 	}
@@ -194,8 +207,11 @@ func (s *windowScratch) load(p []float64) {
 func checkLocalAt(p []float64, source int, sizes []int, threshold float64, requireSource bool, s *windowScratch) *LocalResult {
 	s.load(p)
 	for _, r := range sizes {
-		d, set := bestSetDist(p, source, r, requireSource, s, true)
+		// Evaluate without materializing the witness; only the (rare)
+		// passing size pays for building its set.
+		d, _ := bestSetDist(p, source, r, requireSource, s, false)
 		if d < threshold {
+			_, set := bestSetDist(p, source, r, requireSource, s, true)
 			sort.Ints(set)
 			return &LocalResult{R: r, Dist: d, Set: set}
 		}

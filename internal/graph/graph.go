@@ -11,6 +11,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -225,10 +226,10 @@ func (b *Builder) Build() *Graph {
 		edges[deg[v]+cursor[v]] = u
 		cursor[v]++
 	}
-	// Sort each row; rebuild performs deduplication.
+	// Sort each row; rebuild performs deduplication. slices.Sort avoids the
+	// per-row closure allocation sort.Slice would pay.
 	for u := 0; u < n; u++ {
-		row := edges[deg[u]:deg[u+1]]
-		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		slices.Sort(edges[deg[u]:deg[u+1]])
 	}
 	return rebuild(n, b.name, edges, deg)
 }

@@ -186,9 +186,9 @@ func (t *Tree) OnBFS(ctx *congest.Context, sz Sizes, m congest.Message) bool {
 	t.depthAcc = t.Depth
 	ctx.Send(int(m.From), congest.Message{Kind: KindJoin, Seq: m.Seq, Bits: sz.Control()})
 	if t.Depth < m.Value { // below the depth cap: keep flooding
-		for _, v := range ctx.Neighbors() {
+		for i, v := range ctx.Neighbors() {
 			if v != m.From {
-				ctx.Send(int(v), congest.Message{
+				ctx.SendNbr(i, congest.Message{
 					Kind:  KindBFS,
 					Seq:   m.Seq,
 					Value: m.Value,

@@ -1,8 +1,6 @@
 package spread
 
 import (
-	"errors"
-	"fmt"
 	"math/bits"
 
 	"repro/internal/bitset"
@@ -52,112 +50,43 @@ func (p *gossipProc) Step(ctx *congest.Context) {
 			ctx.Send(int(m.From), congest.Message{Kind: kindReply, Value: int64(p.random(ctx)), Bits: p.bits})
 		}
 	}
-	// Push one random token to one random neighbor.
-	row := ctx.Neighbors()
-	v := row[ctx.Rand().Intn(len(row))]
-	ctx.Send(int(v), congest.Message{Kind: kindPush, Value: int64(p.random(ctx)), Bits: p.bits})
+	// Push one random token to one random neighbor (SendNbr: the engine
+	// addresses the edge by adjacency-row position, no lookup).
+	ctx.SendNbr(ctx.Rand().Intn(ctx.Degree()), congest.Message{Kind: kindPush, Value: int64(p.random(ctx)), Bits: p.bits})
 }
 
 // RunCongest executes push–pull under the CONGEST constraint: one token id
 // per message (paper §4, footnote 10). The run stops as soon as
 // (·, β)-partial information spreading holds, or at MaxRounds. Unlike Run
-// (the LOCAL-model engine), this uses the congest engine with full
-// per-edge bandwidth enforcement.
+// (the LOCAL-model simulator) and RunOnEngine (the LOCAL-model engine run),
+// this uses the congest engine with full per-edge bandwidth enforcement.
 func RunCongest(g *graph.Graph, cfg Config) (*Result, error) {
+	maxRounds, target, err := engineParams(g, cfg)
+	if err != nil {
+		return nil, err
+	}
 	n := g.N()
-	if n < 2 {
-		return nil, errors.New("spread: need at least 2 nodes")
-	}
-	if !g.IsConnected() {
-		return nil, graph.ErrNotConnected
-	}
-	if cfg.Beta < 1 {
-		return nil, fmt.Errorf("spread: need β ≥ 1, got %g", cfg.Beta)
-	}
-	maxRounds := cfg.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 64*n + 1000
-	}
-	if cfg.FixedRounds > 0 {
-		maxRounds = cfg.FixedRounds
-	}
-	target := int(float64(n)/cfg.Beta + 0.999999)
-	if target < 1 {
-		target = 1
-	}
 	msgBits := int32(bits.Len(uint(n-1)) + 8)
-
-	procs := make([]*gossipProc, n)
-	// reach[t] = #nodes holding token t; maintained by the monitor, which
-	// runs while the engine is quiescent. counted[u] tracks how much of
-	// node u's (append-only) token list has been folded into reach.
-	reach := make([]int, n)
-	counted := make([]int, n)
+	slab := make([]gossipProc, n)
 	res := &Result{RoundsToPartial: -1, RoundsToFull: -1}
-
-	engCfg := congest.Config{
+	mo := newMonitor(n, target, maxRounds, cfg, res, func(u int) []int32 { return slab[u].list })
+	net, err := congest.NewNetwork(g, congest.Config{
 		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
 		MaxRounds: maxRounds + 1,
-		OnRound: func(round int) bool {
-			res.Rounds = round
-			minHeld := n + 1
-			for u := 0; u < n; u++ {
-				p := procs[u]
-				for ; counted[u] < len(p.list); counted[u]++ {
-					reach[p.list[counted[u]]]++
-				}
-				if h := len(p.list); h < minHeld {
-					minHeld = h
-				}
-			}
-			minReach := n + 1
-			for _, r := range reach {
-				if r < minReach {
-					minReach = r
-				}
-			}
-			if res.RoundsToPartial < 0 && minHeld >= target && minReach >= target {
-				res.RoundsToPartial = round
-				if cfg.StopAtPartial && cfg.FixedRounds == 0 {
-					return true
-				}
-			}
-			if minHeld == n && minReach == n {
-				res.RoundsToFull = round
-				return true
-			}
-			return round >= maxRounds
-		},
-	}
-	net, err := congest.NewNetwork(g, engCfg)
+		OnRound:   mo.onRound,
+	})
 	if err != nil {
 		return nil, err
 	}
 	stats, err := net.Run(func(id int) congest.Process {
-		p := &gossipProc{id: id, bits: msgBits, held: bitset.New(n)}
+		p := &slab[id]
+		*p = gossipProc{id: id, bits: msgBits, held: bitset.New(n)}
 		p.add(int32(id))
-		procs[id] = p
 		return p
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.Messages = stats.Messages
-	minHeld, minReach := n, n
-	for u := 0; u < n; u++ {
-		if h := len(procs[u].list); h < minHeld {
-			minHeld = h
-		}
-	}
-	for _, r := range reach {
-		if r < minReach {
-			minReach = r
-		}
-	}
-	res.MinTokensPerNode = minHeld
-	res.MinNodesPerToken = minReach
-	if cfg.FixedRounds == 0 && res.RoundsToPartial < 0 {
-		return res, fmt.Errorf("spread: CONGEST partial spreading not reached in %d rounds", maxRounds)
-	}
-	return res, nil
+	return mo.finish(stats)
 }

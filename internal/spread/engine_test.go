@@ -1,0 +1,97 @@
+package spread
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestRunOnEngineReachesFullSpreading: the engine-backed LOCAL push–pull
+// must achieve full information spreading on a connected graph, with sane
+// monotone tallies and engine stats attached.
+func TestRunOnEngineReachesFullSpreading(t *testing.T) {
+	g, err := gen.Barbell(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOnEngine(g, Config{Beta: 4, Seed: 7, MaxRounds: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	if res.RoundsToFull < 1 {
+		t.Fatalf("full spreading not reached: %+v", res)
+	}
+	if res.MinTokensPerNode != n || res.MinNodesPerToken != n {
+		t.Errorf("final tallies %d/%d, want %d/%d", res.MinTokensPerNode, res.MinNodesPerToken, n, n)
+	}
+	if res.RoundsToPartial < 1 || res.RoundsToPartial > res.RoundsToFull {
+		t.Errorf("partial at %d, full at %d", res.RoundsToPartial, res.RoundsToFull)
+	}
+	if res.Stats == nil || res.Stats.PayloadWords == 0 {
+		t.Error("engine stats / payload accounting missing")
+	}
+}
+
+// TestRunOnEngineDeterministicAcrossWorkers: worker count must not change
+// the outcome.
+func TestRunOnEngineDeterministicAcrossWorkers(t *testing.T) {
+	g, err := gen.RingOfCliques(4, 16) // n = 64 ≥ the engine's parallel threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Result {
+		res, err := RunOnEngine(g, Config{Beta: 4, Seed: 3, Workers: workers, StopAtPartial: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.RoundsToPartial != b.RoundsToPartial || a.Rounds != b.Rounds || a.Messages != b.Messages ||
+		a.MinTokensPerNode != b.MinTokensPerNode || a.MinNodesPerToken != b.MinNodesPerToken {
+		t.Errorf("worker count changed the outcome: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunCongestDeterministicAcrossWorkers: same invariant for the
+// bandwidth-constrained variant.
+func TestRunCongestDeterministicAcrossWorkers(t *testing.T) {
+	g, err := gen.RingOfCliques(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Result {
+		res, err := RunCongest(g, Config{Beta: 4, Seed: 3, Workers: workers, StopAtPartial: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	if a.RoundsToPartial != b.RoundsToPartial || a.Rounds != b.Rounds || a.Messages != b.Messages {
+		t.Errorf("worker count changed the outcome: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunOnEngineCollecting: the collected sets must match the run's own
+// tallies.
+func TestRunOnEngineCollecting(t *testing.T) {
+	g, err := gen.RingOfCliques(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := RunOnEngineCollecting(g, Config{Beta: 3, Seed: 1, StopAtPartial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSeen := g.N() + 1
+	for _, s := range col.Known {
+		if c := s.Count(); c < minSeen {
+			minSeen = c
+		}
+	}
+	if minSeen != col.Result.MinTokensPerNode {
+		t.Errorf("collected min %d, result says %d", minSeen, col.Result.MinTokensPerNode)
+	}
+}

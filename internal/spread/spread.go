@@ -18,9 +18,11 @@ package spread
 import (
 	"errors"
 	"fmt"
+	mbits "math/bits"
 	"math/rand"
 
 	"repro/internal/bitset"
+	"repro/internal/congest"
 	"repro/internal/graph"
 )
 
@@ -39,6 +41,10 @@ type Config struct {
 	// FixedRounds, when positive, runs exactly this many rounds and then
 	// reports whatever was achieved (the Theorem 3 termination rule).
 	FixedRounds int
+	// Workers sets the engine parallelism for the engine-backed runs
+	// (RunCongest, RunOnEngine); zero means GOMAXPROCS. It never changes
+	// results. The direct simulator (Run) ignores it.
+	Workers int
 }
 
 // Result reports a push–pull run.
@@ -56,14 +62,23 @@ type Result struct {
 	MinNodesPerToken int
 	// Messages counts the pairwise exchanges performed.
 	Messages int64
+	// Stats carries the congest engine's counters for the engine-backed
+	// runs (RunCongest, RunOnEngine); nil for the direct simulator.
+	Stats *congest.Stats
 }
 
 // state is the in-memory gossip simulator. Push–pull needs no bandwidth
 // accounting (LOCAL model), so a direct simulation is both faithful and
-// fast; the congest engine is reserved for the CONGEST algorithms.
+// fast; the congest engine is reserved for the CONGEST algorithms (and for
+// RunOnEngine, the engine-backed variant with honest payload accounting).
+// The snapshot and choice buffers are allocated once and reused every
+// round, and set merges run word-level, so the steady-state round loop is
+// allocation-free.
 type state struct {
 	g      *graph.Graph
 	tokens []*bitset.Set // tokens[u] = set of token ids node u holds
+	snap   []*bitset.Set // reused pre-round snapshots of tokens
+	choice []int32       // reused per-round neighbor choices
 	reach  []int         // reach[t] = #nodes holding token t
 	held   []int         // held[u] = #tokens node u holds
 	rng    *rand.Rand
@@ -74,6 +89,8 @@ func newState(g *graph.Graph, seed int64) *state {
 	st := &state{
 		g:      g,
 		tokens: make([]*bitset.Set, n),
+		snap:   make([]*bitset.Set, n),
+		choice: make([]int32, n),
 		reach:  make([]int, n),
 		held:   make([]int, n),
 		rng:    rand.New(rand.NewSource(seed)),
@@ -81,6 +98,7 @@ func newState(g *graph.Graph, seed int64) *state {
 	for u := 0; u < n; u++ {
 		st.tokens[u] = bitset.New(n)
 		st.tokens[u].Add(u)
+		st.snap[u] = bitset.New(n)
 		st.reach[u] = 1
 		st.held[u] = 1
 	}
@@ -93,37 +111,42 @@ func newState(g *graph.Graph, seed int64) *state {
 // the sets as they were at the start of the round.
 func (st *state) round() int64 {
 	n := st.g.N()
-	choice := make([]int32, n)
 	for u := 0; u < n; u++ {
 		row := st.g.Neighbors(u)
-		choice[u] = row[st.rng.Intn(len(row))]
+		st.choice[u] = row[st.rng.Intn(len(row))]
 	}
 	// Snapshot the pre-round sets so all exchanges are simultaneous: each
 	// pair merges the sets as they stood at the start of the round.
-	snap := make([]*bitset.Set, n)
 	for u := 0; u < n; u++ {
-		snap[u] = st.tokens[u].Clone()
+		st.snap[u].CopyFrom(st.tokens[u])
 	}
 	var msgs int64
 	for u := 0; u < n; u++ {
-		v := int(choice[u])
+		v := int(st.choice[u])
 		msgs += 2
-		st.acquire(u, snap[v])
-		st.acquire(v, snap[u])
+		st.acquire(u, st.snap[v])
+		st.acquire(v, st.snap[u])
 	}
 	return msgs
 }
 
 // acquire merges src's snapshot into node dst, maintaining reach counts.
+// The merge is word-level: only genuinely new bits pay a per-token cost.
 func (st *state) acquire(dst int, src *bitset.Set) {
 	tok := st.tokens[dst]
-	src.ForEach(func(t int) {
-		if !tok.Contains(t) {
-			tok.Add(t)
-			st.reach[t]++
-			st.held[dst]++
+	for wi, nw := 0, src.Words(); wi < nw; wi++ {
+		w := src.Word(wi) &^ tok.Word(wi)
+		if w == 0 {
+			continue
 		}
-	})
+		tok.OrWord(wi, w)
+		st.held[dst] += mbits.OnesCount64(w)
+		base := wi << 6
+		for w != 0 {
+			st.reach[base+mbits.TrailingZeros64(w)]++
+			w &= w - 1
+		}
+	}
 }
 
 func (st *state) minHeld() int {

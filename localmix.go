@@ -195,6 +195,20 @@ func PushPullCongest(g *Graph, cfg SpreadConfig) (*SpreadResult, error) {
 	return spread.RunCongest(g, cfg)
 }
 
+// PushPullEngine runs LOCAL-model push–pull on the sharded round engine:
+// full token sets per exchange, carried as typed payload slabs with honest
+// bit accounting and parallel stepping (cfg.Workers). Results attach the
+// engine's Stats counters.
+func PushPullEngine(g *Graph, cfg SpreadConfig) (*SpreadResult, error) {
+	return spread.RunOnEngine(g, cfg)
+}
+
+// DistributedMaxCoverageEngine is DistributedMaxCoverage with the spreading
+// phase executed on the round engine (see PushPullEngine).
+func DistributedMaxCoverageEngine(g *Graph, inst *CoverageInstance, beta float64, seed int64) (*CoverageResult, error) {
+	return coverage.DistributedEngine(g, inst, beta, seed)
+}
+
 // GraphLocalMixingResult reports the graph-wide local mixing time
 // τ(β,ε) = max_v τ_v(β,ε).
 type GraphLocalMixingResult = exact.GraphLocalResult
