@@ -224,6 +224,73 @@ func BenchmarkOracleLocalMixing(b *testing.B) {
 	}
 }
 
+// BenchmarkGraphMixingTime measures the all-sources τ_mix(ε) oracle — the
+// many-source batched-walk workload of Das Sarma et al. The torus64 case is
+// the BENCH trajectory anchor for oracle perf (skipped under -short: it is
+// minutes at the pre-kernel serial baseline).
+func BenchmarkGraphMixingTime(b *testing.B) {
+	for _, c := range []struct {
+		name       string
+		rows, cols int
+	}{
+		{"torus32", 32, 32},
+		{"torus64", 64, 64},
+	} {
+		g, err := gen.Torus(c.rows, c.cols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name, func(b *testing.B) {
+			if c.rows >= 64 && testing.Short() {
+				b.Skip("torus64 takes minutes at the serial baseline; run without -short")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.GraphMixingTime(g, 0.5, true, 1<<14); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLocalMixingOracle measures a single-source local-mixing oracle
+// run (grid mode) on the two workload shapes the paper's experiments lean
+// on: a large torus and the ring of cliques.
+func BenchmarkLocalMixingOracle(b *testing.B) {
+	torus, err := gen.Torus(64, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	roc, err := gen.RingOfCliques(8, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"torus64", func() error {
+			_, err := exact.LocalMixing(torus, 0, 8, 0.25, exact.LocalOptions{MaxT: 1 << 18, Grid: true, Lazy: true})
+			return err
+		}},
+		{"ringcliques", func() error {
+			_, err := exact.LocalMixing(roc, 0, 8, bench.PaperEps, exact.LocalOptions{MaxT: 1 << 16, Grid: true})
+			return err
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := c.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRandomRegularGen measures the repaired pairing-model generator.
 func BenchmarkRandomRegularGen(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
@@ -237,3 +304,4 @@ func BenchmarkRandomRegularGen(b *testing.B) {
 func BenchmarkE13CongestSpreading(b *testing.B) { benchExperiment(b, "E13") }
 func BenchmarkE14GraphLocalMixing(b *testing.B) { benchExperiment(b, "E14") }
 func BenchmarkE15EngineCounters(b *testing.B)   { benchExperiment(b, "E15") }
+func BenchmarkE16OracleKernel(b *testing.B)     { benchExperiment(b, "E16") }

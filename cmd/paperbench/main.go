@@ -10,12 +10,19 @@
 //	paperbench -scale full      # paper-shaped workloads (minutes)
 //	paperbench -exp E1,E5,A3    # selected experiments
 //	paperbench -list            # list experiment ids
+//
+// Profiling the oracle and engine hot paths without editing code:
+//
+//	paperbench -exp E14 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,24 +30,60 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main so profile-writing defers execute before the
+// process exits (os.Exit skips defers).
+func run() int {
 	var (
 		scaleFlag = flag.String("scale", "small", "workload scale: small or full")
 		expFlag   = flag.String("exp", "all", "comma-separated experiment ids (E1..E12, A1..A4) or 'all'")
 		listFlag  = flag.Bool("list", false, "list experiments and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (taken after all experiments) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *listFlag {
 		for _, e := range bench.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
 	}
 
 	scale, err := bench.ParseScale(*scaleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	var selected []bench.Experiment
@@ -51,7 +94,7 @@ func main() {
 			e, ok := bench.Find(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -70,6 +113,7 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// E16OracleKernel measures the batched walk kernel against the serial
+// per-source oracle loop it replaced: τ_mix(ε) over all sources computed
+// (a) as n independent MixingTime calls (the pre-kernel formulation, still
+// the reference oracle) and (b) as the GraphMixingTime batched sweep
+// (walkkernel.MultiWalk, 16 lanes per edge pass). Both must agree exactly;
+// the speedup column is the point. This is the many-source workload of
+// Das Sarma et al. that motivates batching.
+func E16OracleKernel(sc Scale) (*Table, error) {
+	type work struct {
+		name string
+		g    *graph.Graph
+		eps  float64
+	}
+	var works []work
+	add := func(name string, g *graph.Graph, err error, eps float64) error {
+		if err != nil {
+			return err
+		}
+		works = append(works, work{name, g, eps})
+		return nil
+	}
+	torusSide := 16
+	cliques, cliqueSize := 6, 8
+	if sc == Full {
+		torusSide = 32
+		cliques, cliqueSize = 8, 16
+	}
+	tg, err := gen.Torus(torusSide, torusSide)
+	if err := add("torus", tg, err, 0.5); err != nil {
+		return nil, err
+	}
+	rg, err := gen.RingOfCliques(cliques, cliqueSize)
+	if err := add("ringcliques", rg, err, 0.5); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "E16",
+		Title:  "Oracle kernel: serial per-source walks vs batched MultiWalk",
+		Note:   "serial = n MixingTime calls; batched = GraphMixingTime (16-lane kernel); identical τ required",
+		Header: []string{"graph", "n", "τ_mix", "serial_ms", "batched_ms", "speedup"},
+	}
+	for _, w := range works {
+		lazy := true
+		serialStart := time.Now()
+		worst := 0
+		for s := 0; s < w.g.N(); s++ {
+			ts, err := exact.MixingTime(w.g, s, w.eps, lazy, 1<<18)
+			if err != nil {
+				return nil, err
+			}
+			if ts > worst {
+				worst = ts
+			}
+		}
+		serial := time.Since(serialStart)
+
+		batchStart := time.Now()
+		batched, err := exact.GraphMixingTime(w.g, w.eps, lazy, 1<<18)
+		if err != nil {
+			return nil, err
+		}
+		batch := time.Since(batchStart)
+		tau := batched
+		if batched != worst {
+			t.Note += "; MISMATCH between serial and batched τ!"
+		}
+		t.Add(w.name, w.g.N(), tau,
+			float64(serial.Microseconds())/1000,
+			float64(batch.Microseconds())/1000,
+			float64(serial.Nanoseconds())/float64(batch.Nanoseconds()))
+	}
+	return t, nil
+}

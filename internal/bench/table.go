@@ -141,6 +141,7 @@ func All() []Experiment {
 		{"E13", "Footnote 10: push–pull under CONGEST bandwidth", E13CongestSpreading},
 		{"E14", "Definition 2: graph-wide τ(β,ε) and source sampling", E14GraphLocalMixing},
 		{"E15", "Engine telemetry: liveness and allocation counters", E15EngineCounters},
+		{"E16", "Oracle kernel: batched MultiWalk vs serial walks", E16OracleKernel},
 		{"A1", "Ablation: doubling (Thm 1) vs unit increments (Thm 2)", A1DoublingAblation},
 		{"A2", "Ablation: the 4ε relaxation of Lemma 3", A2EpsilonRelaxation},
 		{"A3", "Ablation: deterministic vs randomized tie-breaking", A3TieBreak},

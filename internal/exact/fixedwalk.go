@@ -2,7 +2,7 @@ package exact
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/fixedpoint"
 	"repro/internal/graph"
@@ -118,7 +118,7 @@ func SumRSmallest(xs []int64, r int) int64 {
 	}
 	tmp := make([]int64, len(xs))
 	copy(tmp, xs)
-	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	slices.Sort(tmp)
 	var s int64
 	for i := 0; i < r; i++ {
 		s += tmp[i]

@@ -31,7 +31,10 @@ type SourceTau struct {
 // GraphLocalMixing computes τ(β, ε) over the given sources (all vertices
 // when sources is nil — the paper notes this costs an n-factor; the sources
 // parameter is its suggested sampling mitigation). Sources are processed in
-// parallel by a worker pool of goroutines, one independent walk each.
+// parallel by a worker pool of goroutines, one independent walk each, all
+// sharing one immutable walk kernel; the per-source walks run serially
+// (o.Workers is overridden to 1) since the source pool already saturates
+// the CPUs.
 func GraphLocalMixing(g *graph.Graph, beta, eps float64, o LocalOptions, sources []int) (*GraphLocalResult, error) {
 	if sources == nil {
 		sources = make([]int, g.N())
@@ -48,8 +51,18 @@ func GraphLocalMixing(g *graph.Graph, beta, eps float64, o LocalOptions, sources
 		}
 	}
 	workers := runtime.GOMAXPROCS(0)
+	if o.Workers > 0 {
+		workers = o.Workers
+	}
 	if workers > len(sources) {
 		workers = len(sources)
+	}
+	if workers > 1 {
+		o.Workers = 1
+	}
+	kern, err := localKernel(g, beta, eps, o)
+	if err != nil {
+		return nil, err
 	}
 	type outcome struct {
 		src int
@@ -64,7 +77,7 @@ func GraphLocalMixing(g *graph.Graph, beta, eps float64, o LocalOptions, sources
 		go func() {
 			defer wg.Done()
 			for s := range in {
-				res, err := LocalMixing(g, s, beta, eps, o)
+				res, err := localMixingOn(g, kern, s, beta, eps, o)
 				if err != nil {
 					out <- outcome{src: s, err: err}
 					continue

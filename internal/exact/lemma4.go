@@ -55,8 +55,13 @@ func UniformOn(n int, members []bool) []float64 {
 // Lemma4Measure finds the local mixing time and witness set, then advances
 // the walk to 2ℓ and reports the measured escape against the ℓ·φ(S) + ε
 // bound. The bound holds under the paper's assumption τ_s·φ(S) = o(1).
+// The local-mixing search and the replay walk share one kernel.
 func Lemma4Measure(g *graph.Graph, source int, beta, eps float64, o LocalOptions) (*Lemma4Report, error) {
-	res, err := LocalMixing(g, source, beta, eps, o)
+	k, err := localKernel(g, beta, eps, o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := localMixingOn(g, k, source, beta, eps, o)
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +70,7 @@ func Lemma4Measure(g *graph.Graph, source int, beta, eps float64, o LocalOptions
 	if err != nil {
 		return nil, fmt.Errorf("exact: Lemma4Measure conductance: %w", err)
 	}
-	w, err := NewWalk(g, source, o.Lazy)
+	w, err := newWalkOn(g, k, source, o.Lazy)
 	if err != nil {
 		return nil, err
 	}

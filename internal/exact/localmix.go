@@ -3,9 +3,12 @@ package exact
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/walkkernel"
 )
 
 // LocalOptions configures the exact local-mixing-time oracle.
@@ -30,6 +33,11 @@ type LocalOptions struct {
 	// R smallest differences over all nodes); the default matches the
 	// algorithm. Enabling it costs an extra O(n log n) per (t, R).
 	RequireSource bool
+	// Workers sets the walk-kernel parallelism and the width of the
+	// candidate-size scan (≤ 0 means GOMAXPROCS). It never changes results:
+	// the kernel's vertex blocks and the size scan's chunk grid are
+	// schedule-independent.
+	Workers int
 }
 
 // LocalResult reports an exact local-mixing-time computation.
@@ -51,6 +59,16 @@ type LocalResult struct {
 // does there exist a set size R ≥ ⌈n/β⌉ whose R best-matching vertices have
 // Σ_{v∈S} |p_t(v) − 1/R| below threshold?
 func LocalMixing(g *graph.Graph, source int, beta float64, eps float64, o LocalOptions) (*LocalResult, error) {
+	k, err := localKernel(g, beta, eps, o)
+	if err != nil {
+		return nil, err
+	}
+	return localMixingOn(g, k, source, beta, eps, o)
+}
+
+// localKernel validates the common oracle parameters and builds the shared
+// walk kernel.
+func localKernel(g *graph.Graph, beta, eps float64, o LocalOptions) (*walkkernel.Kernel, error) {
 	if beta < 1 {
 		return nil, fmt.Errorf("exact: LocalMixing needs β ≥ 1, got %g", beta)
 	}
@@ -60,7 +78,12 @@ func LocalMixing(g *graph.Graph, source int, beta float64, eps float64, o LocalO
 	if o.MaxT <= 0 {
 		return nil, fmt.Errorf("exact: LocalMixing needs MaxT > 0, got %d", o.MaxT)
 	}
-	w, err := NewWalk(g, source, o.Lazy)
+	return walkKernel(g, o.Workers)
+}
+
+// localMixingOn is LocalMixing on an already-validated shared kernel.
+func localMixingOn(g *graph.Graph, k *walkkernel.Kernel, source int, beta, eps float64, o LocalOptions) (*LocalResult, error) {
+	w, err := newWalkOn(g, k, source, o.Lazy)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +92,7 @@ func LocalMixing(g *graph.Graph, source int, beta float64, eps float64, o LocalO
 		threshold = eps * o.ThresholdMult
 	}
 	sizes := CandidateSizes(g.N(), beta, o.Grid, gridStep(eps, o))
-	scratch := newWindowScratch(g.N())
+	scratch := newWindowScratch(g.N(), scanWorkers(o.Workers, k))
 	for t := 0; t <= o.MaxT; t++ {
 		if res := checkLocalAt(w.P(), source, sizes, threshold, o.RequireSource, scratch); res != nil {
 			res.T = t
@@ -80,20 +103,30 @@ func LocalMixing(g *graph.Graph, source int, beta float64, eps float64, o LocalO
 	return nil, fmt.Errorf("%w (local, maxT=%d, source=%d, β=%g)", ErrNoMixing, o.MaxT, source, beta)
 }
 
+// scanWorkers resolves the candidate-size scan width from the option and the
+// kernel's block count (which already folds in GOMAXPROCS).
+func scanWorkers(workers int, k *walkkernel.Kernel) int {
+	if workers == 1 {
+		return 1
+	}
+	return k.Blocks()
+}
+
 // LocalMixingProfile returns, for each t in [0, maxT], the best restricted
 // L1 distance achievable by any admissible set size (used by experiments to
 // plot convergence; the local distance is *not* monotone in t, unlike
 // Lemma 1's global distance, which this makes observable).
 func LocalMixingProfile(g *graph.Graph, source int, beta float64, eps float64, o LocalOptions) ([]float64, error) {
-	if o.MaxT <= 0 {
-		return nil, fmt.Errorf("exact: LocalMixingProfile needs MaxT > 0")
+	k, err := localKernel(g, beta, eps, o)
+	if err != nil {
+		return nil, err
 	}
-	w, err := NewWalk(g, source, o.Lazy)
+	w, err := newWalkOn(g, k, source, o.Lazy)
 	if err != nil {
 		return nil, err
 	}
 	sizes := CandidateSizes(g.N(), beta, o.Grid, gridStep(eps, o))
-	scratch := newWindowScratch(g.N())
+	scratch := newWindowScratch(g.N(), scanWorkers(o.Workers, k))
 	prof := make([]float64, o.MaxT+1)
 	for t := 0; t <= o.MaxT; t++ {
 		scratch.load(w.P())
@@ -156,43 +189,80 @@ func CandidateSizes(n int, beta float64, grid bool, step float64) []int {
 	return sizes
 }
 
+// pid is one packed (probability, vertex id) pair of the sliding-window
+// order. 16 bytes, so the sort moves one cache-friendly unit instead of
+// chasing the permutation through p.
+type pid struct {
+	p  float64
+	id int32
+}
+
+// cmpPid orders pairs by probability, breaking ties by vertex id so the
+// order (and therefore any witness set cut at a tie) is canonical.
+func cmpPid(a, b pid) int {
+	switch {
+	case a.p < b.p:
+		return -1
+	case a.p > b.p:
+		return 1
+	case a.id < b.id:
+		return -1
+	case a.id > b.id:
+		return 1
+	}
+	return 0
+}
+
 // windowScratch holds the reusable buffers for the sliding-window search.
 type windowScratch struct {
-	order  []int     // vertex ids sorted by p value
-	sorted []float64 // p in ascending order
+	pairs  []pid     // (p, id) packed, ascending by (p, id) after load
+	sorted []float64 // p in ascending order (pairs[i].p, for binary search)
 	prefix []float64 // prefix sums of sorted
-	dists  []float64 // distances buffer for RequireSource mode
-	sorter orderByP  // reusable sort.Interface (avoids a closure per load)
+	spairs []pid     // (|p−τ|, id) scratch for RequireSource mode
+	seeded bool      // pairs carry the previous step's order
+
+	// Size-scan parallelism (checkLocalAt): fixed-grain chunks over the
+	// candidate sizes, evaluated on the shared pool. Chunk results are
+	// merged by minimum passing size — an exact comparison — so the scan is
+	// schedule-independent.
+	workers  int
+	scan     scanJob
+	scanWG   sync.WaitGroup
+	scanBest []scanHit
 }
 
-// orderByP sorts the order permutation by ascending p value.
-type orderByP struct {
-	order []int
-	p     []float64
-}
-
-func (b *orderByP) Len() int           { return len(b.order) }
-func (b *orderByP) Less(i, j int) bool { return b.p[b.order[i]] < b.p[b.order[j]] }
-func (b *orderByP) Swap(i, j int)      { b.order[i], b.order[j] = b.order[j], b.order[i] }
-
-func newWindowScratch(n int) *windowScratch {
+func newWindowScratch(n, workers int) *windowScratch {
+	if workers < 1 {
+		workers = 1
+	}
 	return &windowScratch{
-		order:  make([]int, n),
-		sorted: make([]float64, n),
-		prefix: make([]float64, n+1),
-		dists:  make([]float64, 0, n),
+		pairs:   make([]pid, n),
+		sorted:  make([]float64, n),
+		prefix:  make([]float64, n+1),
+		workers: workers,
 	}
 }
 
+// load sorts the vertices by p value. The previous load's order seeds the
+// pairs: one walk step perturbs p only locally, so the sequence is nearly
+// sorted and pdqsort (slices.SortFunc) finishes in near-linear time,
+// replacing the full interface-based sort.Sort of every step.
 func (s *windowScratch) load(p []float64) {
 	n := len(p)
-	for i := 0; i < n; i++ {
-		s.order[i] = i
+	pairs := s.pairs[:n]
+	if s.seeded {
+		for i := range pairs {
+			pairs[i].p = p[pairs[i].id]
+		}
+	} else {
+		for i := range pairs {
+			pairs[i] = pid{p: p[i], id: int32(i)}
+		}
+		s.seeded = true
 	}
-	s.sorter.order, s.sorter.p = s.order[:n], p
-	sort.Sort(&s.sorter)
-	for i, v := range s.order {
-		s.sorted[i] = p[v]
+	slices.SortFunc(pairs, cmpPid)
+	for i := range pairs {
+		s.sorted[i] = pairs[i].p
 	}
 	s.prefix[0] = 0
 	for i := 0; i < n; i++ {
@@ -200,23 +270,76 @@ func (s *windowScratch) load(p []float64) {
 	}
 }
 
+// scanChunk is the candidate-size grain of the parallel scan; chunks are
+// fixed-size so the grid never depends on the worker count.
+const scanChunk = 64
+
+// scanHit records the best (smallest) passing size found in one chunk.
+type scanHit struct {
+	r int
+	d float64
+}
+
+// scanJob evaluates a chunk range of candidate sizes against the threshold.
+type scanJob struct {
+	s         *windowScratch
+	p         []float64
+	sizes     []int
+	threshold float64
+}
+
+func (j *scanJob) RunRange(lo, hi int32) {
+	ci := int(lo) / scanChunk
+	hit := scanHit{r: -1}
+	for _, r := range j.sizes[lo:hi] {
+		d, _ := bestSetDist(j.p, 0, r, false, j.s, false)
+		if d < j.threshold {
+			hit = scanHit{r: r, d: d}
+			break // sizes ascend; the first pass in a chunk is its smallest
+		}
+	}
+	j.s.scanBest[ci] = hit
+}
+
 // checkLocalAt tests whether any size in sizes passes the threshold for the
 // current distribution p; it returns the witness with the smallest size that
 // passes (matching Algorithm 2, which scans sizes in increasing order), or
-// nil.
+// nil. In non-grid mode the size loop is O(n²) per step, so chunks of sizes
+// are evaluated in parallel (the window evaluations only read the scratch).
 func checkLocalAt(p []float64, source int, sizes []int, threshold float64, requireSource bool, s *windowScratch) *LocalResult {
 	s.load(p)
-	for _, r := range sizes {
-		// Evaluate without materializing the witness; only the (rare)
-		// passing size pays for building its set.
-		d, _ := bestSetDist(p, source, r, requireSource, s, false)
-		if d < threshold {
-			_, set := bestSetDist(p, source, r, requireSource, s, true)
-			sort.Ints(set)
-			return &LocalResult{R: r, Dist: d, Set: set}
+	r, d := -1, math.Inf(1)
+	if !requireSource && s.workers > 1 && len(sizes) >= 2*scanChunk {
+		chunks := (len(sizes) + scanChunk - 1) / scanChunk
+		if cap(s.scanBest) < chunks {
+			s.scanBest = make([]scanHit, chunks)
+		}
+		s.scanBest = s.scanBest[:chunks]
+		s.scan = scanJob{s: s, p: p, sizes: sizes, threshold: threshold}
+		walkkernel.ParallelFor(&s.scanWG, &s.scan, len(sizes), scanChunk, s.workers)
+		for _, hit := range s.scanBest {
+			if hit.r >= 0 {
+				r, d = hit.r, hit.d
+				break // chunk order is size order; first hit is smallest
+			}
+		}
+	} else {
+		for _, rr := range sizes {
+			// Evaluate without materializing the witness; only the (rare)
+			// passing size pays for building its set.
+			dd, _ := bestSetDist(p, source, rr, requireSource, s, false)
+			if dd < threshold {
+				r, d = rr, dd
+				break
+			}
 		}
 	}
-	return nil
+	if r < 0 {
+		return nil
+	}
+	_, set := bestSetDist(p, source, r, requireSource, s, true)
+	sort.Ints(set)
+	return &LocalResult{R: r, Dist: d, Set: set}
 }
 
 // bestSetDist returns the minimum of Σ_{v∈S} |p(v) − 1/R| over sets S of
@@ -226,7 +349,9 @@ func checkLocalAt(p []float64, source int, sizes []int, threshold float64, requi
 //
 // For the unconstrained case the optimal S is the R values closest to 1/R,
 // which form a contiguous window of the value-sorted vertices; the window
-// cost is evaluated in O(1) with prefix sums.
+// cost is evaluated in O(1) with prefix sums. The unconstrained path only
+// reads the scratch, so concurrent evaluations of different sizes may share
+// one loaded scratch.
 func bestSetDist(p []float64, source, r int, requireSource bool, s *windowScratch, wantSet bool) (float64, []int) {
 	n := len(p)
 	if r < 1 || r > n {
@@ -260,26 +385,28 @@ func bestSetDist(p []float64, source, r int, requireSource bool, s *windowScratc
 		return best, nil
 	}
 	set := make([]int, r)
-	copy(set, s.order[bestStart:bestStart+r])
+	for i := range set {
+		set[i] = int(s.pairs[bestStart+i].id)
+	}
 	return best, set
 }
 
 // bestSetDistWithSource forces the source into the set: cost =
-// |p(s) − τ| + sum of the R−1 smallest distances among the rest.
+// |p(s) − τ| + sum of the R−1 smallest distances among the rest. The
+// (distance, id) pairs are built in the reusable spairs scratch.
 func bestSetDistWithSource(p []float64, source, r int, tau float64, s *windowScratch, wantSet bool) (float64, []int) {
-	s.dists = s.dists[:0]
-	type dv struct {
-		d float64
-		v int
+	if cap(s.spairs) < len(p) {
+		s.spairs = make([]pid, 0, len(p))
 	}
-	pairs := make([]dv, 0, len(p)-1)
+	pairs := s.spairs[:0]
 	for v := range p {
 		if v == source {
 			continue
 		}
-		pairs = append(pairs, dv{math.Abs(p[v] - tau), v})
+		pairs = append(pairs, pid{p: math.Abs(p[v] - tau), id: int32(v)})
 	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].d < pairs[b].d })
+	slices.SortFunc(pairs, cmpPid)
+	s.spairs = pairs
 	cost := math.Abs(p[source] - tau)
 	var set []int
 	if wantSet {
@@ -287,9 +414,9 @@ func bestSetDistWithSource(p []float64, source, r int, tau float64, s *windowScr
 		set = append(set, source)
 	}
 	for i := 0; i < r-1; i++ {
-		cost += pairs[i].d
+		cost += pairs[i].p
 		if wantSet {
-			set = append(set, pairs[i].v)
+			set = append(set, int(pairs[i].id))
 		}
 	}
 	return cost, set

@@ -63,7 +63,7 @@ func TestBestSetDistAgainstBruteForce(t *testing.T) {
 		for i := range p {
 			p[i] /= sum
 		}
-		s := newWindowScratch(n)
+		s := newWindowScratch(n, 1)
 		s.load(p)
 		for _, r := range []int{1, n / 3, n / 2, n} {
 			if r < 1 {
@@ -111,7 +111,7 @@ func TestBestSetDistWithSource(t *testing.T) {
 		for i := range p {
 			p[i] /= sum
 		}
-		s := newWindowScratch(n)
+		s := newWindowScratch(n, 1)
 		s.load(p)
 		r := 2 + rng.Intn(n-2)
 		free, _ := bestSetDist(p, src, r, false, s, false)

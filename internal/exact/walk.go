@@ -7,7 +7,9 @@
 //
 // These oracles are used by the test suite to validate the CONGEST
 // algorithms and by the benchmark harness to report paper-vs-measured
-// numbers.
+// numbers. All walk evolution runs on the shared internal/walkkernel pull
+// kernel: steps are division-free, allocation-free in the steady state,
+// parallel over vertex blocks, and bit-identical for every worker count.
 package exact
 
 import (
@@ -16,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/walkkernel"
 )
 
 // Walk evolves the probability distribution of a random walk from a single
@@ -23,78 +26,59 @@ import (
 // walk P(u,v) = 1/d(u) for neighbors, or the lazy walk that stays put with
 // probability 1/2 (footnote 5; required on bipartite graphs).
 type Walk struct {
-	g    *graph.Graph
-	lazy bool
-	t    int
-	p    []float64
-	next []float64
+	inner *walkkernel.Walk
 }
 
 // NewWalk starts a walk at source: p_0 = e_source.
 func NewWalk(g *graph.Graph, source int, lazy bool) (*Walk, error) {
+	return NewWalkWorkers(g, source, lazy, 0)
+}
+
+// NewWalkWorkers is NewWalk with an explicit kernel worker count (≤ 0 means
+// GOMAXPROCS). The worker count never changes the computed distributions.
+func NewWalkWorkers(g *graph.Graph, source int, lazy bool, workers int) (*Walk, error) {
+	k, err := walkKernel(g, workers)
+	if err != nil {
+		return nil, err
+	}
+	return newWalkOn(g, k, source, lazy)
+}
+
+// walkKernel validates the graph and builds a walk kernel for it.
+func walkKernel(g *graph.Graph, workers int) (*walkkernel.Kernel, error) {
+	if g.N() > 0 && g.MinDegree() == 0 {
+		return nil, errors.New("exact: graph has isolated vertices")
+	}
+	return walkkernel.New(g, workers), nil
+}
+
+// newWalkOn starts a walk on an already-built kernel (shared across sources
+// by the multi-source oracles).
+func newWalkOn(g *graph.Graph, k *walkkernel.Kernel, source int, lazy bool) (*Walk, error) {
 	if source < 0 || source >= g.N() {
 		return nil, fmt.Errorf("exact: source %d out of range [0,%d)", source, g.N())
 	}
-	if g.MinDegree() == 0 {
-		return nil, errors.New("exact: graph has isolated vertices")
-	}
-	w := &Walk{
-		g:    g,
-		lazy: lazy,
-		p:    make([]float64, g.N()),
-		next: make([]float64, g.N()),
-	}
-	w.p[source] = 1
-	return w, nil
+	return &Walk{inner: k.NewWalk(source, lazy)}, nil
 }
 
 // T returns the number of steps taken so far.
-func (w *Walk) T() int { return w.t }
+func (w *Walk) T() int { return w.inner.T() }
 
 // Lazy reports whether this is the lazy chain.
-func (w *Walk) Lazy() bool { return w.lazy }
+func (w *Walk) Lazy() bool { return w.inner.Lazy() }
 
 // P returns the current distribution p_t. The slice is owned by the walk and
 // is invalidated by Step; callers who retain it must copy.
-func (w *Walk) P() []float64 { return w.p }
+func (w *Walk) P() []float64 { return w.inner.P() }
+
+// SetDist overwrites the current distribution (for tests and replays).
+func (w *Walk) SetDist(p []float64) { w.inner.SetDist(p) }
 
 // Step advances the walk one step.
-func (w *Walk) Step() {
-	g := w.g
-	n := g.N()
-	next := w.next
-	if w.lazy {
-		for v := 0; v < n; v++ {
-			next[v] = w.p[v] / 2
-		}
-	} else {
-		for v := 0; v < n; v++ {
-			next[v] = 0
-		}
-	}
-	for u := 0; u < n; u++ {
-		pu := w.p[u]
-		if pu == 0 {
-			continue
-		}
-		share := pu / float64(g.Degree(u))
-		if w.lazy {
-			share /= 2
-		}
-		for _, v := range g.Neighbors(u) {
-			next[v] += share
-		}
-	}
-	w.p, w.next = next, w.p
-	w.t++
-}
+func (w *Walk) Step() { w.inner.Step() }
 
 // StepN advances the walk k steps.
-func (w *Walk) StepN(k int) {
-	for i := 0; i < k; i++ {
-		w.Step()
-	}
-}
+func (w *Walk) StepN(k int) { w.inner.StepN(k) }
 
 // Stationary returns π(v) = d(v)/2m, the stationary distribution of both the
 // simple and the lazy walk on a connected graph.
@@ -161,16 +145,71 @@ func MixingTime(g *graph.Graph, source int, eps float64, lazy bool, maxT int) (i
 }
 
 // GraphMixingTime returns τ_mix(ε) = max_s τ_mix_s(ε) over all sources.
-// O(n) walks; intended for small graphs.
+// Sources are evolved in batches of walkkernel.BatchWidth lanes — one edge
+// pass advances a whole batch — instead of n serial walks. Per batch only
+// the predicate "has the slowest lane mixed?" is evaluated per step: by
+// Lemma 1 every lane's distance is monotone, so the first step at which all
+// lanes are below ε is exactly max_b τ_b.
 func GraphMixingTime(g *graph.Graph, eps float64, lazy bool, maxT int) (int, error) {
+	return GraphMixingTimeWorkers(g, eps, lazy, maxT, 0)
+}
+
+// GraphMixingTimeWorkers is GraphMixingTime with an explicit kernel worker
+// count (≤ 0 means GOMAXPROCS); the result is identical for every count.
+func GraphMixingTimeWorkers(g *graph.Graph, eps float64, lazy bool, maxT, workers int) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("exact: MixingTime needs ε ∈ (0,1), got %g", eps)
+	}
+	n := g.N()
+	if n == 0 {
+		return 0, nil
+	}
+	if !lazy && g.IsBipartite() {
+		return 0, errors.New("exact: simple walk does not mix on a bipartite graph; use lazy=true")
+	}
+	k, err := walkKernel(g, workers)
+	if err != nil {
+		return 0, err
+	}
+	pi := Stationary(g)
+	width := walkkernel.BatchWidth
+	if width > n {
+		width = n
+	}
+	mw := k.NewMultiWalk(width, lazy)
+	sources := make([]int, width)
+	dist := make([]float64, width)
 	worst := 0
-	for s := 0; s < g.N(); s++ {
-		t, err := MixingTime(g, s, eps, lazy, maxT)
-		if err != nil {
-			return 0, err
+	for lo := 0; lo < n; lo += width {
+		for b := 0; b < width; b++ {
+			s := lo + b
+			if s >= n {
+				s = lo // pad the final batch with duplicate lanes
+			}
+			sources[b] = s
 		}
-		if t > worst {
-			worst = t
+		mw.Reset(sources)
+		mixed := false
+		for t := 0; t <= maxT; t++ {
+			if mw.AllBelow(pi, eps) {
+				if t > worst {
+					worst = t
+				}
+				mixed = true
+				break
+			}
+			if t < maxT {
+				mw.Step()
+			}
+		}
+		if !mixed {
+			// Identify a witness lane for the error message.
+			mw.L1ToTarget(pi, dist)
+			for b := 0; b < width; b++ {
+				if dist[b] >= eps {
+					return 0, fmt.Errorf("%w (maxT=%d, source=%d)", ErrNoMixing, maxT, sources[b])
+				}
+			}
 		}
 	}
 	return worst, nil

@@ -45,7 +45,7 @@ func TestStationaryIsFixedPoint(t *testing.T) {
 	// One step from π must return π (for both chains).
 	for _, lazy := range []bool{false, true} {
 		w, _ := NewWalk(g, 0, lazy)
-		copy(w.p, pi)
+		w.SetDist(pi)
 		w.Step()
 		if d := L1(w.P(), pi); d > 1e-12 {
 			t.Errorf("lazy=%v: ‖Pπ − π‖₁ = %v", lazy, d)

@@ -52,6 +52,14 @@ func (g *Graph) Neighbors(u int) []int32 {
 	return g.edges[g.offsets[u]:g.offsets[u+1]]
 }
 
+// CSR exposes the raw compressed-sparse-row arrays: offsets has length n+1
+// and the neighbors of u are edges[offsets[u]:offsets[u+1]], sorted. Both
+// slices are the graph's own storage and must be treated as read-only; the
+// walk kernel uses them for flat, bounds-check-friendly row access.
+func (g *Graph) CSR() (offsets, edges []int32) {
+	return g.offsets, g.edges
+}
+
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
 	row := g.Neighbors(u)

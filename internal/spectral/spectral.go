@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/walkkernel"
 )
 
 // Options controls the eigen computation.
@@ -40,31 +41,10 @@ func (o Options) withDefaults(n int) Options {
 }
 
 // applyWalk computes y = P^T x for the (lazy) walk matrix: the same operator
-// the walk distributions evolve under.
-func applyWalk(g *graph.Graph, lazy bool, x, y []float64) {
-	n := g.N()
-	if lazy {
-		for v := 0; v < n; v++ {
-			y[v] = x[v] / 2
-		}
-	} else {
-		for v := 0; v < n; v++ {
-			y[v] = 0
-		}
-	}
-	for u := 0; u < n; u++ {
-		xu := x[u]
-		if xu == 0 {
-			continue
-		}
-		share := xu / float64(g.Degree(u))
-		if lazy {
-			share /= 2
-		}
-		for _, v := range g.Neighbors(u) {
-			y[v] += share
-		}
-	}
+// the walk distributions evolve under, evaluated by the shared pull kernel
+// (division-free, parallel over vertex blocks, worker-count invariant).
+func applyWalk(k *walkkernel.Kernel, lazy bool, x, y []float64) {
+	k.Apply(y, x, lazy)
 }
 
 // SecondEigenvalue estimates λ₂ of the transition matrix by power iteration
@@ -106,6 +86,7 @@ func SecondEigenvalue(g *graph.Graph, o Options) (float64, error) {
 	}
 	y := make([]float64, n)
 	tmp := make([]float64, n)
+	kern := walkkernel.New(g, 0)
 
 	applyS := func(in, out []float64) {
 		// out = S·in with S = D^{-1/2} A D^{-1/2} (the symmetrization of the
@@ -115,7 +96,7 @@ func SecondEigenvalue(g *graph.Graph, o Options) (float64, error) {
 		for u := 0; u < n; u++ {
 			tmp[u] = in[u] * sqrtd[u]
 		}
-		applyWalk(g, o.Lazy, tmp, out)
+		applyWalk(kern, o.Lazy, tmp, out)
 		for u := 0; u < n; u++ {
 			out[u] /= sqrtd[u]
 		}
@@ -282,6 +263,7 @@ func secondEigenvector(g *graph.Graph, o Options) ([]float64, error) {
 	}
 	y := make([]float64, n)
 	tmp := make([]float64, n)
+	kern := walkkernel.New(g, 0)
 	for it := 0; it < o.MaxIter; it++ {
 		// Deflate against the principal eigenvector.
 		dot := 0.0
@@ -305,7 +287,7 @@ func secondEigenvector(g *graph.Graph, o Options) ([]float64, error) {
 		for u := 0; u < n; u++ {
 			tmp[u] = x[u] * sqrtd[u]
 		}
-		applyWalk(g, o.Lazy, tmp, y)
+		applyWalk(kern, o.Lazy, tmp, y)
 		for u := 0; u < n; u++ {
 			y[u] /= sqrtd[u]
 		}

@@ -20,10 +20,13 @@ import (
 	"fmt"
 	mbits "math/bits"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/congest"
 	"repro/internal/graph"
+	"repro/internal/walkkernel"
 )
 
 // Config controls a push–pull run.
@@ -42,8 +45,9 @@ type Config struct {
 	// reports whatever was achieved (the Theorem 3 termination rule).
 	FixedRounds int
 	// Workers sets the engine parallelism for the engine-backed runs
-	// (RunCongest, RunOnEngine); zero means GOMAXPROCS. It never changes
-	// results. The direct simulator (Run) ignores it.
+	// (RunCongest, RunOnEngine) and the snapshot-phase parallelism of the
+	// direct simulator (Run); zero means GOMAXPROCS. It never changes
+	// results.
 	Workers int
 }
 
@@ -82,19 +86,48 @@ type state struct {
 	reach  []int         // reach[t] = #nodes holding token t
 	held   []int         // held[u] = #tokens node u holds
 	rng    *rand.Rand
+
+	// Snapshot-phase parallelism: the per-node CopyFrom is pure, so the
+	// O(n²/64) words copied each round fan out over the shared walkkernel
+	// pool without changing any result. The merge phase stays serial (the
+	// chosen pairs conflict on both endpoints).
+	workers int
+	snapJ   snapJob
+	snapWG  sync.WaitGroup
 }
 
-func newState(g *graph.Graph, seed int64) *state {
-	n := g.N()
-	st := &state{
-		g:      g,
-		tokens: make([]*bitset.Set, n),
-		snap:   make([]*bitset.Set, n),
-		choice: make([]int32, n),
-		reach:  make([]int, n),
-		held:   make([]int, n),
-		rng:    rand.New(rand.NewSource(seed)),
+// snapJob copies the pre-round token snapshots for a node range.
+type snapJob struct{ st *state }
+
+func (j *snapJob) RunRange(lo, hi int32) {
+	for u := lo; u < hi; u++ {
+		j.st.snap[u].CopyFrom(j.st.tokens[u])
 	}
+}
+
+// snapParallelMin is the node count below which the snapshot phase stays on
+// one goroutine: under it the pool dispatch costs more than the copies.
+const snapParallelMin = 2048
+
+func newState(g *graph.Graph, seed int64, workers int) *state {
+	n := g.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n < snapParallelMin {
+		workers = 1
+	}
+	st := &state{
+		g:       g,
+		tokens:  make([]*bitset.Set, n),
+		snap:    make([]*bitset.Set, n),
+		choice:  make([]int32, n),
+		reach:   make([]int, n),
+		held:    make([]int, n),
+		rng:     rand.New(rand.NewSource(seed)),
+		workers: workers,
+	}
+	st.snapJ.st = st
 	for u := 0; u < n; u++ {
 		st.tokens[u] = bitset.New(n)
 		st.tokens[u].Add(u)
@@ -117,9 +150,7 @@ func (st *state) round() int64 {
 	}
 	// Snapshot the pre-round sets so all exchanges are simultaneous: each
 	// pair merges the sets as they stood at the start of the round.
-	for u := 0; u < n; u++ {
-		st.snap[u].CopyFrom(st.tokens[u])
-	}
+	walkkernel.ParallelFor(&st.snapWG, &st.snapJ, n, 0, st.workers)
 	var msgs int64
 	for u := 0; u < n; u++ {
 		v := int(st.choice[u])
@@ -217,7 +248,7 @@ func run(g *graph.Graph, cfg Config) (*Result, *state, error) {
 			target = 1
 		}
 	}
-	st := newState(g, cfg.Seed)
+	st := newState(g, cfg.Seed, cfg.Workers)
 	res := &Result{RoundsToPartial: -1, RoundsToFull: -1}
 	if target <= 1 {
 		res.RoundsToPartial = 0

@@ -1,0 +1,38 @@
+//go:build amd64
+
+package walkkernel
+
+// applyBatch16Asm is the SSE2 inner loop of the BatchWidth batch step (see
+// batch16_amd64.s). SSE2 is the amd64 baseline, so no feature detection is
+// needed. Per output vertex it zeroes eight packed accumulators (16 lanes),
+// then for each CSR neighbor performs eight MULPD+ADDPD pairs against the
+// broadcast inverse degree — per lane exactly the multiply-then-add
+// sequence of the generic Go code, so results are bit-identical to it and
+// to the scalar single-walk path.
+//
+//go:noescape
+func applyBatch16Asm(dst, src, inv *float64, offsets, edges *int32, lo, hi, lazy int64)
+
+// applyBatch16Range dispatches the BatchWidth specialization to the SSE2
+// kernel. Callers guarantee hi > lo and a non-empty edge set.
+func (k *Kernel) applyBatch16Range(dst, src []float64, lazy bool, lo, hi int32) {
+	lz := int64(0)
+	if lazy {
+		lz = 1
+	}
+	applyBatch16Asm(&dst[0], &src[0], &k.inv[0], &k.offsets[0], &k.edges[0], int64(lo), int64(hi), lz)
+}
+
+// l1Accum16Asm is the SSE2 absolute-difference accumulator (see
+// batch16_amd64.s); bitwise identical to the generic Go loop.
+//
+//go:noescape
+func l1Accum16Asm(p, target, acc *float64, lo, hi int64)
+
+// l1Accum16 accumulates acc[b] += |p[v*16+b] − target[v]| over [lo,hi).
+func l1Accum16(p, target []float64, acc *[BatchWidth]float64, lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	l1Accum16Asm(&p[0], &target[0], &acc[0], int64(lo), int64(hi))
+}

@@ -1,0 +1,234 @@
+// SSE2 inner loop of the 16-lane batched walk step. See batch16_amd64.go
+// for the contract and batch16_generic.go for the reference semantics: for
+// each output vertex v in [lo,hi), acc starts at zero and accumulates
+// acc[b] += src[u*16+b] * inv[u] over the CSR row of v (multiply then add,
+// row order), optionally mixed as 0.5*src[v*16+b] + 0.5*acc[b] for the lazy
+// chain, then stored to dst[v*16:]. Eight XMM accumulators hold the 16
+// lanes; everything is SSE2 (amd64 baseline), MOVUPD throughout, so no CPU
+// feature detection is required.
+
+#include "textflag.h"
+
+DATA half16<>+0x00(SB)/8, $0x3FE0000000000000 // 0.5
+DATA half16<>+0x08(SB)/8, $0x3FE0000000000000
+GLOBL half16<>(SB), RODATA, $16
+
+DATA absmask16<>+0x00(SB)/8, $0x7FFFFFFFFFFFFFFF // clears the sign bit
+DATA absmask16<>+0x08(SB)/8, $0x7FFFFFFFFFFFFFFF
+GLOBL absmask16<>(SB), RODATA, $16
+
+// func applyBatch16Asm(dst, src, inv *float64, offsets, edges *int32, lo, hi, lazy int64)
+TEXT ·applyBatch16Asm(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), R8
+	MOVQ src+8(FP), R9
+	MOVQ inv+16(FP), R10
+	MOVQ offsets+24(FP), R11
+	MOVQ edges+32(FP), R12
+	MOVQ lo+40(FP), CX
+	MOVQ hi+48(FP), DX
+	MOVQ lazy+56(FP), R13
+	MOVUPD half16<>(SB), X15
+
+vertex_loop:
+	CMPQ CX, DX
+	JGE  done
+
+	// Row bounds: SI = &edges[offsets[v]], DI = degree(v).
+	MOVLQSX 0(R11)(CX*4), AX
+	MOVLQSX 4(R11)(CX*4), DI
+	SUBQ    AX, DI
+	LEAQ    0(R12)(AX*4), SI
+
+	// acc = 0 (X0..X7 hold lanes 0..15, two per register).
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+	TESTQ DI, DI
+	JZ    row_done
+
+edge_loop:
+	MOVLQSX  0(SI), AX          // u
+	ADDQ     $4, SI
+	MOVSD    0(R10)(AX*8), X8   // w = inv[u]
+	UNPCKLPD X8, X8             // broadcast w to both lanes
+	SHLQ     $4, AX             // u*16
+	LEAQ     0(R9)(AX*8), BX    // &src[u*16]
+
+	MOVUPD 0(BX), X9
+	MULPD  X8, X9
+	ADDPD  X9, X0
+	MOVUPD 16(BX), X10
+	MULPD  X8, X10
+	ADDPD  X10, X1
+	MOVUPD 32(BX), X11
+	MULPD  X8, X11
+	ADDPD  X11, X2
+	MOVUPD 48(BX), X12
+	MULPD  X8, X12
+	ADDPD  X12, X3
+	MOVUPD 64(BX), X9
+	MULPD  X8, X9
+	ADDPD  X9, X4
+	MOVUPD 80(BX), X10
+	MULPD  X8, X10
+	ADDPD  X10, X5
+	MOVUPD 96(BX), X11
+	MULPD  X8, X11
+	ADDPD  X11, X6
+	MOVUPD 112(BX), X12
+	MULPD  X8, X12
+	ADDPD  X12, X7
+
+	DECQ DI
+	JNZ  edge_loop
+
+row_done:
+	TESTQ R13, R13
+	JZ    store
+
+	// Lazy mix: acc = 0.5*src[v*16+b] + 0.5*acc (addition order is
+	// bitwise-irrelevant for finite IEEE doubles).
+	MOVQ CX, AX
+	SHLQ $4, AX
+	LEAQ 0(R9)(AX*8), BX // &src[v*16]
+
+	MULPD  X15, X0
+	MOVUPD 0(BX), X9
+	MULPD  X15, X9
+	ADDPD  X9, X0
+	MULPD  X15, X1
+	MOVUPD 16(BX), X10
+	MULPD  X15, X10
+	ADDPD  X10, X1
+	MULPD  X15, X2
+	MOVUPD 32(BX), X11
+	MULPD  X15, X11
+	ADDPD  X11, X2
+	MULPD  X15, X3
+	MOVUPD 48(BX), X12
+	MULPD  X15, X12
+	ADDPD  X12, X3
+	MULPD  X15, X4
+	MOVUPD 64(BX), X9
+	MULPD  X15, X9
+	ADDPD  X9, X4
+	MULPD  X15, X5
+	MOVUPD 80(BX), X10
+	MULPD  X15, X10
+	ADDPD  X10, X5
+	MULPD  X15, X6
+	MOVUPD 96(BX), X11
+	MULPD  X15, X11
+	ADDPD  X11, X6
+	MULPD  X15, X7
+	MOVUPD 112(BX), X12
+	MULPD  X15, X12
+	ADDPD  X12, X7
+
+store:
+	MOVQ CX, AX
+	SHLQ $4, AX
+	LEAQ 0(R8)(AX*8), BX // &dst[v*16]
+
+	MOVUPD X0, 0(BX)
+	MOVUPD X1, 16(BX)
+	MOVUPD X2, 32(BX)
+	MOVUPD X3, 48(BX)
+	MOVUPD X4, 64(BX)
+	MOVUPD X5, 80(BX)
+	MOVUPD X6, 96(BX)
+	MOVUPD X7, 112(BX)
+
+	INCQ CX
+	JMP  vertex_loop
+
+done:
+	RET
+
+// func l1Accum16Asm(p, target, acc *float64, lo, hi int64)
+//
+// acc[b] += |p[v*16+b] − target[v]| for v in [lo,hi), b in [0,16). The
+// per-lane operation (subtract, clear sign bit, add) is exactly the generic
+// Go sequence acc[b] += math.Abs(row[b] − tv), so partial sums are bitwise
+// identical to it. Callers keep the early-abort logic in Go and invoke this
+// per stride.
+TEXT ·l1Accum16Asm(SB), NOSPLIT, $0-40
+	MOVQ p+0(FP), R8
+	MOVQ target+8(FP), R9
+	MOVQ acc+16(FP), R10
+	MOVQ lo+24(FP), CX
+	MOVQ hi+32(FP), DX
+	MOVUPD absmask16<>(SB), X15
+
+	// Load the 16 running sums.
+	MOVUPD 0(R10), X0
+	MOVUPD 16(R10), X1
+	MOVUPD 32(R10), X2
+	MOVUPD 48(R10), X3
+	MOVUPD 64(R10), X4
+	MOVUPD 80(R10), X5
+	MOVUPD 96(R10), X6
+	MOVUPD 112(R10), X7
+
+l1_vertex_loop:
+	CMPQ CX, DX
+	JGE  l1_done
+
+	MOVSD    0(R9)(CX*8), X8 // tv = target[v]
+	UNPCKLPD X8, X8
+	MOVQ     CX, AX
+	SHLQ     $4, AX
+	LEAQ     0(R8)(AX*8), BX // &p[v*16]
+
+	MOVUPD 0(BX), X9
+	SUBPD  X8, X9
+	ANDPD  X15, X9
+	ADDPD  X9, X0
+	MOVUPD 16(BX), X10
+	SUBPD  X8, X10
+	ANDPD  X15, X10
+	ADDPD  X10, X1
+	MOVUPD 32(BX), X11
+	SUBPD  X8, X11
+	ANDPD  X15, X11
+	ADDPD  X11, X2
+	MOVUPD 48(BX), X12
+	SUBPD  X8, X12
+	ANDPD  X15, X12
+	ADDPD  X12, X3
+	MOVUPD 64(BX), X9
+	SUBPD  X8, X9
+	ANDPD  X15, X9
+	ADDPD  X9, X4
+	MOVUPD 80(BX), X10
+	SUBPD  X8, X10
+	ANDPD  X15, X10
+	ADDPD  X10, X5
+	MOVUPD 96(BX), X11
+	SUBPD  X8, X11
+	ANDPD  X15, X11
+	ADDPD  X11, X6
+	MOVUPD 112(BX), X12
+	SUBPD  X8, X12
+	ANDPD  X15, X12
+	ADDPD  X12, X7
+
+	INCQ CX
+	JMP  l1_vertex_loop
+
+l1_done:
+	MOVUPD X0, 0(R10)
+	MOVUPD X1, 16(R10)
+	MOVUPD X2, 32(R10)
+	MOVUPD X3, 48(R10)
+	MOVUPD X4, 64(R10)
+	MOVUPD X5, 80(R10)
+	MOVUPD X6, 96(R10)
+	MOVUPD X7, 112(R10)
+	RET

@@ -1,0 +1,44 @@
+//go:build !amd64
+
+package walkkernel
+
+import "math"
+
+// l1Accum16 accumulates acc[b] += |p[v*16+b] − target[v]| over [lo,hi); the
+// portable twin of the amd64 SSE2 accumulator.
+func l1Accum16(p, target []float64, acc *[BatchWidth]float64, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		tv := target[v]
+		row := (*[BatchWidth]float64)(p[v*BatchWidth:])
+		for b := 0; b < BatchWidth; b++ {
+			acc[b] += math.Abs(row[b] - tv)
+		}
+	}
+}
+
+// applyBatch16Range is the portable BatchWidth specialization: fixed-size
+// array pointers eliminate the bounds checks of the generic-width loop. The
+// per-lane rounding sequence (zeroed accumulator, multiply-then-add in CSR
+// row order) matches the amd64 SSE2 kernel exactly.
+func (k *Kernel) applyBatch16Range(dst, src []float64, lazy bool, lo, hi int32) {
+	const bw = BatchWidth
+	offsets, edges, inv := k.offsets, k.edges, k.inv
+	var acc [bw]float64
+	for v := lo; v < hi; v++ {
+		acc = [bw]float64{}
+		for _, u := range edges[offsets[v]:offsets[v+1]] {
+			w := inv[u]
+			s := (*[bw]float64)(src[int(u)*bw:])
+			for b := 0; b < bw; b++ {
+				acc[b] += s[b] * w
+			}
+		}
+		if lazy {
+			pv := (*[bw]float64)(src[int(v)*bw:])
+			for b := 0; b < bw; b++ {
+				acc[b] = 0.5*pv[b] + 0.5*acc[b]
+			}
+		}
+		*(*[bw]float64)(dst[int(v)*bw:]) = acc
+	}
+}

@@ -1,0 +1,193 @@
+package walkkernel
+
+import "math"
+
+// redGrain is the fixed vertex-chunk size of the reduction grid. Reductions
+// (unlike the pull step) accumulate across vertices, so bit-identical
+// results for every worker count require a partition that does not depend on
+// the worker count: partials are always computed per redGrain-sized chunk
+// and merged in chunk order.
+const redGrain = 2048
+
+// MultiWalk evolves `width` source distributions simultaneously in a
+// struct-of-arrays layout: lane b of vertex v lives at p[v*width+b]. One
+// edge pass advances every lane, amortizing all index arithmetic and giving
+// the inner loop unit stride; each lane is bit-identical to a dense
+// single-source Walk. A MultiWalk is reusable via Reset, so a many-source
+// sweep allocates its two n·width buffers once. Not safe for concurrent
+// use.
+type MultiWalk struct {
+	k     *Kernel
+	width int
+	lazy  bool
+	t     int
+	p     []float64
+	next  []float64
+
+	ap  applier
+	red redJob
+	rwg waitGroup
+}
+
+// NewMultiWalk allocates a batch of the given lane width over the kernel's
+// graph. Lanes start all-zero; seed them with Reset.
+func (k *Kernel) NewMultiWalk(width int, lazy bool) *MultiWalk {
+	m := &MultiWalk{
+		k:     k,
+		width: width,
+		lazy:  lazy,
+		p:     make([]float64, k.n*width),
+		next:  make([]float64, k.n*width),
+	}
+	m.red.m = m
+	return m
+}
+
+// Width returns the lane count.
+func (m *MultiWalk) Width() int { return m.width }
+
+// T returns the number of steps taken since the last Reset.
+func (m *MultiWalk) T() int { return m.t }
+
+// Reset zeroes every lane, then seeds lane b with p_0 = e_{sources[b]}.
+// len(sources) may be smaller than the width; the surplus lanes stay
+// identically zero through the (linear) walk operator, so they cost only
+// arithmetic on zeros.
+func (m *MultiWalk) Reset(sources []int) {
+	if len(sources) > m.width {
+		panic("walkkernel: Reset with more sources than lanes")
+	}
+	for i := range m.p {
+		m.p[i] = 0
+	}
+	for b, s := range sources {
+		m.p[s*m.width+b] = 1
+	}
+	m.t = 0
+}
+
+// Step advances every lane one walk step.
+func (m *MultiWalk) Step() {
+	m.ap.job.k = m.k
+	m.ap.job.dst, m.ap.job.src = m.next, m.p
+	m.ap.job.bw = m.width
+	m.ap.job.lazy = m.lazy
+	m.ap.dispatch()
+	m.p, m.next = m.next, m.p
+	m.t++
+}
+
+// Lane copies lane b's distribution into dst (length n).
+func (m *MultiWalk) Lane(b int, dst []float64) {
+	bw := m.width
+	for v := 0; v < m.k.n; v++ {
+		dst[v] = m.p[v*bw+b]
+	}
+}
+
+// L1ToTarget writes out[b] = ‖p_b − target‖₁ for each lane b < len(out).
+// The sum is accumulated per fixed redGrain chunk and merged in chunk order,
+// so the result is bit-identical for every worker count.
+func (m *MultiWalk) L1ToTarget(target []float64, out []float64) {
+	n, bw := m.k.n, m.width
+	chunks := (n + redGrain - 1) / redGrain
+	if chunks < 1 {
+		chunks = 1
+	}
+	if cap(m.red.partials) < chunks*bw {
+		m.red.partials = make([]float64, chunks*bw)
+	}
+	m.red.partials = m.red.partials[:chunks*bw]
+	m.red.target = target
+	if m.k.serial || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * redGrain
+			hi := lo + redGrain
+			if hi > n {
+				hi = n
+			}
+			m.red.RunRange(int32(lo), int32(hi))
+		}
+	} else {
+		ParallelFor(&m.rwg, &m.red, n, redGrain, m.k.Blocks())
+	}
+	m.red.target = nil
+	for b := range out {
+		s := 0.0
+		for c := 0; c < chunks; c++ {
+			s += m.red.partials[c*bw+b]
+		}
+		out[b] = s
+	}
+}
+
+// AllBelow reports whether every lane's L1 distance to target is < eps.
+// Because Lemma 1 makes each lane's distance monotone in t, a many-source
+// mixing sweep only needs this predicate per step (the batch mixes exactly
+// when its slowest lane does), not the full per-lane distances — and the
+// predicate admits an exact early abort: partial sums only grow, so the scan
+// stops the moment any lane's partial reaches eps. In the (common) unmixed
+// regime that is a small prefix of the vertices. The abort never changes the
+// answer, so the result is schedule- and worker-count independent.
+func (m *MultiWalk) AllBelow(target []float64, eps float64) bool {
+	n, bw := m.k.n, m.width
+	if cap(m.red.partials) < bw {
+		m.red.partials = make([]float64, bw)
+	}
+	acc := m.red.partials[:bw]
+	for b := range acc {
+		acc[b] = 0
+	}
+	p := m.p
+	const stride = 256 // vertices between abort checks
+	for lo := 0; lo < n; lo += stride {
+		hi := lo + stride
+		if hi > n {
+			hi = n
+		}
+		if bw == BatchWidth {
+			l1Accum16(p, target, (*[BatchWidth]float64)(acc), lo, hi)
+		} else {
+			for v := lo; v < hi; v++ {
+				tv := target[v]
+				row := p[v*bw : v*bw+bw]
+				_ = row[len(acc)-1]
+				for b, pv := range row {
+					acc[b] += math.Abs(pv - tv)
+				}
+			}
+		}
+		for b := range acc {
+			if acc[b] >= eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// redJob computes one reduction chunk: RunRange always receives exactly one
+// redGrain-aligned chunk, identified by lo/redGrain.
+type redJob struct {
+	m        *MultiWalk
+	target   []float64
+	partials []float64 // chunks × width, chunk-major
+}
+
+func (j *redJob) RunRange(lo, hi int32) {
+	bw := j.m.width
+	acc := j.partials[int(lo)/redGrain*bw:]
+	acc = acc[:bw]
+	for b := range acc {
+		acc[b] = 0
+	}
+	p := j.m.p
+	for v := lo; v < hi; v++ {
+		tv := j.target[v]
+		row := p[int(v)*bw : int(v)*bw+bw]
+		_ = row[len(acc)-1]
+		for b, pv := range row {
+			acc[b] += math.Abs(pv - tv)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package walkkernel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// waitGroup is sync.WaitGroup; named so embedding stays greppable.
+type waitGroup = sync.WaitGroup
+
+// Runner is a unit of range-parallel work: RunRange must process exactly the
+// half-open index range [lo, hi), touch no state shared with other ranges of
+// the same dispatch, and never dispatch back into the pool (pool workers do
+// not nest).
+type Runner interface {
+	RunRange(lo, hi int32)
+}
+
+// item is one queued range on the shared pool.
+type item struct {
+	r      Runner
+	lo, hi int32
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan item
+)
+
+// submit queues one range on the shared pool, starting it on first use. The
+// pool is package-global and sized to GOMAXPROCS: kernels are created per
+// oracle call, so per-kernel goroutines would leak; a process-wide compute
+// pool needs no lifecycle management and one channel send per block is the
+// entire steady-state cost.
+func submit(r Runner, lo, hi int32, wg *sync.WaitGroup) {
+	poolOnce.Do(func() {
+		w := runtime.GOMAXPROCS(0)
+		poolCh = make(chan item, 4*w)
+		for i := 0; i < w; i++ {
+			go func() {
+				for it := range poolCh {
+					it.r.RunRange(it.lo, it.hi)
+					it.wg.Done()
+				}
+			}()
+		}
+	})
+	poolCh <- item{r: r, lo: lo, hi: hi, wg: wg}
+}
+
+// ParallelFor runs r over [0,n) in contiguous chunks of the given grain
+// (grain ≤ 0 splits evenly across workers). The chunk grid depends only on
+// (n, grain, workers), never on scheduling, so any per-chunk outputs are
+// deterministic. workers ≤ 1, a single chunk, or n < grain run entirely on
+// the calling goroutine. wg is the caller's reusable WaitGroup (it must be
+// idle); passing it in keeps repeated dispatches allocation-free.
+func ParallelFor(wg *sync.WaitGroup, r Runner, n, grain, workers int) {
+	if grain <= 0 {
+		if workers < 1 {
+			workers = 1
+		}
+		grain = (n + workers - 1) / workers
+	}
+	if workers <= 1 || n <= grain {
+		r.RunRange(0, int32(n))
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		submit(r, int32(lo), int32(hi), wg)
+	}
+	wg.Wait()
+}

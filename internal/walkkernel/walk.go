@@ -1,0 +1,139 @@
+package walkkernel
+
+import (
+	"slices"
+)
+
+// Walk evolves one probability distribution. It starts in sparse-frontier
+// mode — scattering from supp(p_t) only, which is what makes early steps of
+// a single-source walk O(vol(supp)) instead of O(m) — and switches to the
+// dense pull kernel permanently once the frontier's edge volume reaches half
+// of 2m. The switch depends only on the walk's own history, so a Walk is
+// deterministic for every worker count. Not safe for concurrent use; share
+// the Kernel instead and give each goroutine its own Walk.
+type Walk struct {
+	k    *Kernel
+	lazy bool
+	t    int
+	p    []float64
+	next []float64 // all-zero between sparse steps; scratch in dense mode
+
+	dense        bool
+	frontier     []int32 // supp(p_t), ascending
+	nextFrontier []int32
+	mark         []int32 // epoch stamps; avoids clearing a visited bitmap
+	epoch        int32
+	frontierVol  int64 // Σ_{u∈frontier} d(u)
+
+	ap applier
+}
+
+// NewWalk starts a walk at source: p_0 = e_source. The source must be a
+// valid vertex of a graph with no isolated vertices (callers validate; the
+// exact package's constructors do).
+func (k *Kernel) NewWalk(source int, lazy bool) *Walk {
+	w := &Walk{
+		k:           k,
+		lazy:        lazy,
+		p:           make([]float64, k.n),
+		next:        make([]float64, k.n),
+		frontier:    []int32{int32(source)},
+		mark:        make([]int32, k.n),
+		frontierVol: int64(k.offsets[source+1] - k.offsets[source]),
+	}
+	w.p[source] = 1
+	return w
+}
+
+// T returns the number of steps taken so far.
+func (w *Walk) T() int { return w.t }
+
+// Lazy reports whether this is the lazy chain.
+func (w *Walk) Lazy() bool { return w.lazy }
+
+// P returns the current distribution p_t. The slice is owned by the walk and
+// is invalidated by Step; callers who retain it must copy.
+func (w *Walk) P() []float64 { return w.p }
+
+// SetDist overwrites the current distribution (length n). The walk switches
+// to dense mode since the new support is unknown. Used by tests and by
+// callers that replay a checkpoint.
+func (w *Walk) SetDist(p []float64) {
+	copy(w.p, p)
+	w.enterDense()
+}
+
+func (w *Walk) enterDense() {
+	w.dense = true
+	w.frontier, w.nextFrontier, w.mark = nil, nil, nil
+}
+
+// Step advances the walk one step.
+func (w *Walk) Step() {
+	if !w.dense && 2*w.frontierVol >= int64(len(w.k.edges)) {
+		w.enterDense()
+	}
+	if w.dense {
+		w.ap.job.k = w.k
+		w.ap.job.dst, w.ap.job.src = w.next, w.p
+		w.ap.job.bw = 1
+		w.ap.job.lazy = w.lazy
+		w.ap.dispatch()
+		w.p, w.next = w.next, w.p
+	} else {
+		w.stepSparse()
+	}
+	w.t++
+}
+
+// StepN advances the walk k steps.
+func (w *Walk) StepN(k int) {
+	for i := 0; i < k; i++ {
+		w.Step()
+	}
+}
+
+// stepSparse scatters from the current frontier only. It runs on the calling
+// goroutine: the whole point of this mode is that the frontier is small.
+// Invariant: w.next is all-zero on entry and w.p is all-zero outside the
+// frontier; both are restored before returning.
+func (w *Walk) stepSparse() {
+	k := w.k
+	offsets, edges, inv, mark := k.offsets, k.edges, k.inv, w.mark
+	p, next := w.p, w.next
+	nf := w.nextFrontier[:0]
+	w.epoch++
+	ep := w.epoch
+	var vol int64
+	for _, u := range w.frontier {
+		pu := p[u]
+		if pu == 0 {
+			continue
+		}
+		share := pu * inv[u]
+		if w.lazy {
+			share *= 0.5
+			if mark[u] != ep {
+				mark[u] = ep
+				nf = append(nf, u)
+				vol += int64(offsets[u+1] - offsets[u])
+			}
+			next[u] += 0.5 * pu
+		}
+		for _, v := range edges[offsets[u]:offsets[u+1]] {
+			if mark[v] != ep {
+				mark[v] = ep
+				nf = append(nf, v)
+				vol += int64(offsets[v+1] - offsets[v])
+			}
+			next[v] += share
+		}
+	}
+	slices.Sort(nf)
+	for _, u := range w.frontier {
+		p[u] = 0
+	}
+	w.p, w.next = next, p
+	w.frontier, w.nextFrontier = nf, w.frontier
+	w.frontierVol = vol
+}

@@ -1,0 +1,240 @@
+// Package walkkernel is the shared high-performance random-walk kernel
+// behind every centralized oracle in this repository (internal/exact,
+// internal/spectral, internal/walkmc). It evolves probability distributions
+// under the simple or lazy walk operator P(u,v) = 1/d(u) with three
+// complementary strategies:
+//
+//   - Dense pull: a blocked CSR "SpMV" that *gathers* into each output
+//     vertex (dst[v] = Σ_{u∈N(v)} src[u]/d(u)) using precomputed inverse
+//     degrees. Gathering instead of scattering means vertex blocks share no
+//     output words, so blocks run in parallel on a worker pool with no
+//     synchronization — and because each dst[v] is always accumulated in CSR
+//     row order, the result is bit-identical for every worker count.
+//   - Sparse frontier: while supp(p_t) is small (early steps of a
+//     single-source walk) the kernel scatters from the frontier only,
+//     touching O(vol(supp)) edges instead of all 2m. The mode switch depends
+//     only on the walk state, never on the worker count, so results stay
+//     deterministic.
+//   - Batched MultiWalk: k source distributions evolved in one edge pass
+//     with a struct-of-arrays layout (lane b of vertex v lives at p[v*k+b]),
+//     amortizing every index lookup over k lanes. This turns many-source
+//     workloads (GraphMixingTime, profile sweeps) into one cache-friendly
+//     batch instead of k serial walks; each lane is bit-identical to the
+//     dense pull single walk.
+//
+// A Kernel is an immutable plan (CSR views, inverse degrees, edge-balanced
+// block cuts) and may be shared by any number of concurrent Walk/MultiWalk
+// instances; the walks themselves are single-goroutine objects.
+package walkkernel
+
+import (
+	"runtime"
+
+	"repro/internal/graph"
+)
+
+// maxBlocks caps the parallel block count; beyond this the dispatch
+// overhead outweighs the win on every realistic graph.
+const maxBlocks = 256
+
+// parallelMinVerts is the graph size below which the kernel always runs its
+// blocks on the calling goroutine (the block structure — and therefore the
+// result — is identical either way).
+const parallelMinVerts = 2048
+
+// Kernel is an immutable walk plan for one graph: CSR views, precomputed
+// inverse degrees and edge-balanced block cuts. Safe for concurrent use.
+type Kernel struct {
+	g       *graph.Graph
+	n       int
+	offsets []int32
+	edges   []int32
+	inv     []float64 // inv[u] = 1/d(u)
+	cuts    []int32   // block boundaries over vertices, len blocks+1
+	serial  bool      // run blocks in-caller (workers == 1 or tiny graph)
+}
+
+// New builds a kernel for g. workers ≤ 0 selects GOMAXPROCS. The worker
+// count influences only the execution schedule, never the results.
+func New(g *graph.Graph, workers int) *Kernel {
+	n := g.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > maxBlocks {
+		workers = maxBlocks
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	offsets, edges := g.CSR()
+	k := &Kernel{
+		g:       g,
+		n:       n,
+		offsets: offsets,
+		edges:   edges,
+		inv:     make([]float64, n),
+		serial:  workers == 1 || n < parallelMinVerts,
+	}
+	for u := 0; u < n; u++ {
+		if d := g.Degree(u); d > 0 {
+			k.inv[u] = 1 / float64(d)
+		}
+	}
+	k.cuts = edgeBalancedCuts(k.offsets, n, workers)
+	return k
+}
+
+// Graph returns the underlying graph.
+func (k *Kernel) Graph() *graph.Graph { return k.g }
+
+// N returns the vertex count.
+func (k *Kernel) N() int { return k.n }
+
+// Blocks returns the number of parallel vertex blocks.
+func (k *Kernel) Blocks() int { return len(k.cuts) - 1 }
+
+// edgeBalancedCuts partitions [0,n) into at most `blocks` contiguous vertex
+// ranges with roughly equal edge counts, so no worker owns a disproportionate
+// share of the gather work.
+func edgeBalancedCuts(offsets []int32, n, blocks int) []int32 {
+	if n == 0 {
+		return []int32{0, 0}
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	cuts := make([]int32, 1, blocks+1)
+	total := int64(offsets[n])
+	v := int32(0)
+	for b := 1; b < blocks; b++ {
+		// int64: total·b overflows int32 beyond ~2^31/blocks directed edges.
+		target := int32(total * int64(b) / int64(blocks))
+		for v < int32(n) && offsets[v] < target {
+			v++
+		}
+		if v > cuts[len(cuts)-1] {
+			cuts = append(cuts, v)
+		}
+	}
+	cuts = append(cuts, int32(n))
+	return cuts
+}
+
+// applyRange computes the dense pull step for output vertices [lo,hi):
+// dst[v] = Σ_{u∈N(v)} src[u]·inv[u], halved and mixed with src[v]/2 for the
+// lazy chain. Every dst word in the range is overwritten. The accumulation
+// is strictly multiply-then-add in CSR row order — the identical rounding
+// sequence as every batched path, including the SIMD one (packed mul/add;
+// Go never fuses a mul+add on its own) — so a MultiWalk lane is
+// bit-identical to this path.
+func (k *Kernel) applyRange(dst, src []float64, lazy bool, lo, hi int32) {
+	offsets, edges, inv := k.offsets, k.edges, k.inv
+	for v := lo; v < hi; v++ {
+		row := edges[offsets[v]:offsets[v+1]]
+		s := 0.0
+		for _, u := range row {
+			s += src[u] * inv[u]
+		}
+		if lazy {
+			s = 0.5*src[v] + 0.5*s
+		}
+		dst[v] = s
+	}
+}
+
+// BatchWidth is the specialized lane count of the batched kernel: wide
+// enough to amortize every neighbor lookup, narrow enough that a lane block
+// is one register-resident accumulator array. MultiWalk supports any width,
+// but this one runs the hand-specialized loop below.
+const BatchWidth = 16
+
+// applyBatchRange is applyRange over bw interleaved lanes: lane b of vertex
+// v lives at v*bw+b. The accumulation per (v, b) is multiply-then-add in
+// CSR row order — the same rounding sequence as applyRange and as the
+// BatchWidth SIMD specialization — so every lane is bit-identical to a
+// dense single walk for every worker count and on every architecture.
+func (k *Kernel) applyBatchRange(dst, src []float64, bw int, lazy bool, lo, hi int32) {
+	if bw == BatchWidth && len(k.edges) > 0 {
+		k.applyBatch16Range(dst, src, lazy, lo, hi)
+		return
+	}
+	offsets, edges, inv := k.offsets, k.edges, k.inv
+	for v := lo; v < hi; v++ {
+		d := dst[int(v)*bw : int(v)*bw+bw]
+		for b := range d {
+			d[b] = 0
+		}
+		row := edges[offsets[v]:offsets[v+1]]
+		for _, u := range row {
+			w := inv[u]
+			s := src[int(u)*bw : int(u)*bw+bw]
+			_ = s[len(d)-1]
+			for b, dv := range d {
+				d[b] = dv + s[b]*w
+			}
+		}
+		if lazy {
+			pv := src[int(v)*bw : int(v)*bw+bw]
+			_ = pv[len(d)-1]
+			for b, dv := range d {
+				d[b] = 0.5*pv[b] + 0.5*dv
+			}
+		}
+	}
+}
+
+// job is the persistent dispatch unit for a walk's dense step: it carries
+// everything a pool worker needs, so steady-state steps allocate nothing.
+type job struct {
+	k        *Kernel
+	dst, src []float64
+	bw       int // batch width; 1 selects the scalar path
+	lazy     bool
+}
+
+func (j *job) RunRange(lo, hi int32) {
+	if j.bw == 1 {
+		j.k.applyRange(j.dst, j.src, j.lazy, lo, hi)
+	} else {
+		j.k.applyBatchRange(j.dst, j.src, j.bw, j.lazy, lo, hi)
+	}
+}
+
+// Apply performs one dense pull step dst ← P^T·src (every dst word is
+// overwritten; dst and src must not alias). It is the raw operator shared by
+// the oracles and the spectral package; src may be any vector, not only a
+// distribution. Apply is not safe for concurrent use of the same two slices,
+// but distinct callers may share the Kernel.
+func (k *Kernel) Apply(dst, src []float64, lazy bool) {
+	a := applier{job: job{k: k, dst: dst, src: src, bw: 1, lazy: lazy}}
+	a.dispatch()
+}
+
+// applier couples a reusable job with a reusable WaitGroup; Walk and
+// MultiWalk embed one so their steps stay allocation-free.
+type applier struct {
+	job job
+	wg  waitGroup
+}
+
+// dispatch runs the job over the kernel's blocks — in-caller when the kernel
+// is serial or has one block, on the shared pool otherwise. The block
+// structure is fixed by the kernel, so the result never depends on the
+// execution mode.
+func (a *applier) dispatch() {
+	k := a.job.k
+	nb := len(k.cuts) - 1
+	if k.serial || nb <= 1 {
+		a.job.RunRange(0, int32(k.n))
+		return
+	}
+	a.wg.Add(nb)
+	for i := 0; i < nb; i++ {
+		submit(&a.job, k.cuts[i], k.cuts[i+1], &a.wg)
+	}
+	a.wg.Wait()
+}

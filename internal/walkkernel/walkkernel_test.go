@@ -1,0 +1,372 @@
+package walkkernel
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// refStep is the straightforward scatter reference the kernel must agree
+// with (up to FP associativity, hence the tolerance).
+func refStep(g *graph.Graph, p []float64, lazy bool) []float64 {
+	n := g.N()
+	next := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if lazy {
+			next[v] = p[v] / 2
+		}
+	}
+	for u := 0; u < n; u++ {
+		if p[u] == 0 {
+			continue
+		}
+		share := p[u] / float64(g.Degree(u))
+		if lazy {
+			share /= 2
+		}
+		for _, v := range g.Neighbors(u) {
+			next[v] += share
+		}
+	}
+	return next
+}
+
+func testGraphs(t *testing.T) []*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var gs []*graph.Graph
+	for _, mk := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return gen.Torus(8, 8) },
+		func() (*graph.Graph, error) { return gen.Barbell(4, 8) },
+		func() (*graph.Graph, error) { return gen.Star(17) },
+		func() (*graph.Graph, error) { return gen.ErdosRenyi(60, 0.12, rng) },
+		func() (*graph.Graph, error) { return gen.Path(33) },
+	} {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+// TestWalkMatchesReference: sparse and dense modes both track the scatter
+// reference within FP tolerance, for both chains.
+func TestWalkMatchesReference(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		for _, lazy := range []bool{false, true} {
+			k := New(g, 1)
+			w := k.NewWalk(0, lazy)
+			ref := make([]float64, g.N())
+			ref[0] = 1
+			for step := 0; step < 40; step++ {
+				for v := range ref {
+					if math.Abs(ref[v]-w.P()[v]) > 1e-12 {
+						t.Fatalf("%s lazy=%v t=%d v=%d: kernel %g, reference %g",
+							g.Name(), lazy, step, v, w.P()[v], ref[v])
+					}
+				}
+				ref = refStep(g, ref, lazy)
+				w.Step()
+			}
+		}
+	}
+}
+
+// TestWalkWorkerInvariance: distributions are bit-identical for every worker
+// count, at every step, across the sparse→dense transition.
+func TestWalkWorkerInvariance(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		for _, lazy := range []bool{false, true} {
+			for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0) + 1} {
+				base := New(g, 1).NewWalk(0, lazy)
+				w := New(g, workers).NewWalk(0, lazy)
+				for step := 0; step < 30; step++ {
+					for v, pv := range w.P() {
+						if pv != base.P()[v] {
+							t.Fatalf("%s lazy=%v workers=%d t=%d v=%d: %x != %x",
+								g.Name(), lazy, workers, step, v, pv, base.P()[v])
+						}
+					}
+					w.Step()
+					base.Step()
+				}
+			}
+		}
+	}
+}
+
+// TestMultiWalkWorkerInvariance exercises the actually-parallel paths (the
+// graph is above the serial threshold): lanes, L1ToTarget and AllBelow are
+// bit-identical for every worker count.
+func TestMultiWalkWorkerInvariance(t *testing.T) {
+	g, err := gen.Torus(48, 48) // 2304 ≥ parallelMinVerts and > redGrain
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	target := make([]float64, n)
+	for v := range target {
+		target[v] = 1 / float64(n)
+	}
+	sources := make([]int, BatchWidth)
+	for b := range sources {
+		sources[b] = b * 97
+	}
+	run := func(workers int) ([]float64, []float64) {
+		k := New(g, workers)
+		mw := k.NewMultiWalk(BatchWidth, true)
+		mw.Reset(sources)
+		for step := 0; step < 50; step++ {
+			mw.Step()
+		}
+		dist := make([]float64, BatchWidth)
+		mw.L1ToTarget(target, dist)
+		p := make([]float64, n*BatchWidth)
+		copy(p, mw.p)
+		return p, dist
+	}
+	refP, refDist := run(1)
+	for _, workers := range []int{2, 5} {
+		p, dist := run(workers)
+		for i := range p {
+			if p[i] != refP[i] {
+				t.Fatalf("workers=%d: p[%d] = %x, want %x", workers, i, p[i], refP[i])
+			}
+		}
+		for b := range dist {
+			if dist[b] != refDist[b] {
+				t.Fatalf("workers=%d: dist[%d] = %x, want %x", workers, b, dist[b], refDist[b])
+			}
+		}
+	}
+}
+
+// TestMultiWalkLanesMatchDenseWalk: every lane of a batch is bit-identical
+// to a dense single walk from the same source (the documented contract that
+// ties the SIMD batch kernel to the scalar pull path).
+func TestMultiWalkLanesMatchDenseWalk(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		n := g.N()
+		for _, lazy := range []bool{false, true} {
+			k := New(g, 1)
+			sources := make([]int, BatchWidth)
+			walks := make([]*Walk, BatchWidth)
+			for b := range sources {
+				sources[b] = (b * 5) % n
+				walks[b] = k.NewWalk(sources[b], lazy)
+				walks[b].SetDist(walks[b].P()) // force dense from step 0
+			}
+			mw := k.NewMultiWalk(BatchWidth, lazy)
+			mw.Reset(sources)
+			lane := make([]float64, n)
+			for step := 0; step < 25; step++ {
+				for b := range sources {
+					mw.Lane(b, lane)
+					for v := range lane {
+						if lane[v] != walks[b].P()[v] {
+							t.Fatalf("%s lazy=%v t=%d lane=%d v=%d: batch %x, single %x",
+								g.Name(), lazy, step, b, v, lane[v], walks[b].P()[v])
+						}
+					}
+				}
+				mw.Step()
+				for b := range walks {
+					walks[b].Step()
+				}
+			}
+		}
+	}
+}
+
+// TestMultiWalkGenericWidthMatches: a non-specialized width gives the same
+// lanes as the BatchWidth path (bitwise: both are mul-then-add in row
+// order).
+func TestMultiWalkGenericWidthMatches(t *testing.T) {
+	g, err := gen.Torus(6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New(g, 1)
+	sources := []int{0, 11, 17}
+	m3 := k.NewMultiWalk(3, true)
+	m3.Reset(sources)
+	m16 := k.NewMultiWalk(BatchWidth, true)
+	src16 := make([]int, BatchWidth)
+	for b := range src16 {
+		src16[b] = sources[b%len(sources)]
+	}
+	m16.Reset(src16)
+	a, b := make([]float64, g.N()), make([]float64, g.N())
+	for step := 0; step < 30; step++ {
+		m3.Step()
+		m16.Step()
+		for lane := range sources {
+			m3.Lane(lane, a)
+			m16.Lane(lane, b)
+			for v := range a {
+				if a[v] != b[v] {
+					t.Fatalf("t=%d lane=%d v=%d: width3 %x, width16 %x", step, lane, v, a[v], b[v])
+				}
+			}
+		}
+	}
+}
+
+// TestL1ToTargetAndAllBelow: the batched distances agree with a scalar
+// reference, and AllBelow is consistent with them.
+func TestL1ToTargetAndAllBelow(t *testing.T) {
+	g, err := gen.Barbell(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	k := New(g, 1)
+	mw := k.NewMultiWalk(BatchWidth, false)
+	sources := make([]int, BatchWidth)
+	for b := range sources {
+		sources[b] = (b * 3) % n
+	}
+	mw.Reset(sources)
+	target := make([]float64, n)
+	for v := range target {
+		target[v] = 1 / float64(n)
+	}
+	out := make([]float64, BatchWidth)
+	lane := make([]float64, n)
+	for step := 0; step < 20; step++ {
+		mw.L1ToTarget(target, out)
+		worst := 0.0
+		for b := range sources {
+			mw.Lane(b, lane)
+			ref := 0.0
+			for v := range lane {
+				ref += math.Abs(lane[v] - target[v])
+			}
+			if math.Abs(ref-out[b]) > 1e-12 {
+				t.Fatalf("t=%d lane=%d: L1ToTarget %g, reference %g", step, b, out[b], ref)
+			}
+			if ref > worst {
+				worst = ref
+			}
+		}
+		for _, eps := range []float64{worst * 0.99, worst * 1.01} {
+			want := worst < eps
+			if got := mw.AllBelow(target, eps); got != want {
+				t.Fatalf("t=%d eps=%g: AllBelow=%v, want %v (worst %g)", step, eps, got, want, worst)
+			}
+		}
+		mw.Step()
+	}
+}
+
+// TestWalkStepAllocFree: after warmup (including the sparse→dense switch),
+// Step performs zero allocations, for serial and parallel kernels.
+func TestWalkStepAllocFree(t *testing.T) {
+	g, err := gen.Torus(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		k := New(g, workers)
+		w := k.NewWalk(0, true)
+		w.StepN(64) // warm up: frontier growth and dense switch happen here
+		if avg := testing.AllocsPerRun(50, w.Step); avg != 0 {
+			t.Errorf("workers=%d: Walk.Step allocates %.1f/op in steady state", workers, avg)
+		}
+		mw := k.NewMultiWalk(BatchWidth, true)
+		srcs := make([]int, BatchWidth)
+		for b := range srcs {
+			srcs[b] = b
+		}
+		mw.Reset(srcs)
+		mw.Step()
+		if avg := testing.AllocsPerRun(50, mw.Step); avg != 0 {
+			t.Errorf("workers=%d: MultiWalk.Step allocates %.1f/op in steady state", workers, avg)
+		}
+	}
+}
+
+// TestParallelForCoversRange: every index is visited exactly once for any
+// grain/worker combination.
+func TestParallelForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 1000} {
+		for _, workers := range []int{1, 2, 7} {
+			for _, grain := range []int{0, 1, 64, 1024} {
+				c := &coverJob{seen: make([]int32, n)}
+				ParallelFor(&c.wg, c, n, grain, workers)
+				for i, s := range c.seen {
+					if s != 1 {
+						t.Fatalf("n=%d workers=%d grain=%d: index %d visited %d times", n, workers, grain, i, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+type coverJob struct {
+	wg   waitGroup
+	seen []int32
+}
+
+func (c *coverJob) RunRange(lo, hi int32) {
+	for i := lo; i < hi; i++ {
+		c.seen[i]++ // ranges are disjoint, so no atomics needed
+	}
+}
+
+// TestEdgeBalancedCuts: cuts are monotone, cover [0,n], and never exceed the
+// requested block count.
+func TestEdgeBalancedCuts(t *testing.T) {
+	for _, g := range testGraphs(t) {
+		for _, blocks := range []int{1, 2, 3, 8, 1000} {
+			k := New(g, blocks)
+			cuts := k.cuts
+			if cuts[0] != 0 || cuts[len(cuts)-1] != int32(g.N()) {
+				t.Fatalf("%s blocks=%d: cuts %v do not span [0,%d]", g.Name(), blocks, cuts, g.N())
+			}
+			for i := 1; i < len(cuts); i++ {
+				if cuts[i] <= cuts[i-1] {
+					t.Fatalf("%s blocks=%d: cuts %v not strictly increasing", g.Name(), blocks, cuts)
+				}
+			}
+			if len(cuts)-1 > blocks {
+				t.Fatalf("%s: %d blocks exceed requested %d", g.Name(), len(cuts)-1, blocks)
+			}
+		}
+	}
+}
+
+// TestApplyMatchesWalkOperator: Kernel.Apply equals one reference step on an
+// arbitrary (non-distribution) vector, as the spectral package requires.
+func TestApplyMatchesWalkOperator(t *testing.T) {
+	g, err := gen.Barbell(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for _, lazy := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			k := New(g, workers)
+			y := make([]float64, n)
+			k.Apply(y, x, lazy)
+			ref := refStep(g, x, lazy)
+			for v := range y {
+				if math.Abs(y[v]-ref[v]) > 1e-12 {
+					t.Fatalf("lazy=%v workers=%d v=%d: Apply %g, reference %g", lazy, workers, v, y[v], ref[v])
+				}
+			}
+		}
+	}
+}

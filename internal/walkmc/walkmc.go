@@ -42,21 +42,25 @@ func Sample(g *graph.Graph, source, ell, k int, lazy bool, rng *rand.Rand) (*Est
 	if k <= 0 || ell < 0 {
 		return nil, errors.New("walkmc: need k > 0 and ell ≥ 0")
 	}
+	// Token moves index the raw CSR directly: the per-move cost is one RNG
+	// draw and one flat slice load, with no per-row slice header.
+	offsets, edges := g.CSR()
 	counts := make([]int, g.N())
 	for i := 0; i < k; i++ {
-		u := source
+		u := int32(source)
 		for t := 0; t < ell; t++ {
 			if lazy && rng.Intn(2) == 0 {
 				continue
 			}
-			row := g.Neighbors(u)
-			u = int(row[rng.Intn(len(row))])
+			lo, hi := offsets[u], offsets[u+1]
+			u = edges[lo+int32(rng.Intn(int(hi-lo)))]
 		}
 		counts[u]++
 	}
 	p := make([]float64, g.N())
+	invK := 1 / float64(k)
 	for u, c := range counts {
-		p[u] = float64(c) / float64(k)
+		p[u] = float64(c) * invK
 	}
 	return &Estimate{P: p, K: k, Ell: ell}, nil
 }
@@ -74,12 +78,13 @@ func MixingTimeMC(g *graph.Graph, source int, eps float64, k int, lazy bool, max
 	if eps <= 0 || eps >= 1 {
 		return 0, fmt.Errorf("walkmc: need ε ∈ (0,1), got %g", eps)
 	}
+	pi := exact.Stationary(g) // hoisted: one π for the whole doubling search
 	for ell := 1; ell <= maxT; ell *= 2 {
 		est, err := Sample(g, source, ell, k, lazy, rng)
 		if err != nil {
 			return 0, err
 		}
-		if est.L1ToStationary(g) < eps {
+		if exact.L1(est.P, pi) < eps {
 			return ell, nil
 		}
 	}

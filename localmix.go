@@ -90,10 +90,27 @@ func MixingTime(g *Graph, source int, eps float64, lazy bool, maxT int) (int, er
 	return exact.MixingTime(g, source, eps, lazy, maxT)
 }
 
+// GraphMixingTime computes τ_mix(ε) = max_s τ_mix_s(ε) over every source,
+// evolving sources in 16-lane batches on the shared walk kernel (one edge
+// pass advances a whole batch) instead of n serial walks.
+func GraphMixingTime(g *Graph, eps float64, lazy bool, maxT int) (int, error) {
+	return exact.GraphMixingTime(g, eps, lazy, maxT)
+}
+
+// GraphMixingTimeWorkers is GraphMixingTime with an explicit oracle worker
+// count (≤ 0 means GOMAXPROCS). Like LocalMixingOptions.Workers, the count
+// only changes the schedule: oracle results are bit-identical for every
+// worker count.
+func GraphMixingTimeWorkers(g *Graph, eps float64, lazy bool, maxT, workers int) (int, error) {
+	return exact.GraphMixingTimeWorkers(g, eps, lazy, maxT, workers)
+}
+
 // LocalMixingResult is the centralized local-mixing oracle output.
 type LocalMixingResult = exact.LocalResult
 
-// LocalMixingOptions configures the centralized local-mixing oracle.
+// LocalMixingOptions configures the centralized local-mixing oracle. The
+// Workers field sets the walk-kernel parallelism (≤ 0 means GOMAXPROCS);
+// results never depend on it.
 type LocalMixingOptions = exact.LocalOptions
 
 // LocalMixingTime computes τ_s(β, ε) exactly (centralized oracle;
