@@ -20,6 +20,7 @@ import (
 	"repro/internal/fixedpoint"
 	"repro/internal/gen"
 	"repro/internal/spread"
+	"repro/internal/sweep"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -288,6 +289,76 @@ func BenchmarkLocalMixingOracle(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDistributedSweep measures the all-sources distributed
+// GraphLocalMixingTime sweep (graph-wide τ(β,ε) via Algorithm 2 from every
+// vertex) on the parallel sweep engine. "serial" is the seed path it
+// replaced — one core.Run per source, each building a fresh CONGEST
+// network — with the same splitmix64-derived per-source seeds, so every
+// variant must compute the identical MultiResult; the workersN variants
+// track the wall-clock win (≈ linear in cores on multi-core hosts, plus
+// the network-construction amortization even on one core). torus16 is the
+// heavier anchor, skipped under -short.
+func BenchmarkDistributedSweep(b *testing.B) {
+	roc, err := gen.RingOfCliques(4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	torus, err := gen.Torus(16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const base = 1
+	cfgFor := func(beta float64) core.Config {
+		cfg := core.Config{Mode: core.ApproxLocal, Beta: beta, Eps: bench.PaperEps, Lazy: true, AllowIrregular: true}
+		cfg.Engine.Seed = base
+		return cfg
+	}
+	graphs := []struct {
+		name  string
+		g     *Graph
+		beta  float64
+		heavy bool
+	}{
+		{"ringcliques", roc, 4, false},
+		{"torus16", torus, 4, true},
+	}
+	for _, gr := range graphs {
+		cfg := cfgFor(gr.beta)
+		b.Run(gr.name+"/serial", func(b *testing.B) {
+			if gr.heavy && testing.Short() {
+				b.Skip("torus16 all-sources serial sweep is slow; run without -short")
+			}
+			for i := 0; i < b.N; i++ {
+				tau := -1
+				for s := 0; s < gr.g.N(); s++ {
+					runCfg := cfg
+					runCfg.Source = s
+					runCfg.Engine.Seed = sweep.DeriveSeed(base, s)
+					res, err := core.Run(gr.g, runCfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Tau > tau {
+						tau = res.Tau
+					}
+				}
+			}
+		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers%d", gr.name, workers), func(b *testing.B) {
+				if gr.heavy && testing.Short() {
+					b.Skip("torus16 all-sources sweep is slow; run without -short")
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := core.GraphLocalMixingTimeSweep(gr.g, cfg, core.SweepOptions{Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -9,6 +9,8 @@
 //	lmt -graph ringcliques -beta 8 -k 16 -mode all
 //	lmt -graph expander -n 256 -d 6 -mode approx
 //	lmt -graph path -n 128 -lazy -mode exact
+//	lmt -graph ringcliques -beta 8 -k 16 -mode approx -all     # graph-wide sweep
+//	lmt -graph torus -dim 16 -mode mixing -lazy -sample 32 -sweepworkers 4
 package main
 
 import (
@@ -40,6 +42,9 @@ func main() {
 		workersFlag = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS; never changes results)")
 		statsFlag   = flag.Bool("enginestats", false, "print the engine's liveness/allocation counters per run")
 		dotFlag     = flag.String("dot", "", "write a Graphviz file with the oracle's witness local-mixing set highlighted")
+		allFlag     = flag.Bool("all", false, "sweep every vertex as source: graph-wide τ(β,ε)=max_v τ_v (distributed modes)")
+		sampleFlag  = flag.Int("sample", 0, "sweep a deterministic sample of this many sources (footnote 6; implies a sweep)")
+		sweepWFlag  = flag.Int("sweepworkers", 0, "sweep worker pool size (0 = GOMAXPROCS; never changes results)")
 	)
 	flag.Parse()
 
@@ -74,6 +79,24 @@ func main() {
 		}
 	}
 
+	// Multi-source sweep mode (-all / -sample): the distributed modes
+	// compute the graph-wide max over sources on the parallel sweep engine
+	// instead of a single-source run.
+	sweeping := *allFlag || *sampleFlag > 0
+	sweepOpts := core.SweepOptions{Workers: *sweepWFlag, Sample: *sampleFlag}
+	sweepCfg := func(m core.Mode) core.Config {
+		cfg := core.Config{Mode: m, Beta: *betaFlag, Eps: *epsFlag}
+		for _, o := range opts { // same option set as the single-source runs
+			o(&cfg)
+		}
+		return cfg
+	}
+	printSweep := func(label string, multi *core.MultiResult) {
+		fmt.Printf("%-22s τ=%d  argmax=%d  sources=%d  Σrounds=%d  Σmsgs=%d  Σbits=%d\n",
+			label, multi.Tau, multi.ArgMax, len(multi.Sources),
+			multi.TotalRounds, multi.TotalMessages, multi.TotalBits)
+	}
+
 	mode := *modeFlag
 	if mode == "oracle" || mode == "all" {
 		run("oracle", func() error {
@@ -104,6 +127,14 @@ func main() {
 	}
 	if mode == "approx" || mode == "all" {
 		run("approx", func() error {
+			if sweeping {
+				multi, err := core.GraphLocalMixingTimeSweep(g, sweepCfg(core.ApproxLocal), sweepOpts)
+				if err != nil {
+					return err
+				}
+				printSweep("Alg 2 sweep (Thm 1)", multi)
+				return nil
+			}
 			res, err := core.ApproxLocalMixingTime(g, *srcFlag, *betaFlag, *epsFlag, opts...)
 			if err != nil {
 				return err
@@ -116,6 +147,14 @@ func main() {
 	}
 	if mode == "exact" || mode == "all" {
 		run("exact", func() error {
+			if sweeping {
+				multi, err := core.GraphLocalMixingTimeSweep(g, sweepCfg(core.ExactLocal), sweepOpts)
+				if err != nil {
+					return err
+				}
+				printSweep("exact sweep (Thm 2)", multi)
+				return nil
+			}
 			res, err := core.ExactLocalMixingTime(g, *srcFlag, *betaFlag, *epsFlag, opts...)
 			if err != nil {
 				return err
@@ -128,6 +167,14 @@ func main() {
 	}
 	if mode == "mixing" || mode == "all" {
 		run("mixing", func() error {
+			if sweeping {
+				multi, err := core.GraphMixingTime(g, sweepCfg(core.MixTime), sweepOpts)
+				if err != nil {
+					return err
+				}
+				printSweep("mixing sweep [18]", multi)
+				return nil
+			}
 			res, err := core.MixingTime(g, *srcFlag, *epsFlag, opts...)
 			if err != nil {
 				return err

@@ -142,6 +142,7 @@ func All() []Experiment {
 		{"E14", "Definition 2: graph-wide τ(β,ε) and source sampling", E14GraphLocalMixing},
 		{"E15", "Engine telemetry: liveness and allocation counters", E15EngineCounters},
 		{"E16", "Oracle kernel: batched MultiWalk vs serial walks", E16OracleKernel},
+		{"E17", "Distributed sweep: worker pool vs serial per-source runs", E17DistributedSweep},
 		{"A1", "Ablation: doubling (Thm 1) vs unit increments (Thm 2)", A1DoublingAblation},
 		{"A2", "Ablation: the 4ε relaxation of Lemma 3", A2EpsilonRelaxation},
 		{"A3", "Ablation: deterministic vs randomized tie-breaking", A3TieBreak},

@@ -3,6 +3,7 @@ package congest
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 )
 
@@ -234,18 +235,26 @@ func (n *Network) mergeDeliver() (delivered int64) {
 }
 
 // finalize merges any outstanding per-shard accounting into the run
-// statistics.
+// statistics and returns a private copy: Run's caller keeps the Stats while
+// the network's own accumulator is rewound by the next reuse.
 func (n *Network) finalize() *Stats {
 	n.stats.Rounds = n.round
 	n.mergeStep()
 	n.mergeDeliver()
-	return &n.stats
+	st := n.stats
+	return &st
 }
 
 // Run executes the simulation. newProc is called once per node id to create
 // its Process; the caller typically captures the created processes to read
 // their outputs afterwards. Run returns the statistics and the first error
 // (bandwidth violation, illegal send, or round-limit exhaustion), if any.
+//
+// Run may be called repeatedly on the same network (optionally reseeded via
+// SetSeed between calls): every slab from the previous run — contexts, RNGs,
+// mailboxes, arenas, inboxes — is reset in place and reused, so repeated
+// runs amortize network construction. The returned Stats are a private copy,
+// unaffected by later runs. Concurrent Runs on one network are not allowed.
 func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 	nn := n.g.N()
 	nw := n.cfg.Workers
@@ -258,52 +267,69 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 	if nw < 1 {
 		nw = 1
 	}
-	n.ctxs = make([]Context, nn)
-	n.procs = make([]Process, nn)
-	n.owner = make([]int32, nn)
-	n.shards = make([]shard, nw)
-	for w := range n.shards {
-		lo, hi := w*nn/nw, (w+1)*nn/nw
-		sh := &n.shards[w]
-		sh.net = n
-		sh.idx = int32(w)
-		sh.lo, sh.hi = int32(lo), int32(hi)
-		sh.out = make([][]pend, nw)
-		sh.minWake = noWake
-		sh.live = make([]int32, 0, hi-lo)
-		for u := lo; u < hi; u++ {
-			n.owner[u] = int32(w)
+	if n.ctxs == nil {
+		// First run: allocate the run-state slabs. One RNG slab and one
+		// inbox arena serve the whole network: the arena gives every node
+		// an inbox segment of capacity degree (the common per-round
+		// fan-in), so warmup growth is one allocation, not n. On huge
+		// graphs the degree-capacity arena (48 bytes per directed edge)
+		// would dwarf the CSR itself while sparse-traffic protocols never
+		// fill it, so beyond the cap inboxes start empty and grow to
+		// actual traffic instead.
+		n.ctxs = make([]Context, nn)
+		n.procs = make([]Process, nn)
+		n.owner = make([]int32, nn)
+		n.shards = make([]shard, nw)
+		for w := range n.shards {
+			lo, hi := w*nn/nw, (w+1)*nn/nw
+			sh := &n.shards[w]
+			sh.net = n
+			sh.idx = int32(w)
+			sh.lo, sh.hi = int32(lo), int32(hi)
+			sh.out = make([][]pend, nw)
+			sh.minWake = noWake
+			sh.live = make([]int32, 0, hi-lo)
+			for u := lo; u < hi; u++ {
+				n.owner[u] = int32(w)
+			}
 		}
-	}
-	// One RNG slab and one inbox arena for the whole network: the arena
-	// gives every node an inbox segment of capacity degree (the common
-	// per-round fan-in), so warmup growth is one allocation, not n. On
-	// huge graphs the degree-capacity arena (48 bytes per directed edge)
-	// would dwarf the CSR itself while sparse-traffic protocols never fill
-	// it, so beyond the cap inboxes start empty and grow to actual
-	// traffic instead.
-	rngs := newNodeRands(n.cfg.Seed, nn)
-	const inboxArenaCap = 1 << 20 // Message slots (~48 MB) — covers every bench-scale graph
-	var inboxArena []Message
-	if slots := 2 * n.g.M(); slots <= inboxArenaCap {
-		inboxArena = make([]Message, slots)
+		n.rngSrcs = make([]splitmix64, nn)
+		n.rngs = make([]rand.Rand, nn)
+		const inboxArenaCap = 1 << 20 // Message slots (~48 MB) — covers every bench-scale graph
+		if slots := 2 * n.g.M(); slots <= inboxArenaCap {
+			n.inboxArena = make([]Message, slots)
+		}
+		for u := 0; u < nn; u++ {
+			if n.inboxArena != nil {
+				lo, hi := n.rowOff[u], n.rowOff[u+1]
+				n.ctxs[u].inbox = n.inboxArena[lo:lo:hi]
+			}
+		}
+	} else {
+		n.resetRunState()
 	}
 	for u := 0; u < nn; u++ {
+		// Reseed in place: splitmix64 seeds in one word, so per-run RNG
+		// setup is two slab passes, no allocation. rand.New's temporary
+		// stays on the stack because only the dereferenced value is stored.
+		n.rngSrcs[u].x = uint64(nodeSeed(n.cfg.Seed, u))
+		n.rngs[u] = *rand.New(&n.rngSrcs[u])
+		inbox := n.ctxs[u].inbox[:0] // keep the warm capacity across runs
 		n.ctxs[u] = Context{
-			net: n,
-			sh:  &n.shards[n.owner[u]],
-			id:  int32(u),
-			rng: &rngs[u],
-		}
-		if inboxArena != nil {
-			lo, hi := n.rowOff[u], n.rowOff[u+1]
-			n.ctxs[u].inbox = inboxArena[lo:lo:hi]
+			net:   n,
+			sh:    &n.shards[n.owner[u]],
+			id:    int32(u),
+			rng:   &n.rngs[u],
+			inbox: inbox,
 		}
 		n.procs[u] = newProc(u)
 	}
 	if nw > 1 && nn >= parallelMin {
 		n.startPool()
-		defer n.pool.stop()
+		defer func() {
+			n.pool.stop()
+			n.pool = nil
+		}()
 	}
 
 	// Round 0: Init everyone (sequential: Init is cheap and often empty).

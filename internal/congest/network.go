@@ -3,6 +3,7 @@ package congest
 import (
 	"errors"
 	"math/bits"
+	"math/rand"
 	"runtime"
 
 	"repro/internal/graph"
@@ -31,12 +32,19 @@ type Network struct {
 	edgeBits  []int32
 	edgeStamp []int32
 
-	// Run state.
-	ctxs   []Context
-	procs  []Process
-	owner  []int32 // owner[u] = index of the shard that owns node u
-	shards []shard
-	pool   *workerPool
+	// Run state. The slabs are allocated on the first Run and reused by
+	// every subsequent Run on the same network (see resetRunState), so
+	// multi-source sweeps pay the construction cost — the edge-slot hash,
+	// the context/RNG slabs, the inbox arena — once per worker instead of
+	// once per source.
+	ctxs       []Context
+	procs      []Process
+	owner      []int32 // owner[u] = index of the shard that owns node u
+	shards     []shard
+	pool       *workerPool
+	rngSrcs    []splitmix64
+	rngs       []rand.Rand
+	inboxArena []Message
 
 	stats Stats
 }
@@ -77,6 +85,46 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 
 // Graph returns the underlying topology.
 func (n *Network) Graph() *graph.Graph { return n.g }
+
+// SetSeed replaces the engine seed used by the next Run. Multi-source
+// sweeps reuse one network per worker and reseed it between sources (each
+// with a seed derived from the sweep's base seed), so per-source runs are
+// reproducible and their RNG streams uncorrelated. Must not be called
+// while a Run is in progress.
+func (n *Network) SetSeed(seed int64) { n.cfg.Seed = seed }
+
+// Seed returns the engine seed the next Run will use.
+func (n *Network) Seed() int64 { return n.cfg.Seed }
+
+// resetRunState rewinds every piece of per-run state so the network can
+// execute another Run on the same graph while reusing all allocated slabs:
+// the round counter and statistics restart from zero, the bandwidth stamps
+// are invalidated, and each shard's live list, mailboxes, payload arena and
+// accumulators are truncated in place (capacity — the warm buffer sizes
+// reached by the previous run — is kept, which is the point of reuse).
+func (n *Network) resetRunState() {
+	n.round = 0
+	n.stats = Stats{}
+	for i := range n.edgeStamp {
+		n.edgeStamp[i] = -1
+	}
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.live = sh.live[:0]
+		for s := range sh.out {
+			sh.out[s] = sh.out[s][:0]
+		}
+		sh.arena.buf[0] = sh.arena.buf[0][:0]
+		sh.arena.buf[1] = sh.arena.buf[1][:0]
+		sh.arena.cur = 0
+		sh.steps, sh.skips, sh.wakes, sh.halts = 0, 0, 0, 0
+		sh.msgs, sh.bits, sh.payloadWords = 0, 0, 0
+		sh.stepGrows, sh.deliverGrows = 0, 0
+		sh.maxEdgeBits = 0
+		sh.minWake = noWake
+		sh.err = nil
+	}
+}
 
 // Bandwidth returns the per-edge budget in bits (CONGEST mode).
 func (n *Network) Bandwidth() int { return n.bandwidth }

@@ -1,7 +1,5 @@
 package congest
 
-import "math/rand"
-
 // splitmix64 is a tiny O(1)-seed rand.Source64. The engine creates one RNG
 // per node per run; math/rand's default lagged-Fibonacci source pays an
 // ~600-word table initialization per seed, which dominated whole-run
@@ -24,21 +22,8 @@ func (s *splitmix64) Seed(seed int64) { s.x = uint64(seed) }
 
 // nodeSeed derives the per-node RNG seed from the run seed. The constant
 // mixing keeps distinct nodes on distinct streams and distinct run seeds on
-// distinct per-node streams.
+// distinct per-node streams. The RNG slabs themselves live on the Network
+// (rngSrcs/rngs) and are reseeded in place by every Run.
 func nodeSeed(runSeed int64, u int) int64 {
 	return runSeed ^ (int64(u)*0x5E3779B97F4A7C15 + 0x1234567)
-}
-
-// newNodeRands builds every node's private deterministic RNG in two slab
-// allocations: rand.New's temporary stays on the stack because only the
-// dereferenced value is stored, and the Rand values keep the source slab
-// alive through their interface field.
-func newNodeRands(runSeed int64, n int) []rand.Rand {
-	srcs := make([]splitmix64, n)
-	out := make([]rand.Rand, n)
-	for u := range srcs {
-		srcs[u].x = uint64(nodeSeed(runSeed, u))
-		out[u] = *rand.New(&srcs[u])
-	}
-	return out
 }

@@ -9,11 +9,21 @@ import (
 	"repro/internal/protocol"
 )
 
-// Run executes one distributed algorithm on the graph per the Config and
-// returns the source's result together with the engine statistics. The run
-// fails if the engine detects a model violation, the round limit elapses, or
-// the walk-length cap is reached without the test passing.
-func Run(g *graph.Graph, cfg Config) (*Result, error) {
+// prepared bundles a validated Config with the derived protocol parameters
+// (fixed-point scale, wire sizes, resolved engine config). It is computed
+// once per sweep and shared by every per-source run; only Source and
+// Engine.Seed vary between runs.
+type prepared struct {
+	g      *graph.Graph
+	cfg    Config // defaults applied; Source/Engine.Seed overridden per run
+	scale  fixedpoint.Scale
+	sizes  protocol.Sizes
+	engCfg congest.Config
+}
+
+// prepare validates the config against the graph and derives the run
+// parameters shared by every source.
+func prepare(g *graph.Graph, cfg Config) (*prepared, error) {
 	full, err := cfg.withDefaults(g)
 	if err != nil {
 		return nil, err
@@ -24,28 +34,37 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 	}
 	sizes := protocol.NewSizes(g.N(), scale)
 	sizes.TieBits = full.TieBreakBits
-	sh := &shared{
-		cfg:   full,
-		scale: scale,
-		sizes: sizes,
-		twoM:  int64(2 * g.M()),
-	}
 	engCfg := full.Engine
 	if engCfg.MaxRounds == 0 {
 		// Generous default: every epoch costs O(ℓ + D·log·log); bound the
 		// whole run by the length cap times a polylog cushion.
 		engCfg.MaxRounds = 400*full.MaxLength + 200*g.N() + 2_000_000
 	}
-	net, err := congest.NewNetwork(g, engCfg)
-	if err != nil {
-		return nil, err
+	return &prepared{g: g, cfg: full, scale: scale, sizes: sizes, engCfg: engCfg}, nil
+}
+
+// runOn executes one per-source computation on the given network — freshly
+// built by Run, or a sweep worker's reused one (already reset and reseeded
+// by congest.Network.Run; seed is recorded in the run's config). nodes is
+// the caller's responder slab: one slab for all responder processes makes
+// node creation O(1) allocations for the whole network instead of one per
+// vertex, and sweep workers reuse it across sources.
+func (p *prepared) runOn(net *congest.Network, source int, seed int64, nodes []node) (*Result, error) {
+	if source < 0 || source >= p.g.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, p.g.N())
+	}
+	cfg := p.cfg
+	cfg.Source = source
+	cfg.Engine.Seed = seed
+	sh := &shared{
+		cfg:   cfg,
+		scale: p.scale,
+		sizes: p.sizes,
+		twoM:  int64(2 * p.g.M()),
 	}
 	var drv *driver
-	// One slab for all responder processes: node creation is O(1)
-	// allocations for the whole network instead of one per vertex.
-	nodes := make([]node, g.N())
 	stats, err := net.Run(func(id int) congest.Process {
-		if id == full.Source {
+		if id == source {
 			drv = newDriver(sh)
 			return drv
 		}
@@ -57,12 +76,28 @@ func Run(g *graph.Graph, cfg Config) (*Result, error) {
 		drv.res.Stats = stats
 	}
 	if err != nil {
-		return nil, fmt.Errorf("core: %s run failed: %w", full.Mode, err)
+		return nil, fmt.Errorf("core: %s run failed: %w", cfg.Mode, err)
 	}
 	if drv.failErr != nil {
 		return &drv.res, drv.failErr
 	}
 	return &drv.res, nil
+}
+
+// Run executes one distributed algorithm on the graph per the Config and
+// returns the source's result together with the engine statistics. The run
+// fails if the engine detects a model violation, the round limit elapses, or
+// the walk-length cap is reached without the test passing.
+func Run(g *graph.Graph, cfg Config) (*Result, error) {
+	p, err := prepare(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	net, err := congest.NewNetwork(g, p.engCfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.runOn(net, p.cfg.Source, p.cfg.Engine.Seed, make([]node, g.N()))
 }
 
 // ApproxLocalMixingTime runs Algorithm 2 (LOCAL-MIXING-TIME, Theorem 1): a

@@ -1,0 +1,81 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/gen"
+)
+
+// TestBipartiteNonLazyFastFail: every oracle entry point must reject the
+// simple walk on a bipartite graph immediately with ErrBipartiteNonLazy —
+// not burn its whole step budget and misreport ErrNoMixing (the walk
+// oscillates between the two sides forever, footnote 5).
+func TestBipartiteNonLazyFastFail(t *testing.T) {
+	g, err := gen.Hypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget large enough that burning it would take far longer than the
+	// guard: the pre-guard behavior of the local oracles was a full 2^20
+	// step scan ending in ErrNoMixing.
+	const hugeT = 1 << 20
+	opts := LocalOptions{MaxT: hugeT, Grid: true}
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"MixingTime", func() error {
+			_, err := MixingTime(g, 0, 0.1, false, hugeT)
+			return err
+		}},
+		{"GraphMixingTime", func() error {
+			_, err := GraphMixingTime(g, 0.1, false, hugeT)
+			return err
+		}},
+		{"LocalMixing", func() error {
+			_, err := LocalMixing(g, 0, 4, 0.1, opts)
+			return err
+		}},
+		{"LocalMixingProfile", func() error {
+			_, err := LocalMixingProfile(g, 0, 4, 0.1, opts)
+			return err
+		}},
+		{"GraphLocalMixing", func() error {
+			_, err := GraphLocalMixing(g, 4, 0.1, opts, nil)
+			return err
+		}},
+		{"FixedLocalMixing", func() error {
+			scale := fixedpoint.MustScaleFor(g.N(), fixedpoint.DefaultC)
+			_, err := FixedLocalMixing(g, 0, scale, 4, 0.1, false, Units(hugeT))
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			start := time.Now()
+			err := tc.call()
+			if err == nil {
+				t.Fatal("non-lazy walk on a bipartite graph accepted")
+			}
+			if !errors.Is(err, ErrBipartiteNonLazy) {
+				t.Fatalf("error is %v, want ErrBipartiteNonLazy", err)
+			}
+			if errors.Is(err, ErrNoMixing) {
+				t.Fatal("guard still reports the misleading ErrNoMixing")
+			}
+			if d := time.Since(start); d > time.Second {
+				t.Errorf("fast-fail took %v — budget was burned before rejecting", d)
+			}
+		})
+	}
+	// The lazy chain on the same graph must pass every guard.
+	if _, err := MixingTime(g, 0, 0.5, true, hugeT); err != nil {
+		t.Errorf("lazy MixingTime on hypercube: %v", err)
+	}
+	if _, err := LocalMixing(g, 0, 4, 0.25, LocalOptions{MaxT: hugeT, Grid: true, Lazy: true}); err != nil {
+		t.Errorf("lazy LocalMixing on hypercube: %v", err)
+	}
+}

@@ -160,6 +160,9 @@ type FixedLocalResult struct {
 // restarted at length ℓ equals the continued walk at time ℓ, so doubling
 // with restarts is equivalent to checkpointing one continuous walk).
 func FixedLocalMixing(g *graph.Graph, source int, scale fixedpoint.Scale, beta, eps float64, lazy bool, lengths []int) (*FixedLocalResult, error) {
+	if err := checkLazyChain(g, lazy); err != nil {
+		return nil, err
+	}
 	fw, err := NewFixedWalk(g, source, scale, lazy)
 	if err != nil {
 		return nil, err

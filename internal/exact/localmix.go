@@ -78,6 +78,9 @@ func localKernel(g *graph.Graph, beta, eps float64, o LocalOptions) (*walkkernel
 	if o.MaxT <= 0 {
 		return nil, fmt.Errorf("exact: LocalMixing needs MaxT > 0, got %d", o.MaxT)
 	}
+	if err := checkLazyChain(g, o.Lazy); err != nil {
+		return nil, err
+	}
 	return walkKernel(g, o.Workers)
 }
 

@@ -120,6 +120,22 @@ func RestrictedL1(p, target []float64, members []bool) float64 {
 // threshold within the step budget.
 var ErrNoMixing = errors.New("exact: walk did not mix within the step budget")
 
+// ErrBipartiteNonLazy rejects the simple (non-lazy) walk on a bipartite
+// graph up front: its distribution oscillates between the two sides forever
+// and never converges to π (the paper's footnote 5 prescribes the lazy
+// walk), so without the guard a mixing search burns its whole step budget
+// and then misreports the structural impossibility as ErrNoMixing. Every
+// oracle entry point fails fast with this error instead.
+var ErrBipartiteNonLazy = errors.New("exact: simple walk does not mix on a bipartite graph; use lazy=true (footnote 5)")
+
+// checkLazyChain is the shared guard.
+func checkLazyChain(g *graph.Graph, lazy bool) error {
+	if !lazy && g.IsBipartite() {
+		return ErrBipartiteNonLazy
+	}
+	return nil
+}
+
 // MixingTime returns τ_mix_s(ε) = min{t : ‖p_t − π‖₁ < ε} (Definition 1),
 // searching up to maxT steps. Lemma 1 guarantees the distance is monotone,
 // so the first hit is the answer.
@@ -127,8 +143,8 @@ func MixingTime(g *graph.Graph, source int, eps float64, lazy bool, maxT int) (i
 	if eps <= 0 || eps >= 1 {
 		return 0, fmt.Errorf("exact: MixingTime needs ε ∈ (0,1), got %g", eps)
 	}
-	if !lazy && g.IsBipartite() {
-		return 0, errors.New("exact: simple walk does not mix on a bipartite graph; use lazy=true")
+	if err := checkLazyChain(g, lazy); err != nil {
+		return 0, err
 	}
 	w, err := NewWalk(g, source, lazy)
 	if err != nil {
@@ -164,8 +180,8 @@ func GraphMixingTimeWorkers(g *graph.Graph, eps float64, lazy bool, maxT, worker
 	if n == 0 {
 		return 0, nil
 	}
-	if !lazy && g.IsBipartite() {
-		return 0, errors.New("exact: simple walk does not mix on a bipartite graph; use lazy=true")
+	if err := checkLazyChain(g, lazy); err != nil {
+		return 0, err
 	}
 	k, err := walkKernel(g, workers)
 	if err != nil {

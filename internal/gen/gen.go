@@ -10,7 +10,6 @@
 package gen
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 
@@ -384,7 +383,7 @@ func ErdosRenyi(n int, p float64, rng *rand.Rand) (*graph.Graph, error) {
 			return g, nil
 		}
 	}
-	return nil, errors.New("gen: ErdosRenyi failed to produce a connected graph")
+	return nil, fmt.Errorf("gen: ErdosRenyi(n=%d, p=%g) failed to produce a connected graph after %d attempts (p below the connectivity threshold ≈ ln(n)/n?)", n, p, maxAttempts)
 }
 
 // RingOfExpanders returns beta random d-regular expanders of size

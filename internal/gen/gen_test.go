@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/graph"
@@ -231,6 +232,23 @@ func TestErdosRenyi(t *testing.T) {
 	requireInvariants(t, g, 40)
 	if _, err := ErdosRenyi(3, 0, rng); err == nil {
 		t.Error("p=0 should fail")
+	}
+}
+
+// TestErdosRenyiFailureNamesParameters: the connectivity-failure error must
+// carry n, p and the attempt budget (matching RandomRegular's style), so a
+// caller who chose p below the ln(n)/n threshold can see why.
+func TestErdosRenyiFailureNamesParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_, err := ErdosRenyi(50, 0.01, rng) // far below the connectivity threshold
+	if err == nil {
+		t.Fatal("sub-threshold G(n,p) unexpectedly connected in every attempt")
+	}
+	msg := err.Error()
+	for _, want := range []string{"n=50", "p=0.01", "100 attempts"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
 	}
 }
 

@@ -1,0 +1,287 @@
+// Package sweep is the parallel multi-source sweep engine for the
+// distributed algorithms: it runs one per-source CONGEST computation for
+// many sources concurrently on a pool of workers, where each worker owns a
+// single reusable congest.Network (plus whatever per-worker scratch the
+// runner factory captures). The paper's headline quantity is graph-wide —
+// τ(β,ε) = max_v τ_v(β,ε) (Definition 2) — so every experiment sweeps
+// sources; before this package the sweep rebuilt the network (edge-slot
+// hash, context/RNG slabs, inbox arena) from scratch for each of the n
+// sources and ran them serially.
+//
+// # Determinism
+//
+// Sweep results are identical for every worker count:
+//
+//   - Sources are dispatched in fixed-size chunks of the canonical source
+//     list; which worker claims which chunk is scheduling, but results are
+//     written to the slot of their source index, so the merged output order
+//     never depends on the schedule.
+//   - Each per-source run executes on a freshly reset network seeded with a
+//     seed derived from (base seed, source id) alone — never from worker
+//     identity or claim order.
+//   - Network reuse is exact: congest.Network.Run rewinds all run state in
+//     place, so a warm network reproduces a cold network's results bit for
+//     bit (enforced by the congest reuse tests).
+//
+// # Seed derivation
+//
+// Per-source engine seeds are derived with a splitmix64 step:
+//
+//	seed(source) = mix64(base + (source+1)·0x9E3779B97F4A7C15)
+//
+// where mix64 is the splitmix64 output finalizer. This is exactly the
+// splitmix64 stream seeded at the base seed, advanced source+1 increments of
+// the golden-ratio gamma: distinct sources land on distinct, statistically
+// independent streams, and a fixed base seed reproduces the whole sweep.
+// The previous implementation reused the base seed verbatim for every
+// source, so all per-source RNG streams were correlated — a sweep with
+// randomized tie-breaking (Config.TieBreakBits > 0) made the same
+// perturbation decisions at every source.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// chunkSize is the dispatch grain: workers claim this many consecutive
+// sources of the canonical list at a time. Fixed (never derived from the
+// worker count) so the chunk grid is part of the sweep's deterministic
+// contract; small enough to balance heavy-tailed per-source costs.
+const chunkSize = 8
+
+// Options selects the sources and the parallelism of a sweep.
+type Options struct {
+	// Workers is the worker-pool size: how many per-source runs execute
+	// concurrently, each on its own reusable network. ≤ 0 means GOMAXPROCS.
+	// The worker count never changes results.
+	Workers int
+	// Sources lists the sources to examine, in the order results are
+	// reported. Nil means every vertex (ascending); empty is an error.
+	Sources []int
+	// Sample, when > 0 with Sources nil, examines a deterministic random
+	// sample of this many distinct vertices instead of all n — the paper's
+	// footnote 6 mitigation of the n-factor sweep cost. The sample is drawn
+	// from the sweep's base seed, so a fixed seed reproduces it. Values ≥ n
+	// clamp to the full all-vertices sweep; ≤ 0 means unset (also all
+	// vertices).
+	Sample int
+}
+
+// mix64 is the splitmix64 output finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed returns the engine seed of the per-source run: the splitmix64
+// stream seeded at base, advanced source+1 gamma increments (see the
+// package documentation). Distinct sources yield uncorrelated streams; a
+// fixed base seed makes the whole sweep reproducible.
+func DeriveSeed(base int64, source int) int64 {
+	return int64(mix64(uint64(base) + (uint64(source)+1)*0x9E3779B97F4A7C15))
+}
+
+// resolve materializes the canonical source list for an n-vertex graph.
+func (o Options) resolve(n int, baseSeed int64) ([]int, error) {
+	if o.Sources != nil {
+		if len(o.Sources) == 0 {
+			return nil, fmt.Errorf("sweep: need at least one source")
+		}
+		if o.Sample > 0 {
+			return nil, fmt.Errorf("sweep: Sample and explicit Sources are mutually exclusive")
+		}
+		for _, s := range o.Sources {
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("sweep: source %d out of range [0,%d)", s, n)
+			}
+		}
+		// Private copy: the outcome's Sources must stay paired with its
+		// Results even if the caller mutates or reuses the option slice.
+		return append([]int(nil), o.Sources...), nil
+	}
+	if o.Sample > 0 && o.Sample < n {
+		return sampleSources(n, o.Sample, baseSeed), nil
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return all, nil
+}
+
+// sampleSources draws k distinct vertices from [0,n) with a partial
+// Fisher–Yates shuffle over a splitmix64 stream derived from the base seed,
+// then sorts ascending — a deterministic, canonical footnote-6 sample.
+func sampleSources(n, k int, baseSeed int64) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// A dedicated stream (tagged so it never collides with a per-source
+	// seed): mix the base with a constant before stepping.
+	state := mix64(uint64(baseSeed) ^ 0xA5A5A5A55A5A5A5A)
+	for i := 0; i < k; i++ {
+		state += 0x9E3779B97F4A7C15
+		j := i + int(mix64(state)%uint64(n-i))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	out := perm[:k]
+	sort.Ints(out)
+	return out
+}
+
+// Runner executes the per-source computation for one source on the worker's
+// network. The network has already been reset and seeded with the derived
+// per-source seed (also passed for record-keeping); the runner just calls
+// net.Run with its processes. Runners are invoked from one goroutine at a
+// time per worker but concurrently across workers, so any state they share
+// beyond the worker scratch must be immutable.
+type Runner[R any] func(net *congest.Network, source int, seed int64) (R, error)
+
+// NewRunner builds one worker's runner. It is called at most once per
+// worker slot, lazily on the worker's first claimed chunk; the closure
+// typically allocates the worker's node-slab scratch and captures it.
+type NewRunner[R any] func(net *congest.Network) (Runner[R], error)
+
+// Outcome is a completed sweep: Results[i] is the per-source result of
+// Sources[i]. The order is the canonical source order for every worker
+// count.
+type Outcome[R any] struct {
+	Sources []int
+	Results []R
+}
+
+// Pool is a reusable sweep executor: W worker slots, each lazily building
+// one reusable congest.Network plus runner scratch on first use and keeping
+// them warm across sweeps. A Pool amortizes network construction both
+// within a sweep (n sources, W networks) and across repeated sweeps on the
+// same graph. A Pool is safe for sequential reuse; concurrent Sweep calls
+// on one Pool are not allowed.
+type Pool[R any] struct {
+	g         *graph.Graph
+	eng       congest.Config
+	baseSeed  int64
+	newRunner NewRunner[R]
+	workers   []poolWorker[R]
+}
+
+type poolWorker[R any] struct {
+	net *congest.Network
+	run Runner[R]
+}
+
+// NewPool creates a sweep pool of the given size (≤ 0 means GOMAXPROCS)
+// over the graph. eng carries the per-run engine configuration; eng.Seed is
+// the sweep's base seed from which every per-source seed is derived.
+// Worker networks are built lazily, so an oversized pool costs nothing.
+func NewPool[R any](g *graph.Graph, eng congest.Config, workers int, newRunner NewRunner[R]) *Pool[R] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool[R]{
+		g:         g,
+		eng:       eng,
+		baseSeed:  eng.Seed,
+		newRunner: newRunner,
+		workers:   make([]poolWorker[R], workers),
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool[R]) Workers() int { return len(p.workers) }
+
+// worker returns slot w's reusable network and runner, building them on
+// first use. Only goroutine w touches slot w during a sweep.
+func (p *Pool[R]) worker(w int) (*poolWorker[R], error) {
+	pw := &p.workers[w]
+	if pw.net == nil {
+		net, err := congest.NewNetwork(p.g, p.eng)
+		if err != nil {
+			return nil, err
+		}
+		run, err := p.newRunner(net)
+		if err != nil {
+			return nil, err
+		}
+		pw.net, pw.run = net, run
+	}
+	return pw, nil
+}
+
+// Sweep runs the per-source computation for every source selected by o
+// (o.Workers is ignored — the pool's size rules) and merges the results in
+// canonical source order. On failure the reported error is the failing
+// source's, lowest source index first among the chunks that ran; remaining
+// chunks are cancelled.
+func (p *Pool[R]) Sweep(o Options) (*Outcome[R], error) {
+	sources, err := o.resolve(p.g.N(), p.baseSeed)
+	if err != nil {
+		return nil, err
+	}
+	nw := len(p.workers)
+	if need := (len(sources) + chunkSize - 1) / chunkSize; nw > need {
+		nw = need
+	}
+	results := make([]R, len(sources))
+	errs := make([]error, len(sources))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !failed.Load() {
+				lo := int(next.Add(1)-1) * chunkSize
+				if lo >= len(sources) {
+					return
+				}
+				hi := lo + chunkSize
+				if hi > len(sources) {
+					hi = len(sources)
+				}
+				pw, err := p.worker(w)
+				if err != nil {
+					errs[lo] = err
+					failed.Store(true)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					s := sources[i]
+					seed := DeriveSeed(p.baseSeed, s)
+					pw.net.SetSeed(seed)
+					r, err := pw.run(pw.net, s, seed)
+					if err != nil {
+						errs[i] = fmt.Errorf("sweep: source %d: %w", s, err)
+						failed.Store(true)
+						return
+					}
+					results[i] = r
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Outcome[R]{Sources: sources, Results: results}, nil
+}
+
+// Run executes a one-shot sweep: a throwaway pool of o.Workers workers.
+// Callers issuing repeated sweeps on one graph should hold a Pool instead.
+func Run[R any](g *graph.Graph, eng congest.Config, o Options, newRunner NewRunner[R]) (*Outcome[R], error) {
+	return NewPool(g, eng, o.Workers, newRunner).Sweep(o)
+}

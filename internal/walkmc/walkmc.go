@@ -78,6 +78,11 @@ func MixingTimeMC(g *graph.Graph, source int, eps float64, k int, lazy bool, max
 	if eps <= 0 || eps >= 1 {
 		return 0, fmt.Errorf("walkmc: need ε ∈ (0,1), got %g", eps)
 	}
+	// Fail fast on the footnote-5 structural impossibility instead of
+	// sampling K·maxT token moves and misreporting a sampling-floor failure.
+	if !lazy && g.IsBipartite() {
+		return 0, fmt.Errorf("walkmc: %w", exact.ErrBipartiteNonLazy)
+	}
 	pi := exact.Stationary(g) // hoisted: one π for the whole doubling search
 	for ell := 1; ell <= maxT; ell *= 2 {
 		est, err := Sample(g, source, ell, k, lazy, rng)

@@ -1,9 +1,11 @@
 package walkmc
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/exact"
 	"repro/internal/gen"
@@ -127,6 +129,29 @@ func TestMixingTimeMCValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	if _, err := MixingTimeMC(g, 0, 0, 10, false, 100, rng); err == nil {
 		t.Error("ε=0 accepted")
+	}
+}
+
+// TestBipartiteNonLazyFastFail: MixingTimeMC must reject the simple walk on
+// a bipartite graph immediately (footnote 5) instead of sampling K·maxT
+// token moves and blaming the sampling floor.
+func TestBipartiteNonLazyFastFail(t *testing.T) {
+	g, _ := gen.Hypercube(4)
+	rng := rand.New(rand.NewSource(3))
+	start := time.Now()
+	_, err := MixingTimeMC(g, 0, 0.1, 100_000, false, 1<<20, rng)
+	if err == nil {
+		t.Fatal("non-lazy walk on a bipartite graph accepted")
+	}
+	if !errors.Is(err, exact.ErrBipartiteNonLazy) {
+		t.Fatalf("error is %v, want exact.ErrBipartiteNonLazy", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("fast-fail took %v — token budget was burned before rejecting", d)
+	}
+	// The lazy chain still works.
+	if _, err := MixingTimeMC(g, 0, 0.5, 20_000, true, 1<<12, rng); err != nil {
+		t.Errorf("lazy MixingTimeMC on hypercube: %v", err)
 	}
 }
 

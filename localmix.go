@@ -157,6 +157,54 @@ func DistributedMixingTime(g *Graph, source int, eps float64, opts ...Distribute
 	return core.MixingTime(g, source, eps, opts...)
 }
 
+// SweepOptions selects the sources and parallelism of a distributed
+// multi-source sweep: Workers concurrent per-source runs (0 = GOMAXPROCS),
+// each on its own reusable CONGEST network; Sources an explicit list (nil =
+// every vertex); Sample a deterministic random subset of that many vertices
+// (the paper's footnote 6 mitigation) when Sources is nil. Results are
+// identical for every worker count, and per-source engine seeds are derived
+// from the base seed (WithSeed) with splitmix64, so sweeps are reproducible
+// with uncorrelated per-source randomness.
+type SweepOptions = core.SweepOptions
+
+// DistributedSweepResult aggregates a multi-source distributed sweep: the
+// graph-wide maximum, each per-source result in canonical order, and the
+// summed round/message/bit accounting.
+type DistributedSweepResult = core.MultiResult
+
+// DistributedGraphLocalMixingTime sweeps the paper's Algorithm 2 over many
+// sources in parallel: the distributed analogue of Definition 2's
+// graph-wide τ(β,ε) = max_v τ_v(β,ε), with the n-factor sweep cost
+// (footnote 6) spread across o.Workers reusable networks.
+func DistributedGraphLocalMixingTime(g *Graph, beta, eps float64, o SweepOptions, opts ...DistributedOption) (*DistributedSweepResult, error) {
+	cfg := core.Config{Mode: core.ApproxLocal, Beta: beta, Eps: eps}
+	for _, op := range opts {
+		op(&cfg)
+	}
+	return core.GraphLocalMixingTimeSweep(g, cfg, o)
+}
+
+// DistributedGraphExactLocalMixingTime is DistributedGraphLocalMixingTime
+// with the §3.2 exact per-source variant (Theorem 2).
+func DistributedGraphExactLocalMixingTime(g *Graph, beta, eps float64, o SweepOptions, opts ...DistributedOption) (*DistributedSweepResult, error) {
+	cfg := core.Config{Mode: core.ExactLocal, Beta: beta, Eps: eps}
+	for _, op := range opts {
+		op(&cfg)
+	}
+	return core.GraphLocalMixingTimeSweep(g, cfg, o)
+}
+
+// DistributedGraphMixingTime sweeps the [18]-style distributed mixing-time
+// computation over many sources in parallel: the graph-wide
+// τ_mix(ε) = max_s τ_mix_s(ε) with full round/message/bit accounting.
+func DistributedGraphMixingTime(g *Graph, eps float64, o SweepOptions, opts ...DistributedOption) (*DistributedSweepResult, error) {
+	cfg := core.Config{Mode: core.MixTime, Eps: eps}
+	for _, op := range opts {
+		op(&cfg)
+	}
+	return core.GraphMixingTime(g, cfg, o)
+}
+
 // EstimateRWProbability runs Algorithm 1 standalone: the fixed-point
 // estimate of the length-ℓ walk distribution, computed distributed in ℓ+1
 // CONGEST rounds.

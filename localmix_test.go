@@ -7,6 +7,48 @@ import (
 
 const eps = 1.0 / (8 * math.E)
 
+// TestDistributedSweepFacade exercises the public sweep API: graph-wide
+// distributed local-mixing and mixing-time sweeps with sampling and
+// aggregate cost accounting.
+func TestDistributedSweepFacade(t *testing.T) {
+	g, err := RingOfCliques(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := DistributedGraphLocalMixingTime(g, 4, 0.1, SweepOptions{Workers: 2}, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Results) != g.N() || multi.Tau < 1 {
+		t.Fatalf("sweep: %d results, τ=%d", len(multi.Results), multi.Tau)
+	}
+	if multi.TotalRounds <= 0 || multi.TotalMessages <= 0 || multi.TotalBits <= 0 {
+		t.Errorf("sweep cost accounting incomplete: %+v", multi)
+	}
+	single, err := DistributedLocalMixingTime(g, multi.ArgMax, 4, 0.1, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Tau != multi.Tau {
+		t.Errorf("argmax source recomputed τ=%d, sweep says %d", single.Tau, multi.Tau)
+	}
+
+	mix, err := DistributedGraphMixingTime(g, 0.25, SweepOptions{Sample: 6}, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix.Sources) != 6 {
+		t.Fatalf("sampled %d sources, want 6", len(mix.Sources))
+	}
+	exactSweep, err := DistributedGraphExactLocalMixingTime(g, 4, 0.1, SweepOptions{Sources: []int{0, 7}}, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exactSweep.Results) != 2 {
+		t.Fatalf("explicit-source sweep: %d results", len(exactSweep.Results))
+	}
+}
+
 // TestFacadeEndToEnd walks the whole public API exactly as the README
 // advertises: generate, oracle, distributed, gossip, coverage.
 func TestFacadeEndToEnd(t *testing.T) {
