@@ -16,6 +16,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/dyngraph"
 	"repro/internal/exact"
 	"repro/internal/fixedpoint"
 	"repro/internal/gen"
@@ -376,3 +377,49 @@ func BenchmarkE13CongestSpreading(b *testing.B) { benchExperiment(b, "E13") }
 func BenchmarkE14GraphLocalMixing(b *testing.B) { benchExperiment(b, "E14") }
 func BenchmarkE15EngineCounters(b *testing.B)   { benchExperiment(b, "E15") }
 func BenchmarkE16OracleKernel(b *testing.B)     { benchExperiment(b, "E16") }
+func BenchmarkE18DynamicChurn(b *testing.B)     { benchExperiment(b, "E18") }
+
+// BenchmarkDynamicWalk measures the dynamic-aware token-walk protocol
+// (core.TokenWalk): a 256-step walk by token forwarding, one hop per round,
+// on a static torus and under edge-Markov churn at two intensities. The
+// rounds/op metric tracks the hop+retry round count (≥ steps; the excess is
+// churn-induced restarts), retries/op the edge-loss restarts themselves.
+// Like every engine workload, results are worker-count invariant.
+func BenchmarkDynamicWalk(b *testing.B) {
+	g, err := gen.Torus(32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const steps = 256
+	variants := []struct {
+		name string
+		rate float64
+	}{
+		{"torus32/static", 0},
+		{"torus32/markov05", 0.05},
+		{"torus32/markov20", 0.20},
+	}
+	for _, v := range variants {
+		opts := []core.Option{core.WithSeed(1)}
+		if v.rate > 0 {
+			churn, err := dyngraph.NewEdgeMarkov(g, 7, v.rate, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts = append(opts, core.WithTopology(churn))
+		}
+		b.Run(v.name, func(b *testing.B) {
+			var rounds, retries int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.TokenWalk(g, 0, steps, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += int64(res.Rounds)
+				retries += res.Retries
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+			b.ReportMetric(float64(retries)/float64(b.N), "retries/op")
+		})
+	}
+}

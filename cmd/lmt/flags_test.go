@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update rewrites the README flag block from the live flag set instead of
+// failing on a mismatch.
+var update = flag.Bool("update", false, "rewrite the README lmt-flags block")
+
+const (
+	beginMark = "<!-- lmt-flags:begin -->"
+	endMark   = "<!-- lmt-flags:end -->"
+)
+
+// renderFlagBlock produces the canonical README flag block: the exact
+// flag.PrintDefaults output of lmt's flag set inside a fenced code block,
+// wrapped in the sync markers. Because it is generated from registerFlags,
+// the README can never silently drift from the binary again.
+func renderFlagBlock() string {
+	fs := flag.NewFlagSet("lmt", flag.ContinueOnError)
+	registerFlags(fs)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.PrintDefaults()
+	return beginMark + "\n```text\n" + buf.String() + "```\n" + endMark
+}
+
+// TestREADMEFlagsInSync requires the README's flag block to equal the
+// PrintDefaults output of the current flag set.
+func TestREADMEFlagsInSync(t *testing.T) {
+	path := filepath.Join("..", "..", "README.md")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	i := strings.Index(s, beginMark)
+	j := strings.Index(s, endMark)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %s / %s markers", beginMark, endMark)
+	}
+	current := s[i : j+len(endMark)]
+	want := renderFlagBlock()
+	if current == want {
+		return
+	}
+	if *update {
+		if err := os.WriteFile(path, []byte(s[:i]+want+s[j+len(endMark):]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote the README flag block")
+		return
+	}
+	t.Errorf("README flag table drifted from cmd/lmt; regenerate with:\n\tgo test ./cmd/lmt -run TestREADMEFlags -update\n--- README ---\n%s\n--- flags ---\n%s", current, want)
+}

@@ -1,7 +1,7 @@
 // Command lmt computes mixing quantities of a generated graph: the exact
 // (centralized) mixing and local mixing times, and the distributed
 // CONGEST-model computations of the paper with full round/message
-// accounting.
+// accounting — on static networks or under deterministic edge churn.
 //
 // Usage examples:
 //
@@ -11,6 +11,7 @@
 //	lmt -graph path -n 128 -lazy -mode exact
 //	lmt -graph ringcliques -beta 8 -k 16 -mode approx -all     # graph-wide sweep
 //	lmt -graph torus -dim 16 -mode mixing -lazy -sample 32 -sweepworkers 4
+//	lmt -graph ringcliques -beta 8 -k 16 -mode approx -lazy -churn markov -churnrate 0.1
 package main
 
 import (
@@ -21,34 +22,92 @@ import (
 
 	"repro/internal/congest"
 	"repro/internal/core"
+	"repro/internal/dyngraph"
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
 
+// cliFlags bundles every lmt flag. Registration lives in registerFlags so
+// the README's flag table can be regenerated (and is test-enforced) from
+// flag.PrintDefaults output.
+type cliFlags struct {
+	graph        *string
+	n            *int
+	k            *int
+	beta         *float64
+	d            *int
+	dim          *int
+	eps          *float64
+	source       *int
+	lazy         *bool
+	mode         *string
+	seed         *int64
+	workers      *int
+	stats        *bool
+	dot          *string
+	all          *bool
+	sample       *int
+	sweepWorkers *int
+	churn        *string
+	churnRate    *float64
+	churnOn      *float64
+	churnEvery   *int
+	churnSeed    *int64
+}
+
+// registerFlags declares every lmt flag on fs. cmd/lmt's flags_test.go
+// renders fs.PrintDefaults() and requires the README flag block to match.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		graph:        fs.String("graph", "barbell", "family: barbell|ringcliques|complete|path|cycle|torus|hypercube|expander|lollipop|dumbbell"),
+		n:            fs.Int("n", 128, "vertex count (complete, path, cycle, expander)"),
+		k:            fs.Int("k", 16, "clique/block size (barbell, ringcliques, lollipop, dumbbell)"),
+		beta:         fs.Float64("beta", 8, "β: local mixing set size is ≥ n/β; also the clique count for barbell/ringcliques"),
+		d:            fs.Int("d", 6, "degree (expander)"),
+		dim:          fs.Int("dim", 7, "dimension (hypercube, torus side)"),
+		eps:          fs.Float64("eps", 1.0/21.746, "accuracy parameter ε (≈ 1/8e)"),
+		source:       fs.Int("source", 0, "source vertex s"),
+		lazy:         fs.Bool("lazy", false, "use the lazy walk (required on bipartite graphs)"),
+		mode:         fs.String("mode", "all", "what to compute: oracle|approx|exact|mixing|all"),
+		seed:         fs.Int64("seed", 1, "random seed (generators and engine)"),
+		workers:      fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS; never changes results)"),
+		stats:        fs.Bool("enginestats", false, "print the engine's liveness/allocation/churn counters per run"),
+		dot:          fs.String("dot", "", "write a Graphviz file with the oracle's witness local-mixing set highlighted"),
+		all:          fs.Bool("all", false, "sweep every vertex as source: graph-wide τ(β,ε)=max_v τ_v (distributed modes)"),
+		sample:       fs.Int("sample", 0, "sweep a deterministic sample of this many sources (footnote 6; implies a sweep)"),
+		sweepWorkers: fs.Int("sweepworkers", 0, "sweep worker pool size (0 = GOMAXPROCS; never changes results)"),
+		churn:        fs.String("churn", "none", "dynamic-network churn model for the distributed modes: none|markov|interval"),
+		churnRate:    fs.Float64("churnrate", 0.1, "churn intensity: markov P(on→off); interval fraction of non-backbone edges down per window"),
+		churnOn:      fs.Float64("churnon", 0.5, "markov P(off→on) reactivation probability"),
+		churnEvery:   fs.Int("churnevery", 8, "interval model: rounds between topology resamples"),
+		churnSeed:    fs.Int64("churnseed", 0, "churn model seed (0 = use -seed)"),
+	}
+}
+
+// churnProvider builds the selected churn model over g, or nil for "none".
+func churnProvider(f *cliFlags, g *graph.Graph) (congest.TopologyProvider, error) {
+	seed := *f.churnSeed
+	if seed == 0 {
+		seed = *f.seed
+	}
+	switch *f.churn {
+	case "", "none":
+		return nil, nil
+	case "markov":
+		return dyngraph.NewEdgeMarkov(g, seed, *f.churnRate, *f.churnOn)
+	case "interval":
+		return dyngraph.NewInterval(g, seed, *f.churnEvery, 1-*f.churnRate)
+	default:
+		return nil, fmt.Errorf("unknown churn model %q (want none, markov or interval)", *f.churn)
+	}
+}
+
 func main() {
-	var (
-		graphFlag   = flag.String("graph", "barbell", "family: barbell|ringcliques|complete|path|cycle|torus|hypercube|expander|lollipop|dumbbell")
-		nFlag       = flag.Int("n", 128, "vertex count (complete, path, cycle, expander)")
-		kFlag       = flag.Int("k", 16, "clique/block size (barbell, ringcliques, lollipop, dumbbell)")
-		betaFlag    = flag.Float64("beta", 8, "β: local mixing set size is ≥ n/β; also the clique count for barbell/ringcliques")
-		dFlag       = flag.Int("d", 6, "degree (expander)")
-		dimFlag     = flag.Int("dim", 7, "dimension (hypercube, torus side)")
-		epsFlag     = flag.Float64("eps", 1.0/21.746, "accuracy parameter ε (default ≈ 1/8e)")
-		srcFlag     = flag.Int("source", 0, "source vertex s")
-		lazyFlag    = flag.Bool("lazy", false, "use the lazy walk (required on bipartite graphs)")
-		modeFlag    = flag.String("mode", "all", "what to compute: oracle|approx|exact|mixing|all")
-		seedFlag    = flag.Int64("seed", 1, "random seed (generators and engine)")
-		workersFlag = flag.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS; never changes results)")
-		statsFlag   = flag.Bool("enginestats", false, "print the engine's liveness/allocation counters per run")
-		dotFlag     = flag.String("dot", "", "write a Graphviz file with the oracle's witness local-mixing set highlighted")
-		allFlag     = flag.Bool("all", false, "sweep every vertex as source: graph-wide τ(β,ε)=max_v τ_v (distributed modes)")
-		sampleFlag  = flag.Int("sample", 0, "sweep a deterministic sample of this many sources (footnote 6; implies a sweep)")
-		sweepWFlag  = flag.Int("sweepworkers", 0, "sweep worker pool size (0 = GOMAXPROCS; never changes results)")
-	)
+	f := registerFlags(flag.CommandLine)
 	flag.Parse()
 
-	g, err := build(*graphFlag, *nFlag, *kFlag, int(*betaFlag), *dFlag, *dimFlag, *seedFlag)
+	g, err := build(*f.graph, *f.n, *f.k, int(*f.beta), *f.d, *f.dim, *f.seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -62,30 +121,42 @@ func main() {
 	}
 	fmt.Println()
 
-	opts := []core.Option{core.WithSeed(*seedFlag), core.WithIrregular(), core.WithWorkers(*workersFlag)}
-	if *lazyFlag {
-		opts = append(opts, core.WithLazy())
+	churn, err := churnProvider(f, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	run := func(label string, f func() error) {
-		if err := f(); err != nil {
+	opts := []core.Option{core.WithSeed(*f.seed), core.WithIrregular(), core.WithWorkers(*f.workers)}
+	if *f.lazy {
+		opts = append(opts, core.WithLazy())
+	}
+	if churn != nil {
+		opts = append(opts, core.WithTopology(churn))
+		fmt.Printf("churn: %s (rate=%g; distributed modes run on the dynamic network, the oracle stays static)\n",
+			*f.churn, *f.churnRate)
+	}
+
+	run := func(label string, fn func() error) {
+		if err := fn(); err != nil {
 			fmt.Printf("%-22s ERROR: %v\n", label, err)
 		}
 	}
 	engineStats := func(st *congest.Stats) {
-		if *statsFlag && st != nil {
-			fmt.Printf("%-22s steps=%d sleepSkips=%d wakeups=%d ffRounds=%d stepGrows=%d dlvGrows=%d payloadWords=%d\n",
-				"  engine", st.ActiveSteps, st.SleepSkips, st.Wakeups, st.SkippedRounds, st.StepGrows, st.DeliverGrows, st.PayloadWords)
+		if *f.stats && st != nil {
+			fmt.Printf("%-22s steps=%d sleepSkips=%d wakeups=%d ffRounds=%d stepGrows=%d dlvGrows=%d payloadWords=%d topoChanges=%d drops=%d\n",
+				"  engine", st.ActiveSteps, st.SleepSkips, st.Wakeups, st.SkippedRounds, st.StepGrows, st.DeliverGrows, st.PayloadWords,
+				st.TopologyChanges, st.DroppedSends)
 		}
 	}
 
 	// Multi-source sweep mode (-all / -sample): the distributed modes
 	// compute the graph-wide max over sources on the parallel sweep engine
 	// instead of a single-source run.
-	sweeping := *allFlag || *sampleFlag > 0
-	sweepOpts := core.SweepOptions{Workers: *sweepWFlag, Sample: *sampleFlag}
+	sweeping := *f.all || *f.sample > 0
+	sweepOpts := core.SweepOptions{Workers: *f.sweepWorkers, Sample: *f.sample}
 	sweepCfg := func(m core.Mode) core.Config {
-		cfg := core.Config{Mode: m, Beta: *betaFlag, Eps: *epsFlag}
+		cfg := core.Config{Mode: m, Beta: *f.beta, Eps: *f.eps}
 		for _, o := range opts { // same option set as the single-source runs
 			o(&cfg)
 		}
@@ -97,30 +168,30 @@ func main() {
 			multi.TotalRounds, multi.TotalMessages, multi.TotalBits)
 	}
 
-	mode := *modeFlag
+	mode := *f.mode
 	if mode == "oracle" || mode == "all" {
 		run("oracle", func() error {
-			tm, err := exact.MixingTime(g, *srcFlag, *epsFlag, *lazyFlag, 8*g.N()*g.N())
+			tm, err := exact.MixingTime(g, *f.source, *f.eps, *f.lazy, 8*g.N()*g.N())
 			if err != nil {
 				return err
 			}
-			lr, err := exact.LocalMixing(g, *srcFlag, *betaFlag, *epsFlag,
-				exact.LocalOptions{MaxT: 8 * g.N() * g.N(), Grid: true, Lazy: *lazyFlag})
+			lr, err := exact.LocalMixing(g, *f.source, *f.beta, *f.eps,
+				exact.LocalOptions{MaxT: 8 * g.N() * g.N(), Grid: true, Lazy: *f.lazy})
 			if err != nil {
 				return err
 			}
 			fmt.Printf("%-22s τ_mix=%d  τ_local(β=%g)=%d  witness |S|=%d  gap=%.1f×\n",
-				"oracle (centralized)", tm, *betaFlag, lr.T, lr.R, float64(tm)/float64(maxi(1, lr.T)))
-			if *dotFlag != "" {
-				f, err := os.Create(*dotFlag)
+				"oracle (centralized)", tm, *f.beta, lr.T, lr.R, float64(tm)/float64(maxi(1, lr.T)))
+			if *f.dot != "" {
+				out, err := os.Create(*f.dot)
 				if err != nil {
 					return err
 				}
-				defer f.Close()
-				if err := g.WriteDOT(f, lr.Set); err != nil {
+				defer out.Close()
+				if err := g.WriteDOT(out, lr.Set); err != nil {
 					return err
 				}
-				fmt.Printf("%-22s wrote %s (witness set highlighted)\n", "", *dotFlag)
+				fmt.Printf("%-22s wrote %s (witness set highlighted)\n", "", *f.dot)
 			}
 			return nil
 		})
@@ -135,7 +206,7 @@ func main() {
 				printSweep("Alg 2 sweep (Thm 1)", multi)
 				return nil
 			}
-			res, err := core.ApproxLocalMixingTime(g, *srcFlag, *betaFlag, *epsFlag, opts...)
+			res, err := core.ApproxLocalMixingTime(g, *f.source, *f.beta, *f.eps, opts...)
 			if err != nil {
 				return err
 			}
@@ -155,7 +226,7 @@ func main() {
 				printSweep("exact sweep (Thm 2)", multi)
 				return nil
 			}
-			res, err := core.ExactLocalMixingTime(g, *srcFlag, *betaFlag, *epsFlag, opts...)
+			res, err := core.ExactLocalMixingTime(g, *f.source, *f.beta, *f.eps, opts...)
 			if err != nil {
 				return err
 			}
@@ -175,7 +246,7 @@ func main() {
 				printSweep("mixing sweep [18]", multi)
 				return nil
 			}
-			res, err := core.MixingTime(g, *srcFlag, *epsFlag, opts...)
+			res, err := core.MixingTime(g, *f.source, *f.eps, opts...)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/dyngraph"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// E18DynamicChurn measures how round-by-round edge churn displaces the
+// distributed local-mixing computation: the same graph is solved by
+// Algorithm 2 on a static network and on dynamic networks driven by the
+// internal/dyngraph models (edge-Markov at two intensities, T-interval
+// resampling), all from the same source with the same engine seed. The
+// paper's algorithms assume a static CONGEST network; the dynamic rows are
+// the follow-on-work regime of Das Sarma–Molla–Pandurangan, with the
+// control plane riding the static superset and only the walk churned. The
+// dynamic τ is measured against the same uniform 1/R targets, so the
+// tau_churn/tau_static ratio is the round-count price of churn; toggles
+// reports the churn volume the engine processed, and walk_retries is the
+// number of hop restarts a 64-step token walk (core.TokenWalk) suffers
+// under the same churn — the per-hop cost of edge loss made visible.
+func E18DynamicChurn(sc Scale) (*Table, error) {
+	type work struct {
+		name string
+		g    *graph.Graph
+		beta float64
+	}
+	var works []work
+	add := func(g *graph.Graph, err error, beta float64) error {
+		if err != nil {
+			return err
+		}
+		works = append(works, work{g.Name(), g, beta})
+		return nil
+	}
+	cliques, cliqueSize := 4, 6
+	torusSide := 6
+	if sc == Full {
+		cliques, cliqueSize = 6, 8
+		torusSide = 10
+	}
+	rg, err := gen.RingOfCliques(cliques, cliqueSize)
+	if err := add(rg, err, float64(cliques)); err != nil {
+		return nil, err
+	}
+	tg, err := gen.Torus(torusSide, torusSide)
+	if err := add(tg, err, 4); err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "E18",
+		Title: "dynamic networks: τ under edge churn vs the static graph",
+		Note: "Algorithm 2 from source 0, engine seed 1, churn seed 7; markov = per-round edge-Markov churn " +
+			"(P(on→off)=rate, P(off→on)=0.5), interval = resample every 8 rounds keeping 1-rate; " +
+			"a BFS backbone keeps every round connected",
+		Header: []string{"graph", "model", "rate", "tau_static", "tau_churn", "ratio", "walk_retries", "toggles", "rounds"},
+	}
+	const churnSeed = 7
+	const walkSteps = 64
+	for _, w := range works {
+		opts := []core.Option{core.WithSeed(1), core.WithLazy(), core.WithIrregular()}
+		static, err := core.ApproxLocalMixingTime(w.g, 0, w.beta, PaperEps, opts...)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(w.name, "static", 0.0, static.Tau, static.Tau, 1.0,
+			int64(0), int64(0), static.Stats.Rounds)
+
+		type model struct {
+			name string
+			rate float64
+			prov core.Option
+			err  error
+		}
+		var models []model
+		for _, rate := range []float64{0.05, 0.2} {
+			prov, err := dyngraph.NewEdgeMarkov(w.g, churnSeed, rate, 0.5)
+			models = append(models, model{"markov", rate, core.WithTopology(prov), err})
+		}
+		{
+			prov, err := dyngraph.NewInterval(w.g, churnSeed, 8, 0.8)
+			models = append(models, model{"interval", 0.2, core.WithTopology(prov), err})
+		}
+		for _, m := range models {
+			if m.err != nil {
+				return nil, m.err
+			}
+			dynOpts := append(opts[:len(opts):len(opts)], m.prov)
+			res, err := core.ApproxLocalMixingTime(w.g, 0, w.beta, PaperEps, dynOpts...)
+			if err != nil {
+				return nil, err
+			}
+			walk, err := core.TokenWalk(w.g, 0, walkSteps, dynOpts...)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(w.name, m.name, m.rate, static.Tau, res.Tau,
+				float64(res.Tau)/float64(static.Tau),
+				walk.Retries, res.Stats.TopologyChanges, res.Stats.Rounds)
+		}
+	}
+	return t, nil
+}

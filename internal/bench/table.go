@@ -1,8 +1,3 @@
-// Package bench is the experiment harness: it regenerates every figure and
-// comparison claimed in the paper (see DESIGN.md §4 for the experiment
-// index E1–E12 and the ablations A1–A4). Each experiment produces a Table;
-// cmd/paperbench prints them, the root bench_test.go wraps them in
-// testing.B benchmarks, and EXPERIMENTS.md records representative output.
 package bench
 
 import (
@@ -143,6 +138,7 @@ func All() []Experiment {
 		{"E15", "Engine telemetry: liveness and allocation counters", E15EngineCounters},
 		{"E16", "Oracle kernel: batched MultiWalk vs serial walks", E16OracleKernel},
 		{"E17", "Distributed sweep: worker pool vs serial per-source runs", E17DistributedSweep},
+		{"E18", "Dynamic networks: τ under edge churn vs the static graph", E18DynamicChurn},
 		{"A1", "Ablation: doubling (Thm 1) vs unit increments (Thm 2)", A1DoublingAblation},
 		{"A2", "Ablation: the 4ε relaxation of Lemma 3", A2EpsilonRelaxation},
 		{"A3", "Ablation: deterministic vs randomized tie-breaking", A3TieBreak},

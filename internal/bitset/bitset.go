@@ -1,7 +1,3 @@
-// Package bitset provides a dense fixed-capacity bitset used to represent
-// token sets in the push–pull information-spreading engine (§4 of the
-// paper): node u's set of received tokens is a bitset over token ids, and a
-// push–pull exchange is a union.
 package bitset
 
 import (

@@ -1,0 +1,10 @@
+// Package bitset provides a dense fixed-capacity bitset used to represent
+// token sets in the push–pull information-spreading engine (§4 of the
+// paper): node u's set of received tokens is a bitset over token ids, and a
+// push–pull exchange is a word-level union.
+//
+// The representation is a flat []uint64 with value semantics and no hidden
+// state, so set operations are deterministic and allocation-free once a set
+// is sized; internal/spread merges whole words (OrWord/Words) to keep the
+// gossip hot path branch-free.
+package bitset

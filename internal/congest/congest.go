@@ -1,71 +1,3 @@
-// Package congest simulates the synchronous CONGEST and LOCAL models of
-// distributed computing on a static undirected graph (paper §1.1).
-//
-// Execution proceeds in globally synchronous rounds. In round r every
-// non-halted node is stepped exactly once; it sees the messages its
-// neighbors sent during round r−1 and may send messages to neighbors, which
-// arrive at the start of round r+1. Nodes are stepped concurrently by a pool
-// of worker goroutines — each node's Step runs on some goroutine with
-// exclusive access to that node's state, mirroring the "one processor per
-// vertex" model — and the engine is deterministic for a fixed seed
-// regardless of the worker count.
-//
-// In CONGEST mode the engine *enforces* the bandwidth constraint: the total
-// size of the messages a node sends over one directed edge in one round must
-// not exceed the per-edge budget B = Θ(log n) bits. Violations abort the run
-// with a descriptive error; the algorithms in internal/core are written so
-// that this never fires, and the tests exercise the enforcement path
-// deliberately.
-//
-// # Architecture: sharded mailboxes and the zero-allocation round loop
-//
-// The engine is built for graphs with millions of nodes, so the round loop
-// is designed around two constraints: no per-message heap allocation in the
-// steady state, and no O(n) scans for bookkeeping that only concerns a few
-// nodes. The design:
-//
-//   - Sharding. The node set is split into W contiguous shards, one per
-//     worker. A shard owns its nodes' Contexts exclusively: it steps them,
-//     delivers into their inboxes, and maintains their liveness, so no lock
-//     is ever taken on per-node state.
-//
-//   - Sharded mailboxes. Each shard keeps one flat outbox buffer per
-//     destination shard (a W×W matrix of []pend slices). Send appends the
-//     message to out[owner(to)]; buffers are truncated, never freed, so the
-//     steady state allocates nothing. The deliver phase runs one worker per
-//     destination shard: shard s drains out[w][s] for w = 0..W-1 in order.
-//     Because shards are contiguous id ranges and every shard steps its
-//     nodes in ascending id order, this drain order reproduces exactly the
-//     canonical "ascending sender id, then send order" inbox ordering — for
-//     every worker count, which is what makes the engine deterministic
-//     under parallelism.
-//
-//   - O(1) sends. NewNetwork precomputes a directed-edge slot index (an
-//     open-addressed hash from the pair (u,v) to the CSR slot of u→v), so
-//     Send performs no binary search; SendNbr addresses a neighbor by its
-//     adjacency-row position and needs no lookup at all. The same CSR slot
-//     indexes the per-directed-edge bandwidth accounting arrays, which only
-//     the sending shard writes.
-//
-//   - Typed payload arena. LOCAL-model messages can carry an []int32 slab
-//     (SendPayload/Context.Payload) stored in a per-shard double-buffered
-//     arena instead of a boxed interface{} value. Payloads are copied once
-//     into the sender's arena at send time and read in place by the
-//     receiver next round; the buffer that fed round r is truncated and
-//     reused for round r+2.
-//
-//   - Liveness tracking. Each shard keeps a compact ascending list of its
-//     live (non-halted) nodes, compacted in place as nodes halt, plus a
-//     halted count, so round upkeep is O(live), not O(n). Sleeping nodes
-//     are skipped in O(1) and feed a per-round wake estimate; when a round
-//     delivers no messages and steps no node, the engine fast-forwards the
-//     round counter to the earliest wake-up instead of grinding through
-//     empty rounds.
-//
-// Stats exposes counters for each of these mechanisms (ActiveSteps,
-// SleepSkips, Wakeups, SkippedRounds, PayloadWords, and the per-phase
-// buffer-growth counters StepGrows/DeliverGrows), so regressions in the
-// zero-allocation property are observable from the outside.
 package congest
 
 import (
@@ -83,6 +15,7 @@ const (
 	LOCAL
 )
 
+// String returns the model's conventional name.
 func (m Model) String() string {
 	switch m {
 	case CONGEST:
@@ -105,6 +38,7 @@ type Message struct {
 	From  int32 // sender id, filled by the engine
 	Round int32 // round in which the message was delivered, filled by the engine
 	Kind  uint8
+	Flags uint8 // message flags (FlagVolatile; FlagBounced is engine-set)
 	Seq   int32
 	Value int64
 	Aux   int64
@@ -117,9 +51,29 @@ type Message struct {
 	payLen   int32
 }
 
+// Message flags. On static networks (Config.Topology == nil) both are
+// inert: every edge is permanently active and nothing ever bounces.
+const (
+	// FlagVolatile subjects the message to the dynamic edge state: a
+	// volatile send over an edge that is inactive in the current round is
+	// not delivered; instead the engine bounces it back to the sender
+	// (FlagBounced set, From set to the unreachable neighbor), arriving
+	// next round like any other message. Non-volatile messages ride the
+	// superset unconditionally — the out-of-band control plane of the
+	// dynamic algorithms.
+	FlagVolatile uint8 = 1 << iota
+	// FlagBounced marks an engine-generated bounce of a volatile send.
+	FlagBounced
+)
+
 // HasPayload reports whether the message carries an []int32 payload slab
 // (LOCAL model only); read it with Context.Payload.
 func (m Message) HasPayload() bool { return m.payLen > 0 }
+
+// Bounced reports whether this message is the engine's bounce of one of the
+// receiver's own volatile sends over an inactive edge: From is the neighbor
+// that was unreachable, and the remaining fields are the original message's.
+func (m Message) Bounced() bool { return m.Flags&FlagBounced != 0 }
 
 // Process is the per-node algorithm. Init runs before round 1 and may send
 // messages (delivered in round 1). Step runs once per round.
@@ -151,6 +105,14 @@ type Config struct {
 	// read process state it captured at construction. Setting OnRound
 	// disables round fast-forwarding (every round is observed).
 	OnRound func(round int) (stop bool)
+	// Topology, when non-nil, makes the network dynamic: the provider is
+	// consulted at every round boundary to activate/deactivate edges of the
+	// static superset graph (see TopologyProvider). Dynamic runs disable
+	// round fast-forwarding — the provider must observe every round — and
+	// remain deterministic for every worker count. Providers following the
+	// statelessness contract may be shared across the worker networks of a
+	// sweep.
+	Topology TopologyProvider
 }
 
 // BandwidthFactor is the constant in the default per-edge budget
@@ -181,6 +143,7 @@ type BandwidthError struct {
 	Used, Limit int
 }
 
+// Error implements the error interface.
 func (e *BandwidthError) Error() string {
 	return fmt.Sprintf("congest: bandwidth violation on edge %d→%d in round %d: %d bits > limit %d",
 		e.From, e.To, e.Round, e.Used, e.Limit)
@@ -193,6 +156,7 @@ type SendError struct {
 	Reason   string
 }
 
+// Error implements the error interface.
 func (e *SendError) Error() string {
 	return fmt.Sprintf("congest: illegal send %d→%d in round %d: %s", e.From, e.To, e.Round, e.Reason)
 }
@@ -200,8 +164,8 @@ func (e *SendError) Error() string {
 // Stats summarizes a completed (or aborted) run.
 type Stats struct {
 	Rounds      int   // rounds executed (including fast-forwarded ones)
-	Messages    int64 // total messages delivered
-	Bits        int64 // total message bits delivered
+	Messages    int64 // total messages delivered (excludes engine bounces: nothing traversed an edge)
+	Bits        int64 // total message bits delivered (excludes engine bounces)
 	MaxEdgeBits int   // max bits observed on one directed edge in one round
 	HaltedAll   bool  // whether every node halted
 
@@ -222,4 +186,8 @@ type Stats struct {
 
 	// PayloadWords counts the int32 words copied through the payload arena.
 	PayloadWords int64
+
+	// Dynamic-topology counters (zero on static networks).
+	TopologyChanges int64 // edge activations/deactivations applied by the provider
+	DroppedSends    int64 // volatile sends bounced off inactive edges
 }

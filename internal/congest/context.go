@@ -39,6 +39,34 @@ func (c *Context) Neighbors() []int32 { return c.net.g.Neighbors(int(c.id)) }
 // retained across rounds.
 func (c *Context) Inbox() []Message { return c.inbox }
 
+// Dynamic reports whether the network runs under a topology provider. On
+// static networks every edge is permanently active.
+func (c *Context) Dynamic() bool { return c.net.active != nil }
+
+// EdgeActive reports whether the edge to the i-th neighbor (the position in
+// Neighbors()) is active in the current round. Static networks report true
+// for every valid position; out-of-range positions report false. Per the
+// dynamic-network model, a node knows its currently active incident edges.
+func (c *Context) EdgeActive(i int) bool {
+	if i < 0 || i >= c.Degree() {
+		return false
+	}
+	if c.net.active == nil {
+		return true
+	}
+	return c.net.active[c.net.rowOff[c.id]+int32(i)]
+}
+
+// ActiveDegree returns this node's number of active incident edges in the
+// current round (= Degree() on static networks). O(1): the engine maintains
+// the counter as the provider toggles edges.
+func (c *Context) ActiveDegree() int {
+	if c.net.active == nil {
+		return c.Degree()
+	}
+	return int(c.net.activeDeg[c.id])
+}
+
 // Rand returns this node's private deterministic RNG.
 func (c *Context) Rand() *rand.Rand { return c.rng }
 
@@ -121,10 +149,28 @@ func (c *Context) Payload(m Message) []int32 {
 }
 
 // deposit routes a validated message into the sharded mailbox of the
-// destination's owner.
+// destination's owner. Volatile messages aimed at an inactive edge of a
+// dynamic network are bounced instead: redirected into the sender's own
+// mailbox column with FlagBounced set and From naming the unreachable
+// neighbor, arriving next round like any other message. The bounce is the
+// link-layer failure notification of the dynamic model — no bandwidth is
+// charged because nothing traversed the edge — and it is what lets
+// walk-token protocols detect edge loss and restart the hop.
 func (c *Context) deposit(slot, to int32, m Message) {
 	if m.Bits <= 0 {
 		c.err = &SendError{From: int(c.id), To: int(to), Round: c.net.round, Reason: "non-positive Bits"}
+		return
+	}
+	if c.net.active != nil && m.Flags&FlagVolatile != 0 && !c.net.active[slot] {
+		c.sh.drops++
+		m.From = to
+		m.Flags |= FlagBounced
+		s := c.net.owner[c.id]
+		buf := c.sh.out[s]
+		if len(buf) == cap(buf) {
+			c.sh.stepGrows++
+		}
+		c.sh.out[s] = append(buf, pend{to: c.id, msg: m})
 		return
 	}
 	if c.net.cfg.Model == CONGEST {

@@ -56,6 +56,7 @@ type shard struct {
 	halts        int
 	msgs         int64
 	bits         int64
+	drops        int64
 	payloadWords int64
 	stepGrows    int64
 	deliverGrows int64
@@ -109,8 +110,12 @@ func (sh *shard) runDeliver() {
 		src := &net.shards[w]
 		buf := src.out[sh.idx]
 		for i := range buf {
-			sh.msgs++
-			sh.bits += int64(buf[i].msg.Bits)
+			if buf[i].msg.Flags&FlagBounced == 0 {
+				// Bounces are excluded from the message/bit accounting:
+				// nothing traversed an edge (Stats.DroppedSends counts them).
+				sh.msgs++
+				sh.bits += int64(buf[i].msg.Bits)
+			}
 			dst := &net.ctxs[buf[i].to]
 			if dst.halted {
 				continue // counted, never read: drop instead of hoarding
@@ -200,6 +205,8 @@ func (n *Network) mergeStep() (stepped int64, minWake int32, halts int, err erro
 		sh.stepGrows = 0
 		n.stats.PayloadWords += sh.payloadWords
 		sh.payloadWords = 0
+		n.stats.DroppedSends += sh.drops
+		sh.drops = 0
 		halts += sh.halts
 		sh.halts = 0
 		if sh.maxEdgeBits > n.stats.MaxEdgeBits {
@@ -308,6 +315,12 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 	} else {
 		n.resetRunState()
 	}
+	if n.cfg.Topology != nil {
+		// Rewind the activity overlay to the all-active superset and let the
+		// provider establish the round-0 edge set before any Init runs.
+		n.resetTopology()
+		n.cfg.Topology.Start(&n.topo)
+	}
 	for u := 0; u < nn; u++ {
 		// Reseed in place: splitmix64 seeds in one word, so per-run RNG
 		// setup is two slab passes, no allocation. rand.New's temporary
@@ -360,6 +373,11 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 			n.round--
 			return n.finalize(), fmt.Errorf("%w after %d rounds (%d/%d nodes halted)", ErrRoundLimit, n.cfg.MaxRounds, halted, nn)
 		}
+		if n.cfg.Topology != nil {
+			// Round-r topology: applied while every worker is quiescent,
+			// frozen for the whole round.
+			n.cfg.Topology.ApplyRound(n.round, &n.topo)
+		}
 		for i := range n.shards {
 			n.shards[i].arena.flip()
 		}
@@ -379,8 +397,9 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 		}
 		// Fast-forward: when nothing ran and nothing is in flight, every
 		// live node is asleep — jump straight to the earliest wake-up
-		// instead of executing empty rounds.
-		if halted < nn && stepped == 0 && delivered == 0 && minWake != noWake {
+		// instead of executing empty rounds. Dynamic networks never
+		// fast-forward: the provider must observe every round.
+		if halted < nn && stepped == 0 && delivered == 0 && minWake != noWake && n.cfg.Topology == nil {
 			target := int(minWake)
 			if target > n.cfg.MaxRounds {
 				target = n.cfg.MaxRounds + 1

@@ -32,6 +32,18 @@ type Network struct {
 	edgeBits  []int32
 	edgeStamp []int32
 
+	// Dynamic-topology overlay (nil on static networks): per-directed-edge
+	// activity plus per-node active-degree counters, sized for the superset
+	// so churn never allocates. Both directions of an undirected edge are
+	// always toggled together; writes happen only in the single-threaded
+	// control loop (Topology.SetEdge), reads during the parallel phases.
+	// edgePairs indexes the undirected edges in canonical (u < v, CSR)
+	// order so providers can toggle by edge index without hash lookups.
+	active    []bool
+	activeDeg []int32
+	edgePairs []edgePair
+	topo      Topology
+
 	// Run state. The slabs are allocated on the first Run and reused by
 	// every subsequent Run on the same network (see resetRunState), so
 	// multi-source sweeps pay the construction cost — the edge-slot hash,
@@ -80,6 +92,23 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 		net.rowOff[v+1] = net.rowOff[v] + int32(g.Degree(v))
 	}
 	net.slots = buildEdgeSlots(g, net.rowOff)
+	if cfg.Topology != nil {
+		net.active = make([]bool, 2*g.M())
+		net.activeDeg = make([]int32, n)
+		net.edgePairs = make([]edgePair, 0, g.M())
+		for u := 0; u < n; u++ {
+			for i, v := range g.Neighbors(u) {
+				if int32(u) < v {
+					net.edgePairs = append(net.edgePairs, edgePair{
+						u: int32(u), v: v,
+						su: net.rowOff[u] + int32(i),
+						sv: net.slots.lookup(v, int32(u)),
+					})
+				}
+			}
+		}
+		net.topo = Topology{net: net}
+	}
 	return net, nil
 }
 
@@ -118,7 +147,7 @@ func (n *Network) resetRunState() {
 		sh.arena.buf[1] = sh.arena.buf[1][:0]
 		sh.arena.cur = 0
 		sh.steps, sh.skips, sh.wakes, sh.halts = 0, 0, 0, 0
-		sh.msgs, sh.bits, sh.payloadWords = 0, 0, 0
+		sh.msgs, sh.bits, sh.payloadWords, sh.drops = 0, 0, 0, 0
 		sh.stepGrows, sh.deliverGrows = 0, 0
 		sh.maxEdgeBits = 0
 		sh.minWake = noWake

@@ -1,0 +1,140 @@
+package congest
+
+// This file is the dynamic-network extension of the round engine: a
+// per-round edge-activity overlay on the static superset graph, driven by a
+// TopologyProvider. The dynamic model follows Kuhn–Lynch–Oshman-style
+// synchronous dynamic networks and the random-walk line of Das Sarma, Molla
+// and Pandurangan ("Fast Distributed Computation in Dynamic Networks via
+// Random Walks"): the vertex set is fixed, the edge set of round r is an
+// arbitrary (here: provider-chosen, deterministic) subset of a static
+// superset, and it changes only at round boundaries while every worker is
+// quiescent.
+//
+// Everything is sized for the superset at construction time — the CSR rows,
+// the edge-slot hash, the shard mailboxes, the per-directed-edge activity
+// and bandwidth arrays — so activating or deactivating edges never
+// allocates: the steady-state round loop stays zero-allocation with churn
+// running every round (Stats.TopologyChanges counts the toggles).
+
+// TopologyProvider drives per-round topology churn on a dynamic network.
+// Set one via Config.Topology; a nil provider means the classical static
+// network.
+//
+// Start is called once per Run, after every superset edge has been reset to
+// active and before any Process.Init runs; it establishes the round-0 edge
+// set. ApplyRound is called at the beginning of every round r ≥ 1, before
+// the step phase, with all workers quiescent — the round-r topology is
+// exactly what the provider leaves behind, and it is frozen for the whole
+// round (sends in round r travel over round-r edges, as in the synchronous
+// dynamic-network model).
+//
+// Determinism contract: providers must derive all churn decisions from
+// their own construction-time seed and the round number (the repository's
+// models use sweep.DeriveSeed(seed, round) streams), never from wall-clock,
+// map iteration, or worker identity. Providers must be stateless across
+// rounds apart from what they read back from the Topology view: the view
+// itself (edge on/off state) is the only mutable churn state, it lives in
+// the network, and it is rewound by every Run — which is what makes one
+// provider instance safely shareable by all the worker networks of a
+// multi-source sweep.
+type TopologyProvider interface {
+	// Start establishes the round-0 topology. The view arrives with every
+	// superset edge active.
+	Start(t *Topology)
+	// ApplyRound establishes the round-r topology by toggling edges on the
+	// view. It runs single-threaded between rounds.
+	ApplyRound(round int, t *Topology)
+}
+
+// Topology is the provider's mutable view of the network's edge-activity
+// overlay. It is owned by the engine and valid only inside Start/ApplyRound
+// callbacks; providers must not retain it.
+type Topology struct {
+	net *Network
+}
+
+// N returns the number of vertices of the superset graph.
+func (t *Topology) N() int { return t.net.g.N() }
+
+// EdgeOn reports whether the superset edge {u, v} is currently active.
+// Non-edges of the superset report false.
+func (t *Topology) EdgeOn(u, v int) bool {
+	slot := t.net.slots.lookup(int32(u), int32(v))
+	return slot >= 0 && t.net.active[slot]
+}
+
+// SetEdge activates or deactivates the superset edge {u, v} — both
+// directions at once, keeping the overlay symmetric — and reports whether
+// the state changed. Pairs that are not superset edges are a provider bug
+// and panic: the dynamic model only ever removes and restores edges of the
+// fixed superset. Providers iterating the whole edge set every round should
+// prefer the index-based SetEdgeAt, which skips the two hash lookups.
+func (t *Topology) SetEdge(u, v int, on bool) bool {
+	n := t.net
+	su := n.slots.lookup(int32(u), int32(v))
+	sv := n.slots.lookup(int32(v), int32(u))
+	if su < 0 || sv < 0 {
+		panic(&SendError{From: u, To: v, Round: n.round, Reason: "topology: not a superset edge"})
+	}
+	return t.toggle(edgePair{u: int32(u), v: int32(v), su: su, sv: sv}, on)
+}
+
+// Edges returns the number of undirected superset edges. Edge index e in
+// [0, Edges()) follows the canonical (u < v, CSR) order — the same order
+// internal/dyngraph enumerates edges in, so models and engine agree on
+// indices by construction.
+func (t *Topology) Edges() int { return len(t.net.edgePairs) }
+
+// EdgeOnAt reports whether the canonical edge with index e is active: the
+// O(1) array-read counterpart of EdgeOn for whole-edge-set sweeps.
+func (t *Topology) EdgeOnAt(e int) bool { return t.net.active[t.net.edgePairs[e].su] }
+
+// SetEdgeAt is SetEdge addressed by canonical edge index: no hash lookups,
+// for providers that touch every edge every round.
+func (t *Topology) SetEdgeAt(e int, on bool) bool { return t.toggle(t.net.edgePairs[e], on) }
+
+// toggle applies one symmetric activity change and maintains the degree
+// counters and the churn statistics.
+func (t *Topology) toggle(p edgePair, on bool) bool {
+	n := t.net
+	if n.active[p.su] == on {
+		return false
+	}
+	n.active[p.su] = on
+	n.active[p.sv] = on
+	if on {
+		n.activeDeg[p.u]++
+		n.activeDeg[p.v]++
+	} else {
+		n.activeDeg[p.u]--
+		n.activeDeg[p.v]--
+	}
+	n.stats.TopologyChanges++
+	return true
+}
+
+// edgePair is one undirected superset edge with its two directed CSR slots.
+type edgePair struct{ u, v, su, sv int32 }
+
+// ActiveDegree returns u's current number of active incident edges.
+func (t *Topology) ActiveDegree(u int) int { return int(t.net.activeDeg[u]) }
+
+// ActiveEdges returns the current number of active undirected edges.
+func (t *Topology) ActiveEdges() int {
+	total := 0
+	for _, d := range t.net.activeDeg {
+		total += int(d)
+	}
+	return total / 2
+}
+
+// resetTopology rewinds the activity overlay to the all-active superset.
+// Called at the start of every dynamic Run, before the provider's Start.
+func (n *Network) resetTopology() {
+	for i := range n.active {
+		n.active[i] = true
+	}
+	for u := 0; u < n.g.N(); u++ {
+		n.activeDeg[u] = int32(n.g.Degree(u))
+	}
+}

@@ -1,19 +1,3 @@
-// Package core implements the paper's distributed algorithms on top of the
-// congest engine and protocol toolkit:
-//
-//   - Algorithm 1, ESTIMATE-RW-PROBABILITY: deterministic flooding of the
-//     random-walk distribution in fixed point (§2.4).
-//   - Algorithm 2, LOCAL-MIXING-TIME: the doubling 2-approximation of
-//     τ_s(β, ε) with the (1+ε)-grid of set sizes and 4ε test (§3, Theorem 1).
-//   - The exact variant with unit length increments (§3.2, Theorem 2).
-//   - The [18]-style distributed mixing-time computation used as the
-//     baseline the paper compares against (O(τ_mix log n) rounds).
-//
-// Each algorithm is realized by two congest.Process implementations: a
-// generic responder (node.go) run by every vertex, and a driver (driver.go)
-// run by the source s that orchestrates epochs and makes the stopping
-// decision, exactly as in the paper where s collects the R smallest
-// differences via distributed binary search over the BFS tree.
 package core
 
 import (
@@ -41,6 +25,7 @@ const (
 	MixTime
 )
 
+// String returns the mode's human-readable name.
 func (m Mode) String() string {
 	switch m {
 	case ApproxLocal:

@@ -31,18 +31,7 @@ func (p *rwProc) Step(ctx *congest.Context) {
 	p.w += in
 	r := ctx.Round()
 	if r <= p.ell && p.w > 0 {
-		avail := p.w
-		var hold int64
-		if p.sh.cfg.Lazy {
-			hold = p.w - p.w/2
-			avail = p.w / 2
-		}
-		d := int64(ctx.Degree())
-		share := avail / d
-		p.w = hold + (avail - d*share)
-		if share > 0 {
-			ctx.Broadcast(congest.Message{Kind: protocol.KindWalk, Value: share, Bits: p.sh.sizes.Value()})
-		}
+		emitShares(ctx, &p.w, p.sh.cfg.Lazy, 0, p.sh.sizes.Value())
 	}
 	if r >= p.ell+1 {
 		ctx.Halt()

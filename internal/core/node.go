@@ -119,8 +119,7 @@ func (nd *node) onFloodStart(ctx *congest.Context, m congest.Message) {
 }
 
 // maybeFlood emits this round's walk shares when the round lies in the
-// window [F0, F0+ℓ). This is Algorithm 1's per-round action in fixed point:
-// send ⌊w/d⌋ (lazy: hold ⌈w/2⌉ first) per neighbor, keep the remainder.
+// window [F0, F0+ℓ).
 func (nd *node) maybeFlood(ctx *congest.Context) {
 	if nd.phase < 0 || nd.w == 0 {
 		return
@@ -129,22 +128,50 @@ func (nd *node) maybeFlood(ctx *congest.Context) {
 	if r < nd.f0 || r >= nd.f0+nd.flen {
 		return
 	}
-	avail := nd.w
-	var hold int64
-	if nd.sh.cfg.Lazy {
-		hold = nd.w - nd.w/2
-		avail = nd.w / 2
-	}
+	emitShares(ctx, &nd.w, nd.sh.cfg.Lazy, nd.phase, nd.sh.sizes.Value())
+}
+
+// emitShares is Algorithm 1's per-round flooding action in fixed point:
+// send ⌊w/d⌋ (lazy: hold ⌈w/2⌉ first) per neighbor and keep the remainder.
+// On a dynamic network the walk evolves on the current round's topology
+// G_r: the divisor is the *active* degree, shares go only over active edges
+// (marked volatile — sent over active edges they can never bounce, but the
+// marking keeps the walk honest about which plane it rides), and an
+// isolated node holds all its mass for the round. Mass is conserved exactly
+// in both modes.
+func emitShares(ctx *congest.Context, w *int64, lazy bool, seq int32, bits int32) {
+	dyn := ctx.Dynamic()
 	d := int64(ctx.Degree())
+	if dyn {
+		d = int64(ctx.ActiveDegree())
+	}
+	if d == 0 {
+		return
+	}
+	avail := *w
+	var hold int64
+	if lazy {
+		hold = avail - avail/2
+		avail /= 2
+	}
 	share := avail / d
-	rem := avail - d*share
-	nd.w = hold + rem
-	if share > 0 {
-		msg := congest.Message{
-			Kind: protocol.KindWalk, Seq: nd.phase,
-			Value: share, Bits: nd.sh.sizes.Value(),
-		}
+	*w = hold + (avail - d*share)
+	if share == 0 {
+		return
+	}
+	msg := congest.Message{
+		Kind: protocol.KindWalk, Seq: seq,
+		Value: share, Bits: bits,
+	}
+	if !dyn {
 		ctx.Broadcast(msg)
+		return
+	}
+	msg.Flags = congest.FlagVolatile
+	for i := range ctx.Neighbors() {
+		if ctx.EdgeActive(i) {
+			ctx.SendNbr(i, msg)
+		}
 	}
 }
 

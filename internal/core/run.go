@@ -133,6 +133,39 @@ func MixingTime(g *graph.Graph, source int, eps float64, opts ...Option) (*Resul
 	return Run(g, cfg)
 }
 
+// DynamicLocalMixingTime runs Algorithm 2 on a dynamic network: the walk
+// mass floods over the per-round active topology chosen by the churn
+// provider (see internal/dyngraph), while the control plane — BFS tree,
+// census, aggregations — rides the static superset out of band. The
+// computed τ is the earliest ℓ at which the ℓ-step *dynamic* walk passes
+// the paper's 4ε local-mixing test against the uniform 1/R targets; with a
+// churn-free provider it coincides with the static τ_s(β, ε). Deterministic
+// for fixed (engine seed, provider seed) and any worker count.
+func DynamicLocalMixingTime(g *graph.Graph, source int, beta, eps float64, churn congest.TopologyProvider, opts ...Option) (*Result, error) {
+	return dynamicRun(g, Config{Mode: ApproxLocal, Source: source, Beta: beta, Eps: eps}, churn, opts)
+}
+
+// DynamicMixingTime is the [18]-style mixing-time computation on a dynamic
+// network: the walk evolves on the churned topology while the ε test
+// compares against the *superset's* stationary distribution π — the natural
+// fixed reference for measuring how churn displaces the walk. (Experiment
+// E18 makes the analogous static-vs-churned comparison for Algorithm 2's
+// local τ.)
+func DynamicMixingTime(g *graph.Graph, source int, eps float64, churn congest.TopologyProvider, opts ...Option) (*Result, error) {
+	return dynamicRun(g, Config{Mode: MixTime, Source: source, Eps: eps}, churn, opts)
+}
+
+func dynamicRun(g *graph.Graph, cfg Config, churn congest.TopologyProvider, opts []Option) (*Result, error) {
+	if churn == nil {
+		return nil, fmt.Errorf("core: dynamic %s run needs a topology provider", cfg.Mode)
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.Engine.Topology = churn
+	return Run(g, cfg)
+}
+
 // Option mutates a Config in the convenience constructors.
 type Option func(*Config)
 
@@ -154,6 +187,15 @@ func WithIrregular() Option { return func(c *Config) { c.AllowIrregular = true }
 
 // WithWorkers sets the engine's stepping parallelism.
 func WithWorkers(w int) Option { return func(c *Config) { c.Engine.Workers = w } }
+
+// WithTopology runs the algorithm on a dynamic network driven by the given
+// churn provider (see internal/dyngraph): the walk evolves on the per-round
+// active topology while the control plane rides the static superset.
+// Providers following the congest.TopologyProvider statelessness contract
+// work in multi-source sweeps too, shared across all worker networks.
+func WithTopology(p congest.TopologyProvider) Option {
+	return func(c *Config) { c.Engine.Topology = p }
+}
 
 // WithRandomTieBreak enables the paper's §3.1 randomized tie-breaking with
 // the given number of sub-grid bits (the deterministic threshold resolution

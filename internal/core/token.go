@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// This file implements the dynamic-aware random-walk token protocol in the
+// style of Das Sarma, Molla and Pandurangan ("Fast Distributed Computation
+// in Dynamic Networks via Random Walks"): a single ℓ-step walk performed by
+// forwarding a token, one hop per round. The walker has no advance
+// knowledge of the current round's edges — it picks a uniformly random
+// superset neighbor and sends the token as a volatile message. When the
+// chosen edge is inactive in that round the engine bounces the token back
+// (the link-layer loss notification of the dynamic model) and the holder
+// restarts the hop next round with a fresh draw; Result.Retries counts
+// these restarts. On a static network the protocol degenerates to the
+// classical ℓ-round walk with zero retries.
+
+// Token-protocol message kinds, disjoint from the internal/protocol kinds
+// (the token processes never share a network with the census machinery).
+const (
+	kindToken uint8 = 0xF0 + iota // the walk token: Value = remaining steps after this hop
+	kindDone                      // termination flood: Value = endpoint vertex id
+)
+
+// tokenIdleSleep parks non-holders; message arrival wakes them.
+const tokenIdleSleep = 1 << 28
+
+// tokenShared holds the immutable run parameters of the token protocol.
+type tokenShared struct {
+	lazy bool
+	bits int32
+}
+
+// tokenProc is the per-node token-walk process.
+type tokenProc struct {
+	sh        *tokenShared
+	id        int32
+	holder    bool
+	awaiting  bool // a hop is in flight; a bounce next round returns the token
+	remaining int32
+	endpoint  int32
+	done      bool
+}
+
+func (p *tokenProc) Init(ctx *congest.Context) {}
+
+func (p *tokenProc) Step(ctx *congest.Context) {
+	for _, m := range ctx.Inbox() {
+		switch {
+		case m.Kind == kindToken && m.Bounced():
+			// The edge under our hop vanished: take the token back —
+			// restoring the step count the failed hop would have consumed —
+			// and restart the hop below.
+			p.holder = true
+			p.awaiting = false
+			p.remaining = int32(m.Value) + 1
+		case m.Kind == kindToken:
+			p.holder = true
+			p.remaining = int32(m.Value)
+		case m.Kind == kindDone:
+			p.onDone(ctx, m)
+			return
+		}
+	}
+	if p.awaiting {
+		// No bounce: last round's hop was delivered; go idle.
+		p.awaiting = false
+		ctx.Sleep(tokenIdleSleep)
+		return
+	}
+	if !p.holder {
+		ctx.Sleep(tokenIdleSleep)
+		return
+	}
+	p.act(ctx)
+}
+
+// act performs one walk step: finish, a lazy self-loop, or a token hop to a
+// uniformly random superset neighbor (volatile — the walker does not know
+// the current round's edges in advance).
+func (p *tokenProc) act(ctx *congest.Context) {
+	if p.remaining == 0 {
+		p.finish(ctx)
+		return
+	}
+	if p.sh.lazy && ctx.Rand().Intn(2) == 0 {
+		p.remaining-- // lazy self-loop: consumes the round, no message
+		if p.remaining == 0 {
+			p.finish(ctx)
+		}
+		return
+	}
+	i := ctx.Rand().Intn(ctx.Degree())
+	ctx.SendNbr(i, congest.Message{
+		Kind: kindToken, Flags: congest.FlagVolatile,
+		Value: int64(p.remaining - 1), Bits: p.sh.bits,
+	})
+	p.holder = false
+	p.awaiting = true
+}
+
+// finish announces the walk endpoint with a superset flood and halts.
+func (p *tokenProc) finish(ctx *congest.Context) {
+	p.endpoint = p.id
+	p.done = true
+	ctx.Broadcast(congest.Message{Kind: kindDone, Value: int64(p.id), Bits: p.sh.bits})
+	ctx.Halt()
+}
+
+// onDone records the endpoint, forwards the flood once, and halts.
+func (p *tokenProc) onDone(ctx *congest.Context, m congest.Message) {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.endpoint = int32(m.Value)
+	for i, v := range ctx.Neighbors() {
+		if v != m.From {
+			ctx.SendNbr(i, congest.Message{Kind: kindDone, Value: m.Value, Bits: p.sh.bits})
+		}
+	}
+	ctx.Halt()
+}
+
+// TokenWalkResult reports a completed token walk.
+type TokenWalkResult struct {
+	// End is the walk's endpoint vertex.
+	End int
+	// Steps is the requested walk length ℓ.
+	Steps int
+	// Rounds is the engine round count: ℓ + Retries hop rounds plus the
+	// termination flood.
+	Rounds int
+	// Retries counts hop restarts after edge-loss bounces (0 on static
+	// networks) — the dynamic model's overhead, equal to
+	// Stats.DroppedSends.
+	Retries int64
+	// Stats are the engine counters.
+	Stats *congest.Stats
+}
+
+// TokenWalk performs one ℓ-step random walk from source by token
+// forwarding, one hop per round, and returns the endpoint. With
+// WithTopology the walk runs on a dynamic network and restarts any hop
+// whose edge vanished under the token (see the file comment); WithLazy
+// selects the lazy walk (self-loop with probability 1/2, consuming a round
+// without a message). Deterministic for a fixed seed and any worker count.
+func TokenWalk(g *graph.Graph, source, steps int, opts ...Option) (*TokenWalkResult, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if g.N() < 2 {
+		return nil, errors.New("core: token walk needs at least 2 vertices")
+	}
+	if !g.IsConnected() {
+		return nil, graph.ErrNotConnected
+	}
+	if source < 0 || source >= g.N() {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, g.N())
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("core: negative walk length %d", steps)
+	}
+	engCfg := cfg.Engine
+	if engCfg.MaxRounds == 0 {
+		// ℓ hop rounds plus retry and flood headroom. Adversarial churn can
+		// exceed any fixed budget; the run then fails with ErrRoundLimit.
+		engCfg.MaxRounds = 16*steps + 64*g.N() + 1_000_000
+	}
+	logn := bits.Len(uint(g.N() - 1))
+	sh := &tokenShared{lazy: cfg.Lazy, bits: int32(8 + 2*logn)}
+	net, err := congest.NewNetwork(g, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]tokenProc, g.N())
+	stats, err := net.Run(func(id int) congest.Process {
+		p := &procs[id]
+		*p = tokenProc{sh: sh, id: int32(id)}
+		if id == source {
+			p.holder = true
+			p.remaining = int32(steps)
+		}
+		return p
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: token walk failed: %w", err)
+	}
+	return &TokenWalkResult{
+		End:     int(procs[source].endpoint),
+		Steps:   steps,
+		Rounds:  stats.Rounds,
+		Retries: stats.DroppedSends,
+		Stats:   stats,
+	}, nil
+}

@@ -1,0 +1,37 @@
+// Package dyngraph provides seeded, deterministic churn models for the
+// dynamic-network mode of the congest engine: implementations of
+// congest.TopologyProvider that activate and deactivate edges of a static
+// superset graph at round boundaries.
+//
+// The dynamic-network model follows the synchronous evolving-graph setting
+// of Kuhn–Lynch–Oshman and the random-walk line of Das Sarma, Molla and
+// Pandurangan ("Fast Distributed Computation in Dynamic Networks via Random
+// Walks"; see PAPERS.md): a fixed vertex set, a per-round edge set
+// G_r ⊆ G chosen by an oblivious adversary, and — unless a model is built
+// WithoutBackbone — every-round connectivity, which that literature
+// assumes. Connectivity is guaranteed structurally: each model protects a
+// BFS spanning tree of the superset and only churns the remaining edges.
+//
+// Three adversaries are provided:
+//
+//   - EdgeMarkov: every non-protected edge runs an independent two-state
+//     Markov chain (P(on→off), P(off→on)) stepped once per round — the
+//     standard edge-Markovian evolving-graph model.
+//   - Interval: every T rounds the non-protected edge set is resampled
+//     (each edge kept with probability q) and then held fixed — a
+//     T-interval-stable topology in the spirit of T-interval connectivity.
+//   - Snapshots: the topology switches periodically through an explicit
+//     list of subgraphs of the superset (generator snapshots), cycling
+//     forever.
+//
+// # Determinism
+//
+// Models are immutable after construction: all churn state lives in the
+// engine's edge-activity overlay (the congest.Topology view), which every
+// Run rewinds, so one model instance is safely shared by all the worker
+// networks of a multi-source sweep. Every random decision of round r is
+// drawn from a splitmix64 stream seeded with sweep.DeriveSeed(seed, r)
+// (Interval uses the epoch index r/T), so a fixed model seed reproduces the
+// whole churn schedule — independent of worker count, sweep schedule, or
+// how many runs share the model.
+package dyngraph

@@ -1,0 +1,292 @@
+package dyngraph
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/sweep"
+)
+
+// roundStream returns the churn stream of the given round (or epoch): a
+// sweep.Stream seeded with sweep.DeriveSeed(seed, round), so churn follows
+// the same derived-randomness scheme as per-source sweep seeds.
+func roundStream(seed int64, round int) *sweep.Stream {
+	return sweep.NewStream(sweep.DeriveSeed(seed, round))
+}
+
+// edge is one undirected superset edge in canonical (u < v, CSR) order.
+type edge struct{ u, v int32 }
+
+// edgesOf lists the superset's undirected edges in canonical order — the
+// order in which every model consumes its random draws.
+func edgesOf(g *graph.Graph) []edge {
+	es := make([]edge, 0, g.M())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				es = append(es, edge{int32(u), v})
+			}
+		}
+	}
+	return es
+}
+
+// spanningBackbone marks, per canonical edge index, a BFS spanning tree of
+// the superset rooted at vertex 0: the protected backbone that keeps every
+// round's topology connected.
+func spanningBackbone(g *graph.Graph, edges []edge) []bool {
+	parent := make([]int32, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[0] = 0
+	queue := make([]int32, 0, g.N())
+	queue = append(queue, 0)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(int(u)) {
+			if parent[v] < 0 {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	inTree := func(a, b int32) bool { return parent[a] == b || parent[b] == a }
+	marks := make([]bool, len(edges))
+	for i, e := range edges {
+		marks[i] = inTree(e.u, e.v)
+	}
+	return marks
+}
+
+// checkSuperset panics when a model built over one graph is attached to a
+// network over another: the models address edges by canonical index
+// (congest.Topology.SetEdgeAt), which is only meaningful on the graph they
+// were constructed from. Called from every model's Start.
+func checkSuperset(t *congest.Topology, edges []edge) {
+	if t.Edges() != len(edges) {
+		panic(fmt.Sprintf("dyngraph: model built for %d superset edges attached to a network with %d", len(edges), t.Edges()))
+	}
+}
+
+// validate checks the common model preconditions.
+func validate(g *graph.Graph) error {
+	if g.N() == 0 {
+		return errors.New("dyngraph: empty superset graph")
+	}
+	if !g.IsConnected() {
+		return graph.ErrNotConnected
+	}
+	return nil
+}
+
+// EdgeMarkov is the edge-Markovian evolving graph: each non-protected
+// superset edge runs an independent two-state chain, flipping on→off with
+// probability POff and off→on with probability POn once per round. All
+// edges start active. Immutable; implements congest.TopologyProvider.
+type EdgeMarkov struct {
+	seed      int64
+	pOff, pOn float64
+	edges     []edge
+	protected []bool
+}
+
+// NewEdgeMarkov builds an edge-Markov churn model over the superset g with
+// the given flip probabilities, protecting a BFS spanning backbone so every
+// round's topology stays connected (use WithoutBackbone to lift that).
+func NewEdgeMarkov(g *graph.Graph, seed int64, pOff, pOn float64) (*EdgeMarkov, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	if pOff < 0 || pOff > 1 || pOn < 0 || pOn > 1 {
+		return nil, fmt.Errorf("dyngraph: flip probabilities must be in [0,1], got pOff=%g pOn=%g", pOff, pOn)
+	}
+	es := edgesOf(g)
+	return &EdgeMarkov{seed: seed, pOff: pOff, pOn: pOn, edges: es, protected: spanningBackbone(g, es)}, nil
+}
+
+// WithoutBackbone returns a copy of the model that churns every superset
+// edge, including the spanning backbone — per-round connectivity is then no
+// longer guaranteed (walk mass may transiently strand, and round counts can
+// grow). The receiver is unchanged.
+func (p *EdgeMarkov) WithoutBackbone() *EdgeMarkov {
+	q := *p
+	q.protected = make([]bool, len(p.edges))
+	return &q
+}
+
+// Start implements congest.TopologyProvider: all edges begin active.
+func (p *EdgeMarkov) Start(t *congest.Topology) { checkSuperset(t, p.edges) }
+
+// ApplyRound steps every edge chain once, drawing from the round's
+// DeriveSeed(seed, round) stream in canonical edge order (which matches the
+// engine's edge indexing, so no per-edge hash lookups).
+func (p *EdgeMarkov) ApplyRound(round int, t *congest.Topology) {
+	s := roundStream(p.seed, round)
+	for i := range p.edges {
+		u01 := s.Float() // drawn unconditionally: stream position is per-edge
+		if p.protected[i] {
+			continue
+		}
+		if t.EdgeOnAt(i) {
+			if u01 < p.pOff {
+				t.SetEdgeAt(i, false)
+			}
+		} else if u01 < p.pOn {
+			t.SetEdgeAt(i, true)
+		}
+	}
+}
+
+// Interval is the T-interval-stable resampling model: every Every rounds
+// the non-protected edge set is redrawn — each edge kept active with
+// probability Keep — and then held fixed for the whole window, so any
+// Every-round interval has a stable connected subgraph (the backbone plus
+// the window's sample). Immutable; implements congest.TopologyProvider.
+type Interval struct {
+	seed      int64
+	every     int
+	keep      float64
+	edges     []edge
+	protected []bool
+}
+
+// NewInterval builds a T-interval resampling model: a fresh Bernoulli(keep)
+// subsample of the non-backbone superset edges every `every` rounds.
+func NewInterval(g *graph.Graph, seed int64, every int, keep float64) (*Interval, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	if every < 1 {
+		return nil, fmt.Errorf("dyngraph: resample interval must be ≥ 1, got %d", every)
+	}
+	if keep < 0 || keep > 1 {
+		return nil, fmt.Errorf("dyngraph: keep probability must be in [0,1], got %g", keep)
+	}
+	es := edgesOf(g)
+	return &Interval{seed: seed, every: every, keep: keep, edges: es, protected: spanningBackbone(g, es)}, nil
+}
+
+// Start applies the first window's sample so rounds 1..Every see it.
+func (p *Interval) Start(t *congest.Topology) {
+	checkSuperset(t, p.edges)
+	p.apply(0, t)
+}
+
+// ApplyRound resamples at window boundaries and is a no-op inside windows.
+func (p *Interval) ApplyRound(round int, t *congest.Topology) {
+	if (round-1)%p.every != 0 {
+		return
+	}
+	p.apply((round-1)/p.every, t)
+}
+
+func (p *Interval) apply(epoch int, t *congest.Topology) {
+	s := roundStream(p.seed, epoch)
+	for i := range p.edges {
+		u01 := s.Float()
+		if p.protected[i] {
+			continue
+		}
+		t.SetEdgeAt(i, u01 < p.keep)
+	}
+}
+
+// Snapshots cycles the topology through an explicit list of subgraphs of
+// the superset, switching every Period rounds: snapshot k is live during
+// rounds (k·Period, (k+1)·Period] (mod the cycle). Immutable; implements
+// congest.TopologyProvider.
+type Snapshots struct {
+	period int
+	edges  []edge
+	on     [][]bool // per snapshot, per canonical superset edge index
+}
+
+// NewSnapshots builds a periodic-switching model from generator snapshots.
+// Every snapshot must be a connected spanning subgraph of the superset g on
+// the same vertex set; build the superset with Union when starting from
+// independent generator outputs.
+func NewSnapshots(g *graph.Graph, period int, snaps ...*graph.Graph) (*Snapshots, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("dyngraph: switch period must be ≥ 1, got %d", period)
+	}
+	if len(snaps) == 0 {
+		return nil, errors.New("dyngraph: need at least one snapshot")
+	}
+	es := edgesOf(g)
+	on := make([][]bool, len(snaps))
+	for k, s := range snaps {
+		if s.N() != g.N() {
+			return nil, fmt.Errorf("dyngraph: snapshot %d has %d vertices, superset has %d", k, s.N(), g.N())
+		}
+		if !s.IsConnected() {
+			return nil, fmt.Errorf("dyngraph: snapshot %d (%s): %w", k, s.Name(), graph.ErrNotConnected)
+		}
+		for u := 0; u < s.N(); u++ {
+			for _, v := range s.Neighbors(u) {
+				if int32(u) < v && !g.HasEdge(u, int(v)) {
+					return nil, fmt.Errorf("dyngraph: snapshot %d edge {%d,%d} is not a superset edge", k, u, v)
+				}
+			}
+		}
+		marks := make([]bool, len(es))
+		for i, e := range es {
+			marks[i] = s.HasEdge(int(e.u), int(e.v))
+		}
+		on[k] = marks
+	}
+	return &Snapshots{period: period, edges: es, on: on}, nil
+}
+
+// Start applies snapshot 0.
+func (p *Snapshots) Start(t *congest.Topology) {
+	checkSuperset(t, p.edges)
+	p.apply(0, t)
+}
+
+// ApplyRound switches snapshots at period boundaries and is a no-op in
+// between.
+func (p *Snapshots) ApplyRound(round int, t *congest.Topology) {
+	if (round-1)%p.period != 0 {
+		return
+	}
+	p.apply(((round-1)/p.period)%len(p.on), t)
+}
+
+func (p *Snapshots) apply(idx int, t *congest.Topology) {
+	marks := p.on[idx]
+	for i := range p.edges {
+		t.SetEdgeAt(i, marks[i])
+	}
+}
+
+// Union builds the superset of the given graphs (all on the same vertex
+// set): the graph whose edge set is the union of theirs. Use it to derive
+// the static superset that NewSnapshots and the engine are sized for.
+func Union(name string, gs ...*graph.Graph) (*graph.Graph, error) {
+	if len(gs) == 0 {
+		return nil, errors.New("dyngraph: union of zero graphs")
+	}
+	n := gs[0].N()
+	b := graph.NewBuilder(n)
+	b.SetName(name)
+	for k, g := range gs {
+		if g.N() != n {
+			return nil, fmt.Errorf("dyngraph: union operand %d has %d vertices, want %d", k, g.N(), n)
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if int32(u) < v {
+					b.AddEdge(u, int(v))
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,249 @@
+package dyngraph
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// probe records, for each round, which of its incident edges are active.
+type probe struct {
+	horizon int
+	act     [][]bool
+}
+
+func (p *probe) Init(ctx *congest.Context) {}
+func (p *probe) Step(ctx *congest.Context) {
+	row := make([]bool, ctx.Degree())
+	for i := range row {
+		row[i] = ctx.EdgeActive(i)
+	}
+	p.act = append(p.act, row)
+	if ctx.Round() >= p.horizon {
+		ctx.Halt()
+	}
+}
+
+// trajectory runs the provider on g for `rounds` rounds and returns each
+// node's per-round incident-edge activity.
+func trajectory(t *testing.T, g *graph.Graph, prov congest.TopologyProvider, rounds, workers int) [][][]bool {
+	t.Helper()
+	net, err := congest.NewNetwork(g, congest.Config{Workers: workers, Topology: prov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := make([]*probe, g.N())
+	if _, err := net.Run(func(id int) congest.Process {
+		probes[id] = &probe{horizon: rounds}
+		return probes[id]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][][]bool, g.N())
+	for u := range probes {
+		out[u] = probes[u].act
+	}
+	return out
+}
+
+// activeAt rebuilds the round-r active subgraph from a trajectory and
+// reports whether it is connected.
+func connectedAt(g *graph.Graph, traj [][][]bool, r int) bool {
+	b := graph.NewBuilder(g.N())
+	for u := 0; u < g.N(); u++ {
+		for i, v := range g.Neighbors(u) {
+			if traj[u][r][i] && int32(u) < v {
+				b.AddEdge(u, int(v))
+			}
+		}
+	}
+	return b.Build().IsConnected()
+}
+
+func TestEdgeMarkovChurnsAndStaysConnected(t *testing.T) {
+	g, err := gen.RingOfCliques(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := NewEdgeMarkov(g, 11, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 12
+	traj := trajectory(t, g, prov, rounds, 1)
+
+	churned := false
+	for r := 0; r < rounds; r++ {
+		if !connectedAt(g, traj, r) {
+			t.Fatalf("round %d: active subgraph disconnected despite backbone", r+1)
+		}
+		for u := range traj {
+			for i := range traj[u][r] {
+				if !traj[u][r][i] {
+					churned = true
+				}
+			}
+		}
+	}
+	if !churned {
+		t.Fatal("EdgeMarkov(0.3, 0.5) never deactivated an edge in 12 rounds")
+	}
+
+	// Same seed → identical trajectory (also across worker counts); a
+	// different seed must diverge.
+	again := trajectory(t, g, prov, rounds, 2)
+	other, err := NewEdgeMarkov(g, 12, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := trajectory(t, g, other, rounds, 1)
+	same, differs := true, false
+	for u := range traj {
+		for r := range traj[u] {
+			for i := range traj[u][r] {
+				if traj[u][r][i] != again[u][r][i] {
+					same = false
+				}
+				if traj[u][r][i] != diff[u][r][i] {
+					differs = true
+				}
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed and worker change produced a different churn trajectory")
+	}
+	if !differs {
+		t.Error("different seeds produced identical churn trajectories")
+	}
+}
+
+func TestIntervalStableWithinWindows(t *testing.T) {
+	g, err := gen.Torus(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const every = 4
+	prov, err := NewInterval(g, 5, every, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 3 * every
+	traj := trajectory(t, g, prov, rounds, 1)
+	changedAcrossWindows := false
+	for u := range traj {
+		for r := 1; r < rounds; r++ {
+			for i := range traj[u][r] {
+				if traj[u][r][i] != traj[u][r-1][i] {
+					if r%every != 0 {
+						t.Fatalf("node %d edge %d changed at round %d, inside a window", u, i, r+1)
+					}
+					changedAcrossWindows = true
+				}
+			}
+		}
+	}
+	if !changedAcrossWindows {
+		t.Error("Interval(keep=0.5) never changed the topology at a window boundary")
+	}
+	for r := 0; r < rounds; r++ {
+		if !connectedAt(g, traj, r) {
+			t.Fatalf("round %d: active subgraph disconnected despite backbone", r+1)
+		}
+	}
+}
+
+func TestSnapshotsCycle(t *testing.T) {
+	n := 8
+	a, err := gen.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.Star(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	super, err := Union("cycle∪star", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const period = 3
+	prov, err := NewSnapshots(super, period, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 4 * period
+	traj := trajectory(t, super, prov, rounds, 1)
+	for r := 0; r < rounds; r++ {
+		want := [2]*graph.Graph{a, b}[(r/period)%2]
+		for u := 0; u < super.N(); u++ {
+			for i, v := range super.Neighbors(u) {
+				if got, exp := traj[u][r][i], want.HasEdge(u, int(v)); got != exp {
+					t.Fatalf("round %d: edge {%d,%d} active=%v, want %v (snapshot %d)", r+1, u, v, got, exp, (r/period)%2)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotsValidation(t *testing.T) {
+	a, _ := gen.Cycle(8)
+	b, _ := gen.Star(8)
+	if _, err := NewSnapshots(a, 2, b); err == nil {
+		t.Error("snapshot with non-superset edges accepted")
+	}
+	small, _ := gen.Cycle(4)
+	super, _ := Union("u", a, b)
+	if _, err := NewSnapshots(super, 2, small); err == nil {
+		t.Error("snapshot with wrong vertex count accepted")
+	}
+	if _, err := NewSnapshots(super, 0, a); err == nil {
+		t.Error("period 0 accepted")
+	}
+	if _, err := NewSnapshots(super, 2); err == nil {
+		t.Error("empty snapshot list accepted")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	g, _ := gen.Torus(4, 4)
+	if _, err := NewEdgeMarkov(g, 1, -0.1, 0.5); err == nil {
+		t.Error("negative pOff accepted")
+	}
+	if _, err := NewEdgeMarkov(g, 1, 0.5, 1.5); err == nil {
+		t.Error("pOn > 1 accepted")
+	}
+	if _, err := NewInterval(g, 1, 0, 0.5); err == nil {
+		t.Error("interval 0 accepted")
+	}
+	two := graph.NewBuilder(4).Build() // disconnected
+	if _, err := NewEdgeMarkov(two, 1, 0.1, 0.1); err == nil {
+		t.Error("disconnected superset accepted")
+	}
+}
+
+func TestWithoutBackboneCanDisconnect(t *testing.T) {
+	g, err := gen.Path(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a path every edge is backbone; the default model therefore never
+	// churns, while WithoutBackbone with pOff=1 kills edges immediately.
+	keep, err := NewEdgeMarkov(g, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := trajectory(t, g, keep, 4, 1)
+	for r := 0; r < 4; r++ {
+		if !connectedAt(g, traj, r) {
+			t.Fatal("backbone-protected path lost an edge")
+		}
+	}
+	loose := keep.WithoutBackbone()
+	traj = trajectory(t, g, loose, 4, 1)
+	if connectedAt(g, traj, 3) {
+		t.Error("pOff=1 without backbone left the path connected")
+	}
+}

@@ -1,15 +1,3 @@
-// Package exact provides centralized ground-truth oracles for everything the
-// distributed algorithms estimate: the random-walk probability distribution
-// p_t (float64 power iteration), the stationary distribution π, the mixing
-// time τ_mix_s(ε) (Definition 1), the local mixing time τ_s(β, ε)
-// (Definition 2) together with a witness local-mixing set, and the Lemma 4
-// escape-probability quantities.
-//
-// These oracles are used by the test suite to validate the CONGEST
-// algorithms and by the benchmark harness to report paper-vs-measured
-// numbers. All walk evolution runs on the shared internal/walkkernel pull
-// kernel: steps are division-free, allocation-free in the steady state,
-// parallel over vertex blocks, and bit-identical for every worker count.
 package exact
 
 import (

@@ -1,18 +1,3 @@
-// Package fixedpoint implements the O(log n)-bit probability words exchanged
-// by the paper's Algorithm 1 (ESTIMATE-RW-PROBABILITY).
-//
-// The paper rounds probabilities to the closest integer multiple of 1/n^c
-// (c ≥ 6) so that a value fits in O(log n) bits per message (Lemma 2 bounds
-// the accumulated error by t·n^-c after t steps). We realize the same idea on
-// a power-of-two grid 2^-F, which admits exact int64 arithmetic: a
-// probability p is represented by the integer round(p·2^F). F is chosen as
-// Θ(log n) — F = min(c·⌈log₂ n⌉, 62 − ⌈log₂ n⌉ − 1) — so that
-//
-//	(i)  a value occupies F+1 = O(log n) bits, and
-//	(ii) sums of n values never overflow int64.
-//
-// The substitution (2^-F grid instead of n^-c) preserves Lemma 2's form: the
-// flooding error after t steps is at most t·d_max·2^-F per coordinate.
 package fixedpoint
 
 import (

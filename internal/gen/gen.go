@@ -1,12 +1,3 @@
-// Package gen constructs the graph families used throughout the paper's
-// discussion and evaluation: the complete graph, paths and cycles (§2.3 a,c),
-// d-regular expanders via random regular graphs (§2.3 b), the β-barbell graph
-// of Figure 1 (§2.3 d), its exactly-regular ring-of-cliques variant, and
-// assorted classical families (torus, hypercube, lollipop, dumbbell,
-// Erdős–Rényi) used by the test suite and the benchmark harness.
-//
-// All generators return simple connected graphs or an error; randomized
-// generators take an explicit *rand.Rand so experiments are reproducible.
 package gen
 
 import (

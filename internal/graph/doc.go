@@ -1,0 +1,15 @@
+// Package graph provides the static undirected-graph substrate used by every
+// other module: a compact CSR (compressed sparse row) adjacency structure,
+// construction via Builder, and the structural queries (BFS, diameter,
+// connectivity, bipartiteness, cuts, conductance) that the paper's
+// definitions are stated in terms of — µ(S), φ(S) and the conductance
+// machinery of §2.2 live here.
+//
+// Graphs are simple (no self-loops, no parallel edges), undirected and
+// unweighted, matching the network model of the paper (§1.1), and immutable
+// once built: every layer above (walk kernel, congest engine, generators)
+// shares the same CSR arrays read-only, which is what makes lock-free
+// parallel stepping safe. All operations are deterministic — adjacency rows
+// are sorted at Build time, so iteration order is canonical for every
+// caller.
+package graph

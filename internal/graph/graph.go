@@ -1,11 +1,3 @@
-// Package graph provides the static undirected-graph substrate used by every
-// other module: a compact CSR (compressed sparse row) adjacency structure,
-// construction via Builder, and the structural queries (BFS, diameter,
-// connectivity, bipartiteness, cuts, conductance) that the paper's
-// definitions are stated in terms of.
-//
-// Graphs are simple (no self-loops, no parallel edges), undirected and
-// unweighted, matching the network model of the paper (§1.1).
 package graph
 
 import (

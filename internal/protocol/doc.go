@@ -1,0 +1,13 @@
+// Package protocol provides the reusable CONGEST building blocks the
+// paper's algorithms are assembled from (§3.1): BFS-tree construction with
+// child discovery, a census convergecast (subtree size and depth), reactive
+// broadcast/convergecast aggregation, and the message vocabulary shared by
+// the source "driver" and the responder nodes of internal/core.
+//
+// All protocols here are reactive and self-clocking: nodes act on message
+// receipt plus the globally known round counter, never on hidden global
+// state, so every exchanged bit is accounted for by the congest engine.
+// They are also deterministic: ties (e.g. BFS parent choice) are broken by
+// node id, so tree shape and aggregation results are identical for every
+// engine worker count and across network reuse.
+package protocol

@@ -1,12 +1,3 @@
-// Package protocol provides the reusable CONGEST building blocks the
-// paper's algorithms are assembled from (§3.1): BFS-tree construction with
-// child discovery, a census convergecast (subtree size and depth), reactive
-// broadcast/convergecast aggregation, and the message vocabulary shared by
-// the source "driver" and the responder nodes.
-//
-// All protocols here are reactive and self-clocking: nodes act on message
-// receipt plus the globally known round counter, never on hidden global
-// state, so every exchanged bit is accounted for by the congest engine.
 package protocol
 
 import (

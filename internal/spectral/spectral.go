@@ -1,10 +1,3 @@
-// Package spectral provides the spectral quantities the paper's
-// introduction relates to mixing: the second-largest eigenvalue λ₂ of the
-// (lazy) transition matrix via deflated power iteration, the relaxation-time
-// bounds 1/(1−λ₂) ≤ τ_mix ≤ O(log n)/(1−λ₂), sweep-cut conductance profiles
-// (Cheeger), and a heuristic for the weak conductance Φ_β of Censor-Hillel &
-// Shachnai — the parameter the paper conjectures is tightly related to the
-// local mixing time.
 package spectral
 
 import (

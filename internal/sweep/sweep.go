@@ -1,42 +1,3 @@
-// Package sweep is the parallel multi-source sweep engine for the
-// distributed algorithms: it runs one per-source CONGEST computation for
-// many sources concurrently on a pool of workers, where each worker owns a
-// single reusable congest.Network (plus whatever per-worker scratch the
-// runner factory captures). The paper's headline quantity is graph-wide —
-// τ(β,ε) = max_v τ_v(β,ε) (Definition 2) — so every experiment sweeps
-// sources; before this package the sweep rebuilt the network (edge-slot
-// hash, context/RNG slabs, inbox arena) from scratch for each of the n
-// sources and ran them serially.
-//
-// # Determinism
-//
-// Sweep results are identical for every worker count:
-//
-//   - Sources are dispatched in fixed-size chunks of the canonical source
-//     list; which worker claims which chunk is scheduling, but results are
-//     written to the slot of their source index, so the merged output order
-//     never depends on the schedule.
-//   - Each per-source run executes on a freshly reset network seeded with a
-//     seed derived from (base seed, source id) alone — never from worker
-//     identity or claim order.
-//   - Network reuse is exact: congest.Network.Run rewinds all run state in
-//     place, so a warm network reproduces a cold network's results bit for
-//     bit (enforced by the congest reuse tests).
-//
-// # Seed derivation
-//
-// Per-source engine seeds are derived with a splitmix64 step:
-//
-//	seed(source) = mix64(base + (source+1)·0x9E3779B97F4A7C15)
-//
-// where mix64 is the splitmix64 output finalizer. This is exactly the
-// splitmix64 stream seeded at the base seed, advanced source+1 increments of
-// the golden-ratio gamma: distinct sources land on distinct, statistically
-// independent streams, and a fixed base seed reproduces the whole sweep.
-// The previous implementation reused the base seed verbatim for every
-// source, so all per-source RNG streams were correlated — a sweep with
-// randomized tie-breaking (Config.TieBreakBits > 0) made the same
-// perturbation decisions at every source.
 package sweep
 
 import (
@@ -89,6 +50,28 @@ func DeriveSeed(base int64, source int) int64 {
 	return int64(mix64(uint64(base) + (uint64(source)+1)*0x9E3779B97F4A7C15))
 }
 
+// Stream is a splitmix64 generator: successive Next calls advance the state
+// by the golden-ratio gamma and finalize with mix64 — the same scheme
+// DeriveSeed is one step of. It is exported so every derived-randomness
+// consumer in the repository (per-source seeds here, per-round churn in
+// internal/dyngraph) shares one implementation of the constants and
+// finalizer. (internal/congest keeps its own private copy: it cannot import
+// this package without a cycle.)
+type Stream struct{ x uint64 }
+
+// NewStream returns a stream seeded with the given state, typically a
+// DeriveSeed output.
+func NewStream(seed int64) *Stream { return &Stream{x: uint64(seed)} }
+
+// Next returns the next 64 uniform bits.
+func (s *Stream) Next() uint64 {
+	s.x += 0x9E3779B97F4A7C15
+	return mix64(s.x)
+}
+
+// Float returns a uniform draw in [0, 1) with 53 random bits.
+func (s *Stream) Float() float64 { return float64(s.Next()>>11) / (1 << 53) }
+
 // resolve materializes the canonical source list for an n-vertex graph.
 func (o Options) resolve(n int, baseSeed int64) ([]int, error) {
 	if o.Sources != nil {
@@ -127,10 +110,9 @@ func sampleSources(n, k int, baseSeed int64) []int {
 	}
 	// A dedicated stream (tagged so it never collides with a per-source
 	// seed): mix the base with a constant before stepping.
-	state := mix64(uint64(baseSeed) ^ 0xA5A5A5A55A5A5A5A)
+	s := NewStream(int64(mix64(uint64(baseSeed) ^ 0xA5A5A5A55A5A5A5A)))
 	for i := 0; i < k; i++ {
-		state += 0x9E3779B97F4A7C15
-		j := i + int(mix64(state)%uint64(n-i))
+		j := i + int(s.Next()%uint64(n-i))
 		perm[i], perm[j] = perm[j], perm[i]
 	}
 	out := perm[:k]

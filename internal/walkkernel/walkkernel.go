@@ -1,30 +1,3 @@
-// Package walkkernel is the shared high-performance random-walk kernel
-// behind every centralized oracle in this repository (internal/exact,
-// internal/spectral, internal/walkmc). It evolves probability distributions
-// under the simple or lazy walk operator P(u,v) = 1/d(u) with three
-// complementary strategies:
-//
-//   - Dense pull: a blocked CSR "SpMV" that *gathers* into each output
-//     vertex (dst[v] = Σ_{u∈N(v)} src[u]/d(u)) using precomputed inverse
-//     degrees. Gathering instead of scattering means vertex blocks share no
-//     output words, so blocks run in parallel on a worker pool with no
-//     synchronization — and because each dst[v] is always accumulated in CSR
-//     row order, the result is bit-identical for every worker count.
-//   - Sparse frontier: while supp(p_t) is small (early steps of a
-//     single-source walk) the kernel scatters from the frontier only,
-//     touching O(vol(supp)) edges instead of all 2m. The mode switch depends
-//     only on the walk state, never on the worker count, so results stay
-//     deterministic.
-//   - Batched MultiWalk: k source distributions evolved in one edge pass
-//     with a struct-of-arrays layout (lane b of vertex v lives at p[v*k+b]),
-//     amortizing every index lookup over k lanes. This turns many-source
-//     workloads (GraphMixingTime, profile sweeps) into one cache-friendly
-//     batch instead of k serial walks; each lane is bit-identical to the
-//     dense pull single walk.
-//
-// A Kernel is an immutable plan (CSR views, inverse degrees, edge-balanced
-// block cuts) and may be shared by any number of concurrent Walk/MultiWalk
-// instances; the walks themselves are single-goroutine objects.
 package walkkernel
 
 import (

@@ -1,0 +1,16 @@
+// Package walkmc implements the sampling-based mixing estimation in the
+// style of Das Sarma et al. [10] that the paper compares against: perform K
+// independent random-walk tokens of length ℓ from the source, estimate
+// p_ℓ(u) by the fraction of tokens ending at u, and compare the empirical
+// distribution against the stationary distribution.
+//
+// The point the paper makes (§1.2) is the "grey area": with K samples the
+// empirical L1 distance to π carries Θ(√(n/K)) sampling noise, so
+// thresholds ε below that floor cannot be certified — unlike the
+// deterministic flooding of Algorithm 1. Experiment E9 measures exactly
+// this floor.
+//
+// Sampling uses an explicit seeded RNG, so a fixed (seed, K, ℓ) triple
+// reproduces the estimate exactly; bipartite graphs fail fast unless the
+// lazy walk is selected (shared guard with the exact oracles).
+package walkmc

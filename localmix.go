@@ -1,27 +1,3 @@
-// Package localmix is the public API of this repository: a full
-// implementation of "Local Mixing Time: Distributed Computation and
-// Applications" (Molla & Pandurangan, IPDPS 2018).
-//
-// The local mixing time τ_s(β, ε) of a vertex s is the earliest time at
-// which the random-walk distribution from s is ε-close (in L1) to the
-// stationary distribution restricted to *some* set S ∋ s of size ≥ n/β
-// (Definition 2 of the paper). It refines the classical mixing time: on a
-// β-barbell graph the mixing time is Ω(β²) while the local mixing time is
-// O(1).
-//
-// Three layers are exposed:
-//
-//   - Graph construction: Builder and the generator functions (Barbell,
-//     RingOfCliques, RandomRegular, Path, Complete, Torus, Hypercube, …).
-//   - Centralized oracles: MixingTime, LocalMixingTime — exact float64
-//     computations for analysis and ground truth.
-//   - Distributed algorithms: DistributedLocalMixingTime (Algorithm 2,
-//     Theorem 1), DistributedExactLocalMixingTime (§3.2, Theorem 2),
-//     DistributedMixingTime (the [18] baseline) — CONGEST-model
-//     simulations with honest round/message/bandwidth accounting — and
-//     PushPull (§4, Theorem 3) for partial information spreading.
-//
-// See examples/quickstart for a five-minute tour.
 package localmix
 
 import (
@@ -30,6 +6,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/dyngraph"
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -136,6 +113,7 @@ var (
 	WithMaxLength = core.WithMaxLength
 	WithIrregular = core.WithIrregular
 	WithWorkers   = core.WithWorkers
+	WithTopology  = core.WithTopology
 )
 
 // DistributedLocalMixingTime runs the paper's Algorithm 2 (LOCAL-MIXING-
@@ -203,6 +181,66 @@ func DistributedGraphMixingTime(g *Graph, eps float64, o SweepOptions, opts ...D
 		op(&cfg)
 	}
 	return core.GraphMixingTime(g, cfg, o)
+}
+
+// TopologyProvider drives per-round edge churn on a dynamic network: the
+// engine consults it at every round boundary to activate/deactivate edges
+// of the static superset graph. See the churn-model constructors below and
+// internal/dyngraph for the determinism contract.
+type TopologyProvider = congest.TopologyProvider
+
+// Seeded deterministic churn models (internal/dyngraph). All of them
+// protect a BFS spanning backbone so every round's topology stays connected
+// — the standing assumption of the dynamic-network literature — and derive
+// every round's decisions from (model seed, round) alone, so one model
+// instance is shareable across the worker networks of a sweep.
+var (
+	// EdgeMarkovChurn builds the edge-Markovian evolving graph: each edge
+	// flips on→off with probability pOff and off→on with pOn, per round.
+	EdgeMarkovChurn = dyngraph.NewEdgeMarkov
+	// IntervalChurn resamples the active edge set every `every` rounds
+	// (each non-backbone edge kept with probability keep) and holds it
+	// fixed in between — a T-interval-stable topology.
+	IntervalChurn = dyngraph.NewInterval
+	// SnapshotChurn cycles through explicit generator snapshots (subgraphs
+	// of the superset), switching every `period` rounds.
+	SnapshotChurn = dyngraph.NewSnapshots
+	// GraphUnion builds the superset of several same-vertex-set graphs —
+	// the static graph a snapshot-churned network is sized for.
+	GraphUnion = dyngraph.Union
+)
+
+// DynamicLocalMixingTime runs Algorithm 2 on a dynamic network: the walk
+// mass floods over the per-round topology chosen by the churn model while
+// the control plane rides the static superset. The result is the earliest ℓ
+// at which the ℓ-step dynamic walk passes the 4ε local-mixing test; with a
+// churn-free model it equals DistributedLocalMixingTime's answer. Results
+// are byte-identical for every worker count.
+func DynamicLocalMixingTime(g *Graph, source int, beta, eps float64, churn TopologyProvider, opts ...DistributedOption) (*DistributedResult, error) {
+	return core.DynamicLocalMixingTime(g, source, beta, eps, churn, opts...)
+}
+
+// DynamicMixingTime is the [18]-style distributed mixing-time computation
+// under churn, measured against the superset's stationary distribution —
+// the fixed reference for how far churn displaces the walk. (Experiment E18
+// makes the analogous static-vs-churned comparison for the local τ of
+// Algorithm 2.)
+func DynamicMixingTime(g *Graph, source int, eps float64, churn TopologyProvider, opts ...DistributedOption) (*DistributedResult, error) {
+	return core.DynamicMixingTime(g, source, eps, churn, opts...)
+}
+
+// DynamicWalkResult reports a token walk: endpoint, rounds, and the
+// edge-loss retries the churn forced.
+type DynamicWalkResult = core.TokenWalkResult
+
+// DynamicWalk performs one ℓ-step random walk by token forwarding, one hop
+// per round — the Das Sarma–Molla–Pandurangan dynamic-walk primitive. The
+// walker picks uniformly among its superset neighbors without advance
+// knowledge of the round's edges; a hop over a vanished edge bounces back
+// and is restarted. Combine with WithTopology for churn; on a static graph
+// it is the classical ℓ-round walk with zero retries.
+func DynamicWalk(g *Graph, source, steps int, opts ...DistributedOption) (*DynamicWalkResult, error) {
+	return core.TokenWalk(g, source, steps, opts...)
 }
 
 // EstimateRWProbability runs Algorithm 1 standalone: the fixed-point

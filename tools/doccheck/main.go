@@ -1,0 +1,196 @@
+// Command doccheck is the repository's documentation gate: it fails when a
+// package lacks a package comment or an exported top-level identifier
+// (function, method, type, const, var) lacks a doc comment. CI runs it over
+// the whole module, so a new exported symbol cannot land undocumented.
+//
+// Usage:
+//
+//	go run ./tools/doccheck ./...
+//	go run ./tools/doccheck ./internal/congest ./internal/core
+//
+// A "./..." argument walks every Go package under the current directory
+// (skipping testdata and hidden directories). Test files are ignored. Doc
+// comments on a grouped declaration (`// comment` above `const (...)`) are
+// accepted for every spec in the group.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, a := range args {
+		if strings.HasSuffix(a, "/...") {
+			root := filepath.Clean(strings.TrimSuffix(a, "/..."))
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					addDir(path)
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doccheck:", err)
+				os.Exit(2)
+			}
+			continue
+		}
+		addDir(a)
+	}
+	sort.Strings(dirs)
+
+	var problems []string
+	for _, dir := range dirs {
+		problems = append(problems, checkDir(dir)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDir parses one package directory and returns its violations.
+func checkDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: parse error: %v", dir, err)}
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasPkgDoc = true
+				break
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment (add a doc.go)", dir, pkg.Name))
+		}
+		for name, f := range pkg.Files {
+			out = append(out, checkFile(fset, name, f)...)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func checkFile(fset *token.FileSet, name string, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what, ident string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, ident))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			what := "function"
+			ident := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				recv := receiverName(d.Recv.List[0].Type)
+				if recv == "" || !ast.IsExported(recv) {
+					continue // method on an unexported type: not API surface
+				}
+				what = "method"
+				ident = recv + "." + d.Name.Name
+			}
+			report(d.Pos(), what, ident)
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc on the group or on the spec covers every name;
+					// grouped consts/vars conventionally share one comment.
+					if groupDoc || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), kindWord(d.Tok), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func kindWord(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// receiverName extracts the type identifier of a method receiver.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return receiverName(t.X)
+	case *ast.IndexListExpr:
+		return receiverName(t.X)
+	}
+	return ""
+}

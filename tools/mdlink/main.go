@@ -1,0 +1,77 @@
+// Command mdlink is the markdown half of the docs gate: it checks that
+// every relative link or image target in the given markdown files resolves
+// to an existing file or directory, so README/ARCHITECTURE references can
+// not rot silently. External links (http, https, mailto) and pure
+// in-page anchors (#section) are ignored; a fragment on a relative link
+// (FILE.md#section) is checked for the file part only.
+//
+// Usage:
+//
+//	go run ./tools/mdlink README.md docs/ARCHITECTURE.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target). Reference-style links are rare in this repository and
+// out of scope.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mdlink FILE.md ...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlink:", err)
+			os.Exit(2)
+		}
+		base := filepath.Dir(file)
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skip(target) {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+					if target == "" {
+						continue
+					}
+				}
+				resolved := filepath.Join(base, target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (%s does not exist)\n",
+						file, lineNo+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlink: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// skip reports whether the target is external or otherwise out of scope.
+func skip(target string) bool {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"),
+		strings.HasPrefix(target, "#"):
+		return true
+	}
+	return false
+}
