@@ -11,6 +11,7 @@ package localmix
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/spread"
 	"repro/internal/sweep"
+	"repro/internal/walkkernel"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -422,4 +424,72 @@ func BenchmarkDynamicWalk(b *testing.B) {
 			b.ReportMetric(float64(retries)/float64(b.N), "retries/op")
 		})
 	}
+}
+
+// BenchmarkScaleAnchor is the million-node smoke anchor (ROADMAP "Scale
+// anchors"): a 1000×1000 torus pushed through the walk kernel and the round
+// engine, reporting steady-state heap bytes and rounds/sec (steps/sec for
+// the kernel) via ReportMetric, so the CI artifact catches O(n) regressions
+// the default graph sizes cannot see. Skipped under -short — the full
+// anchor builds a 10⁶-vertex network.
+func BenchmarkScaleAnchor(b *testing.B) {
+	if testing.Short() {
+		b.Skip("million-node scale anchor skipped under -short")
+	}
+	const side = 1000 // 10⁶ vertices, 2·10⁶ edges
+	g, err := gen.Torus(side, side)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	steadyMB := func(b *testing.B) {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(float64(ms.HeapAlloc)/1e6, "heap-MB")
+		b.ReportMetric(float64(ms.Sys)/1e6, "sys-MB") // peak footprint incl. freed slabs
+	}
+
+	b.Run("kernel", func(b *testing.B) {
+		// Dense SpMV passes over a uniform distribution — the O(m) path a
+		// regression would hit, not the sparse single-source frontier.
+		k := walkkernel.New(g, 0)
+		n := g.N()
+		src := make([]float64, n)
+		dst := make([]float64, n)
+		for i := range src {
+			src[i] = 1 / float64(n)
+		}
+		const steps = 8
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < steps; s++ {
+				k.Apply(dst, src, true)
+				src, dst = dst, src
+			}
+		}
+		b.StopTimer()
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(steps*b.N)/sec, "steps/sec")
+		}
+		steadyMB(b)
+	})
+
+	b.Run("engine", func(b *testing.B) {
+		const ell = 4 // ℓ+1 engine rounds per estimate
+		var rounds int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			est, err := core.EstimateRWProbability(g, 0, ell, core.Config{Lazy: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds += int64(est.Stats.Rounds)
+		}
+		b.StopTimer()
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(rounds)/sec, "rounds/sec")
+		}
+		steadyMB(b)
+	})
 }

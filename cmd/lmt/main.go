@@ -3,6 +3,12 @@
 // CONGEST-model computations of the paper with full round/message
 // accounting — on static networks or under deterministic edge churn.
 //
+// lmt is a thin client of the spec-driven job layer (internal/service): it
+// renders its flags as a GraphSpec plus one TaskSpec per computation and
+// submits them through service.Run — exactly the code path cmd/lmtd serves
+// over HTTP, so a CLI answer and a server answer for the same spec are the
+// same bytes.
+//
 // Usage examples:
 //
 //	lmt -graph barbell -beta 8 -k 16                 # Figure 1 graph
@@ -12,20 +18,20 @@
 //	lmt -graph ringcliques -beta 8 -k 16 -mode approx -all     # graph-wide sweep
 //	lmt -graph torus -dim 16 -mode mixing -lazy -sample 32 -sweepworkers 4
 //	lmt -graph ringcliques -beta 8 -k 16 -mode approx -lazy -churn markov -churnrate 0.1
+//	lmt -graph cycle -n 64 -mode mixing -lazy -churn snapshot -churnsnaps 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"repro/internal/congest"
 	"repro/internal/core"
-	"repro/internal/dyngraph"
 	"repro/internal/exact"
-	"repro/internal/gen"
-	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/spec"
 )
 
 // cliFlags bundles every lmt flag. Registration lives in registerFlags so
@@ -53,6 +59,7 @@ type cliFlags struct {
 	churnRate    *float64
 	churnOn      *float64
 	churnEvery   *int
+	churnSnaps   *int
 	churnSeed    *int64
 }
 
@@ -64,7 +71,7 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		n:            fs.Int("n", 128, "vertex count (complete, path, cycle, expander)"),
 		k:            fs.Int("k", 16, "clique/block size (barbell, ringcliques, lollipop, dumbbell)"),
 		beta:         fs.Float64("beta", 8, "β: local mixing set size is ≥ n/β; also the clique count for barbell/ringcliques"),
-		d:            fs.Int("d", 6, "degree (expander)"),
+		d:            fs.Int("d", 6, "degree (expander; snapshot-churn samples)"),
 		dim:          fs.Int("dim", 7, "dimension (hypercube, torus side)"),
 		eps:          fs.Float64("eps", 1.0/21.746, "accuracy parameter ε (≈ 1/8e)"),
 		source:       fs.Int("source", 0, "source vertex s"),
@@ -77,40 +84,91 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		all:          fs.Bool("all", false, "sweep every vertex as source: graph-wide τ(β,ε)=max_v τ_v (distributed modes)"),
 		sample:       fs.Int("sample", 0, "sweep a deterministic sample of this many sources (footnote 6; implies a sweep)"),
 		sweepWorkers: fs.Int("sweepworkers", 0, "sweep worker pool size (0 = GOMAXPROCS; never changes results)"),
-		churn:        fs.String("churn", "none", "dynamic-network churn model for the distributed modes: none|markov|interval"),
+		churn:        fs.String("churn", "none", "dynamic-network churn model for the distributed modes: none|markov|interval|snapshot"),
 		churnRate:    fs.Float64("churnrate", 0.1, "churn intensity: markov P(on→off); interval fraction of non-backbone edges down per window"),
 		churnOn:      fs.Float64("churnon", 0.5, "markov P(off→on) reactivation probability"),
-		churnEvery:   fs.Int("churnevery", 8, "interval model: rounds between topology resamples"),
+		churnEvery:   fs.Int("churnevery", 8, "interval model: rounds between topology resamples; snapshot switch period"),
+		churnSnaps:   fs.Int("churnsnaps", 3, "snapshot model: rotating random -d-regular samples in the cycle"),
 		churnSeed:    fs.Int64("churnseed", 0, "churn model seed (0 = use -seed)"),
 	}
 }
 
-// churnProvider builds the selected churn model over g, or nil for "none".
-func churnProvider(f *cliFlags, g *graph.Graph) (congest.TopologyProvider, error) {
-	seed := *f.churnSeed
-	if seed == 0 {
-		seed = *f.seed
+// graphSpec renders the -graph flags as the job layer's GraphSpec.
+func graphSpec(f *cliFlags) (spec.GraphSpec, error) {
+	switch *f.graph {
+	case "barbell", "ringcliques":
+		return spec.GraphSpec{Family: *f.graph, Blocks: int(*f.beta), K: *f.k}, nil
+	case "complete", "path", "cycle":
+		return spec.GraphSpec{Family: *f.graph, N: *f.n}, nil
+	case "torus", "hypercube":
+		return spec.GraphSpec{Family: *f.graph, Dim: *f.dim}, nil
+	case "expander":
+		return spec.GraphSpec{Family: "expander", N: *f.n, D: *f.d, Seed: *f.seed}, nil
+	case "lollipop":
+		return spec.GraphSpec{Family: "lollipop", K: *f.k, Bridge: *f.k}, nil
+	case "dumbbell":
+		return spec.GraphSpec{Family: "dumbbell", K: *f.k, Bridge: 1}, nil
+	default:
+		return spec.GraphSpec{}, fmt.Errorf("unknown graph family %q", *f.graph)
 	}
+}
+
+// churnSpec renders the -churn flags, or nil for "none".
+func churnSpec(f *cliFlags) (*spec.ChurnSpec, error) {
 	switch *f.churn {
 	case "", "none":
 		return nil, nil
 	case "markov":
-		return dyngraph.NewEdgeMarkov(g, seed, *f.churnRate, *f.churnOn)
+		return &spec.ChurnSpec{Model: "markov", Rate: *f.churnRate, On: *f.churnOn, Seed: *f.churnSeed}, nil
 	case "interval":
-		return dyngraph.NewInterval(g, seed, *f.churnEvery, 1-*f.churnRate)
+		return &spec.ChurnSpec{Model: "interval", Rate: *f.churnRate, Every: *f.churnEvery, Seed: *f.churnSeed}, nil
+	case "snapshot":
+		return &spec.ChurnSpec{Model: "snapshot", Snapshots: *f.churnSnaps, Every: *f.churnEvery, Degree: *f.d, Seed: *f.churnSeed}, nil
 	default:
-		return nil, fmt.Errorf("unknown churn model %q (want none, markov or interval)", *f.churn)
+		return nil, fmt.Errorf("unknown churn model %q (want none, markov, interval or snapshot)", *f.churn)
+	}
+}
+
+// baseTask renders the flags shared by every distributed task kind.
+func baseTask(f *cliFlags, churn *spec.ChurnSpec) spec.TaskSpec {
+	return spec.TaskSpec{
+		Source:    *f.source,
+		Beta:      *f.beta,
+		Eps:       *f.eps,
+		Lazy:      *f.lazy,
+		Seed:      *f.seed,
+		Workers:   *f.workers,
+		Irregular: true,
+		Churn:     churn,
 	}
 }
 
 func main() {
 	f := registerFlags(flag.CommandLine)
 	flag.Parse()
-
-	g, err := build(*f.graph, *f.n, *f.k, int(*f.beta), *f.d, *f.dim, *f.seed)
-	if err != nil {
+	if err := run(f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+}
+
+// run executes the selected modes through the job layer, printing one line
+// per computation.
+func run(f *cliFlags) error {
+	gs, err := graphSpec(f)
+	if err != nil {
+		return err
+	}
+	churn, err := churnSpec(f)
+	if err != nil {
+		return err
+	}
+	svc := service.New(service.Options{CacheSize: 4})
+	ctx := context.Background()
+
+	g, _, err := svc.Graph(gs)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("graph: %s  n=%d m=%d", g.Name(), g.N(), g.M())
 	if d, ok := g.Regular(); ok {
@@ -120,24 +178,21 @@ func main() {
 		fmt.Printf("  diam≈%d", diam)
 	}
 	fmt.Println()
-
-	churn, err := churnProvider(f, g)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	opts := []core.Option{core.WithSeed(*f.seed), core.WithIrregular(), core.WithWorkers(*f.workers)}
-	if *f.lazy {
-		opts = append(opts, core.WithLazy())
-	}
 	if churn != nil {
-		opts = append(opts, core.WithTopology(churn))
-		fmt.Printf("churn: %s (rate=%g; distributed modes run on the dynamic network, the oracle stays static)\n",
-			*f.churn, *f.churnRate)
+		switch churn.Model {
+		case "snapshot":
+			fmt.Printf("churn: snapshot (snaps=%d every=%d d=%d; distributed modes run on the rotating random-regular superset, the oracle stays static)\n",
+				churn.Snapshots, churn.Every, churn.Degree)
+		default:
+			fmt.Printf("churn: %s (rate=%g; distributed modes run on the dynamic network, the oracle stays static)\n",
+				churn.Model, churn.Rate)
+		}
 	}
 
-	run := func(label string, fn func() error) {
+	submit := func(task spec.TaskSpec) (*service.Response, error) {
+		return svc.Run(ctx, service.Request{Graph: gs, Task: task})
+	}
+	report := func(label string, fn func() error) {
 		if err := fn(); err != nil {
 			fmt.Printf("%-22s ERROR: %v\n", label, err)
 		}
@@ -151,16 +206,16 @@ func main() {
 	}
 
 	// Multi-source sweep mode (-all / -sample): the distributed modes
-	// compute the graph-wide max over sources on the parallel sweep engine
+	// compute the graph-wide max over sources on the warm sweep pools
 	// instead of a single-source run.
 	sweeping := *f.all || *f.sample > 0
-	sweepOpts := core.SweepOptions{Workers: *f.sweepWorkers, Sample: *f.sample}
-	sweepCfg := func(m core.Mode) core.Config {
-		cfg := core.Config{Mode: m, Beta: *f.beta, Eps: *f.eps}
-		for _, o := range opts { // same option set as the single-source runs
-			o(&cfg)
-		}
-		return cfg
+	sweepTask := func(mode string, churn *spec.ChurnSpec) spec.TaskSpec {
+		t := baseTask(f, churn)
+		t.Kind = spec.KindSweep
+		t.Mode = mode
+		t.Sample = *f.sample
+		t.SweepWorkers = *f.sweepWorkers
+		return t
 	}
 	printSweep := func(label string, multi *core.MultiResult) {
 		fmt.Printf("%-22s τ=%d  argmax=%d  sources=%d  Σrounds=%d  Σmsgs=%d  Σbits=%d\n",
@@ -170,16 +225,19 @@ func main() {
 
 	mode := *f.mode
 	if mode == "oracle" || mode == "all" {
-		run("oracle", func() error {
-			tm, err := exact.MixingTime(g, *f.source, *f.eps, *f.lazy, 8*g.N()*g.N())
+		report("oracle", func() error {
+			t := spec.TaskSpec{Kind: spec.KindOracleMixing, Source: *f.source, Eps: *f.eps, Lazy: *f.lazy}
+			resp, err := submit(t)
 			if err != nil {
 				return err
 			}
-			lr, err := exact.LocalMixing(g, *f.source, *f.beta, *f.eps,
-				exact.LocalOptions{MaxT: 8 * g.N() * g.N(), Grid: true, Lazy: *f.lazy})
+			tm := resp.Result.(*service.TauResult).Tau
+			t = spec.TaskSpec{Kind: spec.KindOracleLocal, Source: *f.source, Beta: *f.beta, Eps: *f.eps, Lazy: *f.lazy}
+			resp, err = submit(t)
 			if err != nil {
 				return err
 			}
+			lr := resp.Result.(*exact.LocalResult)
 			fmt.Printf("%-22s τ_mix=%d  τ_local(β=%g)=%d  witness |S|=%d  gap=%.1f×\n",
 				"oracle (centralized)", tm, *f.beta, lr.T, lr.R, float64(tm)/float64(maxi(1, lr.T)))
 			if *f.dot != "" {
@@ -197,19 +255,22 @@ func main() {
 		})
 	}
 	if mode == "approx" || mode == "all" {
-		run("approx", func() error {
+		report("approx", func() error {
 			if sweeping {
-				multi, err := core.GraphLocalMixingTimeSweep(g, sweepCfg(core.ApproxLocal), sweepOpts)
+				resp, err := submit(sweepTask("approx", churn))
 				if err != nil {
 					return err
 				}
-				printSweep("Alg 2 sweep (Thm 1)", multi)
+				printSweep("Alg 2 sweep (Thm 1)", resp.Result.(*core.MultiResult))
 				return nil
 			}
-			res, err := core.ApproxLocalMixingTime(g, *f.source, *f.beta, *f.eps, opts...)
+			t := baseTask(f, churn)
+			t.Kind = spec.KindLocal
+			resp, err := submit(t)
 			if err != nil {
 				return err
 			}
+			res := resp.Result.(*core.Result)
 			fmt.Printf("%-22s τ̂=%d  R=%d  Σ=%.4f  rounds=%d  msgs=%d  maxEdgeBits=%d\n",
 				"Algorithm 2 (Thm 1)", res.Tau, res.R, res.Sum, res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxEdgeBits)
 			engineStats(res.Stats)
@@ -217,19 +278,23 @@ func main() {
 		})
 	}
 	if mode == "exact" || mode == "all" {
-		run("exact", func() error {
+		report("exact", func() error {
 			if sweeping {
-				multi, err := core.GraphLocalMixingTimeSweep(g, sweepCfg(core.ExactLocal), sweepOpts)
+				resp, err := submit(sweepTask("exact", churn))
 				if err != nil {
 					return err
 				}
-				printSweep("exact sweep (Thm 2)", multi)
+				printSweep("exact sweep (Thm 2)", resp.Result.(*core.MultiResult))
 				return nil
 			}
-			res, err := core.ExactLocalMixingTime(g, *f.source, *f.beta, *f.eps, opts...)
+			t := baseTask(f, churn)
+			t.Kind = spec.KindLocal
+			t.Exact = true
+			resp, err := submit(t)
 			if err != nil {
 				return err
 			}
+			res := resp.Result.(*core.Result)
 			fmt.Printf("%-22s τ=%d  R=%d  Σ=%.4f  rounds=%d  msgs=%d\n",
 				"exact variant (Thm 2)", res.Tau, res.R, res.Sum, res.Stats.Rounds, res.Stats.Messages)
 			engineStats(res.Stats)
@@ -237,25 +302,29 @@ func main() {
 		})
 	}
 	if mode == "mixing" || mode == "all" {
-		run("mixing", func() error {
+		report("mixing", func() error {
 			if sweeping {
-				multi, err := core.GraphMixingTime(g, sweepCfg(core.MixTime), sweepOpts)
+				resp, err := submit(sweepTask("mixing", churn))
 				if err != nil {
 					return err
 				}
-				printSweep("mixing sweep [18]", multi)
+				printSweep("mixing sweep [18]", resp.Result.(*core.MultiResult))
 				return nil
 			}
-			res, err := core.MixingTime(g, *f.source, *f.eps, opts...)
+			t := baseTask(f, churn)
+			t.Kind = spec.KindMixing
+			resp, err := submit(t)
 			if err != nil {
 				return err
 			}
+			res := resp.Result.(*core.Result)
 			fmt.Printf("%-22s τ_mix=%d  rounds=%d  msgs=%d\n",
 				"mixing baseline [18]", res.Tau, res.Stats.Rounds, res.Stats.Messages)
 			engineStats(res.Stats)
 			return nil
 		})
 	}
+	return nil
 }
 
 func maxi(a, b int) int {
@@ -263,32 +332,4 @@ func maxi(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func build(family string, n, k, beta, d, dim int, seed int64) (*graph.Graph, error) {
-	rng := rand.New(rand.NewSource(seed))
-	switch family {
-	case "barbell":
-		return gen.Barbell(beta, k)
-	case "ringcliques":
-		return gen.RingOfCliques(beta, k)
-	case "complete":
-		return gen.Complete(n)
-	case "path":
-		return gen.Path(n)
-	case "cycle":
-		return gen.Cycle(n)
-	case "torus":
-		return gen.Torus(dim, dim)
-	case "hypercube":
-		return gen.Hypercube(dim)
-	case "expander":
-		return gen.RandomRegular(n, d, rng)
-	case "lollipop":
-		return gen.Lollipop(k, k)
-	case "dumbbell":
-		return gen.Dumbbell(k, 1)
-	default:
-		return nil, fmt.Errorf("unknown graph family %q", family)
-	}
 }

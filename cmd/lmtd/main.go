@@ -1,0 +1,155 @@
+// Command lmtd serves the spec-driven job layer over HTTP/JSON: the same
+// service.Run path cmd/lmt dispatches to, kept warm across requests — the
+// graph cache, walk kernels, and sweep pools amortize across every client,
+// and a semaphore admission-controls concurrent runs.
+//
+// Endpoints:
+//
+//	POST /v1/run    {"graph": {...GraphSpec...}, "task": {...TaskSpec...}}
+//	                → service.Response JSON (result under "result")
+//	GET  /v1/tasks  registered task kinds with descriptions
+//	GET  /healthz   liveness probe
+//	GET  /metrics   Prometheus-style counters (cache hit/miss, in-flight)
+//
+// Example:
+//
+//	lmtd -addr :8080 &
+//	curl -s localhost:8080/v1/run -d '{
+//	  "graph": {"family": "ringcliques", "blocks": 8, "k": 16},
+//	  "task":  {"kind": "mixing", "seed": 1, "irregular": true}
+//	}' | jq .result.Tau
+//
+// The answer is byte-identical to `lmt -graph ringcliques -beta 8 -k 16
+// -mode mixing` — both are one service.Run of the same spec.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 16, "graph-cache capacity (entries)")
+	inflight := flag.Int("maxinflight", 0, "admission cap on concurrently executing requests (0 = max(8, GOMAXPROCS))")
+	seed := flag.Int64("seed", 1, "base seed for per-request derived seeds (requests that omit task.seed)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		CacheSize:   *cache,
+		MaxInFlight: *inflight,
+		BaseSeed:    *seed,
+	})
+	srv := &http.Server{Addr: *addr, Handler: newHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("lmtd listening on %s (admission cap %d, cache %d graphs)", *addr, svc.MaxInFlight(), *cache)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("lmtd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("lmtd: shutting down (drain %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("lmtd: shutdown: %v", err)
+	}
+}
+
+// newHandler builds the lmtd route table over one Service (separated from
+// main so tests and the load-generator benchmark can serve it in-process).
+func newHandler(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		var req service.Request
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		resp, err := svc.Run(r.Context(), req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"tasks": svc.Tasks()})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeMetrics(w, svc.Metrics())
+	})
+	return mux
+}
+
+// statusFor maps service errors to HTTP statuses: malformed specs are the
+// client's fault, cancelled waits are timeouts, the rest are run failures.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, service.ErrInvalidRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		log.Printf("lmtd: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeMetrics renders the service counters in the Prometheus text
+// exposition format.
+func writeMetrics(w http.ResponseWriter, m service.Metrics) {
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("lmtd_requests_total", "Requests received by service.Run.", m.Requests)
+	counter("lmtd_errors_total", "Requests that failed.", m.Errors)
+	gauge("lmtd_in_flight", "Requests currently executing.", m.InFlight)
+	gauge("lmtd_in_flight_peak", "High-water mark of concurrently executing requests.", m.PeakInFlight)
+	counter("lmtd_graph_cache_hits_total", "Graph-cache hits.", m.GraphHits)
+	counter("lmtd_graph_cache_misses_total", "Graph-cache misses (graph builds).", m.GraphMisses)
+	counter("lmtd_kernel_builds_total", "Walk-kernel constructions.", m.KernelBuilds)
+	counter("lmtd_pool_builds_total", "Warm sweep-pool constructions.", m.PoolBuilds)
+	counter("lmtd_pool_hits_total", "Warm sweep-pool reuses.", m.PoolHits)
+	counter("lmtd_churn_builds_total", "Churn-model constructions.", m.ChurnBuilds)
+	gauge("lmtd_cached_graphs", "Graphs currently cached.", int64(m.CachedGraphs))
+}

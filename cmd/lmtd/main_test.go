@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/spec"
+)
+
+// postRun submits one request body and decodes the JSON reply.
+func postRun(t *testing.T, url string, req service.Request) (map[string]any, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out, resp.StatusCode
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+
+	gs := spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5}
+	req := service.Request{Graph: gs,
+		Task: spec.TaskSpec{Kind: spec.KindMixing, Eps: 0.1, Seed: 1, Irregular: true}}
+	out, status := postRun(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("POST /v1/run returned %d: %v", status, out)
+	}
+	result, ok := out["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no result object: %v", out)
+	}
+	g, err := gs.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MixingTime(g, 0, 0.1, core.WithSeed(1), core.WithIrregular())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(result["Tau"].(float64)); got != want.Tau {
+		t.Fatalf("served Tau=%d, direct run says %d", got, want.Tau)
+	}
+	if hit := out["cacheHit"].(bool); hit {
+		t.Fatal("first request reported a cache hit")
+	}
+	if out2, _ := postRun(t, ts.URL, req); !out2["cacheHit"].(bool) {
+		t.Fatal("second request missed the cache")
+	} else if !reflect.DeepEqual(out["result"], out2["result"]) {
+		t.Fatal("repeated request changed the served result")
+	}
+}
+
+func TestServerTasksHealthzMetrics(t *testing.T) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+
+	get := func(path string) (string, int) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.StatusCode
+	}
+
+	body, status := get("/v1/tasks")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/tasks returned %d", status)
+	}
+	var tasks struct {
+		Tasks []service.TaskInfo `json:"tasks"`
+	}
+	if err := json.Unmarshal([]byte(body), &tasks); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks.Tasks) != len(spec.Kinds()) {
+		t.Fatalf("/v1/tasks lists %d kinds, want %d", len(tasks.Tasks), len(spec.Kinds()))
+	}
+
+	if body, status := get("/healthz"); status != http.StatusOK || !strings.Contains(body, "true") {
+		t.Fatalf("/healthz returned %d %q", status, body)
+	}
+
+	body, status = get("/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics returned %d", status)
+	}
+	for _, name := range []string{
+		"lmtd_requests_total", "lmtd_in_flight", "lmtd_graph_cache_hits_total",
+		"lmtd_graph_cache_misses_total", "lmtd_pool_hits_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics lacks %s", name)
+		}
+	}
+}
+
+func TestServerErrorStatuses(t *testing.T) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		req    service.Request
+		status int
+	}{
+		{"unknown family",
+			service.Request{Graph: spec.GraphSpec{Family: "moebius"}, Task: spec.TaskSpec{Kind: spec.KindMixing}},
+			http.StatusBadRequest},
+		{"unknown kind",
+			service.Request{Graph: spec.GraphSpec{Family: "path", N: 8}, Task: spec.TaskSpec{Kind: "teleport"}},
+			http.StatusBadRequest},
+		{"run failure (bipartite non-lazy)",
+			service.Request{Graph: spec.GraphSpec{Family: "cycle", N: 8}, Task: spec.TaskSpec{Kind: spec.KindMixing, Seed: 1}},
+			http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		out, status := postRun(t, ts.URL, c.req)
+		if status != c.status {
+			t.Errorf("%s: status %d, want %d (%v)", c.name, status, c.status, out)
+		}
+		if out["error"] == "" {
+			t.Errorf("%s: error body missing", c.name)
+		}
+	}
+
+	// Malformed JSON is a 400 too.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON returned %d, want 400", resp.StatusCode)
+	}
+}
+
+// The acceptance bar: the server answers a burst of ≥ 8 concurrent
+// requests under a smaller admission cap, each deterministically.
+func TestServerConcurrentBurstDeterministic(t *testing.T) {
+	svc := service.New(service.Options{MaxInFlight: 3})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+
+	req := service.Request{
+		Graph: spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5},
+		Task:  spec.TaskSpec{Kind: spec.KindWalk, Steps: 16, Seed: 9},
+	}
+	const burst = 8
+	results := make([]map[string]any, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, status := postRun(t, ts.URL, req)
+			if status != http.StatusOK {
+				t.Errorf("request %d: status %d (%v)", i, status, out)
+				return
+			}
+			results[i] = out["result"].(map[string]any)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < burst; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("request %d diverged from request 0 under concurrency", i)
+		}
+	}
+	m := svc.Metrics()
+	if m.PeakInFlight > 3 {
+		t.Fatalf("peak in-flight %d exceeded the admission cap 3", m.PeakInFlight)
+	}
+	if m.Requests < burst {
+		t.Fatalf("served %d requests, want ≥ %d", m.Requests, burst)
+	}
+}
+
+// BenchmarkLoadGenerator is the lmtd load generator: parallel clients
+// hammering one warm mixing request through the full HTTP path. req/sec is
+// the headline metric; the first iteration pays the graph build, the rest
+// measure the warm path.
+func BenchmarkLoadGenerator(b *testing.B) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+
+	body, err := json.Marshal(service.Request{
+		Graph: spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5},
+		Task:  spec.TaskSpec{Kind: spec.KindWalk, Steps: 16, Seed: 9},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "req/sec")
+	}
+	m := svc.Metrics()
+	if m.GraphMisses != 1 {
+		b.Fatalf("load run rebuilt the graph %d times", m.GraphMisses)
+	}
+}

@@ -188,6 +188,10 @@ func WithIrregular() Option { return func(c *Config) { c.AllowIrregular = true }
 // WithWorkers sets the engine's stepping parallelism.
 func WithWorkers(w int) Option { return func(c *Config) { c.Engine.Workers = w } }
 
+// WithMaxRounds caps the engine's round budget (congest.Config.MaxRounds);
+// zero keeps the mode's generous default.
+func WithMaxRounds(n int) Option { return func(c *Config) { c.Engine.MaxRounds = n } }
+
 // WithTopology runs the algorithm on a dynamic network driven by the given
 // churn provider (see internal/dyngraph): the walk evolves on the per-round
 // active topology while the control plane rides the static superset.

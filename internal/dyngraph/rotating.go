@@ -1,0 +1,48 @@
+package dyngraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sweep"
+)
+
+// This file holds convenience builders that produce a Snapshots model
+// together with the superset graph it (and the engine) must run on, so CLI
+// and service users can drive snapshot churn from generator parameters
+// alone instead of constructing explicit graph lists (ROADMAP: "Snapshot
+// churn from generators").
+
+// NewRotatingRegular builds the rotating random-regular dynamic graph:
+// count independent connected random d-regular samples on n vertices —
+// each drawn from sweep.DeriveSeed(seed, i), so the whole family is
+// reproducible from one seed — cycled with the given switch period. It
+// returns the churn model and the union superset the network must be built
+// on (every snapshot is a spanning connected subgraph of it by
+// construction, so per-round connectivity holds without a protected
+// backbone).
+func NewRotatingRegular(n, d, count, period int, seed int64) (*Snapshots, *graph.Graph, error) {
+	if count < 1 {
+		return nil, nil, fmt.Errorf("dyngraph: rotating regular needs ≥ 1 snapshot, got %d", count)
+	}
+	snaps := make([]*graph.Graph, count)
+	for i := range snaps {
+		rng := rand.New(rand.NewSource(sweep.DeriveSeed(seed, i)))
+		g, err := gen.RandomRegular(n, d, rng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dyngraph: rotating regular snapshot %d: %w", i, err)
+		}
+		snaps[i] = g
+	}
+	super, err := Union(fmt.Sprintf("rotregular(n=%d,d=%d,snaps=%d,seed=%d)", n, d, count, seed), snaps...)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := NewSnapshots(super, period, snaps...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, super, nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/walkkernel"
 )
 
 // GraphLocalResult reports the graph-wide local mixing time
@@ -36,6 +37,23 @@ type SourceTau struct {
 // (o.Workers is overridden to 1) since the source pool already saturates
 // the CPUs.
 func GraphLocalMixing(g *graph.Graph, beta, eps float64, o LocalOptions, sources []int) (*GraphLocalResult, error) {
+	sources, workers, err := graphLocalPlan(g, o, sources)
+	if err != nil {
+		return nil, err
+	}
+	if workers > 1 {
+		o.Workers = 1
+	}
+	kern, err := localKernel(g, beta, eps, o)
+	if err != nil {
+		return nil, err
+	}
+	return graphLocalMixingOn(g, kern, beta, eps, o, sources, workers)
+}
+
+// graphLocalPlan resolves and validates the source list and the
+// source-pool width (shared with the kernel-reusing entry point).
+func graphLocalPlan(g *graph.Graph, o LocalOptions, sources []int) ([]int, int, error) {
 	if sources == nil {
 		sources = make([]int, g.N())
 		for i := range sources {
@@ -43,11 +61,11 @@ func GraphLocalMixing(g *graph.Graph, beta, eps float64, o LocalOptions, sources
 		}
 	}
 	if len(sources) == 0 {
-		return nil, fmt.Errorf("exact: GraphLocalMixing needs at least one source")
+		return nil, 0, fmt.Errorf("exact: GraphLocalMixing needs at least one source")
 	}
 	for _, s := range sources {
 		if s < 0 || s >= g.N() {
-			return nil, fmt.Errorf("exact: source %d out of range [0,%d)", s, g.N())
+			return nil, 0, fmt.Errorf("exact: source %d out of range [0,%d)", s, g.N())
 		}
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -57,13 +75,14 @@ func GraphLocalMixing(g *graph.Graph, beta, eps float64, o LocalOptions, sources
 	if workers > len(sources) {
 		workers = len(sources)
 	}
-	if workers > 1 {
-		o.Workers = 1
-	}
-	kern, err := localKernel(g, beta, eps, o)
-	if err != nil {
-		return nil, err
-	}
+	return sources, workers, nil
+}
+
+// graphLocalMixingOn runs the source pool on an already-built kernel. The
+// caller has forced o.Workers to 1 when the pool is parallel (the source
+// pool already saturates the CPUs; results are worker-invariant either
+// way).
+func graphLocalMixingOn(g *graph.Graph, kern *walkkernel.Kernel, beta, eps float64, o LocalOptions, sources []int, workers int) (*GraphLocalResult, error) {
 	type outcome struct {
 		src int
 		tau int

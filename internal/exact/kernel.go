@@ -1,0 +1,99 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/walkkernel"
+)
+
+// This file exports kernel-reusing variants of the oracle entry points.
+// A walkkernel.Kernel is immutable per graph and its results are invariant
+// under the worker count it was built with, so a caller that answers many
+// requests over one graph (internal/service's GraphCache) builds the
+// kernel once and threads it through these variants; each returns results
+// bit-identical to its kernel-building counterpart.
+
+// NewKernel validates the graph and builds the shared walk kernel
+// (≤ 0 workers means GOMAXPROCS; the count never changes oracle results).
+func NewKernel(g *graph.Graph, workers int) (*walkkernel.Kernel, error) {
+	return walkKernel(g, workers)
+}
+
+// ValidateMixingParams checks the mixing-oracle parameters without
+// building anything. Kernel-reusing callers (internal/service) run it
+// before fetching a kernel so invalid requests fail with the same error,
+// in the same order, as the kernel-building entry points — and without
+// paying an O(n+m) kernel construction.
+func ValidateMixingParams(g *graph.Graph, eps float64, lazy bool) error {
+	if eps <= 0 || eps >= 1 {
+		return fmt.Errorf("exact: MixingTime needs ε ∈ (0,1), got %g", eps)
+	}
+	return checkLazyChain(g, lazy)
+}
+
+// ValidateLocalParams is the local-oracle counterpart of
+// ValidateMixingParams: the parameter check LocalMixing runs before its
+// kernel build.
+func ValidateLocalParams(g *graph.Graph, beta, eps float64, o LocalOptions) error {
+	return validateLocal(g, beta, eps, o)
+}
+
+// MixingTimeKernel is MixingTime on an already-built kernel.
+func MixingTimeKernel(g *graph.Graph, k *walkkernel.Kernel, source int, eps float64, lazy bool, maxT int) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("exact: MixingTime needs ε ∈ (0,1), got %g", eps)
+	}
+	if err := checkLazyChain(g, lazy); err != nil {
+		return 0, err
+	}
+	w, err := newWalkOn(g, k, source, lazy)
+	if err != nil {
+		return 0, err
+	}
+	pi := Stationary(g)
+	for t := 0; t <= maxT; t++ {
+		if L1(w.P(), pi) < eps {
+			return t, nil
+		}
+		w.Step()
+	}
+	return 0, fmt.Errorf("%w (maxT=%d, source=%d)", ErrNoMixing, maxT, source)
+}
+
+// GraphMixingTimeKernel is GraphMixingTime on an already-built kernel.
+func GraphMixingTimeKernel(g *graph.Graph, k *walkkernel.Kernel, eps float64, lazy bool, maxT int) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("exact: MixingTime needs ε ∈ (0,1), got %g", eps)
+	}
+	if g.N() == 0 {
+		return 0, nil
+	}
+	if err := checkLazyChain(g, lazy); err != nil {
+		return 0, err
+	}
+	return graphMixingTimeOn(g, k, eps, lazy, maxT)
+}
+
+// LocalMixingKernel is LocalMixing on an already-built kernel.
+func LocalMixingKernel(g *graph.Graph, k *walkkernel.Kernel, source int, beta, eps float64, o LocalOptions) (*LocalResult, error) {
+	if err := validateLocal(g, beta, eps, o); err != nil {
+		return nil, err
+	}
+	return localMixingOn(g, k, source, beta, eps, o)
+}
+
+// GraphLocalMixingKernel is GraphLocalMixing on an already-built kernel.
+func GraphLocalMixingKernel(g *graph.Graph, k *walkkernel.Kernel, beta, eps float64, o LocalOptions, sources []int) (*GraphLocalResult, error) {
+	sources, workers, err := graphLocalPlan(g, o, sources)
+	if err != nil {
+		return nil, err
+	}
+	if workers > 1 {
+		o.Workers = 1
+	}
+	if err := validateLocal(g, beta, eps, o); err != nil {
+		return nil, err
+	}
+	return graphLocalMixingOn(g, k, beta, eps, o, sources, workers)
+}

@@ -69,19 +69,25 @@ func LocalMixing(g *graph.Graph, source int, beta float64, eps float64, o LocalO
 // localKernel validates the common oracle parameters and builds the shared
 // walk kernel.
 func localKernel(g *graph.Graph, beta, eps float64, o LocalOptions) (*walkkernel.Kernel, error) {
-	if beta < 1 {
-		return nil, fmt.Errorf("exact: LocalMixing needs β ≥ 1, got %g", beta)
-	}
-	if eps <= 0 || eps >= 1 {
-		return nil, fmt.Errorf("exact: LocalMixing needs ε ∈ (0,1), got %g", eps)
-	}
-	if o.MaxT <= 0 {
-		return nil, fmt.Errorf("exact: LocalMixing needs MaxT > 0, got %d", o.MaxT)
-	}
-	if err := checkLazyChain(g, o.Lazy); err != nil {
+	if err := validateLocal(g, beta, eps, o); err != nil {
 		return nil, err
 	}
 	return walkKernel(g, o.Workers)
+}
+
+// validateLocal is localKernel's parameter check, shared with the
+// kernel-reusing entry points that skip the kernel build.
+func validateLocal(g *graph.Graph, beta, eps float64, o LocalOptions) error {
+	if beta < 1 {
+		return fmt.Errorf("exact: LocalMixing needs β ≥ 1, got %g", beta)
+	}
+	if eps <= 0 || eps >= 1 {
+		return fmt.Errorf("exact: LocalMixing needs ε ∈ (0,1), got %g", eps)
+	}
+	if o.MaxT <= 0 {
+		return fmt.Errorf("exact: LocalMixing needs MaxT > 0, got %d", o.MaxT)
+	}
+	return checkLazyChain(g, o.Lazy)
 }
 
 // localMixingOn is LocalMixing on an already-validated shared kernel.

@@ -164,8 +164,7 @@ func GraphMixingTimeWorkers(g *graph.Graph, eps float64, lazy bool, maxT, worker
 	if eps <= 0 || eps >= 1 {
 		return 0, fmt.Errorf("exact: MixingTime needs ε ∈ (0,1), got %g", eps)
 	}
-	n := g.N()
-	if n == 0 {
+	if g.N() == 0 {
 		return 0, nil
 	}
 	if err := checkLazyChain(g, lazy); err != nil {
@@ -175,6 +174,13 @@ func GraphMixingTimeWorkers(g *graph.Graph, eps float64, lazy bool, maxT, worker
 	if err != nil {
 		return 0, err
 	}
+	return graphMixingTimeOn(g, k, eps, lazy, maxT)
+}
+
+// graphMixingTimeOn is the batched sweep on an already-validated kernel
+// (fresh above, or cached by internal/service's GraphCache).
+func graphMixingTimeOn(g *graph.Graph, k *walkkernel.Kernel, eps float64, lazy bool, maxT int) (int, error) {
+	n := g.N()
 	pi := Stationary(g)
 	width := walkkernel.BatchWidth
 	if width > n {

@@ -1,0 +1,266 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/dyngraph"
+	"repro/internal/exact"
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/walkkernel"
+)
+
+// counters are the service's atomic metrics, shared with the cache entries
+// so kernel/pool builds are counted where they happen.
+type counters struct {
+	requests     atomic.Int64
+	errors       atomic.Int64
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64
+	graphHits    atomic.Int64
+	graphMisses  atomic.Int64
+	kernelBuilds atomic.Int64
+	poolBuilds   atomic.Int64
+	poolHits     atomic.Int64
+	churnBuilds  atomic.Int64
+}
+
+// GraphCache is a thread-safe LRU of built graphs keyed by the canonical
+// GraphSpec key. Each entry also owns the graph's derived artifacts — the
+// walk kernel, warm sweep pools, churn providers — so a warm repeated
+// request allocates none of them.
+type GraphCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+	ctr   *counters
+}
+
+// newGraphCache builds a cache holding at most capEntries graphs.
+func newGraphCache(capEntries int, ctr *counters) *GraphCache {
+	return &GraphCache{cap: capEntries, ll: list.New(), items: make(map[string]*list.Element), ctr: ctr}
+}
+
+// get returns the entry for gs, building the graph at most once per cached
+// key even under concurrent first access. hit reports whether the entry
+// already existed.
+func (c *GraphCache) get(gs spec.GraphSpec) (*cacheEntry, bool, error) {
+	key := gs.Key()
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		c.ctr.graphHits.Add(1)
+		e.build()
+		return e, true, e.err
+	}
+	e := &cacheEntry{key: key, spec: gs, ctr: c.ctr}
+	c.items[key] = c.ll.PushFront(e)
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.mu.Unlock()
+	c.ctr.graphMisses.Add(1)
+	e.build()
+	return e, false, e.err
+}
+
+// len reports the number of cached entries.
+func (c *GraphCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheEntry owns one cached graph and its derived artifacts. The graph is
+// built once (buildOnce); the kernel, pools, and churn models are built
+// lazily under mu on first use and reused by every later request.
+type cacheEntry struct {
+	key       string
+	spec      spec.GraphSpec
+	ctr       *counters
+	buildOnce sync.Once
+	g         *graph.Graph
+	err       error
+
+	mu      sync.Mutex
+	kern    *walkkernel.Kernel
+	kernErr error
+	pools   map[string]*pooledSweep
+	churns  map[string]*churnVal
+}
+
+func (e *cacheEntry) build() {
+	e.buildOnce.Do(func() { e.g, e.err = e.spec.Build() })
+}
+
+// kernel returns the entry's shared walk kernel, building it on first use
+// with the default worker count (oracle results are invariant under it).
+func (e *cacheEntry) kernel() (*walkkernel.Kernel, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.kern == nil && e.kernErr == nil {
+		e.kern, e.kernErr = exact.NewKernel(e.g, 0)
+		e.ctr.kernelBuilds.Add(1)
+	}
+	return e.kern, e.kernErr
+}
+
+// pool returns the warm sweep pool for key, building it on first use on
+// the given run graph (the spec graph, or a snapshot-churn superset).
+func (e *cacheEntry) pool(key string, g *graph.Graph, cfg core.Config, workers int) (*pooledSweep, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.pools[key]; ok {
+		e.ctr.poolHits.Add(1)
+		return p, nil
+	}
+	sp, err := core.NewSweepPool(g, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.ctr.poolBuilds.Add(1)
+	if e.pools == nil {
+		e.pools = make(map[string]*pooledSweep)
+	}
+	p := &pooledSweep{sp: sp}
+	e.pools[key] = p
+	return p, nil
+}
+
+// churnVal is a resolved churn model: the provider plus the graph the
+// network must be built on (the spec graph, or the rotating-regular
+// superset for snapshot models).
+type churnVal struct {
+	prov congest.TopologyProvider
+	runG *graph.Graph
+	key  string
+}
+
+// churn resolves (and caches) the task's churn model. The effective model
+// seed falls back to the task seed, matching cmd/lmt's -churnseed 0
+// semantics.
+func (e *cacheEntry) churn(t spec.TaskSpec) (*churnVal, error) {
+	cs := *t.Churn
+	if cs.Seed == 0 {
+		cs.Seed = t.Seed
+	}
+	key := churnKey(cs)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, ok := e.churns[key]; ok {
+		return v, nil
+	}
+	prov, runG, err := buildChurn(e.g, cs)
+	if err != nil {
+		return nil, err
+	}
+	e.ctr.churnBuilds.Add(1)
+	if e.churns == nil {
+		e.churns = make(map[string]*churnVal)
+	}
+	v := &churnVal{prov: prov, runG: runG, key: key}
+	e.churns[key] = v
+	return v, nil
+}
+
+// churnKey renders the canonical key of a fully-resolved churn spec.
+func churnKey(cs spec.ChurnSpec) string {
+	return fmt.Sprintf("%s/r=%g/on=%g/ev=%d/sn=%d/d=%d/seed=%d",
+		cs.Model, cs.Rate, cs.On, cs.Every, cs.Snapshots, cs.Degree, cs.Seed)
+}
+
+// buildChurn constructs the provider named by a resolved churn spec over
+// the superset g. Rate, On and Every are passed verbatim — On = 0 is the
+// legitimate "edges never reactivate" chain and a missing Every is the
+// model's own validation error, exactly as the dyngraph constructors have
+// always behaved. Only the snapshot count and degree, which have no prior
+// CLI semantics, carry defaults (3 samples of degree 4).
+func buildChurn(g *graph.Graph, cs spec.ChurnSpec) (congest.TopologyProvider, *graph.Graph, error) {
+	switch cs.Model {
+	case "markov":
+		prov, err := dyngraph.NewEdgeMarkov(g, cs.Seed, cs.Rate, cs.On)
+		return prov, g, err
+	case "interval":
+		prov, err := dyngraph.NewInterval(g, cs.Seed, cs.Every, 1-cs.Rate)
+		return prov, g, err
+	case "snapshot":
+		count := cs.Snapshots
+		if count == 0 {
+			count = 3
+		}
+		deg := cs.Degree
+		if deg == 0 {
+			deg = 4
+		}
+		prov, super, err := dyngraph.NewRotatingRegular(g.N(), deg, count, cs.Every, cs.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return prov, super, nil
+	default:
+		return nil, nil, fmt.Errorf("service: unknown churn model %q", cs.Model)
+	}
+}
+
+// pooledSweep serializes sweeps on one warm core.SweepPool (a pool's
+// worker networks are single-sweep at a time).
+type pooledSweep struct {
+	mu sync.Mutex
+	sp *core.SweepPool
+}
+
+// Sweep runs one sweep on the warm pool.
+func (p *pooledSweep) Sweep(o core.SweepOptions) (*core.MultiResult, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sp.Sweep(o)
+}
+
+// sweeper abstracts the warm (cached) and one-shot (facade) sweep paths.
+type sweeper interface {
+	Sweep(o core.SweepOptions) (*core.MultiResult, error)
+}
+
+// Env is a runner's execution environment: the run graph plus, for cached
+// requests, the entry providing shared kernels and warm pools. A nil entry
+// (DirectEnv) builds everything fresh — the facade's historical behavior.
+type Env struct {
+	g     *graph.Graph
+	entry *cacheEntry
+}
+
+// DirectEnv wraps an already-built graph with no cache behind it: every
+// kernel and pool is built fresh, exactly as the direct facade calls
+// always did.
+func DirectEnv(g *graph.Graph) *Env { return &Env{g: g} }
+
+// Graph returns the run graph.
+func (e *Env) Graph() *graph.Graph { return e.g }
+
+// kernel returns a walk kernel for the run graph: the entry's shared one
+// when cached, or a fresh build with the requested worker count.
+func (e *Env) kernel(workers int) (*walkkernel.Kernel, error) {
+	if e.entry == nil || e.entry.g != e.g {
+		return exact.NewKernel(e.g, workers)
+	}
+	return e.entry.kernel()
+}
+
+// sweepPool returns a sweeper for cfg: the entry's warm pool under key
+// when cached, or a one-shot pool (the facade path).
+func (e *Env) sweepPool(key string, cfg core.Config, workers int) (sweeper, error) {
+	if e.entry == nil {
+		return core.NewSweepPool(e.g, cfg, workers)
+	}
+	return e.entry.pool(key, e.g, cfg, workers)
+}

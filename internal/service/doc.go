@@ -1,0 +1,24 @@
+// Package service is the job layer: one spec-driven request path for every
+// oracle, sweep, and dynamic run in the repository.
+//
+// A Request pairs a spec.GraphSpec (which graph) with a spec.TaskSpec
+// (which computation). Run resolves the task kind through a Registry of
+// runners — each runner wraps exactly one facade entry-point family of the
+// root localmix package — against a GraphCache entry holding the built
+// graph plus its lazily-built walk kernel, warm core.SweepPool workers,
+// and churn providers, all keyed by the graph spec's canonical key. A
+// semaphore bounds concurrent runs (admission control), and requests that
+// omit a seed get a deterministic per-request seed derived from the
+// service's base seed and the request content.
+//
+// Equivalence contract: for every registered kind, Run's result is
+// byte-identical (reflect.DeepEqual) to the corresponding direct facade
+// call — the facade itself delegates through the same runners via Call and
+// a cache-less DirectEnv, so there is exactly one code path. The cache
+// only changes *when* graphs and kernels are built, never what a runner
+// computes; this is enforced by internal/service's tests.
+//
+// Concurrency: Run is safe for concurrent use. Cached sweep pools are
+// serialized per pool key (a core.SweepPool is single-sweep at a time);
+// kernels and graphs are immutable and shared freely.
+package service

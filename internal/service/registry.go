@@ -1,0 +1,137 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/exact"
+	"repro/internal/spec"
+	"repro/internal/spread"
+)
+
+// Invocation is one resolved request handed to a Runner: the execution
+// environment (graph + caches) plus the task spec. The override fields
+// carry arguments a facade signature can express but a declarative spec
+// cannot (functional options, an explicit coverage instance, a caller-built
+// churn provider); the spec-driven path leaves them nil and the runner
+// derives everything from Task.
+type Invocation struct {
+	// Env is the execution environment: the run graph and, for cached
+	// requests, the graph-cache entry providing shared kernels and pools.
+	Env *Env
+	// Task is the declarative task description.
+	Task spec.TaskSpec
+	// Opts are extra distributed options applied after the Task-derived
+	// ones (the facade's variadic options, verbatim).
+	Opts []core.Option
+	// Churn is the resolved topology provider (service-built from
+	// Task.Churn, or facade-provided).
+	Churn congest.TopologyProvider
+	// SweepOpts overrides the Task-derived sweep options when non-nil.
+	SweepOpts *core.SweepOptions
+	// Local overrides the Task-derived centralized-oracle options.
+	Local *exact.LocalOptions
+	// Spread overrides the Task-derived push–pull config.
+	Spread *spread.Config
+	// Instance overrides the Task-derived random coverage instance.
+	Instance *coverage.Instance
+
+	// churnKey tags cached sweep pools with the resolved churn model; set
+	// by Service.Run alongside Churn.
+	churnKey string
+}
+
+// Runner executes one task kind. The returned value is the kind's concrete
+// result type (documented at registration); it must be JSON-marshalable
+// for the HTTP server.
+type Runner func(inv *Invocation) (any, error)
+
+// TaskInfo describes one registered kind for GET /v1/tasks.
+type TaskInfo struct {
+	// Kind is the registry key and wire value.
+	Kind spec.Kind `json:"kind"`
+	// Description says what the runner computes and which facade entry
+	// point it is equivalent to.
+	Description string `json:"description"`
+}
+
+// Registry maps task kinds to runners. The zero value is unusable; see
+// NewRegistry and Default.
+type Registry struct {
+	mu      sync.RWMutex
+	order   []spec.Kind
+	runners map[spec.Kind]registration
+}
+
+type registration struct {
+	run  Runner
+	info TaskInfo
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{runners: make(map[spec.Kind]registration)}
+}
+
+// Register adds a runner for kind. Registering a kind twice panics — kinds
+// are global wire values, and a silent overwrite would make two deployments
+// disagree about what a request means.
+func (r *Registry) Register(kind spec.Kind, description string, run Runner) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.runners[kind]; dup {
+		panic(fmt.Sprintf("service: task kind %q registered twice", kind))
+	}
+	r.order = append(r.order, kind)
+	r.runners[kind] = registration{run: run, info: TaskInfo{Kind: kind, Description: description}}
+}
+
+// Runner looks up the runner for kind.
+func (r *Registry) Runner(kind spec.Kind) (Runner, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	reg, ok := r.runners[kind]
+	return reg.run, ok
+}
+
+// Tasks lists the registered kinds in registration order.
+func (r *Registry) Tasks() []TaskInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]TaskInfo, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, r.runners[k].info)
+	}
+	return out
+}
+
+// defaultRegistry holds the built-in runners; built once on first use.
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the shared registry with every built-in task kind
+// registered. The localmix facade and any Service built without an explicit
+// Registry resolve kinds here.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		defaultReg = NewRegistry()
+		registerBuiltins(defaultReg)
+	})
+	return defaultReg
+}
+
+// Call invokes kind's runner from the default registry — the facade entry
+// path (no cache, no admission control, no seed derivation: exactly the
+// caller's arguments).
+func Call(kind spec.Kind, inv *Invocation) (any, error) {
+	run, ok := Default().Runner(kind)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown task kind %q", kind)
+	}
+	return run(inv)
+}

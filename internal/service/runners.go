@@ -1,0 +1,328 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/coverage"
+	"repro/internal/exact"
+	"repro/internal/spec"
+	"repro/internal/spread"
+)
+
+// TauResult wraps the scalar answer of the mixing-time oracles so every
+// runner returns a JSON-marshalable struct.
+type TauResult struct {
+	// Tau is the computed (local) mixing time in walk steps.
+	Tau int
+}
+
+// RoundsResult wraps the scalar answer of round-counting tasks (leader
+// election).
+type RoundsResult struct {
+	// Rounds is the number of gossip rounds executed.
+	Rounds int
+}
+
+// registerBuiltins registers one runner per facade entry-point family.
+// Each description names the equivalent localmix facade call — the
+// equivalence the service tests enforce with reflect.DeepEqual.
+func registerBuiltins(r *Registry) {
+	r.Register(spec.KindOracleMixing,
+		"centralized exact mixing time τ_mix_s(ε) (= localmix.MixingTime)",
+		runOracleMixing)
+	r.Register(spec.KindOracleLocal,
+		"centralized exact local mixing time τ_s(β,ε) with witness set (= localmix.LocalMixingTime)",
+		runOracleLocal)
+	r.Register(spec.KindOracleGraphMixing,
+		"centralized batched all-sources mixing time τ_mix(ε) (= localmix.GraphMixingTime)",
+		runOracleGraphMixing)
+	r.Register(spec.KindOracleGraphLocal,
+		"centralized graph-wide local mixing time τ(β,ε) (= localmix.GraphLocalMixingTime)",
+		runOracleGraphLocal)
+	r.Register(spec.KindMixing,
+		"distributed [18]-style mixing time (= localmix.DistributedMixingTime)",
+		runMixing)
+	r.Register(spec.KindLocal,
+		"distributed Algorithm 2 / §3.2-exact local mixing time (= localmix.Distributed(Exact)LocalMixingTime)",
+		runLocal)
+	r.Register(spec.KindSweep,
+		"parallel multi-source distributed sweep, warm pools (= localmix.DistributedGraph*MixingTime)",
+		runSweep)
+	r.Register(spec.KindDynamic,
+		"distributed run on a churned network (= localmix.Dynamic(Local)MixingTime)",
+		runDynamic)
+	r.Register(spec.KindWalk,
+		"token-forwarding random walk, one hop per round (= localmix.DynamicWalk)",
+		runWalk)
+	r.Register(spec.KindEstimate,
+		"Algorithm 1 fixed-point walk-distribution estimate (= localmix.EstimateRWProbability)",
+		runEstimate)
+	r.Register(spec.KindSpread,
+		"push–pull gossip (§4): local, congest, or engine transport (= localmix.PushPull*)",
+		runSpread)
+	r.Register(spec.KindLeader,
+		"min-id leader election over gossip (= localmix.LeaderElection)",
+		runLeader)
+	r.Register(spec.KindCoverage,
+		"distributed maximum coverage via partial spreading (= localmix.DistributedMaxCoverage)",
+		runCoverage)
+}
+
+// taskOptions renders the spec's engine knobs as the facade's functional
+// options. Zero spec fields emit no option, so a facade invocation (all
+// knobs in Invocation.Opts, zero Task fields) composes to exactly the
+// caller's option list.
+func taskOptions(t spec.TaskSpec) []core.Option {
+	var o []core.Option
+	if t.Lazy {
+		o = append(o, core.WithLazy())
+	}
+	if t.Seed != 0 {
+		o = append(o, core.WithSeed(t.Seed))
+	}
+	if t.C != 0 {
+		o = append(o, core.WithC(t.C))
+	}
+	if t.MaxLength != 0 {
+		o = append(o, core.WithMaxLength(t.MaxLength))
+	}
+	if t.Irregular {
+		o = append(o, core.WithIrregular())
+	}
+	if t.Workers != 0 {
+		o = append(o, core.WithWorkers(t.Workers))
+	}
+	if t.TieBreakBits != 0 {
+		o = append(o, core.WithRandomTieBreak(t.TieBreakBits))
+	}
+	if t.MaxRounds != 0 {
+		o = append(o, core.WithMaxRounds(t.MaxRounds))
+	}
+	return o
+}
+
+// distOptions merges the Task-derived options with the facade overrides
+// and the resolved churn provider.
+func distOptions(inv *Invocation) []core.Option {
+	opts := append(taskOptions(inv.Task), inv.Opts...)
+	if inv.Churn != nil {
+		opts = append(opts, core.WithTopology(inv.Churn))
+	}
+	return opts
+}
+
+// localOptions renders the centralized-oracle options from the spec, or
+// the facade override verbatim.
+func localOptions(inv *Invocation) exact.LocalOptions {
+	if inv.Local != nil {
+		return *inv.Local
+	}
+	t := inv.Task
+	return exact.LocalOptions{
+		Lazy:    t.Lazy,
+		MaxT:    t.MaxT,
+		Grid:    !t.FullScan,
+		Workers: t.Workers,
+	}
+}
+
+func runOracleMixing(inv *Invocation) (any, error) {
+	t := inv.Task
+	g := inv.Env.Graph()
+	if err := exact.ValidateMixingParams(g, t.Eps, t.Lazy); err != nil {
+		return nil, err
+	}
+	k, err := inv.Env.kernel(t.Workers)
+	if err != nil {
+		return nil, err
+	}
+	tau, err := exact.MixingTimeKernel(g, k, t.Source, t.Eps, t.Lazy, t.MaxT)
+	if err != nil {
+		return nil, err
+	}
+	return &TauResult{Tau: tau}, nil
+}
+
+func runOracleLocal(inv *Invocation) (any, error) {
+	t := inv.Task
+	g := inv.Env.Graph()
+	o := localOptions(inv)
+	if err := exact.ValidateLocalParams(g, t.Beta, t.Eps, o); err != nil {
+		return nil, err
+	}
+	k, err := inv.Env.kernel(o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return exact.LocalMixingKernel(g, k, t.Source, t.Beta, t.Eps, o)
+}
+
+func runOracleGraphMixing(inv *Invocation) (any, error) {
+	t := inv.Task
+	g := inv.Env.Graph()
+	if err := exact.ValidateMixingParams(g, t.Eps, t.Lazy); err != nil {
+		return nil, err
+	}
+	k, err := inv.Env.kernel(t.Workers)
+	if err != nil {
+		return nil, err
+	}
+	tau, err := exact.GraphMixingTimeKernel(g, k, t.Eps, t.Lazy, t.MaxT)
+	if err != nil {
+		return nil, err
+	}
+	return &TauResult{Tau: tau}, nil
+}
+
+func runOracleGraphLocal(inv *Invocation) (any, error) {
+	t := inv.Task
+	g := inv.Env.Graph()
+	o := localOptions(inv)
+	if err := exact.ValidateLocalParams(g, t.Beta, t.Eps, o); err != nil {
+		return nil, err
+	}
+	k, err := inv.Env.kernel(o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return exact.GraphLocalMixingKernel(g, k, t.Beta, t.Eps, o, t.Sources)
+}
+
+func runMixing(inv *Invocation) (any, error) {
+	t := inv.Task
+	return core.MixingTime(inv.Env.Graph(), t.Source, t.Eps, distOptions(inv)...)
+}
+
+func runLocal(inv *Invocation) (any, error) {
+	t := inv.Task
+	if t.Exact {
+		return core.ExactLocalMixingTime(inv.Env.Graph(), t.Source, t.Beta, t.Eps, distOptions(inv)...)
+	}
+	return core.ApproxLocalMixingTime(inv.Env.Graph(), t.Source, t.Beta, t.Eps, distOptions(inv)...)
+}
+
+func runDynamic(inv *Invocation) (any, error) {
+	t := inv.Task
+	opts := append(taskOptions(t), inv.Opts...)
+	if t.Mode == "mixing" {
+		return core.DynamicMixingTime(inv.Env.Graph(), t.Source, t.Eps, inv.Churn, opts...)
+	}
+	return core.DynamicLocalMixingTime(inv.Env.Graph(), t.Source, t.Beta, t.Eps, inv.Churn, opts...)
+}
+
+func runWalk(inv *Invocation) (any, error) {
+	t := inv.Task
+	return core.TokenWalk(inv.Env.Graph(), t.Source, t.Steps, distOptions(inv)...)
+}
+
+func runEstimate(inv *Invocation) (any, error) {
+	t := inv.Task
+	return core.EstimateRWProbability(inv.Env.Graph(), t.Source, t.Steps, core.Config{Lazy: t.Lazy})
+}
+
+// sweepMode resolves the sweep kind's per-source algorithm.
+func sweepMode(mode string) (core.Mode, error) {
+	switch mode {
+	case "", "approx":
+		return core.ApproxLocal, nil
+	case "exact":
+		return core.ExactLocal, nil
+	case "mixing":
+		return core.MixTime, nil
+	default:
+		return 0, fmt.Errorf("service: unknown sweep mode %q", mode)
+	}
+}
+
+func runSweep(inv *Invocation) (any, error) {
+	t := inv.Task
+	mode, err := sweepMode(t.Mode)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Mode: mode, Beta: t.Beta, Eps: t.Eps}
+	for _, op := range append(taskOptions(t), inv.Opts...) {
+		op(&cfg)
+	}
+	if inv.Churn != nil {
+		cfg.Engine.Topology = inv.Churn
+	}
+	o := core.SweepOptions{Workers: t.SweepWorkers, Sources: t.Sources, Sample: t.Sample}
+	if inv.SweepOpts != nil {
+		o = *inv.SweepOpts
+	}
+	sw, err := inv.Env.sweepPool(poolKey(cfg, inv.churnKey, o.Workers), cfg, o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return sw.Sweep(o)
+}
+
+// poolKey renders the canonical key of a warm sweep pool: everything in
+// the resolved config that selects the pool's algorithm, parameters, and
+// seeds — but not the per-sweep source selection, so repeated sweeps with
+// different samples share one pool.
+func poolKey(cfg core.Config, churnKey string, workers int) string {
+	return fmt.Sprintf("m=%v/b=%g/e=%g/lazy=%t/c=%d/ml=%d/tb=%d/irr=%t/seed=%d/ew=%d/mr=%d/bw=%d/model=%v/churn=%s/w=%d",
+		cfg.Mode, cfg.Beta, cfg.Eps, cfg.Lazy, cfg.C, cfg.MaxLength, cfg.TieBreakBits,
+		cfg.AllowIrregular, cfg.Engine.Seed, cfg.Engine.Workers, cfg.Engine.MaxRounds,
+		cfg.Engine.BandwidthBits, cfg.Engine.Model, churnKey, workers)
+}
+
+func runSpread(inv *Invocation) (any, error) {
+	t := inv.Task
+	cfg := spread.Config{
+		Beta:          t.Beta,
+		MaxRounds:     t.MaxRounds,
+		Seed:          t.Seed,
+		StopAtPartial: t.StopAtPartial,
+		FixedRounds:   t.FixedRounds,
+		Workers:       t.Workers,
+	}
+	if inv.Spread != nil {
+		cfg = *inv.Spread
+	}
+	switch t.Transport {
+	case "", "local":
+		return spread.Run(inv.Env.Graph(), cfg)
+	case "congest":
+		return spread.RunCongest(inv.Env.Graph(), cfg)
+	case "engine":
+		return spread.RunOnEngine(inv.Env.Graph(), cfg)
+	default:
+		return nil, fmt.Errorf("service: unknown spread transport %q", t.Transport)
+	}
+}
+
+func runLeader(inv *Invocation) (any, error) {
+	t := inv.Task
+	rounds, err := spread.LeaderElection(inv.Env.Graph(), t.Seed, t.MaxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return &RoundsResult{Rounds: rounds}, nil
+}
+
+func runCoverage(inv *Invocation) (any, error) {
+	t := inv.Task
+	inst := inv.Instance
+	engine := t.Coverage != nil && t.Coverage.Engine
+	if inst == nil {
+		c := t.Coverage
+		if c == nil {
+			return nil, fmt.Errorf("service: coverage task needs an instance spec")
+		}
+		var err error
+		inst, err = coverage.RandomInstance(inv.Env.Graph().N(), c.Universe, c.PerNode, c.K,
+			rand.New(rand.NewSource(c.Seed)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if engine {
+		return coverage.DistributedEngine(inv.Env.Graph(), inst, t.Beta, t.Seed)
+	}
+	return coverage.Distributed(inv.Env.Graph(), inst, t.Beta, t.Seed)
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+
+	"repro/internal/graph"
+	"repro/internal/spec"
+	"repro/internal/sweep"
+)
+
+// ErrInvalidRequest tags request-shape failures (unknown family or kind,
+// cross-field spec violations) so transports can map them to 400-class
+// statuses; execution failures are returned unwrapped.
+var ErrInvalidRequest = errors.New("service: invalid request")
+
+// Request is one unit of work: which graph, which computation.
+type Request struct {
+	// Graph names the generated graph.
+	Graph spec.GraphSpec `json:"graph"`
+	// Task names the computation over it.
+	Task spec.TaskSpec `json:"task"`
+}
+
+// GraphInfo describes a built graph in a Response.
+type GraphInfo struct {
+	// Key is the canonical cache key.
+	Key string `json:"key"`
+	// Name is the generator's graph name.
+	Name string `json:"name"`
+	// N and M are the vertex and edge counts.
+	N int `json:"n"`
+	M int `json:"m"`
+}
+
+// Response reports a completed run.
+type Response struct {
+	// Kind echoes the task kind.
+	Kind spec.Kind `json:"kind"`
+	// Graph describes the cached spec graph.
+	Graph GraphInfo `json:"graph"`
+	// RunGraph is set when the run executed on a different graph than the
+	// spec'd one — today only for snapshot churn, which replaces the graph
+	// by the rotating-sample superset.
+	RunGraph *GraphInfo `json:"runGraph,omitempty"`
+	// CacheHit reports whether the graph came from the cache.
+	CacheHit bool `json:"cacheHit"`
+	// Seed is the effective task seed (the request's, or the per-request
+	// derived one when the request omitted it).
+	Seed int64 `json:"seed"`
+	// Result is the kind's concrete result (see the registry
+	// descriptions); over HTTP it is the kind's JSON object.
+	Result any `json:"result"`
+}
+
+// Options configures a Service.
+type Options struct {
+	// CacheSize bounds the graph cache (entries; ≤ 0 means 16).
+	CacheSize int
+	// MaxInFlight bounds concurrently executing requests; further
+	// requests queue on the admission semaphore (≤ 0 means
+	// max(8, GOMAXPROCS)).
+	MaxInFlight int
+	// BaseSeed feeds the per-request seed derivation for requests that
+	// omit a task seed (0 means 1).
+	BaseSeed int64
+	// Registry resolves task kinds (nil means Default()).
+	Registry *Registry
+}
+
+// Service is the long-running job layer: a registry, a graph cache, and an
+// admission controller behind one Run entry point. Safe for concurrent
+// use.
+type Service struct {
+	opts  Options
+	reg   *Registry
+	cache *GraphCache
+	sem   chan struct{}
+	ctr   counters
+}
+
+// New builds a Service.
+func New(o Options) *Service {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 16
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = runtime.GOMAXPROCS(0)
+		if o.MaxInFlight < 8 {
+			o.MaxInFlight = 8
+		}
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.Registry == nil {
+		o.Registry = Default()
+	}
+	s := &Service{opts: o, reg: o.Registry, sem: make(chan struct{}, o.MaxInFlight)}
+	s.cache = newGraphCache(o.CacheSize, &s.ctr)
+	return s
+}
+
+// MaxInFlight reports the admission cap.
+func (s *Service) MaxInFlight() int { return cap(s.sem) }
+
+// Tasks lists the registered task kinds.
+func (s *Service) Tasks() []TaskInfo { return s.reg.Tasks() }
+
+// Graph builds (or fetches) the spec'd graph through the cache, reporting
+// whether it was already cached — the CLI uses it to print the header once
+// and still get a cache hit on the following Run.
+func (s *Service) Graph(gs spec.GraphSpec) (*graph.Graph, bool, error) {
+	if err := gs.Validate(); err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	e, hit, err := s.cache.get(gs)
+	if err != nil {
+		return nil, hit, err
+	}
+	return e.g, hit, nil
+}
+
+// Run executes one request: validate, admit, resolve the graph through the
+// cache, normalize the task (defaults and the per-request derived seed),
+// resolve churn, and dispatch to the kind's runner. Results are
+// byte-identical to the corresponding direct facade call; see the package
+// documentation for the contract.
+func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
+	s.ctr.requests.Add(1)
+	if err := req.Graph.Validate(); err != nil {
+		s.ctr.errors.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	if err := req.Task.Validate(); err != nil {
+		s.ctr.errors.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	run, ok := s.reg.Runner(req.Task.Kind)
+	if !ok {
+		s.ctr.errors.Add(1)
+		return nil, fmt.Errorf("%w: unregistered task kind %q", ErrInvalidRequest, req.Task.Kind)
+	}
+
+	// Admission: at most MaxInFlight requests execute; the rest wait here
+	// until a slot frees or the caller gives up.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.ctr.errors.Add(1)
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+	in := s.ctr.inFlight.Add(1)
+	defer s.ctr.inFlight.Add(-1)
+	for {
+		peak := s.ctr.peakInFlight.Load()
+		if in <= peak || s.ctr.peakInFlight.CompareAndSwap(peak, in) {
+			break
+		}
+	}
+
+	resp, err := s.execute(run, req)
+	if err != nil {
+		s.ctr.errors.Add(1)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// execute is Run past admission.
+func (s *Service) execute(run Runner, req Request) (*Response, error) {
+	entry, hit, err := s.cache.get(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	task := s.normalize(req, entry.g.N())
+	inv := &Invocation{Env: &Env{g: entry.g, entry: entry}, Task: task}
+	resp := &Response{
+		Kind:     task.Kind,
+		Graph:    GraphInfo{Key: entry.key, Name: entry.g.Name(), N: entry.g.N(), M: entry.g.M()},
+		CacheHit: hit,
+		Seed:     task.Seed,
+	}
+	if task.Churn != nil {
+		cv, err := entry.churn(task)
+		if err != nil {
+			return nil, err
+		}
+		inv.Churn = cv.prov
+		inv.churnKey = cv.key
+		if cv.runG != entry.g {
+			inv.Env = &Env{g: cv.runG, entry: entry}
+			resp.RunGraph = &GraphInfo{Name: cv.runG.Name(), N: cv.runG.N(), M: cv.runG.M()}
+		}
+	}
+	res, err := run(inv)
+	if err != nil {
+		return nil, err
+	}
+	resp.Result = res
+	return resp, nil
+}
+
+// normalize fills the spec-path defaults: ε, the oracle step budget, and —
+// when the request omits a seed — the deterministic per-request seed
+// derived from the service base seed and the request content, so identical
+// requests repeat identically while distinct requests draw uncorrelated
+// randomness.
+func (s *Service) normalize(req Request, n int) spec.TaskSpec {
+	t := req.Task
+	if t.Eps == 0 {
+		t.Eps = spec.DefaultEps
+	}
+	switch t.Kind {
+	case spec.KindOracleMixing, spec.KindOracleLocal, spec.KindOracleGraphMixing, spec.KindOracleGraphLocal:
+		if t.MaxT == 0 {
+			t.MaxT = 8 * n * n
+		}
+	}
+	if t.Seed == 0 {
+		// Hash the request content minus the schedule-only fields: the
+		// whole stack guarantees results are worker-invariant, so two
+		// requests differing only in Workers/SweepWorkers must derive the
+		// same seed (and therefore the same results).
+		hashed := t
+		hashed.Workers, hashed.SweepWorkers = 0, 0
+		h := fnv.New64a()
+		h.Write([]byte(req.Graph.Key()))
+		h.Write([]byte{'|'})
+		h.Write([]byte(hashed.Key()))
+		t.Seed = sweep.DeriveSeed(s.opts.BaseSeed^int64(h.Sum64()), 0)
+	}
+	return t
+}
+
+// Metrics is a point-in-time snapshot of the service counters (exposed at
+// /metrics by cmd/lmtd).
+type Metrics struct {
+	// Requests counts every Run call; Errors the failed ones.
+	Requests, Errors int64
+	// InFlight is the current number of executing requests; PeakInFlight
+	// the high-water mark (≤ the admission cap).
+	InFlight, PeakInFlight int64
+	// GraphHits and GraphMisses count graph-cache lookups.
+	GraphHits, GraphMisses int64
+	// KernelBuilds counts walk-kernel constructions (a warm cache stops
+	// incrementing it).
+	KernelBuilds int64
+	// PoolBuilds and PoolHits count warm sweep-pool constructions and
+	// reuses.
+	PoolBuilds, PoolHits int64
+	// ChurnBuilds counts churn-model constructions.
+	ChurnBuilds int64
+	// CachedGraphs is the current graph-cache size.
+	CachedGraphs int
+}
+
+// Metrics snapshots the counters.
+func (s *Service) Metrics() Metrics {
+	return Metrics{
+		Requests:     s.ctr.requests.Load(),
+		Errors:       s.ctr.errors.Load(),
+		InFlight:     s.ctr.inFlight.Load(),
+		PeakInFlight: s.ctr.peakInFlight.Load(),
+		GraphHits:    s.ctr.graphHits.Load(),
+		GraphMisses:  s.ctr.graphMisses.Load(),
+		KernelBuilds: s.ctr.kernelBuilds.Load(),
+		PoolBuilds:   s.ctr.poolBuilds.Load(),
+		PoolHits:     s.ctr.poolHits.Load(),
+		ChurnBuilds:  s.ctr.churnBuilds.Load(),
+		CachedGraphs: s.cache.len(),
+	}
+}

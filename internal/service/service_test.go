@@ -1,0 +1,375 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/spec"
+)
+
+var ringSpec = spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5}
+
+func mustRun(t *testing.T, svc *Service, req Request) *Response {
+	t.Helper()
+	resp, err := svc.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", req.Task, err)
+	}
+	return resp
+}
+
+func TestRunMatchesDirectCalls(t *testing.T) {
+	g, err := ringSpec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Options{})
+
+	t.Run("oracle-mixing", func(t *testing.T) {
+		resp := mustRun(t, svc, Request{Graph: ringSpec,
+			Task: spec.TaskSpec{Kind: spec.KindOracleMixing, Eps: 0.1, MaxT: 4000}})
+		want, err := exact.MixingTime(g, 0, 0.1, false, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Result.(*TauResult).Tau; got != want {
+			t.Fatalf("service τ_mix=%d, direct %d", got, want)
+		}
+	})
+
+	t.Run("local", func(t *testing.T) {
+		resp := mustRun(t, svc, Request{Graph: ringSpec,
+			Task: spec.TaskSpec{Kind: spec.KindLocal, Beta: 4, Eps: 0.05, Seed: 5}})
+		want, err := core.ApproxLocalMixingTime(g, 0, 4, 0.05, core.WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resp.Result, want) {
+			t.Fatalf("service result differs from direct core call:\n  svc  %+v\n  core %+v", resp.Result, want)
+		}
+	})
+
+	t.Run("sweep-warm-pool", func(t *testing.T) {
+		req := Request{Graph: ringSpec,
+			Task: spec.TaskSpec{Kind: spec.KindSweep, Mode: "mixing", Eps: 0.1, Seed: 5, Sample: 4, SweepWorkers: 2}}
+		first := mustRun(t, svc, req)
+		m0 := svc.Metrics()
+		second := mustRun(t, svc, req)
+		m1 := svc.Metrics()
+		if !reflect.DeepEqual(first.Result, second.Result) {
+			t.Fatal("repeated sweep request changed its result")
+		}
+		if m1.PoolBuilds != m0.PoolBuilds {
+			t.Fatalf("repeated sweep built a new pool (%d -> %d)", m0.PoolBuilds, m1.PoolBuilds)
+		}
+		if m1.PoolHits != m0.PoolHits+1 {
+			t.Fatalf("repeated sweep did not hit the warm pool (hits %d -> %d)", m0.PoolHits, m1.PoolHits)
+		}
+		cfg := core.Config{Mode: core.MixTime, Eps: 0.1}
+		cfg.Engine.Seed = 5
+		want, err := core.GraphMixingTime(g, cfg, core.SweepOptions{Workers: 2, Sample: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Result, want) {
+			t.Fatal("warm-pool sweep differs from the one-shot core sweep")
+		}
+	})
+}
+
+func TestWarmCacheBuildsNothing(t *testing.T) {
+	svc := New(Options{})
+	req := Request{Graph: ringSpec,
+		Task: spec.TaskSpec{Kind: spec.KindOracleLocal, Beta: 4, Eps: 0.05}}
+	first := mustRun(t, svc, req)
+	if first.CacheHit {
+		t.Fatal("first request reported a cache hit")
+	}
+	m0 := svc.Metrics()
+	if m0.KernelBuilds != 1 || m0.GraphMisses != 1 {
+		t.Fatalf("cold request: kernelBuilds=%d graphMisses=%d, want 1/1", m0.KernelBuilds, m0.GraphMisses)
+	}
+	// A second oracle kind on the same graph must reuse graph AND kernel.
+	second := mustRun(t, svc, Request{Graph: ringSpec,
+		Task: spec.TaskSpec{Kind: spec.KindOracleMixing, Eps: 0.1, MaxT: 4000}})
+	if !second.CacheHit {
+		t.Fatal("second request missed the graph cache")
+	}
+	m1 := svc.Metrics()
+	if m1.KernelBuilds != 1 {
+		t.Fatalf("warm request rebuilt the kernel (builds=%d)", m1.KernelBuilds)
+	}
+	if m1.GraphMisses != 1 || m1.GraphHits < 1 {
+		t.Fatalf("warm request missed the graph cache: hits=%d misses=%d", m1.GraphHits, m1.GraphMisses)
+	}
+	third := mustRun(t, svc, req)
+	if !reflect.DeepEqual(first.Result, third.Result) {
+		t.Fatal("warm repeat changed the oracle result")
+	}
+}
+
+func TestGraphCacheConcurrentAccess(t *testing.T) {
+	var ctr counters
+	c := newGraphCache(4, &ctr)
+	gs := spec.GraphSpec{Family: "expander", N: 32, D: 4, Seed: 3}
+	const workers = 16
+	entries := make([]*cacheEntry, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := c.get(gs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if entries[i] != entries[0] {
+			t.Fatal("concurrent gets returned distinct entries")
+		}
+	}
+	if got := ctr.graphMisses.Load(); got != 1 {
+		t.Fatalf("graph built %d times under concurrent access, want 1", got)
+	}
+	if hits := ctr.graphHits.Load(); hits != workers-1 {
+		t.Fatalf("hits=%d, want %d", hits, workers-1)
+	}
+}
+
+func TestGraphCacheLRUEviction(t *testing.T) {
+	var ctr counters
+	c := newGraphCache(2, &ctr)
+	specs := []spec.GraphSpec{
+		{Family: "path", N: 8},
+		{Family: "cycle", N: 8},
+		{Family: "complete", N: 8},
+	}
+	for _, gs := range specs {
+		if _, _, err := c.get(gs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	// The oldest (path) was evicted: re-getting it is a miss.
+	before := ctr.graphMisses.Load()
+	if _, hit, err := c.get(specs[0]); err != nil || hit {
+		t.Fatalf("evicted entry reported hit=%t err=%v", hit, err)
+	}
+	if ctr.graphMisses.Load() != before+1 {
+		t.Fatal("evicted entry did not rebuild")
+	}
+}
+
+func TestAdmissionBound(t *testing.T) {
+	const cap = 3
+	var cur, peak atomic.Int64
+	reg := NewRegistry()
+	reg.Register(spec.KindMixing, "slow probe", func(inv *Invocation) (any, error) {
+		c := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		return &TauResult{Tau: int(inv.Task.Seed)}, nil
+	})
+	svc := New(Options{Registry: reg, MaxInFlight: cap})
+	const burst = 16
+	var wg sync.WaitGroup
+	results := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := svc.Run(context.Background(), Request{
+				Graph: spec.GraphSpec{Family: "path", N: 4},
+				Task:  spec.TaskSpec{Kind: spec.KindMixing, Seed: int64(i + 1)},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = resp.Result.(*TauResult).Tau
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Fatalf("observed %d concurrent runs, admission cap is %d", p, cap)
+	}
+	if p := svc.Metrics().PeakInFlight; p > cap {
+		t.Fatalf("metrics report peak %d > cap %d", p, cap)
+	}
+	for i, r := range results {
+		if r != i+1 {
+			t.Fatalf("request %d returned %d: per-request state leaked across the burst", i, r)
+		}
+	}
+}
+
+func TestAdmissionRespectsContext(t *testing.T) {
+	block := make(chan struct{})
+	reg := NewRegistry()
+	reg.Register(spec.KindMixing, "blocker", func(inv *Invocation) (any, error) {
+		<-block
+		return &TauResult{}, nil
+	})
+	svc := New(Options{Registry: reg, MaxInFlight: 1})
+	req := Request{Graph: spec.GraphSpec{Family: "path", N: 4}, Task: spec.TaskSpec{Kind: spec.KindMixing}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := svc.Run(context.Background(), req); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Wait for the first request to occupy the only slot.
+	for svc.Metrics().InFlight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := svc.Run(ctx, req); err != context.DeadlineExceeded {
+		t.Fatalf("queued request returned %v, want context.DeadlineExceeded", err)
+	}
+	close(block)
+	<-done
+}
+
+func TestDerivedSeedsAreDeterministic(t *testing.T) {
+	req := Request{Graph: ringSpec,
+		Task: spec.TaskSpec{Kind: spec.KindWalk, Steps: 12}} // seed omitted
+	a := mustRun(t, New(Options{}), req)
+	b := mustRun(t, New(Options{}), req)
+	if a.Seed == 0 || a.Seed != b.Seed {
+		t.Fatalf("derived seeds differ across services: %d vs %d", a.Seed, b.Seed)
+	}
+	if !reflect.DeepEqual(a.Result, b.Result) {
+		t.Fatal("identical seedless requests returned different results")
+	}
+	c := mustRun(t, New(Options{BaseSeed: 99}), req)
+	if c.Seed == a.Seed {
+		t.Fatal("base seed does not influence the derived seed")
+	}
+	// A different request content must derive a different seed.
+	other := req
+	other.Task.Steps = 13
+	d := mustRun(t, New(Options{}), other)
+	if d.Seed == a.Seed {
+		t.Fatal("distinct requests derived the same seed")
+	}
+	// Schedule-only fields must NOT influence the derived seed: results
+	// are worker-invariant everywhere, so a seedless request with a
+	// different worker count is the same request.
+	w2 := req
+	w2.Task.Workers, w2.Task.SweepWorkers = 2, 2
+	e := mustRun(t, New(Options{}), w2)
+	if e.Seed != a.Seed {
+		t.Fatalf("worker count changed the derived seed: %d vs %d", e.Seed, a.Seed)
+	}
+	// Semantic fields must match; Stats carries the documented
+	// execution-dependent allocation counters, so it is excluded.
+	ra, re := a.Result.(*core.TokenWalkResult), e.Result.(*core.TokenWalkResult)
+	if re.End != ra.End || re.Rounds != ra.Rounds || re.Retries != ra.Retries {
+		t.Fatalf("worker count changed a seedless request's walk: %+v vs %+v", re, ra)
+	}
+}
+
+func TestSnapshotChurnReplacesRunGraph(t *testing.T) {
+	svc := New(Options{})
+	req := Request{Graph: spec.GraphSpec{Family: "cycle", N: 24},
+		Task: spec.TaskSpec{Kind: spec.KindWalk, Steps: 8, Seed: 5, Lazy: true,
+			Churn: &spec.ChurnSpec{Model: "snapshot", Degree: 3, Snapshots: 2, Every: 4, Seed: 7}}}
+	first := mustRun(t, svc, req)
+	if first.RunGraph == nil {
+		t.Fatal("snapshot churn did not report a run graph")
+	}
+	if first.RunGraph.N != 24 {
+		t.Fatalf("run graph has %d vertices, want 24", first.RunGraph.N)
+	}
+	m0 := svc.Metrics()
+	second := mustRun(t, svc, req)
+	if !reflect.DeepEqual(first.Result, second.Result) {
+		t.Fatal("repeated snapshot-churn request changed its result")
+	}
+	if m1 := svc.Metrics(); m1.ChurnBuilds != m0.ChurnBuilds {
+		t.Fatalf("repeated request rebuilt the churn model (%d -> %d)", m0.ChurnBuilds, m1.ChurnBuilds)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	svc := New(Options{})
+	cases := []Request{
+		{Graph: spec.GraphSpec{Family: "moebius"}, Task: spec.TaskSpec{Kind: spec.KindMixing}},
+		{Graph: ringSpec, Task: spec.TaskSpec{Kind: "teleport"}},
+		{Graph: ringSpec, Task: spec.TaskSpec{Kind: spec.KindDynamic}}, // churn missing
+	}
+	for _, req := range cases {
+		_, err := svc.Run(context.Background(), req)
+		if err == nil {
+			t.Fatalf("request %+v accepted", req)
+		}
+		if !isInvalid(err) {
+			t.Fatalf("request %+v failed with %v, want ErrInvalidRequest", req, err)
+		}
+	}
+	// Execution failures are not tagged as invalid requests.
+	_, err := svc.Run(context.Background(), Request{
+		Graph: spec.GraphSpec{Family: "cycle", N: 8}, // even cycle: bipartite
+		Task:  spec.TaskSpec{Kind: spec.KindMixing, Seed: 1}})
+	if err == nil || isInvalid(err) {
+		t.Fatalf("bipartite non-lazy run returned %v, want an untagged execution error", err)
+	}
+	if m := svc.Metrics(); m.Errors != int64(len(cases))+1 {
+		t.Fatalf("error counter %d, want %d", m.Errors, len(cases)+1)
+	}
+}
+
+func isInvalid(err error) bool { return errors.Is(err, ErrInvalidRequest) }
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(spec.KindMixing, "first", func(*Invocation) (any, error) { return nil, nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.Register(spec.KindMixing, "second", func(*Invocation) (any, error) { return nil, nil })
+}
+
+func TestTasksListsEveryBuiltinKind(t *testing.T) {
+	svc := New(Options{})
+	infos := svc.Tasks()
+	if len(infos) != len(spec.Kinds()) {
+		t.Fatalf("registry lists %d kinds, spec declares %d", len(infos), len(spec.Kinds()))
+	}
+	seen := map[spec.Kind]bool{}
+	for _, info := range infos {
+		if info.Description == "" {
+			t.Errorf("kind %s has no description", info.Kind)
+		}
+		seen[info.Kind] = true
+	}
+	for _, k := range spec.Kinds() {
+		if !seen[k] {
+			t.Errorf("kind %s not registered", k)
+		}
+	}
+}

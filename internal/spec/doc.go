@@ -1,0 +1,16 @@
+// Package spec declares the job layer's request vocabulary: a GraphSpec
+// names a generated graph (generator family, parameters, seed) and a
+// TaskSpec names one computation over it (task kind, oracle/engine options,
+// sweep selection, churn model, coverage instance). Both are plain data —
+// they validate, build, and round-trip through JSON, and a GraphSpec
+// renders a canonical cache key — so every entry point of the repository
+// (the localmix facade, cmd/lmt, cmd/lmtd) can describe work in one shared
+// language and internal/service can cache built graphs, walk kernels and
+// warm sweep pools across requests keyed by spec alone.
+//
+// Determinism contract: a GraphSpec builds the same graph every time (the
+// randomized families draw from the spec's own Seed), and Key() renders
+// only the fields its family consumes, so two specs that build the same
+// graph share one cache entry. TaskSpec carries no behavior; the kind
+// strings are resolved by internal/service's registry.
+package spec

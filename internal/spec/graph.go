@@ -1,0 +1,184 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// GraphSpec names a generated graph declaratively: a generator family plus
+// the parameters that family consumes. It is the unit the service's graph
+// cache is keyed by, so equal specs must build equal graphs: every
+// randomized family draws only from the spec's Seed.
+type GraphSpec struct {
+	// Family selects the generator: complete, path, cycle, star, torus,
+	// grid, hypercube, lollipop, dumbbell, barbell, ringcliques, expander,
+	// ringexpanders, or gnp.
+	Family string `json:"family"`
+	// N is the vertex count (complete, path, cycle, star, expander, gnp).
+	N int `json:"n,omitempty"`
+	// K is the clique/block size (lollipop, dumbbell, barbell,
+	// ringcliques, ringexpanders).
+	K int `json:"k,omitempty"`
+	// Blocks is the clique/block count β (barbell, ringcliques,
+	// ringexpanders).
+	Blocks int `json:"blocks,omitempty"`
+	// Bridge is the bridge path length (dumbbell; 0 = single edge, and
+	// lollipop's path length, defaulting to K).
+	Bridge int `json:"bridge,omitempty"`
+	// D is the degree (expander, ringexpanders).
+	D int `json:"d,omitempty"`
+	// Dim is the hypercube dimension, or the side of a square torus/grid
+	// when Rows/Cols are unset.
+	Dim int `json:"dim,omitempty"`
+	// Rows and Cols size a rectangular torus/grid explicitly.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// P is the edge probability (gnp).
+	P float64 `json:"p,omitempty"`
+	// Seed drives the randomized families (expander, ringexpanders, gnp).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// graphFamilies maps each known family to the spec fields it consumes;
+// normalization zeroes every other field so irrelevant parameters cannot
+// fragment the cache key.
+var graphFamilies = map[string]struct {
+	n, k, blocks, bridge, d, dim, p, seed bool
+}{
+	"complete":      {n: true},
+	"path":          {n: true},
+	"cycle":         {n: true},
+	"star":          {n: true},
+	"torus":         {dim: true},
+	"grid":          {dim: true},
+	"hypercube":     {dim: true},
+	"lollipop":      {k: true, bridge: true},
+	"dumbbell":      {k: true, bridge: true},
+	"barbell":       {k: true, blocks: true},
+	"ringcliques":   {k: true, blocks: true},
+	"expander":      {n: true, d: true, seed: true},
+	"ringexpanders": {k: true, blocks: true, d: true, seed: true},
+	"gnp":           {n: true, p: true, seed: true},
+}
+
+// GraphFamilies lists the known generator families, ascending.
+func GraphFamilies() []string {
+	out := make([]string, 0, len(graphFamilies))
+	for f := range graphFamilies {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalized returns a copy with every field the family does not consume
+// zeroed and square torus/grid dimensions folded into Rows/Cols, so specs
+// that build the same graph render the same Key.
+func (s GraphSpec) Normalized() GraphSpec {
+	use, ok := graphFamilies[s.Family]
+	if !ok {
+		return s
+	}
+	out := GraphSpec{Family: s.Family}
+	if use.n {
+		out.N = s.N
+	}
+	if use.k {
+		out.K = s.K
+	}
+	if use.blocks {
+		out.Blocks = s.Blocks
+	}
+	if use.bridge {
+		out.Bridge = s.Bridge
+		if s.Family == "lollipop" && out.Bridge == 0 {
+			out.Bridge = out.K // Build's documented default, folded into the key
+		}
+	}
+	if use.d {
+		out.D = s.D
+	}
+	if use.dim {
+		switch s.Family {
+		case "hypercube":
+			out.Dim = s.Dim
+		default: // torus, grid: fold Dim into Rows/Cols
+			out.Rows, out.Cols = s.Rows, s.Cols
+			if out.Rows == 0 {
+				out.Rows = s.Dim
+			}
+			if out.Cols == 0 {
+				out.Cols = s.Dim
+			}
+		}
+	}
+	if use.p {
+		out.P = s.P
+	}
+	if use.seed {
+		out.Seed = s.Seed
+	}
+	return out
+}
+
+// Validate checks the family is known and its parameters are in range
+// (range checks beyond the generator's own are not duplicated here).
+func (s GraphSpec) Validate() error {
+	if _, ok := graphFamilies[s.Family]; !ok {
+		return fmt.Errorf("spec: unknown graph family %q (known: %v)", s.Family, GraphFamilies())
+	}
+	return nil
+}
+
+// Key renders the canonical cache key of the normalized spec. Two specs
+// with equal keys build identical graphs.
+func (s GraphSpec) Key() string {
+	n := s.Normalized()
+	return fmt.Sprintf("%s/n=%d/k=%d/b=%d/br=%d/d=%d/dim=%d/%dx%d/p=%g/seed=%d",
+		n.Family, n.N, n.K, n.Blocks, n.Bridge, n.D, n.Dim, n.Rows, n.Cols, n.P, n.Seed)
+}
+
+// Build constructs the graph. Deterministic: the randomized families seed
+// their own RNG from the spec.
+func (s GraphSpec) Build() (*graph.Graph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Normalized()
+	switch n.Family {
+	case "complete":
+		return gen.Complete(n.N)
+	case "path":
+		return gen.Path(n.N)
+	case "cycle":
+		return gen.Cycle(n.N)
+	case "star":
+		return gen.Star(n.N)
+	case "torus":
+		return gen.Torus(n.Rows, n.Cols)
+	case "grid":
+		return gen.Grid(n.Rows, n.Cols)
+	case "hypercube":
+		return gen.Hypercube(n.Dim)
+	case "lollipop":
+		return gen.Lollipop(n.K, n.Bridge) // Normalized folded the Bridge=K default
+	case "dumbbell":
+		return gen.Dumbbell(n.K, n.Bridge)
+	case "barbell":
+		return gen.Barbell(n.Blocks, n.K)
+	case "ringcliques":
+		return gen.RingOfCliques(n.Blocks, n.K)
+	case "expander":
+		return gen.RandomRegular(n.N, n.D, rand.New(rand.NewSource(n.Seed)))
+	case "ringexpanders":
+		return gen.RingOfExpanders(n.Blocks, n.K, n.D, rand.New(rand.NewSource(n.Seed)))
+	case "gnp":
+		return gen.ErdosRenyi(n.N, n.P, rand.New(rand.NewSource(n.Seed)))
+	default:
+		return nil, fmt.Errorf("spec: unknown graph family %q", n.Family)
+	}
+}

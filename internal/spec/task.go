@@ -1,0 +1,246 @@
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Kind names a registered task family. The strings are the wire values of
+// the service API (POST /v1/run) and the registry's lookup keys.
+type Kind string
+
+// The built-in task kinds. Each corresponds to exactly one facade entry
+// point family of the root localmix package (see internal/service for the
+// runner registrations).
+const (
+	// KindOracleMixing is the centralized exact mixing-time oracle
+	// (Definition 1): τ_mix_s(ε) from one source.
+	KindOracleMixing Kind = "oracle-mixing"
+	// KindOracleLocal is the centralized exact local-mixing oracle
+	// (Definition 2): τ_s(β, ε) with a witness set.
+	KindOracleLocal Kind = "oracle-local"
+	// KindOracleGraphMixing is the batched all-sources centralized mixing
+	// time τ_mix(ε) = max_s τ_mix_s(ε).
+	KindOracleGraphMixing Kind = "oracle-graph-mixing"
+	// KindOracleGraphLocal is the centralized graph-wide local mixing time
+	// τ(β, ε) = max_v τ_v(β, ε) over all or sampled sources.
+	KindOracleGraphLocal Kind = "oracle-graph-local"
+	// KindMixing is the distributed [18]-style mixing-time computation.
+	KindMixing Kind = "mixing"
+	// KindLocal is the distributed local-mixing computation: Algorithm 2
+	// (Theorem 1), or the §3.2 exact variant when Exact is set.
+	KindLocal Kind = "local"
+	// KindSweep is the parallel multi-source distributed sweep; Mode
+	// selects approx, exact, or mixing per-source runs.
+	KindSweep Kind = "sweep"
+	// KindDynamic is a distributed run on a churned network; Mode selects
+	// local (Algorithm 2) or mixing. Requires Churn.
+	KindDynamic Kind = "dynamic"
+	// KindWalk is the token-forwarding random walk (one hop per round),
+	// optionally under churn.
+	KindWalk Kind = "walk"
+	// KindEstimate is the standalone Algorithm 1 run: the fixed-point
+	// length-ℓ walk distribution estimate.
+	KindEstimate Kind = "estimate"
+	// KindSpread is push–pull gossip (§4); Transport selects the direct
+	// LOCAL simulator, the CONGEST variant, or the engine-backed run.
+	KindSpread Kind = "spread"
+	// KindLeader is min-id leader election over gossip.
+	KindLeader Kind = "leader"
+	// KindCoverage is distributed maximum coverage via partial spreading.
+	KindCoverage Kind = "coverage"
+)
+
+// Kinds lists every built-in task kind in registration order.
+func Kinds() []Kind {
+	return []Kind{
+		KindOracleMixing, KindOracleLocal, KindOracleGraphMixing,
+		KindOracleGraphLocal, KindMixing, KindLocal, KindSweep,
+		KindDynamic, KindWalk, KindEstimate, KindSpread, KindLeader,
+		KindCoverage,
+	}
+}
+
+// DefaultEps is the accuracy parameter applied when a TaskSpec leaves Eps
+// zero: the paper's running example ε = 1/8e ≈ 0.046.
+const DefaultEps = 1.0 / 21.746
+
+// ChurnSpec selects a deterministic churn model for the distributed kinds
+// (see internal/dyngraph). All models derive every round's decisions from
+// (Seed, round) alone, so a spec'd dynamic run is reproducible.
+type ChurnSpec struct {
+	// Model is markov, interval, or snapshot.
+	Model string `json:"model"`
+	// Rate is the churn intensity: markov P(on→off); interval, the
+	// fraction of non-backbone edges down per window (keep = 1−Rate).
+	Rate float64 `json:"rate,omitempty"`
+	// On is the markov P(off→on) reactivation probability, verbatim:
+	// 0 (or omitted) means deactivated edges never come back.
+	On float64 `json:"on,omitempty"`
+	// Every is the interval resample window, or the snapshot switch
+	// period, in rounds. Required ≥ 1 for those models (cmd/lmt supplies
+	// its -churnevery flag default of 8).
+	Every int `json:"every,omitempty"`
+	// Snapshots is the rotating-sample count for the snapshot model
+	// (0 = 3).
+	Snapshots int `json:"snapshots,omitempty"`
+	// Degree is the snapshot model's random-regular sample degree (0 = 4).
+	Degree int `json:"degree,omitempty"`
+	// Seed seeds the model; 0 falls back to the task seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// CoverageSpec describes the random maximum-coverage instance of a
+// coverage task.
+type CoverageSpec struct {
+	// Universe is the ground-set size.
+	Universe int `json:"universe"`
+	// PerNode is how many elements each node draws.
+	PerNode int `json:"perNode"`
+	// K is how many sets to pick.
+	K int `json:"k"`
+	// Seed draws the instance (independent from the run seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Engine runs the spreading phase on the round engine.
+	Engine bool `json:"engine,omitempty"`
+}
+
+// TaskSpec names one computation over a graph: the task kind plus every
+// option the corresponding facade entry point exposes. Zero values mean
+// "the facade default"; the service's normalization fills the documented
+// defaults (Eps, MaxT) before running.
+type TaskSpec struct {
+	// Kind selects the registered runner.
+	Kind Kind `json:"kind"`
+	// Source is the source vertex s.
+	Source int `json:"source,omitempty"`
+	// Beta is the local-mixing set-size parameter β (also the gossip β
+	// for spread/coverage).
+	Beta float64 `json:"beta,omitempty"`
+	// Eps is the accuracy parameter ε ∈ (0,1); 0 selects DefaultEps.
+	Eps float64 `json:"eps,omitempty"`
+	// Lazy selects the lazy walk (required on bipartite graphs).
+	Lazy bool `json:"lazy,omitempty"`
+	// Exact selects the §3.2 exact variant for KindLocal.
+	Exact bool `json:"exact,omitempty"`
+	// Mode refines KindSweep (approx|exact|mixing, default approx) and
+	// KindDynamic (local|mixing, default local).
+	Mode string `json:"mode,omitempty"`
+	// MaxT is the centralized oracles' step budget (0 = 8n²).
+	MaxT int `json:"maxT,omitempty"`
+	// FullScan disables the oracle's geometric candidate-size grid and
+	// examines every admissible set size (the literal Definition 2).
+	FullScan bool `json:"fullScan,omitempty"`
+	// Steps is the walk length ℓ for KindWalk and KindEstimate.
+	Steps int `json:"steps,omitempty"`
+	// Seed seeds the engine (distributed kinds) or the gossip RNG
+	// (spread, leader, coverage). When 0 the service derives a
+	// deterministic per-request seed from its base seed and the request
+	// content.
+	Seed int64 `json:"seed,omitempty"`
+	// Workers is the engine/kernel parallelism (0 = GOMAXPROCS). Results
+	// never depend on it.
+	Workers int `json:"workers,omitempty"`
+	// SweepWorkers sizes the sweep worker pool for KindSweep.
+	SweepWorkers int `json:"sweepWorkers,omitempty"`
+	// Sources lists explicit sweep sources (nil = every vertex).
+	Sources []int `json:"sources,omitempty"`
+	// Sample sweeps a deterministic random subset of this many sources
+	// (the paper's footnote 6 mitigation).
+	Sample int `json:"sample,omitempty"`
+	// Irregular permits near-regular graphs in the distributed local
+	// modes (core.WithIrregular).
+	Irregular bool `json:"irregular,omitempty"`
+	// C is the fixed-point exponent (core.WithC).
+	C int `json:"c,omitempty"`
+	// MaxLength caps the searched walk length (core.WithMaxLength).
+	MaxLength int `json:"maxLength,omitempty"`
+	// MaxRounds caps the engine rounds (distributed kinds) or the gossip
+	// rounds (spread, leader).
+	MaxRounds int `json:"maxRounds,omitempty"`
+	// TieBreakBits enables the §3.1 randomized tie-breaking.
+	TieBreakBits int `json:"tieBreakBits,omitempty"`
+	// StopAtPartial stops a spread run at (·, β)-partial spreading.
+	StopAtPartial bool `json:"stopAtPartial,omitempty"`
+	// FixedRounds runs a spread for exactly this many rounds.
+	FixedRounds int `json:"fixedRounds,omitempty"`
+	// Transport selects the spread implementation: local (direct LOCAL
+	// simulator, the default), congest, or engine.
+	Transport string `json:"transport,omitempty"`
+	// Churn attaches a dynamic-network churn model (distributed kinds;
+	// required for KindDynamic).
+	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Coverage describes the KindCoverage instance.
+	Coverage *CoverageSpec `json:"coverage,omitempty"`
+}
+
+// knownKinds is the membership set for validation.
+var knownKinds = func() map[Kind]bool {
+	m := make(map[Kind]bool, len(Kinds()))
+	for _, k := range Kinds() {
+		m[k] = true
+	}
+	return m
+}()
+
+// distributedKinds accept a churn model.
+var distributedKinds = map[Kind]bool{
+	KindMixing: true, KindLocal: true, KindSweep: true,
+	KindDynamic: true, KindWalk: true,
+}
+
+// Validate checks kind membership and the cross-field constraints that do
+// not need the graph; parameter ranges are enforced by the runners (and
+// ultimately by internal/core and internal/exact), so errors there match
+// the direct facade calls byte for byte.
+func (t TaskSpec) Validate() error {
+	if !knownKinds[t.Kind] {
+		return fmt.Errorf("spec: unknown task kind %q (see Kinds)", t.Kind)
+	}
+	if t.Eps < 0 || t.Eps >= 1 {
+		return fmt.Errorf("spec: eps must be in [0,1) (0 = default %g), got %g", DefaultEps, t.Eps)
+	}
+	if t.Churn != nil {
+		if !distributedKinds[t.Kind] {
+			return fmt.Errorf("spec: kind %s does not accept a churn model", t.Kind)
+		}
+		switch t.Churn.Model {
+		case "markov", "interval", "snapshot":
+		default:
+			return fmt.Errorf("spec: unknown churn model %q (want markov, interval or snapshot)", t.Churn.Model)
+		}
+	}
+	switch t.Kind {
+	case KindDynamic:
+		if t.Churn == nil {
+			return fmt.Errorf("spec: kind %s requires a churn model", t.Kind)
+		}
+		if m := t.Mode; m != "" && m != "local" && m != "mixing" {
+			return fmt.Errorf("spec: dynamic mode must be local or mixing, got %q", m)
+		}
+	case KindSweep:
+		if m := t.Mode; m != "" && m != "approx" && m != "exact" && m != "mixing" {
+			return fmt.Errorf("spec: sweep mode must be approx, exact or mixing, got %q", m)
+		}
+	case KindSpread:
+		if tr := t.Transport; tr != "" && tr != "local" && tr != "congest" && tr != "engine" {
+			return fmt.Errorf("spec: spread transport must be local, congest or engine, got %q", tr)
+		}
+	case KindCoverage:
+		if t.Coverage == nil {
+			return fmt.Errorf("spec: kind %s requires a coverage instance spec", t.Kind)
+		}
+	}
+	return nil
+}
+
+// Key renders the canonical JSON of the task — the request-content half of
+// the service's per-request derived seeds. Struct field order fixes the
+// rendering, so equal specs render equal keys.
+func (t TaskSpec) Key() string {
+	b, err := json.Marshal(t)
+	if err != nil { // unreachable: TaskSpec has no unmarshalable fields
+		panic(fmt.Sprintf("spec: task key: %v", err))
+	}
+	return string(b)
+}

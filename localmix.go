@@ -10,8 +10,24 @@ import (
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/spec"
 	"repro/internal/spread"
 )
+
+// call routes a facade invocation through the service registry — the same
+// runners cmd/lmt and cmd/lmtd dispatch to — over an uncached DirectEnv,
+// so the facade stays a thin veneer with exactly one code path per task
+// kind and byte-identical results to a service.Run of the equivalent spec.
+func call[R any](kind spec.Kind, inv *service.Invocation) (R, error) {
+	inv.Task.Kind = kind
+	res, err := service.Call(kind, inv)
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	return res.(R), nil
+}
 
 // Graph is an immutable simple undirected graph (CSR adjacency).
 type Graph = graph.Graph
@@ -64,14 +80,21 @@ func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // MixingTime computes τ_mix_s(ε) = min{t : ‖p_t − π‖₁ < ε} exactly
 // (centralized oracle; Definition 1).
 func MixingTime(g *Graph, source int, eps float64, lazy bool, maxT int) (int, error) {
-	return exact.MixingTime(g, source, eps, lazy, maxT)
+	r, err := call[*service.TauResult](spec.KindOracleMixing, &service.Invocation{
+		Env:  service.DirectEnv(g),
+		Task: spec.TaskSpec{Source: source, Eps: eps, Lazy: lazy, MaxT: maxT},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.Tau, nil
 }
 
 // GraphMixingTime computes τ_mix(ε) = max_s τ_mix_s(ε) over every source,
 // evolving sources in 16-lane batches on the shared walk kernel (one edge
 // pass advances a whole batch) instead of n serial walks.
 func GraphMixingTime(g *Graph, eps float64, lazy bool, maxT int) (int, error) {
-	return exact.GraphMixingTime(g, eps, lazy, maxT)
+	return GraphMixingTimeWorkers(g, eps, lazy, maxT, 0)
 }
 
 // GraphMixingTimeWorkers is GraphMixingTime with an explicit oracle worker
@@ -79,7 +102,14 @@ func GraphMixingTime(g *Graph, eps float64, lazy bool, maxT int) (int, error) {
 // only changes the schedule: oracle results are bit-identical for every
 // worker count.
 func GraphMixingTimeWorkers(g *Graph, eps float64, lazy bool, maxT, workers int) (int, error) {
-	return exact.GraphMixingTimeWorkers(g, eps, lazy, maxT, workers)
+	r, err := call[*service.TauResult](spec.KindOracleGraphMixing, &service.Invocation{
+		Env:  service.DirectEnv(g),
+		Task: spec.TaskSpec{Eps: eps, Lazy: lazy, MaxT: maxT, Workers: workers},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.Tau, nil
 }
 
 // LocalMixingResult is the centralized local-mixing oracle output.
@@ -94,7 +124,11 @@ type LocalMixingOptions = exact.LocalOptions
 // Definition 2 with the uniform 1/|S| target) and returns a witness
 // local-mixing set.
 func LocalMixingTime(g *Graph, source int, beta, eps float64, o LocalMixingOptions) (*LocalMixingResult, error) {
-	return exact.LocalMixing(g, source, beta, eps, o)
+	return call[*LocalMixingResult](spec.KindOracleLocal, &service.Invocation{
+		Env:   service.DirectEnv(g),
+		Task:  spec.TaskSpec{Source: source, Beta: beta, Eps: eps},
+		Local: &o,
+	})
 }
 
 // DistributedResult is the output of the CONGEST algorithms: the computed
@@ -120,19 +154,31 @@ var (
 // TIME) in a simulated CONGEST network: a 2-approximation of τ_s(β, ε) in
 // O(τ_s log²n log_{1+ε}β) rounds (Theorem 1).
 func DistributedLocalMixingTime(g *Graph, source int, beta, eps float64, opts ...DistributedOption) (*DistributedResult, error) {
-	return core.ApproxLocalMixingTime(g, source, beta, eps, opts...)
+	return call[*DistributedResult](spec.KindLocal, &service.Invocation{
+		Env:  service.DirectEnv(g),
+		Task: spec.TaskSpec{Source: source, Beta: beta, Eps: eps},
+		Opts: opts,
+	})
 }
 
 // DistributedExactLocalMixingTime runs the §3.2 exact variant:
 // O(τ_s·D̃·log n·log_{1+ε}β) rounds, no assumptions (Theorem 2).
 func DistributedExactLocalMixingTime(g *Graph, source int, beta, eps float64, opts ...DistributedOption) (*DistributedResult, error) {
-	return core.ExactLocalMixingTime(g, source, beta, eps, opts...)
+	return call[*DistributedResult](spec.KindLocal, &service.Invocation{
+		Env:  service.DirectEnv(g),
+		Task: spec.TaskSpec{Source: source, Beta: beta, Eps: eps, Exact: true},
+		Opts: opts,
+	})
 }
 
 // DistributedMixingTime runs the baseline distributed mixing-time
 // computation ([18]; O(τ_mix log n) rounds).
 func DistributedMixingTime(g *Graph, source int, eps float64, opts ...DistributedOption) (*DistributedResult, error) {
-	return core.MixingTime(g, source, eps, opts...)
+	return call[*DistributedResult](spec.KindMixing, &service.Invocation{
+		Env:  service.DirectEnv(g),
+		Task: spec.TaskSpec{Source: source, Eps: eps},
+		Opts: opts,
+	})
 }
 
 // SweepOptions selects the sources and parallelism of a distributed
@@ -155,32 +201,35 @@ type DistributedSweepResult = core.MultiResult
 // graph-wide τ(β,ε) = max_v τ_v(β,ε), with the n-factor sweep cost
 // (footnote 6) spread across o.Workers reusable networks.
 func DistributedGraphLocalMixingTime(g *Graph, beta, eps float64, o SweepOptions, opts ...DistributedOption) (*DistributedSweepResult, error) {
-	cfg := core.Config{Mode: core.ApproxLocal, Beta: beta, Eps: eps}
-	for _, op := range opts {
-		op(&cfg)
-	}
-	return core.GraphLocalMixingTimeSweep(g, cfg, o)
+	return call[*DistributedSweepResult](spec.KindSweep, &service.Invocation{
+		Env:       service.DirectEnv(g),
+		Task:      spec.TaskSpec{Beta: beta, Eps: eps, Mode: "approx"},
+		SweepOpts: &o,
+		Opts:      opts,
+	})
 }
 
 // DistributedGraphExactLocalMixingTime is DistributedGraphLocalMixingTime
 // with the §3.2 exact per-source variant (Theorem 2).
 func DistributedGraphExactLocalMixingTime(g *Graph, beta, eps float64, o SweepOptions, opts ...DistributedOption) (*DistributedSweepResult, error) {
-	cfg := core.Config{Mode: core.ExactLocal, Beta: beta, Eps: eps}
-	for _, op := range opts {
-		op(&cfg)
-	}
-	return core.GraphLocalMixingTimeSweep(g, cfg, o)
+	return call[*DistributedSweepResult](spec.KindSweep, &service.Invocation{
+		Env:       service.DirectEnv(g),
+		Task:      spec.TaskSpec{Beta: beta, Eps: eps, Mode: "exact"},
+		SweepOpts: &o,
+		Opts:      opts,
+	})
 }
 
 // DistributedGraphMixingTime sweeps the [18]-style distributed mixing-time
 // computation over many sources in parallel: the graph-wide
 // τ_mix(ε) = max_s τ_mix_s(ε) with full round/message/bit accounting.
 func DistributedGraphMixingTime(g *Graph, eps float64, o SweepOptions, opts ...DistributedOption) (*DistributedSweepResult, error) {
-	cfg := core.Config{Mode: core.MixTime, Eps: eps}
-	for _, op := range opts {
-		op(&cfg)
-	}
-	return core.GraphMixingTime(g, cfg, o)
+	return call[*DistributedSweepResult](spec.KindSweep, &service.Invocation{
+		Env:       service.DirectEnv(g),
+		Task:      spec.TaskSpec{Eps: eps, Mode: "mixing"},
+		SweepOpts: &o,
+		Opts:      opts,
+	})
 }
 
 // TopologyProvider drives per-round edge churn on a dynamic network: the
@@ -217,7 +266,12 @@ var (
 // churn-free model it equals DistributedLocalMixingTime's answer. Results
 // are byte-identical for every worker count.
 func DynamicLocalMixingTime(g *Graph, source int, beta, eps float64, churn TopologyProvider, opts ...DistributedOption) (*DistributedResult, error) {
-	return core.DynamicLocalMixingTime(g, source, beta, eps, churn, opts...)
+	return call[*DistributedResult](spec.KindDynamic, &service.Invocation{
+		Env:   service.DirectEnv(g),
+		Task:  spec.TaskSpec{Source: source, Beta: beta, Eps: eps, Mode: "local"},
+		Churn: churn,
+		Opts:  opts,
+	})
 }
 
 // DynamicMixingTime is the [18]-style distributed mixing-time computation
@@ -226,7 +280,12 @@ func DynamicLocalMixingTime(g *Graph, source int, beta, eps float64, churn Topol
 // makes the analogous static-vs-churned comparison for the local τ of
 // Algorithm 2.)
 func DynamicMixingTime(g *Graph, source int, eps float64, churn TopologyProvider, opts ...DistributedOption) (*DistributedResult, error) {
-	return core.DynamicMixingTime(g, source, eps, churn, opts...)
+	return call[*DistributedResult](spec.KindDynamic, &service.Invocation{
+		Env:   service.DirectEnv(g),
+		Task:  spec.TaskSpec{Source: source, Eps: eps, Mode: "mixing"},
+		Churn: churn,
+		Opts:  opts,
+	})
 }
 
 // DynamicWalkResult reports a token walk: endpoint, rounds, and the
@@ -240,14 +299,21 @@ type DynamicWalkResult = core.TokenWalkResult
 // and is restarted. Combine with WithTopology for churn; on a static graph
 // it is the classical ℓ-round walk with zero retries.
 func DynamicWalk(g *Graph, source, steps int, opts ...DistributedOption) (*DynamicWalkResult, error) {
-	return core.TokenWalk(g, source, steps, opts...)
+	return call[*DynamicWalkResult](spec.KindWalk, &service.Invocation{
+		Env:  service.DirectEnv(g),
+		Task: spec.TaskSpec{Source: source, Steps: steps},
+		Opts: opts,
+	})
 }
 
 // EstimateRWProbability runs Algorithm 1 standalone: the fixed-point
 // estimate of the length-ℓ walk distribution, computed distributed in ℓ+1
 // CONGEST rounds.
 func EstimateRWProbability(g *Graph, source, ell int, lazy bool) (*core.RWEstimate, error) {
-	return core.EstimateRWProbability(g, source, ell, core.Config{Lazy: lazy})
+	return call[*core.RWEstimate](spec.KindEstimate, &service.Invocation{
+		Env:  service.DirectEnv(g),
+		Task: spec.TaskSpec{Source: source, Steps: ell, Lazy: lazy},
+	})
 }
 
 // SpreadConfig configures the push–pull gossip run (§4).
@@ -259,7 +325,11 @@ type SpreadResult = spread.Result
 // PushPull runs synchronous push–pull gossip and reports when (·, β)-partial
 // and full information spreading were reached (Definition 3, Theorem 3).
 func PushPull(g *Graph, cfg SpreadConfig) (*SpreadResult, error) {
-	return spread.Run(g, cfg)
+	return call[*SpreadResult](spec.KindSpread, &service.Invocation{
+		Env:    service.DirectEnv(g),
+		Task:   spec.TaskSpec{Transport: "local"},
+		Spread: &cfg,
+	})
 }
 
 // EngineStats exposes the congest engine counters type.
@@ -282,20 +352,35 @@ func RandomCoverageInstance(n, universe, perNode, k int, rng *rand.Rand) (*Cover
 // spreading followed by local greedy, and reports quality against the
 // centralized greedy baseline.
 func DistributedMaxCoverage(g *Graph, inst *CoverageInstance, beta float64, seed int64) (*CoverageResult, error) {
-	return coverage.Distributed(g, inst, beta, seed)
+	return call[*CoverageResult](spec.KindCoverage, &service.Invocation{
+		Env:      service.DirectEnv(g),
+		Task:     spec.TaskSpec{Beta: beta, Seed: seed},
+		Instance: inst,
+	})
 }
 
 // LeaderElection runs min-id gossip until every node knows the global
 // minimum id, returning the round count.
 func LeaderElection(g *Graph, seed int64, maxRounds int) (int, error) {
-	return spread.LeaderElection(g, seed, maxRounds)
+	r, err := call[*service.RoundsResult](spec.KindLeader, &service.Invocation{
+		Env:  service.DirectEnv(g),
+		Task: spec.TaskSpec{Seed: seed, MaxRounds: maxRounds},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return r.Rounds, nil
 }
 
 // PushPullCongest runs push–pull under the CONGEST constraint — one
 // O(log n)-bit token id per message — realizing the paper's footnote 10
 // regime with bound Õ(τ(β,ε) + n/β).
 func PushPullCongest(g *Graph, cfg SpreadConfig) (*SpreadResult, error) {
-	return spread.RunCongest(g, cfg)
+	return call[*SpreadResult](spec.KindSpread, &service.Invocation{
+		Env:    service.DirectEnv(g),
+		Task:   spec.TaskSpec{Transport: "congest"},
+		Spread: &cfg,
+	})
 }
 
 // PushPullEngine runs LOCAL-model push–pull on the sharded round engine:
@@ -303,13 +388,21 @@ func PushPullCongest(g *Graph, cfg SpreadConfig) (*SpreadResult, error) {
 // bit accounting and parallel stepping (cfg.Workers). Results attach the
 // engine's Stats counters.
 func PushPullEngine(g *Graph, cfg SpreadConfig) (*SpreadResult, error) {
-	return spread.RunOnEngine(g, cfg)
+	return call[*SpreadResult](spec.KindSpread, &service.Invocation{
+		Env:    service.DirectEnv(g),
+		Task:   spec.TaskSpec{Transport: "engine"},
+		Spread: &cfg,
+	})
 }
 
 // DistributedMaxCoverageEngine is DistributedMaxCoverage with the spreading
 // phase executed on the round engine (see PushPullEngine).
 func DistributedMaxCoverageEngine(g *Graph, inst *CoverageInstance, beta float64, seed int64) (*CoverageResult, error) {
-	return coverage.DistributedEngine(g, inst, beta, seed)
+	return call[*CoverageResult](spec.KindCoverage, &service.Invocation{
+		Env:      service.DirectEnv(g),
+		Task:     spec.TaskSpec{Beta: beta, Seed: seed, Coverage: &spec.CoverageSpec{Engine: true}},
+		Instance: inst,
+	})
 }
 
 // GraphLocalMixingResult reports the graph-wide local mixing time
@@ -319,5 +412,9 @@ type GraphLocalMixingResult = exact.GraphLocalResult
 // GraphLocalMixingTime computes τ(β,ε) over all vertices (sources == nil)
 // or a sampled subset (the paper's footnote 6 mitigation), in parallel.
 func GraphLocalMixingTime(g *Graph, beta, eps float64, o LocalMixingOptions, sources []int) (*GraphLocalMixingResult, error) {
-	return exact.GraphLocalMixing(g, beta, eps, o, sources)
+	return call[*GraphLocalMixingResult](spec.KindOracleGraphLocal, &service.Invocation{
+		Env:   service.DirectEnv(g),
+		Task:  spec.TaskSpec{Beta: beta, Eps: eps, Sources: sources},
+		Local: &o,
+	})
 }
