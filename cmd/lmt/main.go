@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/congest"
 	"repro/internal/core"
@@ -61,6 +62,8 @@ type cliFlags struct {
 	churnEvery   *int
 	churnSnaps   *int
 	churnSeed    *int64
+	deadline     *time.Duration
+	repeat       *int
 }
 
 // registerFlags declares every lmt flag on fs. cmd/lmt's flags_test.go
@@ -90,6 +93,8 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		churnEvery:   fs.Int("churnevery", 8, "interval model: rounds between topology resamples; snapshot switch period"),
 		churnSnaps:   fs.Int("churnsnaps", 3, "snapshot model: rotating random -d-regular samples in the cycle"),
 		churnSeed:    fs.Int64("churnseed", 0, "churn model seed (0 = use -seed)"),
+		deadline:     fs.Duration("deadline", 0, "per-computation deadline (0 = none); runs exceeding it abort with a timeout error"),
+		repeat:       fs.Int("repeat", 1, "submit each computation as a batch of this many identical requests (> 1 prints the batch cache summary; repeats are result-cache hits)"),
 	}
 }
 
@@ -190,6 +195,22 @@ func run(f *cliFlags) error {
 	}
 
 	submit := func(task spec.TaskSpec) (*service.Response, error) {
+		task.DeadlineMS = f.deadline.Milliseconds()
+		if *f.repeat > 1 {
+			reqs := make([]service.Request, *f.repeat)
+			for i := range reqs {
+				reqs[i] = service.Request{Graph: gs, Task: task}
+			}
+			items, sum := svc.RunBatch(ctx, reqs)
+			fmt.Printf("%-22s tasks=%d computed=%d resultHits=%d shared=%d errors=%d\n",
+				"  batch", sum.Tasks, sum.Computed, sum.ResultHits, sum.Shared, sum.Errors)
+			for _, it := range items {
+				if it.Error != "" {
+					return nil, fmt.Errorf("%s", it.Error)
+				}
+			}
+			return items[0].Response, nil
+		}
 		return svc.Run(ctx, service.Request{Graph: gs, Task: task})
 	}
 	report := func(label string, fn func() error) {

@@ -7,6 +7,9 @@
 //
 //	POST /v1/run    {"graph": {...GraphSpec...}, "task": {...TaskSpec...}}
 //	                → service.Response JSON (result under "result")
+//	POST /v1/batch  {"graph": {...GraphSpec...}, "tasks": [{...TaskSpec...}, ...]}
+//	                → {"items": [...], "summary": {...}} — many tasks against
+//	                one graph; identical tasks compute once (result cache)
 //	GET  /v1/tasks  registered task kinds with descriptions
 //	GET  /healthz   liveness probe
 //	GET  /metrics   Prometheus-style counters (cache hit/miss, in-flight)
@@ -37,20 +40,23 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/spec"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cache := flag.Int("cache", 16, "graph-cache capacity (entries)")
+	resultCache := flag.Int("resultcache", 256, "result-cache capacity (memoized responses)")
 	inflight := flag.Int("maxinflight", 0, "admission cap on concurrently executing requests (0 = max(8, GOMAXPROCS))")
 	seed := flag.Int64("seed", 1, "base seed for per-request derived seeds (requests that omit task.seed)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	flag.Parse()
 
 	svc := service.New(service.Options{
-		CacheSize:   *cache,
-		MaxInFlight: *inflight,
-		BaseSeed:    *seed,
+		CacheSize:       *cache,
+		ResultCacheSize: *resultCache,
+		MaxInFlight:     *inflight,
+		BaseSeed:        *seed,
 	})
 	srv := &http.Server{Addr: *addr, Handler: newHandler(svc)}
 
@@ -92,6 +98,25 @@ func newHandler(svc *service.Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		if len(req.Tasks) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch needs at least one task"))
+			return
+		}
+		reqs := make([]service.Request, len(req.Tasks))
+		for i, t := range req.Tasks {
+			reqs[i] = service.Request{Graph: req.Graph, Task: t}
+		}
+		items, sum := svc.RunBatch(r.Context(), reqs)
+		writeJSON(w, http.StatusOK, batchResponse{Items: items, Summary: sum})
+	})
 	mux.HandleFunc("GET /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"tasks": svc.Tasks()})
 	})
@@ -103,6 +128,18 @@ func newHandler(svc *service.Service) http.Handler {
 		writeMetrics(w, svc.Metrics())
 	})
 	return mux
+}
+
+// batchRequest is the POST /v1/batch body: one graph, many tasks.
+type batchRequest struct {
+	Graph spec.GraphSpec  `json:"graph"`
+	Tasks []spec.TaskSpec `json:"tasks"`
+}
+
+// batchResponse is the POST /v1/batch reply.
+type batchResponse struct {
+	Items   []service.BatchItem  `json:"items"`
+	Summary service.BatchSummary `json:"summary"`
 }
 
 // statusFor maps service errors to HTTP statuses: malformed specs are the
@@ -151,5 +188,12 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	counter("lmtd_pool_builds_total", "Warm sweep-pool constructions.", m.PoolBuilds)
 	counter("lmtd_pool_hits_total", "Warm sweep-pool reuses.", m.PoolHits)
 	counter("lmtd_churn_builds_total", "Churn-model constructions.", m.ChurnBuilds)
+	counter("lmtd_result_cache_hits_total", "Result-cache hits (responses served without a runner invocation).", m.ResultHits)
+	counter("lmtd_result_cache_misses_total", "Result-cache misses (runner invocations started).", m.ResultMisses)
+	counter("lmtd_singleflight_shared_total", "Requests that waited on an identical in-flight computation.", m.SingleflightShared)
+	counter("lmtd_result_cache_evictions_total", "Result-cache LRU evictions.", m.ResultEvictions)
+	counter("lmtd_batches_total", "Batch requests received.", m.Batches)
+	gauge("lmtd_result_cache_bytes", "JSON-encoded size of the memoized results.", m.ResultBytes)
+	gauge("lmtd_cached_results", "Results currently memoized.", int64(m.CachedResults))
 	gauge("lmtd_cached_graphs", "Graphs currently cached.", int64(m.CachedGraphs))
 }

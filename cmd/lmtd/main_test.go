@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -115,10 +116,87 @@ func TestServerTasksHealthzMetrics(t *testing.T) {
 	for _, name := range []string{
 		"lmtd_requests_total", "lmtd_in_flight", "lmtd_graph_cache_hits_total",
 		"lmtd_graph_cache_misses_total", "lmtd_pool_hits_total",
+		"lmtd_result_cache_hits_total", "lmtd_result_cache_misses_total",
+		"lmtd_singleflight_shared_total", "lmtd_result_cache_evictions_total",
+		"lmtd_result_cache_bytes", "lmtd_cached_results", "lmtd_batches_total",
 	} {
 		if !strings.Contains(body, name) {
 			t.Errorf("/metrics lacks %s", name)
 		}
+	}
+}
+
+func TestServerBatch(t *testing.T) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+
+	walk := spec.TaskSpec{Kind: spec.KindWalk, Steps: 16, Seed: 9}
+	mix := spec.TaskSpec{Kind: spec.KindMixing, Eps: 0.1, Seed: 1, Irregular: true}
+	body, err := json.Marshal(batchRequest{
+		Graph: spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5},
+		Tasks: []spec.TaskSpec{walk, walk, mix},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/batch returned %d", resp.StatusCode)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 3 {
+		t.Fatalf("batch returned %d items, want 3", len(out.Items))
+	}
+	for i, item := range out.Items {
+		if item.Error != "" || item.Response == nil {
+			t.Fatalf("item %d failed: %q", i, item.Error)
+		}
+	}
+	// The duplicate walk entry is served from the result cache, not
+	// recomputed; the summary is the contract the CI smoke asserts too.
+	want := service.BatchSummary{Tasks: 3, Computed: 2, ResultHits: 1}
+	if out.Summary != want {
+		t.Fatalf("batch summary %+v, want %+v", out.Summary, want)
+	}
+	if !out.Items[1].Response.ResultHit {
+		t.Fatal("duplicate batch entry did not report a result-cache hit")
+	}
+	if !reflect.DeepEqual(out.Items[0].Response.Result, out.Items[1].Response.Result) {
+		t.Fatal("duplicate batch entries returned different results")
+	}
+	if m := svc.Metrics(); m.Batches != 1 {
+		t.Fatalf("metrics report %d batches, want 1", m.Batches)
+	}
+
+	// A failing item stays item-local: the rest of the batch completes.
+	body, err = json.Marshal(batchRequest{
+		Graph: spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5},
+		Tasks: []spec.TaskSpec{{Kind: "teleport"}, walk},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Items[0].Error == "" || out.Items[1].Response == nil {
+		t.Fatalf("mixed batch: items %+v", out.Items)
+	}
+	if out.Summary.Errors != 1 || out.Summary.ResultHits != 1 {
+		t.Fatalf("mixed batch summary %+v, want 1 error and 1 hit", out.Summary)
 	}
 }
 
@@ -204,26 +282,21 @@ func TestServerConcurrentBurstDeterministic(t *testing.T) {
 	}
 }
 
-// BenchmarkLoadGenerator is the lmtd load generator: parallel clients
-// hammering one warm mixing request through the full HTTP path. req/sec is
-// the headline metric; the first iteration pays the graph build, the rest
-// measure the warm path.
-func BenchmarkLoadGenerator(b *testing.B) {
-	svc := service.New(service.Options{})
-	ts := httptest.NewServer(newHandler(svc))
-	defer ts.Close()
+// benchGraph and benchTask are the load-generator workload: a distributed
+// mixing run (~1ms of compute) on the standard ring-of-cliques, heavy
+// enough that the compute path and the memoized path are clearly separated.
+var benchGraph = spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5}
+var benchTask = spec.TaskSpec{Kind: spec.KindMixing, Eps: 0.1, Seed: 9, Irregular: true}
 
-	body, err := json.Marshal(service.Request{
-		Graph: spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5},
-		Task:  spec.TaskSpec{Kind: spec.KindWalk, Steps: 16, Seed: 9},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
+// hammer drives parallel clients posting bodies produced by mkBody (called
+// per request with a request ordinal) and reports req/sec.
+func hammer(b *testing.B, url string, mkBody func(i int64) []byte) {
+	var seq int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+			body := mkBody(atomic.AddInt64(&seq, 1))
+			resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -240,8 +313,74 @@ func BenchmarkLoadGenerator(b *testing.B) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)/sec, "req/sec")
 	}
-	m := svc.Metrics()
-	if m.GraphMisses != 1 {
-		b.Fatalf("load run rebuilt the graph %d times", m.GraphMisses)
-	}
+}
+
+// BenchmarkLoadGenerator is the lmtd load generator: parallel clients
+// hammering the full HTTP path. req/sec is the headline metric of each
+// variant; warm/cold is the memoization ratio the perf trajectory tracks
+// (warm must not rebuild the graph, the kernel, or run any oracle).
+func BenchmarkLoadGenerator(b *testing.B) {
+	b.Run("warm", func(b *testing.B) {
+		// Identical requests: the first computes, the rest are result-cache
+		// hits — two map lookups plus HTTP.
+		svc := service.New(service.Options{})
+		ts := httptest.NewServer(newHandler(svc))
+		defer ts.Close()
+		body, err := json.Marshal(service.Request{Graph: benchGraph, Task: benchTask})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hammer(b, ts.URL+"/v1/run", func(int64) []byte { return body })
+		m := svc.Metrics()
+		if m.GraphMisses != 1 {
+			b.Fatalf("warm run rebuilt the graph %d times", m.GraphMisses)
+		}
+		if m.ResultMisses != 1 {
+			b.Fatalf("warm run computed %d times, want 1", m.ResultMisses)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		// Unique seed per request: the graph and kernel stay warm but every
+		// request runs the oracle — PR 5's compute path, the warm variant's
+		// baseline.
+		svc := service.New(service.Options{})
+		ts := httptest.NewServer(newHandler(svc))
+		defer ts.Close()
+		hammer(b, ts.URL+"/v1/run", func(i int64) []byte {
+			task := benchTask
+			task.Seed = 1000 + i
+			body, err := json.Marshal(service.Request{Graph: benchGraph, Task: task})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return body
+		})
+		if m := svc.Metrics(); m.GraphMisses != 1 {
+			b.Fatalf("cold run rebuilt the graph %d times", m.GraphMisses)
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		// One POST carrying 16 tasks: HTTP and JSON overhead amortize over
+		// the batch; tasks/sec is the comparable metric.
+		svc := service.New(service.Options{})
+		ts := httptest.NewServer(newHandler(svc))
+		defer ts.Close()
+		const batchSize = 16
+		tasks := make([]spec.TaskSpec, batchSize)
+		for i := range tasks {
+			tasks[i] = benchTask
+			tasks[i].Seed = int64(9 + i%4) // 4 distinct specs, 4 duplicates each
+		}
+		body, err := json.Marshal(batchRequest{Graph: benchGraph, Tasks: tasks})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hammer(b, ts.URL+"/v1/batch", func(int64) []byte { return body })
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)*batchSize/sec, "tasks/sec")
+		}
+		if m := svc.Metrics(); m.ResultMisses > 4 {
+			b.Fatalf("batch run computed %d distinct tasks, want ≤ 4", m.ResultMisses)
+		}
+	})
 }

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -48,7 +49,7 @@ func GraphLocalMixing(g *graph.Graph, beta, eps float64, o LocalOptions, sources
 	if err != nil {
 		return nil, err
 	}
-	return graphLocalMixingOn(g, kern, beta, eps, o, sources, workers)
+	return graphLocalMixingOn(context.Background(), g, kern, beta, eps, o, sources, workers)
 }
 
 // graphLocalPlan resolves and validates the source list and the
@@ -82,7 +83,7 @@ func graphLocalPlan(g *graph.Graph, o LocalOptions, sources []int) ([]int, int, 
 // caller has forced o.Workers to 1 when the pool is parallel (the source
 // pool already saturates the CPUs; results are worker-invariant either
 // way).
-func graphLocalMixingOn(g *graph.Graph, kern *walkkernel.Kernel, beta, eps float64, o LocalOptions, sources []int, workers int) (*GraphLocalResult, error) {
+func graphLocalMixingOn(ctx context.Context, g *graph.Graph, kern *walkkernel.Kernel, beta, eps float64, o LocalOptions, sources []int, workers int) (*GraphLocalResult, error) {
 	type outcome struct {
 		src int
 		tau int
@@ -96,7 +97,9 @@ func graphLocalMixingOn(g *graph.Graph, kern *walkkernel.Kernel, beta, eps float
 		go func() {
 			defer wg.Done()
 			for s := range in {
-				res, err := localMixingOn(g, kern, s, beta, eps, o)
+				// Cancellation propagates into each per-source step loop;
+				// the first cancelled source surfaces the context error.
+				res, err := localMixingOn(ctx, g, kern, s, beta, eps, o)
 				if err != nil {
 					out <- outcome{src: s, err: err}
 					continue

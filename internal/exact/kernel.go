@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -13,6 +14,12 @@ import (
 // requests over one graph (internal/service's GraphCache) builds the
 // kernel once and threads it through these variants; each returns results
 // bit-identical to its kernel-building counterpart.
+//
+// Each variant also takes a context: the step loops check it cooperatively
+// (once per walk step — the natural grain, since every step is at least one
+// full edge pass), so a serving layer can enforce per-request deadlines on
+// the centralized oracles. Cancellation aborts with an error wrapping
+// ctx.Err(); it never changes a completed result.
 
 // NewKernel validates the graph and builds the shared walk kernel
 // (≤ 0 workers means GOMAXPROCS; the count never changes oracle results).
@@ -40,7 +47,7 @@ func ValidateLocalParams(g *graph.Graph, beta, eps float64, o LocalOptions) erro
 }
 
 // MixingTimeKernel is MixingTime on an already-built kernel.
-func MixingTimeKernel(g *graph.Graph, k *walkkernel.Kernel, source int, eps float64, lazy bool, maxT int) (int, error) {
+func MixingTimeKernel(ctx context.Context, g *graph.Graph, k *walkkernel.Kernel, source int, eps float64, lazy bool, maxT int) (int, error) {
 	if eps <= 0 || eps >= 1 {
 		return 0, fmt.Errorf("exact: MixingTime needs ε ∈ (0,1), got %g", eps)
 	}
@@ -53,6 +60,9 @@ func MixingTimeKernel(g *graph.Graph, k *walkkernel.Kernel, source int, eps floa
 	}
 	pi := Stationary(g)
 	for t := 0; t <= maxT; t++ {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("exact: mixing time cancelled at step %d (source=%d): %w", t, source, err)
+		}
 		if L1(w.P(), pi) < eps {
 			return t, nil
 		}
@@ -62,7 +72,7 @@ func MixingTimeKernel(g *graph.Graph, k *walkkernel.Kernel, source int, eps floa
 }
 
 // GraphMixingTimeKernel is GraphMixingTime on an already-built kernel.
-func GraphMixingTimeKernel(g *graph.Graph, k *walkkernel.Kernel, eps float64, lazy bool, maxT int) (int, error) {
+func GraphMixingTimeKernel(ctx context.Context, g *graph.Graph, k *walkkernel.Kernel, eps float64, lazy bool, maxT int) (int, error) {
 	if eps <= 0 || eps >= 1 {
 		return 0, fmt.Errorf("exact: MixingTime needs ε ∈ (0,1), got %g", eps)
 	}
@@ -72,19 +82,19 @@ func GraphMixingTimeKernel(g *graph.Graph, k *walkkernel.Kernel, eps float64, la
 	if err := checkLazyChain(g, lazy); err != nil {
 		return 0, err
 	}
-	return graphMixingTimeOn(g, k, eps, lazy, maxT)
+	return graphMixingTimeOn(ctx, g, k, eps, lazy, maxT)
 }
 
 // LocalMixingKernel is LocalMixing on an already-built kernel.
-func LocalMixingKernel(g *graph.Graph, k *walkkernel.Kernel, source int, beta, eps float64, o LocalOptions) (*LocalResult, error) {
+func LocalMixingKernel(ctx context.Context, g *graph.Graph, k *walkkernel.Kernel, source int, beta, eps float64, o LocalOptions) (*LocalResult, error) {
 	if err := validateLocal(g, beta, eps, o); err != nil {
 		return nil, err
 	}
-	return localMixingOn(g, k, source, beta, eps, o)
+	return localMixingOn(ctx, g, k, source, beta, eps, o)
 }
 
 // GraphLocalMixingKernel is GraphLocalMixing on an already-built kernel.
-func GraphLocalMixingKernel(g *graph.Graph, k *walkkernel.Kernel, beta, eps float64, o LocalOptions, sources []int) (*GraphLocalResult, error) {
+func GraphLocalMixingKernel(ctx context.Context, g *graph.Graph, k *walkkernel.Kernel, beta, eps float64, o LocalOptions, sources []int) (*GraphLocalResult, error) {
 	sources, workers, err := graphLocalPlan(g, o, sources)
 	if err != nil {
 		return nil, err
@@ -95,5 +105,5 @@ func GraphLocalMixingKernel(g *graph.Graph, k *walkkernel.Kernel, beta, eps floa
 	if err := validateLocal(g, beta, eps, o); err != nil {
 		return nil, err
 	}
-	return graphLocalMixingOn(g, k, beta, eps, o, sources, workers)
+	return graphLocalMixingOn(ctx, g, k, beta, eps, o, sources, workers)
 }

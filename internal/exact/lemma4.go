@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -61,7 +62,7 @@ func Lemma4Measure(g *graph.Graph, source int, beta, eps float64, o LocalOptions
 	if err != nil {
 		return nil, err
 	}
-	res, err := localMixingOn(g, k, source, beta, eps, o)
+	res, err := localMixingOn(context.Background(), g, k, source, beta, eps, o)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -63,7 +64,7 @@ func LocalMixing(g *graph.Graph, source int, beta float64, eps float64, o LocalO
 	if err != nil {
 		return nil, err
 	}
-	return localMixingOn(g, k, source, beta, eps, o)
+	return localMixingOn(context.Background(), g, k, source, beta, eps, o)
 }
 
 // localKernel validates the common oracle parameters and builds the shared
@@ -90,8 +91,10 @@ func validateLocal(g *graph.Graph, beta, eps float64, o LocalOptions) error {
 	return checkLazyChain(g, o.Lazy)
 }
 
-// localMixingOn is LocalMixing on an already-validated shared kernel.
-func localMixingOn(g *graph.Graph, k *walkkernel.Kernel, source int, beta, eps float64, o LocalOptions) (*LocalResult, error) {
+// localMixingOn is LocalMixing on an already-validated shared kernel. The
+// context is checked once per walk step (each step pays a sort plus the
+// candidate-size scan), so a service deadline aborts within one step.
+func localMixingOn(ctx context.Context, g *graph.Graph, k *walkkernel.Kernel, source int, beta, eps float64, o LocalOptions) (*LocalResult, error) {
 	w, err := newWalkOn(g, k, source, o.Lazy)
 	if err != nil {
 		return nil, err
@@ -103,6 +106,9 @@ func localMixingOn(g *graph.Graph, k *walkkernel.Kernel, source int, beta, eps f
 	sizes := CandidateSizes(g.N(), beta, o.Grid, gridStep(eps, o))
 	scratch := newWindowScratch(g.N(), scanWorkers(o.Workers, k))
 	for t := 0; t <= o.MaxT; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exact: local mixing cancelled at step %d (source=%d): %w", t, source, err)
+		}
 		if res := checkLocalAt(w.P(), source, sizes, threshold, o.RequireSource, scratch); res != nil {
 			res.T = t
 			return res, nil

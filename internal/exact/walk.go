@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -174,12 +175,14 @@ func GraphMixingTimeWorkers(g *graph.Graph, eps float64, lazy bool, maxT, worker
 	if err != nil {
 		return 0, err
 	}
-	return graphMixingTimeOn(g, k, eps, lazy, maxT)
+	return graphMixingTimeOn(context.Background(), g, k, eps, lazy, maxT)
 }
 
 // graphMixingTimeOn is the batched sweep on an already-validated kernel
-// (fresh above, or cached by internal/service's GraphCache).
-func graphMixingTimeOn(g *graph.Graph, k *walkkernel.Kernel, eps float64, lazy bool, maxT int) (int, error) {
+// (fresh above, or cached by internal/service's GraphCache). The context is
+// checked once per walk step — each step is a full batched SpMV, so
+// cancellation (a service deadline) lands within one edge pass.
+func graphMixingTimeOn(ctx context.Context, g *graph.Graph, k *walkkernel.Kernel, eps float64, lazy bool, maxT int) (int, error) {
 	n := g.N()
 	pi := Stationary(g)
 	width := walkkernel.BatchWidth
@@ -201,6 +204,9 @@ func graphMixingTimeOn(g *graph.Graph, k *walkkernel.Kernel, eps float64, lazy b
 		mw.Reset(sources)
 		mixed := false
 		for t := 0; t <= maxT; t++ {
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("exact: graph mixing sweep cancelled at source batch %d, step %d: %w", lo, t, err)
+			}
 			if mw.AllBelow(pi, eps) {
 				if t > worst {
 					worst = t

@@ -1,0 +1,58 @@
+package service
+
+import "context"
+
+// BatchItem reports one task's outcome inside a batch: exactly the Response
+// of a standalone Run, or its error string.
+type BatchItem struct {
+	// Response is the task's result when it succeeded.
+	Response *Response `json:"response,omitempty"`
+	// Error carries the task's failure, item-local — one failing task does
+	// not abort the batch.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchSummary aggregates a batch's cache behavior.
+type BatchSummary struct {
+	// Tasks is the number of items in the batch.
+	Tasks int `json:"tasks"`
+	// Computed counts items that ran a runner (result-cache misses).
+	Computed int `json:"computed"`
+	// ResultHits counts items served verbatim from the result cache —
+	// including duplicates of an earlier item in the same batch.
+	ResultHits int `json:"resultHits"`
+	// Shared counts items that waited on an identical in-flight
+	// computation.
+	Shared int `json:"shared"`
+	// Errors counts failed items.
+	Errors int `json:"errors"`
+}
+
+// RunBatch executes every request in order, sharing one context (and so one
+// deadline budget when the caller bounds ctx). Items are independent: a
+// failure is recorded in its item and the batch continues. Sequential
+// execution makes the dedup guarantee exact — an item identical to an
+// earlier one is always a result-cache hit, never a second computation.
+func (s *Service) RunBatch(ctx context.Context, reqs []Request) ([]BatchItem, BatchSummary) {
+	s.ctr.batches.Add(1)
+	items := make([]BatchItem, len(reqs))
+	sum := BatchSummary{Tasks: len(reqs)}
+	for i, req := range reqs {
+		resp, err := s.Run(ctx, req)
+		if err != nil {
+			items[i] = BatchItem{Error: err.Error()}
+			sum.Errors++
+			continue
+		}
+		items[i] = BatchItem{Response: resp}
+		switch {
+		case resp.ResultHit:
+			sum.ResultHits++
+		case resp.Shared:
+			sum.Shared++
+		default:
+			sum.Computed++
+		}
+	}
+	return items, sum
+}

@@ -16,18 +16,29 @@ import (
 )
 
 // counters are the service's atomic metrics, shared with the cache entries
-// so kernel/pool builds are counted where they happen.
+// so kernel/pool builds are counted where they happen. Every field is an
+// independent atomic: increments are race-free under -race, but a Metrics
+// snapshot reads them one by one, so cross-counter invariants (e.g.
+// hits+misses == lookups) may be off by in-flight requests at the instant
+// of the read. That is the documented contract — per-counter exactness,
+// not a globally consistent cut.
 type counters struct {
-	requests     atomic.Int64
-	errors       atomic.Int64
-	inFlight     atomic.Int64
-	peakInFlight atomic.Int64
-	graphHits    atomic.Int64
-	graphMisses  atomic.Int64
-	kernelBuilds atomic.Int64
-	poolBuilds   atomic.Int64
-	poolHits     atomic.Int64
-	churnBuilds  atomic.Int64
+	requests        atomic.Int64
+	errors          atomic.Int64
+	inFlight        atomic.Int64
+	peakInFlight    atomic.Int64
+	graphHits       atomic.Int64
+	graphMisses     atomic.Int64
+	kernelBuilds    atomic.Int64
+	poolBuilds      atomic.Int64
+	poolHits        atomic.Int64
+	churnBuilds     atomic.Int64
+	resultHits      atomic.Int64
+	resultMisses    atomic.Int64
+	sfShared        atomic.Int64
+	resultEvictions atomic.Int64
+	resultBytes     atomic.Int64
+	batches         atomic.Int64
 }
 
 // GraphCache is a thread-safe LRU of built graphs keyed by the canonical
@@ -72,6 +83,26 @@ func (c *GraphCache) get(gs spec.GraphSpec) (*cacheEntry, bool, error) {
 	c.ctr.graphMisses.Add(1)
 	e.build()
 	return e, false, e.err
+}
+
+// peek returns the already-cached entry for key without building anything
+// and without touching the hit/miss counters (the caller decides whether
+// its overall request counts as a graph hit — see Service.Run's fast
+// path). If the entry's graph build is still in progress the call waits for
+// it, which is at most as long as the slow path would wait.
+func (c *GraphCache) peek(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	e.build()
+	return e, true
 }
 
 // len reports the number of cached entries.

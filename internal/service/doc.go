@@ -11,6 +11,18 @@
 // omit a seed get a deterministic per-request seed derived from the
 // service's base seed and the request content.
 //
+// Because every computation is deterministic given (graph key, normalized
+// task key, resolved seed), finished Responses are memoized in an LRU
+// ResultCache keyed by that triple: an identical repeat is served from
+// memory without touching a runner, and concurrent identical requests are
+// collapsed by a singleflight group into one computation whose result all
+// waiters share. Schedule-only knobs (Workers, SweepWorkers, DeadlineMS)
+// are zeroed out of the key because they never change the answer. Failed
+// runs are never cached. RunBatch runs many tasks against one graph
+// through the same path, so duplicate specs inside a batch dedup too.
+// A TaskSpec may carry a DeadlineMS budget; Run wraps the context so
+// overrunning computations abort cooperatively with a timeout error.
+//
 // Equivalence contract: for every registered kind, Run's result is
 // byte-identical (reflect.DeepEqual) to the corresponding direct facade
 // call — the facade itself delegates through the same runners via Call and

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -38,10 +39,22 @@ type Invocation struct {
 	Spread *spread.Config
 	// Instance overrides the Task-derived random coverage instance.
 	Instance *coverage.Instance
+	// Ctx bounds the invocation: the long runner loops check it
+	// cooperatively and abort when it is cancelled (per-request deadlines).
+	// Nil means no bound — the facade path, which never had one.
+	Ctx context.Context
 
 	// churnKey tags cached sweep pools with the resolved churn model; set
 	// by Service.Run alongside Churn.
 	churnKey string
+}
+
+// Context returns the invocation's context, Background when unset.
+func (inv *Invocation) Context() context.Context {
+	if inv.Ctx == nil {
+		return context.Background()
+	}
+	return inv.Ctx
 }
 
 // Runner executes one task kind. The returned value is the kind's concrete

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// ResultCache memoizes completed Responses: an LRU keyed by the canonical
+// request key, fronted by a singleflight group so N concurrent identical
+// requests cost one runner invocation and N−1 waiters. Every request the
+// service accepts is deterministic once its seed is resolved — a
+// (graph key, normalized task key) pair has exactly one answer — so a hit
+// may serve the stored result verbatim, with no graph build, no kernel, and
+// no oracle run behind it.
+//
+// Only successful results are stored. Errors — including deadline
+// cancellations, which abort a run midway — complete their flight and are
+// returned to that flight's waiters' retry loop, but never enter the LRU:
+// the cache cannot be poisoned by a partial or failed computation.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *resultEntry
+	items   map[string]*list.Element
+	flights map[string]*flight
+	ctr     *counters
+}
+
+// resultEntry is one memoized result under its canonical key.
+type resultEntry struct {
+	key string
+	val *cachedResult
+}
+
+// cachedResult is the stored portion of a Response: the runner's result,
+// the run-graph descriptor for churned runs, and the JSON-encoded size used
+// for the bytes gauge.
+type cachedResult struct {
+	result   any
+	runGraph *GraphInfo
+	bytes    int64
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  *cachedResult
+	err  error
+}
+
+// newResultCache builds a cache holding at most capEntries results.
+func newResultCache(capEntries int, ctr *counters) *ResultCache {
+	return &ResultCache{
+		cap:     capEntries,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+		ctr:     ctr,
+	}
+}
+
+// resultKey renders the canonical key of a normalized task over a graph.
+// The task must already carry its resolved seed and filled defaults
+// (Service.normalize); the schedule-only fields — Workers, SweepWorkers,
+// DeadlineMS — are zeroed out, exactly as the derived-seed hashing zeroes
+// them, because they never change a completed result.
+func resultKey(graphKey string, t spec.TaskSpec) string {
+	t.Workers, t.SweepWorkers, t.DeadlineMS = 0, 0, 0
+	return graphKey + "|" + t.Key()
+}
+
+// lookup serves a memoized result if one exists, refreshing its LRU
+// position and counting the hit. Misses are not counted here — do counts
+// them when a computation actually starts, so a fast-path miss that falls
+// through to do is one miss, not two.
+func (c *ResultCache) lookup(key string) (*cachedResult, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	c.ctr.resultHits.Add(1)
+	return el.Value.(*resultEntry).val, true
+}
+
+// join attaches to an in-progress identical computation, if any. The caller
+// must then wait on the returned flight (bounded by its own context); a
+// successful flight's value may be served, a failed one must be recomputed
+// by the caller (typically by falling through to the admitted do path).
+func (c *ResultCache) join(key string) (*flight, bool) {
+	c.mu.Lock()
+	f, ok := c.flights[key]
+	c.mu.Unlock()
+	if ok {
+		c.ctr.sfShared.Add(1)
+	}
+	return f, ok
+}
+
+// do is the singleflight entry point: serve the memoized result, else join
+// an in-flight identical computation, else lead one by calling compute.
+// shared reports that the result came from another request's flight. A
+// failed flight is never served to other requests — its waiters loop and
+// recompute with their own context, so one request's deadline abort cannot
+// fail an identical request that had the budget to finish.
+func (c *ResultCache) do(ctx context.Context, key string, compute func() (*cachedResult, error)) (val *cachedResult, hit, shared bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.mu.Unlock()
+			c.ctr.resultHits.Add(1)
+			return el.Value.(*resultEntry).val, true, false, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			c.ctr.sfShared.Add(1)
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, true, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, false, true, nil
+			}
+			continue // the leader failed; retry under our own context
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.mu.Unlock()
+
+		c.ctr.resultMisses.Add(1)
+		f.val, f.err = compute()
+		c.mu.Lock()
+		delete(c.flights, key)
+		if f.err == nil {
+			c.insertLocked(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.val, false, false, f.err
+	}
+}
+
+// insertLocked stores a completed result and evicts from the LRU tail past
+// capacity. Caller holds mu.
+func (c *ResultCache) insertLocked(key string, val *cachedResult) {
+	if val.bytes == 0 {
+		if b, err := json.Marshal(val.result); err == nil {
+			val.bytes = int64(len(b))
+		}
+	}
+	c.items[key] = c.ll.PushFront(&resultEntry{key: key, val: val})
+	c.ctr.resultBytes.Add(val.bytes)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*resultEntry)
+		delete(c.items, e.key)
+		c.ctr.resultBytes.Add(-e.val.bytes)
+		c.ctr.resultEvictions.Add(1)
+	}
+}
+
+// len reports the number of memoized results.
+func (c *ResultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -138,7 +138,7 @@ func runOracleMixing(inv *Invocation) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	tau, err := exact.MixingTimeKernel(g, k, t.Source, t.Eps, t.Lazy, t.MaxT)
+	tau, err := exact.MixingTimeKernel(inv.Context(), g, k, t.Source, t.Eps, t.Lazy, t.MaxT)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +156,7 @@ func runOracleLocal(inv *Invocation) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exact.LocalMixingKernel(g, k, t.Source, t.Beta, t.Eps, o)
+	return exact.LocalMixingKernel(inv.Context(), g, k, t.Source, t.Beta, t.Eps, o)
 }
 
 func runOracleGraphMixing(inv *Invocation) (any, error) {
@@ -169,7 +169,7 @@ func runOracleGraphMixing(inv *Invocation) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	tau, err := exact.GraphMixingTimeKernel(g, k, t.Eps, t.Lazy, t.MaxT)
+	tau, err := exact.GraphMixingTimeKernel(inv.Context(), g, k, t.Eps, t.Lazy, t.MaxT)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +187,7 @@ func runOracleGraphLocal(inv *Invocation) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exact.GraphLocalMixingKernel(g, k, t.Beta, t.Eps, o, t.Sources)
+	return exact.GraphLocalMixingKernel(inv.Context(), g, k, t.Beta, t.Eps, o, t.Sources)
 }
 
 func runMixing(inv *Invocation) (any, error) {
@@ -252,6 +252,9 @@ func runSweep(inv *Invocation) (any, error) {
 	o := core.SweepOptions{Workers: t.SweepWorkers, Sources: t.Sources, Sample: t.Sample}
 	if inv.SweepOpts != nil {
 		o = *inv.SweepOpts
+	}
+	if o.Ctx == nil {
+		o.Ctx = inv.Ctx
 	}
 	sw, err := inv.Env.sweepPool(poolKey(cfg, inv.churnKey, o.Workers), cfg, o.Workers)
 	if err != nil {

@@ -48,6 +48,13 @@ type Response struct {
 	RunGraph *GraphInfo `json:"runGraph,omitempty"`
 	// CacheHit reports whether the graph came from the cache.
 	CacheHit bool `json:"cacheHit"`
+	// ResultHit reports that the whole response was served from the result
+	// cache: no graph build, no kernel, no runner invocation — two map
+	// lookups.
+	ResultHit bool `json:"resultHit"`
+	// Shared reports that this request waited on an identical in-flight
+	// computation (singleflight) instead of running its own.
+	Shared bool `json:"shared,omitempty"`
 	// Seed is the effective task seed (the request's, or the per-request
 	// derived one when the request omitted it).
 	Seed int64 `json:"seed"`
@@ -60,6 +67,9 @@ type Response struct {
 type Options struct {
 	// CacheSize bounds the graph cache (entries; ≤ 0 means 16).
 	CacheSize int
+	// ResultCacheSize bounds the response memoization cache (entries;
+	// ≤ 0 means 256).
+	ResultCacheSize int
 	// MaxInFlight bounds concurrently executing requests; further
 	// requests queue on the admission semaphore (≤ 0 means
 	// max(8, GOMAXPROCS)).
@@ -75,17 +85,21 @@ type Options struct {
 // admission controller behind one Run entry point. Safe for concurrent
 // use.
 type Service struct {
-	opts  Options
-	reg   *Registry
-	cache *GraphCache
-	sem   chan struct{}
-	ctr   counters
+	opts    Options
+	reg     *Registry
+	cache   *GraphCache
+	results *ResultCache
+	sem     chan struct{}
+	ctr     counters
 }
 
 // New builds a Service.
 func New(o Options) *Service {
 	if o.CacheSize <= 0 {
 		o.CacheSize = 16
+	}
+	if o.ResultCacheSize <= 0 {
+		o.ResultCacheSize = 256
 	}
 	if o.MaxInFlight <= 0 {
 		o.MaxInFlight = runtime.GOMAXPROCS(0)
@@ -101,6 +115,7 @@ func New(o Options) *Service {
 	}
 	s := &Service{opts: o, reg: o.Registry, sem: make(chan struct{}, o.MaxInFlight)}
 	s.cache = newGraphCache(o.CacheSize, &s.ctr)
+	s.results = newResultCache(o.ResultCacheSize, &s.ctr)
 	return s
 }
 
@@ -124,25 +139,67 @@ func (s *Service) Graph(gs spec.GraphSpec) (*graph.Graph, bool, error) {
 	return e.g, hit, nil
 }
 
-// Run executes one request: validate, admit, resolve the graph through the
-// cache, normalize the task (defaults and the per-request derived seed),
-// resolve churn, and dispatch to the kind's runner. Results are
-// byte-identical to the corresponding direct facade call; see the package
-// documentation for the contract.
+// Run executes one request: validate, serve from the result cache when an
+// identical request already completed (or share an identical in-flight
+// computation), otherwise admit, resolve the graph through the cache,
+// normalize the task (defaults and the per-request derived seed), resolve
+// churn, and dispatch to the kind's runner — memoizing the response under
+// the canonical request key on success. A task deadline (Task.DeadlineMS)
+// bounds the whole call, admission queueing included, via the context.
+// Results are byte-identical to the corresponding direct facade call; see
+// the package documentation for the contract.
 func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 	s.ctr.requests.Add(1)
-	if err := req.Graph.Validate(); err != nil {
+	resp, err := s.run(ctx, req)
+	if err != nil {
 		s.ctr.errors.Add(1)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// run is Run without the request/error accounting.
+func (s *Service) run(ctx context.Context, req Request) (*Response, error) {
+	if err := req.Graph.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 	}
 	if err := req.Task.Validate(); err != nil {
-		s.ctr.errors.Add(1)
 		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 	}
 	run, ok := s.reg.Runner(req.Task.Kind)
 	if !ok {
-		s.ctr.errors.Add(1)
 		return nil, fmt.Errorf("%w: unregistered task kind %q", ErrInvalidRequest, req.Task.Kind)
+	}
+	if d := req.Task.Deadline(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	// Fast path: with a warm graph entry the canonical result key resolves
+	// without building anything, and a memoized response (or an identical
+	// in-flight computation to wait on) is served without taking an
+	// admission slot — the near-free path a million identical curls ride.
+	if entry, ok := s.cache.peek(req.Graph.Key()); ok && entry.err == nil {
+		task := s.normalize(req, entry.g.N())
+		key := resultKey(entry.key, task)
+		if cr, ok := s.results.lookup(key); ok {
+			s.ctr.graphHits.Add(1)
+			return servedResponse(entry, task, cr, true, false), nil
+		}
+		if f, ok := s.results.join(key); ok {
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err == nil {
+				s.ctr.graphHits.Add(1)
+				return servedResponse(entry, task, f.val, false, true), nil
+			}
+			// The leader failed (possibly on its own deadline); fall through
+			// and compute under our own admission slot and context.
+		}
 	}
 
 	// Admission: at most MaxInFlight requests execute; the rest wait here
@@ -150,7 +207,6 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		s.ctr.errors.Add(1)
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.sem }()
@@ -163,45 +219,61 @@ func (s *Service) Run(ctx context.Context, req Request) (*Response, error) {
 		}
 	}
 
-	resp, err := s.execute(run, req)
-	if err != nil {
-		s.ctr.errors.Add(1)
-		return nil, err
-	}
-	return resp, nil
+	return s.execute(ctx, run, req)
 }
 
-// execute is Run past admission.
-func (s *Service) execute(run Runner, req Request) (*Response, error) {
+// servedResponse assembles a Response around a memoized result. The graph
+// necessarily came from the cache (the result key embeds its key), so
+// CacheHit is always true here.
+func servedResponse(entry *cacheEntry, task spec.TaskSpec, cr *cachedResult, resultHit, shared bool) *Response {
+	return &Response{
+		Kind:      task.Kind,
+		Graph:     GraphInfo{Key: entry.key, Name: entry.g.Name(), N: entry.g.N(), M: entry.g.M()},
+		RunGraph:  cr.runGraph,
+		CacheHit:  true,
+		ResultHit: resultHit,
+		Shared:    shared,
+		Seed:      task.Seed,
+		Result:    cr.result,
+	}
+}
+
+// execute is Run past admission: resolve the graph, then compute through
+// the result cache's singleflight group so concurrent identical requests
+// fold into one runner invocation.
+func (s *Service) execute(ctx context.Context, run Runner, req Request) (*Response, error) {
 	entry, hit, err := s.cache.get(req.Graph)
 	if err != nil {
 		return nil, err
 	}
 	task := s.normalize(req, entry.g.N())
-	inv := &Invocation{Env: &Env{g: entry.g, entry: entry}, Task: task}
-	resp := &Response{
-		Kind:     task.Kind,
-		Graph:    GraphInfo{Key: entry.key, Name: entry.g.Name(), N: entry.g.N(), M: entry.g.M()},
-		CacheHit: hit,
-		Seed:     task.Seed,
-	}
-	if task.Churn != nil {
-		cv, err := entry.churn(task)
+	key := resultKey(entry.key, task)
+	var runGraph *GraphInfo
+	cr, resultHit, shared, err := s.results.do(ctx, key, func() (*cachedResult, error) {
+		inv := &Invocation{Env: &Env{g: entry.g, entry: entry}, Task: task, Ctx: ctx}
+		if task.Churn != nil {
+			cv, err := entry.churn(task)
+			if err != nil {
+				return nil, err
+			}
+			inv.Churn = cv.prov
+			inv.churnKey = cv.key
+			if cv.runG != entry.g {
+				inv.Env = &Env{g: cv.runG, entry: entry}
+				runGraph = &GraphInfo{Name: cv.runG.Name(), N: cv.runG.N(), M: cv.runG.M()}
+			}
+		}
+		res, err := run(inv)
 		if err != nil {
 			return nil, err
 		}
-		inv.Churn = cv.prov
-		inv.churnKey = cv.key
-		if cv.runG != entry.g {
-			inv.Env = &Env{g: cv.runG, entry: entry}
-			resp.RunGraph = &GraphInfo{Name: cv.runG.Name(), N: cv.runG.N(), M: cv.runG.M()}
-		}
-	}
-	res, err := run(inv)
+		return &cachedResult{result: res, runGraph: runGraph}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	resp.Result = res
+	resp := servedResponse(entry, task, cr, resultHit, shared)
+	resp.CacheHit = hit
 	return resp, nil
 }
 
@@ -224,10 +296,10 @@ func (s *Service) normalize(req Request, n int) spec.TaskSpec {
 	if t.Seed == 0 {
 		// Hash the request content minus the schedule-only fields: the
 		// whole stack guarantees results are worker-invariant, so two
-		// requests differing only in Workers/SweepWorkers must derive the
-		// same seed (and therefore the same results).
+		// requests differing only in Workers/SweepWorkers/DeadlineMS must
+		// derive the same seed (and therefore the same results).
 		hashed := t
-		hashed.Workers, hashed.SweepWorkers = 0, 0
+		hashed.Workers, hashed.SweepWorkers, hashed.DeadlineMS = 0, 0, 0
 		h := fnv.New64a()
 		h.Write([]byte(req.Graph.Key()))
 		h.Write([]byte{'|'})
@@ -255,23 +327,44 @@ type Metrics struct {
 	PoolBuilds, PoolHits int64
 	// ChurnBuilds counts churn-model constructions.
 	ChurnBuilds int64
-	// CachedGraphs is the current graph-cache size.
-	CachedGraphs int
+	// ResultHits and ResultMisses count result-cache lookups (a hit serves
+	// the memoized response; a miss runs the task once and stores it).
+	ResultHits, ResultMisses int64
+	// SingleflightShared counts requests that attached to an identical
+	// in-flight computation instead of running their own.
+	SingleflightShared int64
+	// ResultEvictions counts LRU evictions from the result cache;
+	// ResultBytes is the JSON-encoded size of the currently memoized
+	// results.
+	ResultEvictions, ResultBytes int64
+	// Batches counts RunBatch calls (each fans into Requests).
+	Batches int64
+	// CachedGraphs is the current graph-cache size; CachedResults the
+	// current result-cache size.
+	CachedGraphs  int
+	CachedResults int
 }
 
 // Metrics snapshots the counters.
 func (s *Service) Metrics() Metrics {
 	return Metrics{
-		Requests:     s.ctr.requests.Load(),
-		Errors:       s.ctr.errors.Load(),
-		InFlight:     s.ctr.inFlight.Load(),
-		PeakInFlight: s.ctr.peakInFlight.Load(),
-		GraphHits:    s.ctr.graphHits.Load(),
-		GraphMisses:  s.ctr.graphMisses.Load(),
-		KernelBuilds: s.ctr.kernelBuilds.Load(),
-		PoolBuilds:   s.ctr.poolBuilds.Load(),
-		PoolHits:     s.ctr.poolHits.Load(),
-		ChurnBuilds:  s.ctr.churnBuilds.Load(),
-		CachedGraphs: s.cache.len(),
+		Requests:           s.ctr.requests.Load(),
+		Errors:             s.ctr.errors.Load(),
+		InFlight:           s.ctr.inFlight.Load(),
+		PeakInFlight:       s.ctr.peakInFlight.Load(),
+		GraphHits:          s.ctr.graphHits.Load(),
+		GraphMisses:        s.ctr.graphMisses.Load(),
+		KernelBuilds:       s.ctr.kernelBuilds.Load(),
+		PoolBuilds:         s.ctr.poolBuilds.Load(),
+		PoolHits:           s.ctr.poolHits.Load(),
+		ChurnBuilds:        s.ctr.churnBuilds.Load(),
+		ResultHits:         s.ctr.resultHits.Load(),
+		ResultMisses:       s.ctr.resultMisses.Load(),
+		SingleflightShared: s.ctr.sfShared.Load(),
+		ResultEvictions:    s.ctr.resultEvictions.Load(),
+		ResultBytes:        s.ctr.resultBytes.Load(),
+		Batches:            s.ctr.batches.Load(),
+		CachedGraphs:       s.cache.len(),
+		CachedResults:      s.results.len(),
 	}
 }

@@ -66,11 +66,21 @@ func TestRunMatchesDirectCalls(t *testing.T) {
 		if !reflect.DeepEqual(first.Result, second.Result) {
 			t.Fatal("repeated sweep request changed its result")
 		}
-		if m1.PoolBuilds != m0.PoolBuilds {
-			t.Fatalf("repeated sweep built a new pool (%d -> %d)", m0.PoolBuilds, m1.PoolBuilds)
+		if !second.ResultHit || m1.ResultHits != m0.ResultHits+1 {
+			t.Fatalf("identical repeat was not a result-cache hit (resultHit=%t, hits %d -> %d)",
+				second.ResultHit, m0.ResultHits, m1.ResultHits)
 		}
-		if m1.PoolHits != m0.PoolHits+1 {
-			t.Fatalf("repeated sweep did not hit the warm pool (hits %d -> %d)", m0.PoolHits, m1.PoolHits)
+		// A different sample misses the result cache but must reuse the
+		// warm pool (pool keys exclude the per-sweep source selection).
+		other := req
+		other.Task.Sample = 5
+		mustRun(t, svc, other)
+		m2 := svc.Metrics()
+		if m2.PoolBuilds != m0.PoolBuilds {
+			t.Fatalf("re-sampled sweep built a new pool (%d -> %d)", m0.PoolBuilds, m2.PoolBuilds)
+		}
+		if m2.PoolHits != m0.PoolHits+1 {
+			t.Fatalf("re-sampled sweep did not hit the warm pool (hits %d -> %d)", m0.PoolHits, m2.PoolHits)
 		}
 		cfg := core.Config{Mode: core.MixTime, Eps: 0.1}
 		cfg.Engine.Seed = 5

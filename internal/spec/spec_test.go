@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/gen"
 )
@@ -123,7 +124,7 @@ func TestGraphSpecJSONRoundTrip(t *testing.T) {
 func TestTaskSpecJSONRoundTrip(t *testing.T) {
 	in := TaskSpec{
 		Kind: KindSweep, Beta: 4, Eps: 0.05, Lazy: true, Mode: "mixing",
-		Seed: 9, SweepWorkers: 2, Sample: 8,
+		Seed: 9, SweepWorkers: 2, Sample: 8, DeadlineMS: 1500,
 		Churn: &ChurnSpec{Model: "markov", Rate: 0.1, On: 0.5, Seed: 4},
 	}
 	b, err := json.Marshal(in)
@@ -161,6 +162,10 @@ func TestTaskSpecValidate(t *testing.T) {
 		{"bad transport", TaskSpec{Kind: KindSpread, Transport: "carrier-pigeon"}, false},
 		{"coverage needs instance", TaskSpec{Kind: KindCoverage}, false},
 		{"coverage with instance", TaskSpec{Kind: KindCoverage, Coverage: &CoverageSpec{Universe: 10, PerNode: 2, K: 2}}, true},
+		{"deadline", TaskSpec{Kind: KindMixing, DeadlineMS: 500}, true},
+		{"negative deadline", TaskSpec{Kind: KindMixing, DeadlineMS: -1}, false},
+		{"empty sources", TaskSpec{Kind: KindSweep, Sources: []int{}}, false},
+		{"nil sources", TaskSpec{Kind: KindSweep}, true},
 	}
 	for _, c := range cases {
 		err := c.t.Validate()
@@ -170,6 +175,24 @@ func TestTaskSpecValidate(t *testing.T) {
 		if !c.ok && err == nil {
 			t.Errorf("%s: validation passed, want error", c.name)
 		}
+	}
+}
+
+func TestTaskSpecDeadline(t *testing.T) {
+	if d := (TaskSpec{DeadlineMS: 250}).Deadline(); d != 250*time.Millisecond {
+		t.Fatalf("Deadline() = %v, want 250ms", d)
+	}
+	if d := (TaskSpec{}).Deadline(); d != 0 {
+		t.Fatalf("zero spec has deadline %v", d)
+	}
+	// Schedule-only: two specs differing only in DeadlineMS (or workers)
+	// share one canonical key-modulo-schedule identity is enforced at the
+	// service layer; the raw key may differ.
+	a := TaskSpec{Kind: KindMixing, Seed: 1}
+	b := a
+	b.DeadlineMS = 100
+	if a.Key() == b.Key() {
+		t.Fatal("DeadlineMS missing from the canonical key")
 	}
 }
 

@@ -3,6 +3,7 @@ package spec
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // Kind names a registered task family. The strings are the wire values of
@@ -143,6 +144,12 @@ type TaskSpec struct {
 	Workers int `json:"workers,omitempty"`
 	// SweepWorkers sizes the sweep worker pool for KindSweep.
 	SweepWorkers int `json:"sweepWorkers,omitempty"`
+	// DeadlineMS caps the request's wall-clock budget in milliseconds,
+	// covering admission queueing and execution; 0 means no deadline. Like
+	// Workers it is schedule-only: it can abort a run (with a
+	// timeout-tagged error) but never changes a completed result, so it is
+	// excluded from derived seeds and result-cache keys.
+	DeadlineMS int64 `json:"deadlineMS,omitempty"`
 	// Sources lists explicit sweep sources (nil = every vertex).
 	Sources []int `json:"sources,omitempty"`
 	// Sample sweeps a deterministic random subset of this many sources
@@ -200,6 +207,15 @@ func (t TaskSpec) Validate() error {
 	if t.Eps < 0 || t.Eps >= 1 {
 		return fmt.Errorf("spec: eps must be in [0,1) (0 = default %g), got %g", DefaultEps, t.Eps)
 	}
+	if t.DeadlineMS < 0 {
+		return fmt.Errorf("spec: deadlineMS must be ≥ 0 (0 = none), got %d", t.DeadlineMS)
+	}
+	if t.Sources != nil && len(t.Sources) == 0 {
+		// An explicit empty source list has always been a sweep error; reject
+		// it here so it cannot share a canonical key (JSON omits empty
+		// slices) with the nil "every vertex" form.
+		return fmt.Errorf("spec: sources, when present, must list at least one source (omit for every vertex)")
+	}
 	if t.Churn != nil {
 		if !distributedKinds[t.Kind] {
 			return fmt.Errorf("spec: kind %s does not accept a churn model", t.Kind)
@@ -232,6 +248,12 @@ func (t TaskSpec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Deadline returns the request's wall-clock budget as a duration
+// (0 = none).
+func (t TaskSpec) Deadline() time.Duration {
+	return time.Duration(t.DeadlineMS) * time.Millisecond
 }
 
 // Key renders the canonical JSON of the task — the request-content half of

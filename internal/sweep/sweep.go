@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -33,6 +34,11 @@ type Options struct {
 	// clamp to the full all-vertices sweep; ≤ 0 means unset (also all
 	// vertices).
 	Sample int
+	// Ctx, when non-nil, is checked cooperatively between per-source runs:
+	// a cancelled context (a service deadline) aborts the sweep with an
+	// error wrapping ctx.Err(). It is schedule-only — it can cut a sweep
+	// short but never changes a completed sweep's results.
+	Ctx context.Context
 }
 
 // mix64 is the splitmix64 output finalizer.
@@ -212,6 +218,10 @@ func (p *Pool[R]) Sweep(o Options) (*Outcome[R], error) {
 	if need := (len(sources) + chunkSize - 1) / chunkSize; nw > need {
 		nw = need
 	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]R, len(sources))
 	errs := make([]error, len(sources))
 	var next atomic.Int64
@@ -237,6 +247,13 @@ func (p *Pool[R]) Sweep(o Options) (*Outcome[R], error) {
 					return
 				}
 				for i := lo; i < hi; i++ {
+					// The cooperative cancellation point: once per source, so
+					// a deadline aborts within one per-source run.
+					if err := ctx.Err(); err != nil {
+						errs[i] = fmt.Errorf("sweep: cancelled before source %d: %w", sources[i], err)
+						failed.Store(true)
+						return
+					}
 					s := sources[i]
 					seed := DeriveSeed(p.baseSeed, s)
 					pw.net.SetSeed(seed)

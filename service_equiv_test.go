@@ -145,10 +145,14 @@ func TestServiceRunMatchesFacadeEveryKind(t *testing.T) {
 			if !reflect.DeepEqual(resp.Result, want) {
 				t.Fatalf("service result differs from the facade:\n  svc    %#v\n  facade %#v", resp.Result, want)
 			}
-			// And a warm repeat must be byte-stable too.
+			// And a warm repeat must be byte-stable too — served from the
+			// result cache, with no second computation behind it.
 			again := run(t, c.task)
 			if !reflect.DeepEqual(again.Result, want) {
 				t.Fatal("warm-cache repeat diverged from the facade result")
+			}
+			if !again.ResultHit {
+				t.Fatal("identical repeat was not a result-cache hit")
 			}
 		})
 		covered[c.task.Kind] = true

@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, one object per benchmark line with every reported
+// metric keyed by its unit — the shape CI stores as BENCH_*.json artifacts
+// so the perf trajectory (req/sec of the serving path, ns/op of the
+// kernels) is machine-readable across commits.
+//
+// Usage:
+//
+//	go test -run xxx -bench . ./cmd/lmtd | go run ./tools/benchjson > BENCH_serve.json
+//
+// A benchmark line has the form
+//
+//	BenchmarkLoadGenerator/warm-4   41599   57447 ns/op   17407 req/sec
+//
+// i.e. a name, an iteration count, then (value, unit) pairs. Non-benchmark
+// lines (the goos/pkg header, PASS/ok trailers) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	// Name is the full benchmark name including the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every (value, unit) pair on the line
+	// (ns/op, req/sec, B/op, allocs/op, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var out []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			out = append(out, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if out == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "Benchmark... N v unit v unit ..." line; ok is false
+// for anything else.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
