@@ -375,11 +375,12 @@ func BenchmarkRandomRegularGen(b *testing.B) {
 	}
 }
 
-func BenchmarkE13CongestSpreading(b *testing.B) { benchExperiment(b, "E13") }
-func BenchmarkE14GraphLocalMixing(b *testing.B) { benchExperiment(b, "E14") }
-func BenchmarkE15EngineCounters(b *testing.B)   { benchExperiment(b, "E15") }
-func BenchmarkE16OracleKernel(b *testing.B)     { benchExperiment(b, "E16") }
-func BenchmarkE18DynamicChurn(b *testing.B)     { benchExperiment(b, "E18") }
+func BenchmarkE13CongestSpreading(b *testing.B)    { benchExperiment(b, "E13") }
+func BenchmarkE14GraphLocalMixing(b *testing.B)    { benchExperiment(b, "E14") }
+func BenchmarkE15EngineCounters(b *testing.B)      { benchExperiment(b, "E15") }
+func BenchmarkE16OracleKernel(b *testing.B)        { benchExperiment(b, "E16") }
+func BenchmarkE18DynamicChurn(b *testing.B)        { benchExperiment(b, "E18") }
+func BenchmarkE19AdaptiveAdversaries(b *testing.B) { benchExperiment(b, "E19") }
 
 // BenchmarkDynamicWalk measures the dynamic-aware token-walk protocol
 // (core.TokenWalk): a 256-step walk by token forwarding, one hop per round,

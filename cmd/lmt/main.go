@@ -23,8 +23,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
@@ -61,9 +63,12 @@ type cliFlags struct {
 	churnOn      *float64
 	churnEvery   *int
 	churnSnaps   *int
+	churnBudget  *int
+	churnDown    *int
 	churnSeed    *int64
 	deadline     *time.Duration
 	repeat       *int
+	retry        *int
 }
 
 // registerFlags declares every lmt flag on fs. cmd/lmt's flags_test.go
@@ -87,14 +92,17 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		all:          fs.Bool("all", false, "sweep every vertex as source: graph-wide τ(β,ε)=max_v τ_v (distributed modes)"),
 		sample:       fs.Int("sample", 0, "sweep a deterministic sample of this many sources (footnote 6; implies a sweep)"),
 		sweepWorkers: fs.Int("sweepworkers", 0, "sweep worker pool size (0 = GOMAXPROCS; never changes results)"),
-		churn:        fs.String("churn", "none", "dynamic-network churn model for the distributed modes: none|markov|interval|snapshot"),
-		churnRate:    fs.Float64("churnrate", 0.1, "churn intensity: markov P(on→off); interval fraction of non-backbone edges down per window"),
+		churn:        fs.String("churn", "none", "dynamic-network churn model for the distributed modes: none|markov|interval|snapshot|chaser|cutter|crash"),
+		churnRate:    fs.Float64("churnrate", 0.1, "churn intensity: markov P(on→off); interval fraction of non-backbone edges down per window; crash per-vertex per-round crash probability"),
 		churnOn:      fs.Float64("churnon", 0.5, "markov P(off→on) reactivation probability"),
 		churnEvery:   fs.Int("churnevery", 8, "interval model: rounds between topology resamples; snapshot switch period"),
 		churnSnaps:   fs.Int("churnsnaps", 3, "snapshot model: rotating random -d-regular samples in the cycle"),
+		churnBudget:  fs.Int("churnbudget", 2, "chaser/cutter adversaries: per-round edge-cut budget"),
+		churnDown:    fs.Int("churndown", 8, "crash model: outage length in rounds per crash"),
 		churnSeed:    fs.Int64("churnseed", 0, "churn model seed (0 = use -seed)"),
 		deadline:     fs.Duration("deadline", 0, "per-computation deadline (0 = none); runs exceeding it abort with a timeout error"),
 		repeat:       fs.Int("repeat", 1, "submit each computation as a batch of this many identical requests (> 1 prints the batch cache summary; repeats are result-cache hits)"),
+		retry:        fs.Int("retry", 0, "retry budget for 503-class failures (shed or timed-out requests): exponential backoff with jitter, the same discipline lmtd's Retry-After advertises (0 = fail fast)"),
 	}
 }
 
@@ -129,8 +137,12 @@ func churnSpec(f *cliFlags) (*spec.ChurnSpec, error) {
 		return &spec.ChurnSpec{Model: "interval", Rate: *f.churnRate, Every: *f.churnEvery, Seed: *f.churnSeed}, nil
 	case "snapshot":
 		return &spec.ChurnSpec{Model: "snapshot", Snapshots: *f.churnSnaps, Every: *f.churnEvery, Degree: *f.d, Seed: *f.churnSeed}, nil
+	case "chaser", "cutter":
+		return &spec.ChurnSpec{Model: *f.churn, Budget: *f.churnBudget, Seed: *f.churnSeed}, nil
+	case "crash":
+		return &spec.ChurnSpec{Model: "crash", Rate: *f.churnRate, Down: *f.churnDown, Seed: *f.churnSeed}, nil
 	default:
-		return nil, fmt.Errorf("unknown churn model %q (want none, markov, interval or snapshot)", *f.churn)
+		return nil, fmt.Errorf("unknown churn model %q (want none, markov, interval, snapshot, chaser, cutter or crash)", *f.churn)
 	}
 }
 
@@ -188,13 +200,20 @@ func run(f *cliFlags) error {
 		case "snapshot":
 			fmt.Printf("churn: snapshot (snaps=%d every=%d d=%d; distributed modes run on the rotating random-regular superset, the oracle stays static)\n",
 				churn.Snapshots, churn.Every, churn.Degree)
+		case "chaser":
+			fmt.Printf("churn: chaser (budget=%d; adaptive adversary cuts edges around the node that last published state)\n", churn.Budget)
+		case "cutter":
+			fmt.Printf("churn: cutter (budget=%d; oblivious rate-matched baseline for the chaser)\n", churn.Budget)
+		case "crash":
+			fmt.Printf("churn: crash (rate=%g down=%d; vertices crash-stop with all incident edges down, then restart)\n",
+				churn.Rate, churn.Down)
 		default:
 			fmt.Printf("churn: %s (rate=%g; distributed modes run on the dynamic network, the oracle stays static)\n",
 				churn.Model, churn.Rate)
 		}
 	}
 
-	submit := func(task spec.TaskSpec) (*service.Response, error) {
+	attempt := func(task spec.TaskSpec) (*service.Response, error) {
 		task.DeadlineMS = f.deadline.Milliseconds()
 		if *f.repeat > 1 {
 			reqs := make([]service.Request, *f.repeat)
@@ -212,6 +231,18 @@ func run(f *cliFlags) error {
 			return items[0].Response, nil
 		}
 		return svc.Run(ctx, service.Request{Graph: gs, Task: task})
+	}
+	jitter := rand.New(rand.NewSource(*f.seed))
+	submit := func(task spec.TaskSpec) (*service.Response, error) {
+		resp, err := attempt(task)
+		for tries := 0; err != nil && tries < *f.retry && retryable(err); tries++ {
+			d := backoff(tries, jitter)
+			fmt.Printf("%-22s attempt %d/%d failed (%v); backing off %s\n",
+				"  retry", tries+1, *f.retry+1, err, d.Truncate(time.Millisecond))
+			time.Sleep(d)
+			resp, err = attempt(task)
+		}
+		return resp, err
 	}
 	report := func(label string, fn func() error) {
 		if err := fn(); err != nil {
@@ -353,4 +384,26 @@ func maxi(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// retryable reports whether an error is worth retrying under -retry: the
+// 503 class — shed (overloaded) or timed-out requests, the ones lmtd
+// answers with Retry-After. Invalid requests and poisoned (panicked) ones
+// never are: they fail identically on every attempt.
+func retryable(err error) bool {
+	return errors.Is(err, service.ErrOverloaded) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// backoff returns the nth retry delay: exponential from a 100ms base to a
+// 5s cap, with equal jitter (uniform in [d/2, d)) so synchronized clients
+// spread out. Deterministic under -seed like everything else in lmt.
+func backoff(n int, r *rand.Rand) time.Duration {
+	d := 100 * time.Millisecond << uint(n)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	half := d / 2
+	return half + time.Duration(r.Int63n(int64(half)))
 }

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/spec"
+)
+
+// post submits one request and returns the raw response with its decoded
+// JSON body; safe to call from helper goroutines (no t.Fatal).
+func post(url string, req service.Request) (status int, header http.Header, out map[string]any, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := http.Post(url+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, resp.Header, nil, err
+	}
+	return resp.StatusCode, resp.Header, out, nil
+}
+
+// TestServerPanicIsolationEndToEnd is the crash-safety acceptance path: a
+// runner panic under one leader plus 8 singleflight waiters must yield nine
+// 500s naming the panic, poison no cache, leave the process serving, and
+// let the identical next request compute cleanly.
+func TestServerPanicIsolationEndToEnd(t *testing.T) {
+	inj := &service.FaultInjector{Hold: make(chan struct{})}
+	svc := service.New(service.Options{Fault: inj})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+
+	req := service.Request{Graph: spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5},
+		Task: spec.TaskSpec{Kind: spec.KindWalk, Steps: 12, Seed: 3}}
+	inj.ArmPanic(1)
+
+	type reply struct {
+		status int
+		out    map[string]any
+		err    error
+	}
+	const waiters = 8
+	replies := make(chan reply, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the leader: pinned inside the injector until released
+		defer wg.Done()
+		status, _, out, err := post(ts.URL, req)
+		replies <- reply{status, out, err}
+	}()
+	for inj.Calls() < 1 {
+		time.Sleep(time.Millisecond) // leader's flight is now registered
+	}
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _, out, err := post(ts.URL, req)
+			replies <- reply{status, out, err}
+		}()
+	}
+	for svc.Metrics().SingleflightShared < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(inj.Hold) // the pinned leader now panics
+	wg.Wait()
+	close(replies)
+
+	for r := range replies {
+		if r.err != nil {
+			t.Fatalf("request failed at the transport level: %v", r.err)
+		}
+		if r.status != http.StatusInternalServerError {
+			t.Errorf("client got %d, want 500 for a panicked runner", r.status)
+		}
+		if msg, _ := r.out["error"].(string); !strings.Contains(msg, "panic") {
+			t.Errorf("error body %v does not name the panic", r.out)
+		}
+	}
+	if m := svc.Metrics(); m.RunnerPanics != 1 || m.CachedResults != 0 {
+		t.Fatalf("after panic: RunnerPanics=%d CachedResults=%d, want 1/0", m.RunnerPanics, m.CachedResults)
+	}
+
+	// Same request, no armed fault: the flight map is clean, so it leads
+	// fresh, computes, and serves 200.
+	status, _, out, err := post(ts.URL, req)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("clean request after panic: status=%d err=%v body=%v", status, err, out)
+	}
+	if out["result"] == nil {
+		t.Fatal("clean request after panic served a nil result")
+	}
+}
+
+// TestServerReadyzSheddingAndDraining: /readyz flips to 503 while the
+// admission queue is full and while draining, /healthz stays 200 throughout
+// (alive, just not ready), and a shed request is a fast 503 carrying
+// Retry-After.
+func TestServerReadyzSheddingAndDraining(t *testing.T) {
+	inj := &service.FaultInjector{Hold: make(chan struct{})}
+	svc := service.New(service.Options{MaxInFlight: 1, MaxQueued: 1, Fault: inj})
+	d := newDaemon(svc)
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+	if status, _ := get("/readyz"); status != http.StatusOK {
+		t.Fatalf("idle /readyz returned %d, want 200", status)
+	}
+
+	mk := func(seed int64) service.Request {
+		return service.Request{Graph: spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5},
+			Task: spec.TaskSpec{Kind: spec.KindWalk, Steps: 5, Seed: seed}}
+	}
+	done := make(chan error, 2)
+	go func() { _, _, _, err := post(ts.URL, mk(1)); done <- err }()
+	for svc.Metrics().InFlight < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() { _, _, _, err := post(ts.URL, mk(2)); done <- err }()
+	for svc.Metrics().Queued < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	if status, _ := get("/readyz"); status != http.StatusServiceUnavailable {
+		t.Errorf("/readyz with a full queue returned %d, want 503", status)
+	}
+	if status, _ := get("/healthz"); status != http.StatusOK {
+		t.Errorf("/healthz while shedding returned %d; liveness must not fail on overload", status)
+	}
+	status, header, out, err := post(ts.URL, mk(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("shed request returned %d (%v), want 503", status, out)
+	}
+	if header.Get("Retry-After") == "" {
+		t.Error("shed 503 carries no Retry-After header")
+	}
+	if svc.Metrics().ShedRequests != 1 {
+		t.Errorf("ShedRequests = %d, want 1", svc.Metrics().ShedRequests)
+	}
+
+	close(inj.Hold)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("held request failed after release: %v", err)
+		}
+	}
+	if status, _ := get("/readyz"); status != http.StatusOK {
+		t.Errorf("/readyz after drain of the queue returned %d, want 200", status)
+	}
+
+	d.draining.Store(true)
+	if status, _ := get("/readyz"); status != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining returned %d, want 503", status)
+	}
+	if status, _ := get("/healthz"); status != http.StatusOK {
+		t.Errorf("/healthz while draining returned %d; draining is not dead", status)
+	}
+}
+
+// TestServerFaultMetricsExposed: the fault counters appear on /metrics.
+func TestServerFaultMetricsExposed(t *testing.T) {
+	svc := service.New(service.Options{})
+	ts := httptest.NewServer(newHandler(svc))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	for _, name := range []string{
+		"lmtd_runner_panics_total", "lmtd_shed_requests_total",
+		"lmtd_token_retries_total", "lmtd_queued",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics lacks %s", name)
+		}
+	}
+}

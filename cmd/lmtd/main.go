@@ -11,8 +11,10 @@
 //	                → {"items": [...], "summary": {...}} — many tasks against
 //	                one graph; identical tasks compute once (result cache)
 //	GET  /v1/tasks  registered task kinds with descriptions
-//	GET  /healthz   liveness probe
-//	GET  /metrics   Prometheus-style counters (cache hit/miss, in-flight)
+//	GET  /healthz   liveness probe (200 while the process serves at all)
+//	GET  /readyz    readiness probe (503 while draining or shedding load)
+//	GET  /metrics   Prometheus-style counters (cache hit/miss, in-flight,
+//	                fault counters: runner panics, shed requests, retries)
 //
 // Example:
 //
@@ -36,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -48,17 +51,29 @@ func main() {
 	cache := flag.Int("cache", 16, "graph-cache capacity (entries)")
 	resultCache := flag.Int("resultcache", 256, "result-cache capacity (memoized responses)")
 	inflight := flag.Int("maxinflight", 0, "admission cap on concurrently executing requests (0 = max(8, GOMAXPROCS))")
+	maxQueued := flag.Int("maxqueued", 0, "admission wait-queue bound; past it requests are shed with a fast 503 (0 = unbounded)")
 	seed := flag.Int64("seed", 1, "base seed for per-request derived seeds (requests that omit task.seed)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	chaosPanic := flag.Int64("chaospanic", 0, "chaos testing: panic inside every Nth runner invocation (0 = off)")
+	chaosError := flag.Int64("chaoserror", 0, "chaos testing: fail every Nth runner invocation with an injected error (0 = off)")
+	chaosLatency := flag.Duration("chaoslatency", 0, "chaos testing: add this latency to every runner invocation (0 = off)")
 	flag.Parse()
 
+	var inj *service.FaultInjector
+	if *chaosPanic > 0 || *chaosError > 0 || *chaosLatency > 0 {
+		inj = &service.FaultInjector{PanicEvery: *chaosPanic, ErrorEvery: *chaosError, Latency: *chaosLatency}
+		log.Printf("lmtd: CHAOS MODE: panic every %d, error every %d, latency %s", *chaosPanic, *chaosError, *chaosLatency)
+	}
 	svc := service.New(service.Options{
 		CacheSize:       *cache,
 		ResultCacheSize: *resultCache,
 		MaxInFlight:     *inflight,
+		MaxQueued:       *maxQueued,
 		BaseSeed:        *seed,
+		Fault:           inj,
 	})
-	srv := &http.Server{Addr: *addr, Handler: newHandler(svc)}
+	d := newDaemon(svc)
+	srv := &http.Server{Addr: *addr, Handler: d.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -71,6 +86,9 @@ func main() {
 		log.Fatalf("lmtd: %v", err)
 	case <-ctx.Done():
 	}
+	// Flip readiness before draining: a load balancer polling /readyz stops
+	// routing new traffic while in-flight requests finish.
+	d.draining.Store(true)
 	log.Printf("lmtd: shutting down (drain %s)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -79,9 +97,24 @@ func main() {
 	}
 }
 
-// newHandler builds the lmtd route table over one Service (separated from
-// main so tests and the load-generator benchmark can serve it in-process).
-func newHandler(svc *service.Service) http.Handler {
+// daemon bundles the service with the process-level serving state the
+// health endpoints report: liveness is the process being up at all,
+// readiness additionally requires not draining (graceful shutdown in
+// progress) and not shedding (admission queue full).
+type daemon struct {
+	svc      *service.Service
+	draining atomic.Bool
+}
+
+func newDaemon(svc *service.Service) *daemon { return &daemon{svc: svc} }
+
+// newHandler builds the route table over one Service with no drain state —
+// the in-process form tests and the load-generator benchmark serve.
+func newHandler(svc *service.Service) http.Handler { return newDaemon(svc).handler() }
+
+// handler builds the lmtd route table.
+func (d *daemon) handler() http.Handler {
+	svc := d.svc
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
 		var req service.Request
@@ -121,7 +154,20 @@ func newHandler(svc *service.Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"tasks": svc.Tasks()})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: true as long as the process can answer at all.
+		// Orchestrators restart on liveness failure, so a merely-overloaded
+		// or draining instance must still pass here.
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case d.draining.Load():
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		case svc.Shedding():
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "shedding"})
+		default:
+			writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		}
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -143,12 +189,17 @@ type batchResponse struct {
 }
 
 // statusFor maps service errors to HTTP statuses: malformed specs are the
-// client's fault, cancelled waits are timeouts, the rest are run failures.
+// client's fault, shed or cancelled requests are retryable 503s, a
+// recovered runner panic is a plain 500 (the request is poisoned — clients
+// should not retry it), and the rest are run failures.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, service.ErrInvalidRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, service.ErrRunnerPanic):
+		return http.StatusInternalServerError
+	case errors.Is(err, service.ErrOverloaded),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusUnprocessableEntity
@@ -157,6 +208,11 @@ func statusFor(err error) int {
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		// Every 503 — shed, draining, or timed out — tells well-behaved
+		// clients when to come back (cmd/lmt's -retry honors it).
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
@@ -193,6 +249,10 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	counter("lmtd_singleflight_shared_total", "Requests that waited on an identical in-flight computation.", m.SingleflightShared)
 	counter("lmtd_result_cache_evictions_total", "Result-cache LRU evictions.", m.ResultEvictions)
 	counter("lmtd_batches_total", "Batch requests received.", m.Batches)
+	counter("lmtd_runner_panics_total", "Runner invocations that panicked and were recovered into 500s.", m.RunnerPanics)
+	counter("lmtd_shed_requests_total", "Requests shed at admission with a fast 503 (wait queue full).", m.ShedRequests)
+	counter("lmtd_token_retries_total", "Cumulative token-walk edge-loss retries across completed walk tasks.", m.TokenRetries)
+	gauge("lmtd_queued", "Requests waiting at admission.", m.Queued)
 	gauge("lmtd_result_cache_bytes", "JSON-encoded size of the memoized results.", m.ResultBytes)
 	gauge("lmtd_cached_results", "Results currently memoized.", int64(m.CachedResults))
 	gauge("lmtd_cached_graphs", "Graphs currently cached.", int64(m.CachedGraphs))

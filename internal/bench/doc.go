@@ -1,11 +1,12 @@
 // Package bench is the experiment harness: it regenerates every figure and
 // comparison claimed in the paper, plus the engineering experiments that
-// track this repository's own subsystems. The registry (All) spans E1–E18
+// track this repository's own subsystems. The registry (All) spans E1–E19
 // and the ablations A1–A4: E1–E14 reproduce the paper's evaluation
 // (Figure 1, §2.3 classes, Theorems 1–3, Lemmas 2 and 4, the [10] sampling
 // grey area, spectral relations, weak conductance, maximum coverage,
-// graph-wide sweeps), E15–E18 track the round engine, the oracle walk
-// kernel, the parallel sweep engine, and the dynamic-network churn modes.
+// graph-wide sweeps), E15–E19 track the round engine, the oracle walk
+// kernel, the parallel sweep engine, the dynamic-network churn modes, and
+// the adaptive-adversary inflation study.
 // Each experiment produces a Table; cmd/paperbench prints them, and the
 // root bench_test.go wraps them in testing.B benchmarks.
 //

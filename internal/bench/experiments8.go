@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/dyngraph"
 	"repro/internal/gen"
@@ -99,6 +101,149 @@ func E18DynamicChurn(sc Scale) (*Table, error) {
 			t.Add(w.name, m.name, m.rate, static.Tau, res.Tau,
 				float64(res.Tau)/float64(static.Tau),
 				walk.Retries, res.Stats.TopologyChanges, res.Stats.Rounds)
+		}
+	}
+	return t, nil
+}
+
+// E19AdaptiveAdversaries isolates adaptivity itself: every adversary row is
+// rate-matched against the oblivious UniformCutter at the same per-round
+// edge-cut budget, so any inflation over the cutter row is attributable to
+// reading protocol-published state alone, not to churn volume. Two workloads
+// run on the same torus (a torus because a ring-of-cliques' only witness
+// boundary is its backbone bridges, which adversaries never cut): the token
+// walk (core.TokenWalk) against the position-chasing TokenChaser, and
+// Algorithm 2's dynamic τ against the mass-reading BoundaryAttacker. A
+// crash-stop/restart row exercises the checkpointed-restart path
+// (core.WithRetryBudget) under vertex outages. The adaptive rows are
+// recomputed at one and two workers and the experiment fails on any
+// divergence — the determinism gate for adversarial runs, whose two-phase
+// announce/hop schedule must not leak scheduling order into results.
+func E19AdaptiveAdversaries(sc Scale) (*Table, error) {
+	// tauBudget and witness track the torus side: a top-(n/3) witness set's
+	// boundary has Θ(side) edges, so a side-scaled budget keeps the attack
+	// meaningful without handing the oblivious control enough cuts to
+	// degrade the whole graph.
+	side, steps, tauBudget := 5, 48, 6
+	if sc == Full {
+		side, steps, tauBudget = 10, 256, 12
+	}
+	g, err := gen.Torus(side, side)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		churnSeed = 23
+		budget    = 2 // walk workload: cuts per round (vs holder degree 4)
+		beta      = 4.0
+	)
+	witness := g.N() / 3 // BoundaryAttacker target-set size
+	cutter, err := dyngraph.NewUniformCutter(g, churnSeed, budget)
+	if err != nil {
+		return nil, err
+	}
+	chaser, err := dyngraph.NewTokenChaser(g, churnSeed, budget)
+	if err != nil {
+		return nil, err
+	}
+	tauCutter, err := dyngraph.NewUniformCutter(g, churnSeed, tauBudget)
+	if err != nil {
+		return nil, err
+	}
+	attacker, err := dyngraph.NewBoundaryAttacker(g, churnSeed, witness, tauBudget)
+	if err != nil {
+		return nil, err
+	}
+	crash, err := dyngraph.NewCrashRestart(g, churnSeed, 0.02, 5)
+	if err != nil {
+		return nil, err
+	}
+
+	base := []core.Option{core.WithSeed(1), core.WithLazy(), core.WithIrregular()}
+	with := func(extra ...core.Option) []core.Option {
+		return append(base[:len(base):len(base)], extra...)
+	}
+	t := &Table{
+		ID:    "E19",
+		Title: "adaptive vs oblivious adversaries: rate-matched inflation",
+		Note: fmt.Sprintf("%s, engine seed 1, adversary seed %d; cut budget %d/round for the walk "+
+			"workload, %d/round for τ (exact Theorem-2 variant, boundary attacker targets the "+
+			"top-%d published-mass set); cutter = oblivious uniform cuts (the rate-matched "+
+			"control), chaser/boundary = adaptive (read published state); vs_oblivious is the "+
+			"inflation over the same-budget cutter row; crash = p=0.02 crash-stop, 5 rounds down, "+
+			"checkpointed restarts", g.Name(), churnSeed, budget, tauBudget, witness),
+		Header: []string{"workload", "adversary", "tau", "rounds", "retries", "restarts", "vs_oblivious"},
+	}
+
+	// Walk workload: ℓ-step token forwarding; the chaser cuts the published
+	// holder position's edges, the cutter cuts the same number anywhere.
+	staticWalk, err := core.TokenWalk(g, 0, steps, base...)
+	if err != nil {
+		return nil, err
+	}
+	cutWalk, err := core.TokenWalk(g, 0, steps, with(core.WithTopology(cutter))...)
+	if err != nil {
+		return nil, err
+	}
+	chaseWalk, err := core.TokenWalk(g, 0, steps, with(core.WithTopology(chaser))...)
+	if err != nil {
+		return nil, err
+	}
+	crashWalk, err := core.TokenWalk(g, 0, steps,
+		with(core.WithTopology(crash), core.WithRetryBudget(1<<20))...)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("walk", "static", "-", staticWalk.Rounds, staticWalk.Retries, staticWalk.Restarts, "-")
+	t.Add("walk", "cutter", "-", cutWalk.Rounds, cutWalk.Retries, cutWalk.Restarts, 1.0)
+	t.Add("walk", "chaser", "-", chaseWalk.Rounds, chaseWalk.Retries, chaseWalk.Restarts,
+		float64(chaseWalk.Rounds)/float64(cutWalk.Rounds))
+	t.Add("walk", "crash", "-", crashWalk.Rounds, crashWalk.Retries, crashWalk.Restarts,
+		float64(crashWalk.Rounds)/float64(cutWalk.Rounds))
+
+	// τ workload: the walk-mass flooding publishes per-node mass
+	// (emitShares); the boundary attacker ranks publishers by it and
+	// throttles the emerging witness set's conductance — the quantity τ_s
+	// measures. The exact (Theorem 2, unit-increment) variant is used
+	// because its τ has unit resolution; the doubling search of Theorem 1
+	// quantizes τ too coarsely to register a per-round budget this small.
+	staticTau, err := core.ExactLocalMixingTime(g, 0, beta, PaperEps, base...)
+	if err != nil {
+		return nil, err
+	}
+	cutTau, err := core.ExactLocalMixingTime(g, 0, beta, PaperEps, with(core.WithTopology(tauCutter))...)
+	if err != nil {
+		return nil, err
+	}
+	attackTau, err := core.ExactLocalMixingTime(g, 0, beta, PaperEps, with(core.WithTopology(attacker))...)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("tau", "static", staticTau.Tau, staticTau.Stats.Rounds, "-", "-", "-")
+	t.Add("tau", "cutter", cutTau.Tau, cutTau.Stats.Rounds, "-", "-", 1.0)
+	t.Add("tau", "boundary", attackTau.Tau, attackTau.Stats.Rounds, "-", "-",
+		float64(attackTau.Tau)/float64(cutTau.Tau))
+
+	// Determinism gate: the adaptive rows must be byte-identical at every
+	// worker count, or the adversarial results above are scheduling noise.
+	for _, workers := range []int{1, 2} {
+		w, err := core.TokenWalk(g, 0, steps,
+			with(core.WithTopology(chaser), core.WithWorkers(workers))...)
+		if err != nil {
+			return nil, err
+		}
+		if w.Rounds != chaseWalk.Rounds || w.Retries != chaseWalk.Retries || w.End != chaseWalk.End {
+			return nil, fmt.Errorf("bench: chaser walk diverged at %d workers: rounds %d/%d retries %d/%d end %d/%d",
+				workers, w.Rounds, chaseWalk.Rounds, w.Retries, chaseWalk.Retries, w.End, chaseWalk.End)
+		}
+		r, err := core.ExactLocalMixingTime(g, 0, beta, PaperEps,
+			with(core.WithTopology(attacker), core.WithWorkers(workers))...)
+		if err != nil {
+			return nil, err
+		}
+		if r.Tau != attackTau.Tau || r.Stats.Rounds != attackTau.Stats.Rounds {
+			return nil, fmt.Errorf("bench: boundary-attacked τ diverged at %d workers: tau %d/%d rounds %d/%d",
+				workers, r.Tau, attackTau.Tau, r.Stats.Rounds, attackTau.Stats.Rounds)
 		}
 	}
 	return t, nil

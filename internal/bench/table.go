@@ -139,6 +139,7 @@ func All() []Experiment {
 		{"E16", "Oracle kernel: batched MultiWalk vs serial walks", E16OracleKernel},
 		{"E17", "Distributed sweep: worker pool vs serial per-source runs", E17DistributedSweep},
 		{"E18", "Dynamic networks: τ under edge churn vs the static graph", E18DynamicChurn},
+		{"E19", "Adaptive vs oblivious adversaries: rate-matched inflation", E19AdaptiveAdversaries},
 		{"A1", "Ablation: doubling (Thm 1) vs unit increments (Thm 2)", A1DoublingAblation},
 		{"A2", "Ablation: the 4ε relaxation of Lemma 3", A2EpsilonRelaxation},
 		{"A3", "Ablation: deterministic vs randomized tie-breaking", A3TieBreak},

@@ -70,6 +70,20 @@ func (c *Context) ActiveDegree() int {
 // Rand returns this node's private deterministic RNG.
 func (c *Context) Rand() *rand.Rand { return c.rng }
 
+// Publish records a protocol-state value for this node — the walk token's
+// position, a witness-set mass, any single word the protocol is willing to
+// reveal — readable by an adaptive adversary at the next round boundary via
+// Topology.Published. One slab write; a no-op on static networks, where no
+// adversary exists to read it. Publishing never affects the protocol's own
+// execution or results: it only informs state-aware TopologyProviders.
+func (c *Context) Publish(v int64) {
+	if c.net.published == nil {
+		return
+	}
+	c.net.published[c.id] = v
+	c.net.pubRound[c.id] = int32(c.net.round)
+}
+
 // Send queues a message to neighbor `to` for delivery next round. The engine
 // fills From. Sends to non-neighbors or with non-positive Bits abort the
 // run. The neighbor lookup is O(1) via the precomputed edge-slot index; when

@@ -44,6 +44,14 @@ type Network struct {
 	edgePairs []edgePair
 	topo      Topology
 
+	// Protocol-published state for adaptive adversaries (dynamic networks
+	// only): published[u] is u's latest Context.Publish value, pubRound[u]
+	// the round it was written in (-1 = never this run). Each node writes
+	// only its own slot during its Step, so parallel stepping is race-free;
+	// providers read at round boundaries through Topology.Published.
+	published []int64
+	pubRound  []int32
+
 	// Run state. The slabs are allocated on the first Run and reused by
 	// every subsequent Run on the same network (see resetRunState), so
 	// multi-source sweeps pay the construction cost — the edge-slot hash,
@@ -108,6 +116,8 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 			}
 		}
 		net.topo = Topology{net: net}
+		net.published = make([]int64, n)
+		net.pubRound = make([]int32, n)
 	}
 	return net, nil
 }

@@ -1,5 +1,7 @@
 package congest
 
+import "errors"
+
 // This file is the dynamic-network extension of the round engine: a
 // per-round edge-activity overlay on the static superset graph, driven by a
 // TopologyProvider. The dynamic model follows Kuhn–Lynch–Oshman-style
@@ -44,6 +46,29 @@ type TopologyProvider interface {
 	// ApplyRound establishes the round-r topology by toggling edges on the
 	// view. It runs single-threaded between rounds.
 	ApplyRound(round int, t *Topology)
+}
+
+// AdaptiveProvider is a state-aware TopologyProvider: an adversary whose
+// round decisions may read the protocol-published state through the view
+// (Topology.Published) — the adaptive-adversary model of Das Sarma, Molla
+// and Pandurangan, where the adversary sees the walk's position at the
+// round boundary before choosing the round's edges. The interface is a
+// capability marker: protocols consult it to decide whether to expose their
+// state (core.TokenWalk pre-announces each hop under an adaptive provider,
+// so the adversary's information is exactly the round-start state of the
+// model, never more). Determinism contract unchanged: decisions must be a
+// pure function of (construction seed, round, published state).
+type AdaptiveProvider interface {
+	TopologyProvider
+	// Adaptive distinguishes state-aware adversaries from oblivious churn.
+	Adaptive() bool
+}
+
+// IsAdaptive reports whether p is a state-aware adversary: an
+// AdaptiveProvider whose Adaptive() returns true.
+func IsAdaptive(p TopologyProvider) bool {
+	ap, ok := p.(AdaptiveProvider)
+	return ok && ap.Adaptive()
 }
 
 // Topology is the provider's mutable view of the network's edge-activity
@@ -119,6 +144,20 @@ type edgePair struct{ u, v, su, sv int32 }
 // ActiveDegree returns u's current number of active incident edges.
 func (t *Topology) ActiveDegree(u int) int { return int(t.net.activeDeg[u]) }
 
+// Published returns the value node u last published this run via
+// Context.Publish together with the round it was published in, or round -1
+// when u has not published yet. Reads happen at round boundaries (all
+// workers quiescent), so the snapshot is exactly the state after the
+// previous round's step phase — the information an adaptive adversary is
+// entitled to under the dynamic-network model.
+func (t *Topology) Published(u int) (value int64, round int) {
+	n := t.net
+	if n.published == nil {
+		return 0, -1
+	}
+	return n.published[u], int(n.pubRound[u])
+}
+
 // ActiveEdges returns the current number of active undirected edges.
 func (t *Topology) ActiveEdges() int {
 	total := 0
@@ -128,8 +167,9 @@ func (t *Topology) ActiveEdges() int {
 	return total / 2
 }
 
-// resetTopology rewinds the activity overlay to the all-active superset.
-// Called at the start of every dynamic Run, before the provider's Start.
+// resetTopology rewinds the activity overlay to the all-active superset and
+// clears the publication slab. Called at the start of every dynamic Run,
+// before the provider's Start.
 func (n *Network) resetTopology() {
 	for i := range n.active {
 		n.active[i] = true
@@ -137,4 +177,30 @@ func (n *Network) resetTopology() {
 	for u := 0; u < n.g.N(); u++ {
 		n.activeDeg[u] = int32(n.g.Degree(u))
 	}
+	for u := range n.pubRound {
+		n.published[u] = 0
+		n.pubRound[u] = -1
+	}
+}
+
+// ProbeRounds drives the network's topology provider through rounds
+// 0..rounds without running any processes, invoking observe after every
+// application: round 0 right after the provider's Start, then once per
+// ApplyRound. It is the test-utility entry point for verifying topology
+// properties (e.g. the Kuhn–Lynch–Oshman T-interval-connectivity check in
+// internal/dyngraph) against exactly the edge sets a real Run would see.
+// The publication slab stays empty throughout, so adaptive adversaries
+// probe their no-information behavior. Requires a dynamic network.
+func (n *Network) ProbeRounds(rounds int, observe func(round int, t *Topology)) error {
+	if n.cfg.Topology == nil {
+		return errors.New("congest: ProbeRounds needs a dynamic network (Config.Topology)")
+	}
+	n.resetTopology()
+	n.cfg.Topology.Start(&n.topo)
+	observe(0, &n.topo)
+	for r := 1; r <= rounds; r++ {
+		n.cfg.Topology.ApplyRound(r, &n.topo)
+		observe(r, &n.topo)
+	}
+	return nil
 }

@@ -65,6 +65,12 @@ type Config struct {
 	// near-regular graphs such as the Figure 1 barbell the same targets
 	// remain meaningful, so the flag exists for exactly that use.
 	AllowIrregular bool
+	// RetryBudget bounds the cumulative edge-loss retries of a TokenWalk on
+	// a dynamic network: a stuck holder checkpoint-restarts the walk at the
+	// source, and once the budget is exhausted the run fails fast with
+	// ErrRetryBudget instead of burning MaxRounds. Zero (the default) keeps
+	// the legacy unlimited-patience behavior. Ignored by the Run modes.
+	RetryBudget int
 	// TieBreakBits enables the paper's §3.1 randomized tie-breaking: each
 	// node perturbs x_u by a private random value below 2^-TieBreakBits of
 	// the value grid, making all x_u distinct w.h.p. so the binary search

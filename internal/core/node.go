@@ -140,6 +140,10 @@ func (nd *node) maybeFlood(ctx *congest.Context) {
 // isolated node holds all its mass for the round. Mass is conserved exactly
 // in both modes.
 func emitShares(ctx *congest.Context, w *int64, lazy bool, seq int32, bits int32) {
+	// Expose the held mass to state-aware adversaries (a witness-boundary
+	// attacker ranks nodes by it); a no-op on static networks, and never
+	// read by oblivious churn.
+	ctx.Publish(*w)
 	dyn := ctx.Dynamic()
 	d := int64(ctx.Degree())
 	if dyn {

@@ -201,6 +201,12 @@ func WithTopology(p congest.TopologyProvider) Option {
 	return func(c *Config) { c.Engine.Topology = p }
 }
 
+// WithRetryBudget bounds a TokenWalk's cumulative edge-loss retries on a
+// dynamic network: stuck holders checkpoint-restart the walk at the source,
+// and exhausting the budget fails the run fast with ErrRetryBudget. Zero
+// (the default) keeps unlimited patience.
+func WithRetryBudget(n int) Option { return func(c *Config) { c.RetryBudget = n } }
+
 // WithRandomTieBreak enables the paper's §3.1 randomized tie-breaking with
 // the given number of sub-grid bits (the deterministic threshold resolution
 // is the default).

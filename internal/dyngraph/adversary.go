@@ -1,0 +1,378 @@
+package dyngraph
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+	"repro/internal/sweep"
+)
+
+// This file implements the adversarial churn models: state-aware
+// (adaptive) adversaries that read protocol-published state through the
+// congest.Topology view, plus the oblivious baselines they are rate-matched
+// against and a vertex crash-stop/restart schedule. Like the oblivious
+// models, every adversary is immutable and stateless across rounds — each
+// ApplyRound first restores the whole superset and then recomputes the
+// round's cuts from (seed, round, published state) alone — so one instance
+// is safely shared by all the worker networks of a multi-source sweep.
+
+// restoreAll reactivates every superset edge: the adversaries own the whole
+// edge set, so reconstructing the round from scratch keeps them stateless.
+func restoreAll(t *congest.Topology, edges []edge) {
+	for i := range edges {
+		t.SetEdgeAt(i, true)
+	}
+}
+
+// incidentIndex lists, per vertex, the canonical edge indices of its
+// incident superset edges.
+func incidentIndex(g *graph.Graph, edges []edge) [][]int32 {
+	inc := make([][]int32, g.N())
+	for i, e := range edges {
+		inc[e.u] = append(inc[e.u], int32(i))
+		inc[e.v] = append(inc[e.v], int32(i))
+	}
+	return inc
+}
+
+// cutBudget deactivates up to budget of the candidate edges, drawn without
+// replacement from the round's DeriveSeed(seed, round) stream (a partial
+// Fisher–Yates over the candidate list). Protected (backbone) edges must
+// already be excluded from cand. cand is scratch owned by the caller and is
+// permuted in place.
+func cutBudget(t *congest.Topology, s *sweep.Stream, cand []int32, budget int) {
+	k := budget
+	if k > len(cand) {
+		k = len(cand)
+	}
+	for i := 0; i < k; i++ {
+		j := i + int(s.Next()%uint64(len(cand)-i))
+		cand[i], cand[j] = cand[j], cand[i]
+		t.SetEdgeAt(int(cand[i]), false)
+	}
+}
+
+// latestPublisher returns the vertex with the most recent publication
+// (smallest id on ties), or -1 when nothing has been published this run.
+func latestPublisher(t *congest.Topology) int {
+	target, best := -1, -1
+	for u := 0; u < t.N(); u++ {
+		if _, r := t.Published(u); r > best {
+			best, target = r, u
+		}
+	}
+	return target
+}
+
+// TokenChaser is the adaptive token-chasing adversary: every round it reads
+// the walk's published position (the freshest Context.Publish value) and
+// cuts up to Budget of that vertex's incident edges — the edges the walk is
+// about to cross — choosing them without replacement from the round's
+// seeded stream. By default a BFS spanning backbone is never cut, so the
+// topology stays connected every round and the walk eventually escapes
+// (inflating its round count — the adaptive tau inflation E19 measures);
+// WithoutBackbone lifts that and lets the chaser isolate the holder
+// outright, the regime where core.TokenWalk's retry budget and checkpointed
+// restarts are the only graceful exit. Until the protocol publishes
+// anything the chaser cuts nothing. Immutable; implements
+// congest.AdaptiveProvider.
+type TokenChaser struct {
+	seed      int64
+	budget    int
+	edges     []edge
+	protected []bool
+	incident  [][]int32
+}
+
+// NewTokenChaser builds a token-chasing adversary that cuts up to budget
+// edges incident to the published walk position each round.
+func NewTokenChaser(g *graph.Graph, seed int64, budget int) (*TokenChaser, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("dyngraph: cut budget must be ≥ 0, got %d", budget)
+	}
+	es := edgesOf(g)
+	return &TokenChaser{
+		seed: seed, budget: budget, edges: es,
+		protected: spanningBackbone(g, es),
+		incident:  incidentIndex(g, es),
+	}, nil
+}
+
+// WithoutBackbone returns a copy of the chaser that may cut backbone edges
+// too: with budget ≥ the maximum degree it can fully isolate the walk
+// holder. The receiver is unchanged.
+func (p *TokenChaser) WithoutBackbone() *TokenChaser {
+	q := *p
+	q.protected = make([]bool, len(p.edges))
+	return &q
+}
+
+// Adaptive implements congest.AdaptiveProvider.
+func (p *TokenChaser) Adaptive() bool { return true }
+
+// Start implements congest.TopologyProvider: all edges begin active.
+func (p *TokenChaser) Start(t *congest.Topology) { checkSuperset(t, p.edges) }
+
+// ApplyRound restores the superset, locates the freshest published
+// position, and cuts up to Budget of its unprotected incident edges.
+func (p *TokenChaser) ApplyRound(round int, t *congest.Topology) {
+	restoreAll(t, p.edges)
+	target := latestPublisher(t)
+	if target < 0 || p.budget == 0 {
+		return
+	}
+	cand := make([]int32, 0, len(p.incident[target]))
+	for _, ei := range p.incident[target] {
+		if !p.protected[ei] {
+			cand = append(cand, ei)
+		}
+	}
+	cutBudget(t, roundStream(p.seed, round), cand, p.budget)
+}
+
+// UniformCutter is the oblivious rate-matched baseline of the adversaries:
+// every round it restores the superset and cuts exactly Budget non-backbone
+// edges drawn uniformly without replacement from the round's seeded stream,
+// blind to any protocol state. Pairing it with a TokenChaser of the same
+// budget isolates adaptivity itself — same number of edges down per round,
+// only the placement differs (E19). Immutable; implements
+// congest.TopologyProvider.
+type UniformCutter struct {
+	seed      int64
+	budget    int
+	edges     []edge
+	cuttable  []int32 // canonical indices of the non-backbone edges
+	protected []bool
+}
+
+// NewUniformCutter builds the oblivious uniform edge-cutting model.
+func NewUniformCutter(g *graph.Graph, seed int64, budget int) (*UniformCutter, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("dyngraph: cut budget must be ≥ 0, got %d", budget)
+	}
+	es := edgesOf(g)
+	prot := spanningBackbone(g, es)
+	var cut []int32
+	for i := range es {
+		if !prot[i] {
+			cut = append(cut, int32(i))
+		}
+	}
+	return &UniformCutter{seed: seed, budget: budget, edges: es, cuttable: cut, protected: prot}, nil
+}
+
+// Start implements congest.TopologyProvider: all edges begin active.
+func (p *UniformCutter) Start(t *congest.Topology) { checkSuperset(t, p.edges) }
+
+// ApplyRound restores the superset and cuts Budget uniform non-backbone
+// edges.
+func (p *UniformCutter) ApplyRound(round int, t *congest.Topology) {
+	restoreAll(t, p.edges)
+	if p.budget == 0 {
+		return
+	}
+	cand := make([]int32, len(p.cuttable))
+	copy(cand, p.cuttable)
+	cutBudget(t, roundStream(p.seed, round), cand, p.budget)
+}
+
+// BoundaryAttacker is the adaptive witness-set adversary: it ranks nodes by
+// their published values (walk mass, in Algorithm 2's dynamic runs), takes
+// the top Size as the emerging witness set S, and cuts up to Budget of the
+// boundary edges ∂S — throttling exactly the conductance the local-mixing
+// test depends on. Ties rank by smaller id; nodes that have not published
+// rank below all publishers; until anything is published the attacker cuts
+// nothing. A BFS backbone is protected so every round stays connected
+// (WithoutBackbone lifts that). Immutable; implements
+// congest.AdaptiveProvider.
+type BoundaryAttacker struct {
+	seed      int64
+	size      int
+	budget    int
+	edges     []edge
+	protected []bool
+}
+
+// NewBoundaryAttacker builds a boundary adversary targeting the top-size
+// published-mass set with a per-round cut budget.
+func NewBoundaryAttacker(g *graph.Graph, seed int64, size, budget int) (*BoundaryAttacker, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	if size < 1 || size > g.N() {
+		return nil, fmt.Errorf("dyngraph: target set size must be in [1,%d], got %d", g.N(), size)
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("dyngraph: cut budget must be ≥ 0, got %d", budget)
+	}
+	es := edgesOf(g)
+	return &BoundaryAttacker{
+		seed: seed, size: size, budget: budget, edges: es,
+		protected: spanningBackbone(g, es),
+	}, nil
+}
+
+// WithoutBackbone returns a copy of the attacker that may cut backbone
+// edges too. The receiver is unchanged.
+func (p *BoundaryAttacker) WithoutBackbone() *BoundaryAttacker {
+	q := *p
+	q.protected = make([]bool, len(p.edges))
+	return &q
+}
+
+// Adaptive implements congest.AdaptiveProvider.
+func (p *BoundaryAttacker) Adaptive() bool { return true }
+
+// Start implements congest.TopologyProvider: all edges begin active.
+func (p *BoundaryAttacker) Start(t *congest.Topology) { checkSuperset(t, p.edges) }
+
+// ApplyRound restores the superset, ranks publishers by value, and cuts up
+// to Budget unprotected edges crossing the top-Size set's boundary.
+func (p *BoundaryAttacker) ApplyRound(round int, t *congest.Topology) {
+	restoreAll(t, p.edges)
+	if p.budget == 0 {
+		return
+	}
+	n := t.N()
+	type ranked struct {
+		v  int64
+		id int32
+	}
+	pubs := make([]ranked, 0, n)
+	for u := 0; u < n; u++ {
+		if v, r := t.Published(u); r >= 0 {
+			pubs = append(pubs, ranked{v: v, id: int32(u)})
+		}
+	}
+	if len(pubs) == 0 {
+		return
+	}
+	// Selection sort of just the top `size` ranks: (value desc, id asc).
+	k := p.size
+	if k > len(pubs) {
+		k = len(pubs)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(pubs); j++ {
+			if pubs[j].v > pubs[best].v || (pubs[j].v == pubs[best].v && pubs[j].id < pubs[best].id) {
+				best = j
+			}
+		}
+		pubs[i], pubs[best] = pubs[best], pubs[i]
+	}
+	inside := make([]bool, n)
+	for i := 0; i < k; i++ {
+		inside[pubs[i].id] = true
+	}
+	cand := make([]int32, 0, p.budget*2)
+	for i, e := range p.edges {
+		if !p.protected[i] && inside[e.u] != inside[e.v] {
+			cand = append(cand, int32(i))
+		}
+	}
+	cutBudget(t, roundStream(p.seed, round), cand, p.budget)
+}
+
+// CrashRestart is the vertex crash-stop/restart schedule: each round every
+// unprotected vertex independently crashes with probability PCrash, taking
+// all its incident edges down, and restarts Down rounds later with its
+// state intact. The restart is a state-handoff restart: this simulator
+// keeps a crashed vertex's process state (its walk mass, a held token) in
+// place while its edges are down, so a restarting vertex rejoins with
+// exactly the state it checkpointed at the crash — isolated mass is
+// conserved, and a token stranded on a crashed holder resumes (or
+// checkpoint-restarts, see core.TokenWalk) when the vertex returns. The
+// down set is recomputed per round from (seed, round) alone — vertex u is
+// down at round r iff some round in (r-Down, r] crashed it — so the model
+// is stateless and sweep-shareable like every other. Vertex crashes
+// necessarily cut backbone edges, so per-round connectivity is NOT
+// preserved; protocols must tolerate partitions (the control plane rides
+// the superset). Immutable; implements congest.TopologyProvider.
+type CrashRestart struct {
+	seed      int64
+	pCrash    float64
+	down      int
+	n         int
+	edges     []edge
+	protected []bool // per vertex: never crashes
+}
+
+// NewCrashRestart builds a crash-stop/restart schedule. down is how many
+// rounds a crashed vertex stays down (≥ 1); protect lists vertices that
+// never crash (e.g. a walk source kept stable for an experiment).
+func NewCrashRestart(g *graph.Graph, seed int64, pCrash float64, down int, protect ...int) (*CrashRestart, error) {
+	if err := validate(g); err != nil {
+		return nil, err
+	}
+	if pCrash < 0 || pCrash > 1 {
+		return nil, fmt.Errorf("dyngraph: crash probability must be in [0,1], got %g", pCrash)
+	}
+	if down < 1 {
+		return nil, fmt.Errorf("dyngraph: down duration must be ≥ 1 round, got %d", down)
+	}
+	prot := make([]bool, g.N())
+	for _, u := range protect {
+		if u < 0 || u >= g.N() {
+			return nil, fmt.Errorf("dyngraph: protected vertex %d out of range [0,%d)", u, g.N())
+		}
+		prot[u] = true
+	}
+	return &CrashRestart{
+		seed: seed, pCrash: pCrash, down: down, n: g.N(),
+		edges: edgesOf(g), protected: prot,
+	}, nil
+}
+
+// Start implements congest.TopologyProvider: all vertices begin up.
+func (p *CrashRestart) Start(t *congest.Topology) { checkSuperset(t, p.edges) }
+
+// Down reports whether vertex u is crashed in round r — a pure function of
+// (seed, round), exported so tests and experiments can assert the schedule
+// without a network.
+func (p *CrashRestart) Down(u, r int) bool {
+	if u < 0 || u >= p.n || p.protected[u] {
+		return false
+	}
+	lo := r - p.down + 1
+	if lo < 1 {
+		lo = 1
+	}
+	for rr := lo; rr <= r; rr++ {
+		s := roundStream(p.seed, rr)
+		for v := 0; v <= u; v++ {
+			if f := s.Float(); v == u && f < p.pCrash {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ApplyRound recomputes the round's down set and deactivates every edge
+// with a crashed endpoint.
+func (p *CrashRestart) ApplyRound(round int, t *congest.Topology) {
+	down := make([]bool, p.n)
+	lo := round - p.down + 1
+	if lo < 1 {
+		lo = 1
+	}
+	for rr := lo; rr <= round; rr++ {
+		s := roundStream(p.seed, rr)
+		for u := 0; u < p.n; u++ {
+			if f := s.Float(); f < p.pCrash && !p.protected[u] {
+				down[u] = true
+			}
+		}
+	}
+	for i, e := range p.edges {
+		t.SetEdgeAt(i, !down[e.u] && !down[e.v])
+	}
+}

@@ -1,0 +1,349 @@
+package dyngraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/congest"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// stepProc adapts a step closure to congest.Process for adversary tests.
+type stepProc struct{ step func(ctx *congest.Context) }
+
+func (p stepProc) Init(ctx *congest.Context) {}
+func (p stepProc) Step(ctx *congest.Context) { p.step(ctx) }
+
+func TestTokenChaserCutsAroundPublisher(t *testing.T) {
+	g, err := gen.RingOfCliques(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := NewTokenChaser(g, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !congest.IsAdaptive(prov) {
+		t.Fatal("TokenChaser must report itself adaptive")
+	}
+
+	net, err := congest.NewNetwork(g, congest.Config{Workers: 1, Topology: prov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no publications the chaser must leave the superset intact.
+	if err := net.ProbeRounds(6, func(round int, tp *congest.Topology) {
+		if tp.ActiveEdges() != g.M() {
+			t.Fatalf("round %d: chaser cut %d edges with nothing published", round, g.M()-tp.ActiveEdges())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A process that publishes its position makes the chaser attack it: the
+	// publisher's active degree must drop, and never below 1 (backbone).
+	const target = 5
+	attacked := 0
+	procs := func(id int) congest.Process {
+		return stepProc{step: func(ctx *congest.Context) {
+			if ctx.ID() == target {
+				ctx.Publish(int64(target))
+				if ctx.Round() > 1 && ctx.ActiveDegree() < ctx.Degree() {
+					attacked++
+				}
+				if ctx.ActiveDegree() < 1 {
+					t.Errorf("round %d: backbone-protected chaser isolated the target", ctx.Round())
+				}
+			}
+			if ctx.Round() >= 8 {
+				ctx.Halt()
+			}
+		}}
+	}
+	if _, err := net.Run(procs); err != nil {
+		t.Fatal(err)
+	}
+	if attacked == 0 {
+		t.Fatal("chaser never cut an edge at the published position")
+	}
+}
+
+func TestTokenChaserWithoutBackboneIsolates(t *testing.T) {
+	g, err := gen.RingOfCliques(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewTokenChaser(g, 7, g.N()) // budget ≥ max degree
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := base.WithoutBackbone()
+	net, err := congest.NewNetwork(g, congest.Config{Workers: 1, Topology: prov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isolated := false
+	procs := func(id int) congest.Process {
+		return stepProc{step: func(ctx *congest.Context) {
+			if ctx.ID() == 0 {
+				ctx.Publish(0)
+				if ctx.Round() > 1 && ctx.ActiveDegree() == 0 {
+					isolated = true
+				}
+			}
+			if ctx.Round() >= 4 {
+				ctx.Halt()
+			}
+		}}
+	}
+	if _, err := net.Run(procs); err != nil {
+		t.Fatal(err)
+	}
+	if !isolated {
+		t.Fatal("unrestricted chaser with budget ≥ degree never isolated the publisher")
+	}
+}
+
+func TestUniformCutterRateMatched(t *testing.T) {
+	g, err := gen.Torus(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 4
+	prov, err := NewUniformCutter(g, 9, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if congest.IsAdaptive(prov) {
+		t.Fatal("UniformCutter is oblivious, must not report adaptive")
+	}
+	net, err := congest.NewNetwork(g, congest.Config{Workers: 1, Topology: prov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.ProbeRounds(10, func(round int, tp *congest.Topology) {
+		if round == 0 {
+			return
+		}
+		if cut := g.M() - tp.ActiveEdges(); cut != budget {
+			t.Fatalf("round %d: %d edges cut, want exactly %d", round, cut, budget)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Per-round connectivity must hold (backbone protected).
+	if err := VerifyTInterval(g, prov, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundaryAttackerCutsWitnessBoundary(t *testing.T) {
+	g, err := gen.RingOfCliques(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size, budget = 5, 4
+	base, err := NewBoundaryAttacker(g, 3, size, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !congest.IsAdaptive(base) {
+		t.Fatal("BoundaryAttacker must report itself adaptive")
+	}
+	// The witness set is a whole clique, so its only boundary edges are the
+	// ring bridges — cut edges, hence backbone: the attacker needs
+	// WithoutBackbone to touch them at all.
+	prov := base.WithoutBackbone()
+	net, err := congest.NewNetwork(g, congest.Config{Workers: 1, Topology: prov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish high mass on clique 0 (vertices 0..4): those become the
+	// witness set, and the attacker must cut only boundary edges.
+	cutInside, cutBoundary := 0, 0
+	procs := func(id int) congest.Process {
+		return stepProc{step: func(ctx *congest.Context) {
+			if ctx.ID() < size {
+				ctx.Publish(1000 - int64(ctx.ID()))
+			} else {
+				ctx.Publish(int64(ctx.ID()))
+			}
+			if ctx.Round() > 1 {
+				for i, v := range ctx.Neighbors() {
+					if !ctx.EdgeActive(i) {
+						if ctx.ID() < size && int(v) < size {
+							cutInside++
+						} else if (ctx.ID() < size) != (int(v) < size) {
+							cutBoundary++
+						}
+					}
+				}
+			}
+			if ctx.Round() >= 6 {
+				ctx.Halt()
+			}
+		}}
+	}
+	if _, err := net.Run(procs); err != nil {
+		t.Fatal(err)
+	}
+	if cutInside > 0 {
+		t.Errorf("boundary attacker cut %d edges inside the witness set", cutInside)
+	}
+	if cutBoundary == 0 {
+		t.Fatal("boundary attacker never cut a witness-boundary edge")
+	}
+}
+
+func TestCrashRestartSchedule(t *testing.T) {
+	g, err := gen.Torus(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const down = 3
+	prov, err := NewCrashRestart(g, 21, 0.05, down, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := congest.NewNetwork(g, congest.Config{Workers: 1, Topology: prov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := 0
+	if err := net.ProbeRounds(40, func(round int, tp *congest.Topology) {
+		for u := 0; u < g.N(); u++ {
+			wantDown := prov.Down(u, round)
+			gotDown := tp.ActiveDegree(u) == 0
+			if wantDown {
+				crashes++
+				if !gotDown {
+					t.Fatalf("round %d: vertex %d scheduled down but has %d active edges", round, u, tp.ActiveDegree(u))
+				}
+			}
+			if u == 0 && gotDown {
+				t.Fatalf("round %d: protected vertex 0 crashed", round)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if crashes == 0 {
+		t.Fatal("CrashRestart(p=0.05) produced no crashes in 40 rounds over 25 vertices")
+	}
+
+	// Down is a pure function of (seed, round): an identical model must
+	// agree everywhere; restart must actually happen (a vertex down at some
+	// round is up again down rounds after its last crash draw).
+	again, err := NewCrashRestart(g, 21, 0.05, down, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := false
+	for u := 0; u < g.N(); u++ {
+		for r := 1; r <= 40; r++ {
+			if prov.Down(u, r) != again.Down(u, r) {
+				t.Fatalf("Down(%d,%d) not reproducible", u, r)
+			}
+			if r > down && prov.Down(u, r-down) && !prov.Down(u, r) {
+				recovered = true
+			}
+		}
+	}
+	if !recovered {
+		t.Error("no vertex ever restarted within the probe horizon")
+	}
+}
+
+func TestAdversaryValidation(t *testing.T) {
+	g, err := gen.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTokenChaser(g, 1, -1); err == nil {
+		t.Error("NewTokenChaser accepted a negative budget")
+	}
+	if _, err := NewUniformCutter(g, 1, -1); err == nil {
+		t.Error("NewUniformCutter accepted a negative budget")
+	}
+	if _, err := NewBoundaryAttacker(g, 1, 0, 1); err == nil {
+		t.Error("NewBoundaryAttacker accepted size 0")
+	}
+	if _, err := NewBoundaryAttacker(g, 1, g.N()+1, 1); err == nil {
+		t.Error("NewBoundaryAttacker accepted size > N")
+	}
+	if _, err := NewCrashRestart(g, 1, 1.5, 1); err == nil {
+		t.Error("NewCrashRestart accepted p > 1")
+	}
+	if _, err := NewCrashRestart(g, 1, 0.1, 0); err == nil {
+		t.Error("NewCrashRestart accepted down = 0")
+	}
+	if _, err := NewCrashRestart(g, 1, 0.1, 2, g.N()); err == nil {
+		t.Error("NewCrashRestart accepted an out-of-range protected vertex")
+	}
+	disc := graph.NewBuilder(4).Build()
+	if _, err := NewTokenChaser(disc, 1, 1); err == nil {
+		t.Error("NewTokenChaser accepted a disconnected superset")
+	}
+}
+
+func TestVerifyTInterval(t *testing.T) {
+	g, err := gen.Torus(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Backbone-protected churn is 1-interval connected by construction.
+	markov, err := NewEdgeMarkov(g, 11, 0.3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTInterval(g, markov, 20, 1); err != nil {
+		t.Fatalf("backbone-protected EdgeMarkov: %v", err)
+	}
+
+	// An Interval model holding each sample for `every` rounds is at least
+	// `every`-interval connected: each window of that length overlaps at
+	// most two samples, both containing the backbone... in fact the backbone
+	// alone makes ANY T hold, so use MaxTInterval to assert the ceiling.
+	maxT, err := MaxTInterval(g, markov, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxT != 21 {
+		t.Errorf("backbone-protected model: MaxTInterval = %d, want 21 (backbone survives every intersection)", maxT)
+	}
+
+	// Without the backbone, aggressive churn must break connectivity for
+	// large T; the verifier must report the violating window.
+	wild, err := NewEdgeMarkov(g, 11, 0.6, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := wild.WithoutBackbone()
+	maxT, err = MaxTInterval(g, loose, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxT >= 21 {
+		t.Fatal("EdgeMarkov(0.6,0.2) without backbone kept a 21-round stable connected subgraph")
+	}
+	if err := VerifyTInterval(g, loose, 20, maxT+1); err == nil {
+		t.Fatalf("VerifyTInterval(T=%d) passed above the MaxTInterval ceiling", maxT+1)
+	} else if !strings.Contains(err.Error(), "interval connected") {
+		t.Errorf("violation error %q does not name the window", err)
+	}
+	if maxT > 0 {
+		if err := VerifyTInterval(g, loose, 20, maxT); err != nil {
+			t.Errorf("VerifyTInterval(T=%d) failed at the MaxTInterval ceiling: %v", maxT, err)
+		}
+	}
+
+	// Out-of-range T is rejected.
+	if err := VerifyTInterval(g, markov, 5, 0); err == nil {
+		t.Error("VerifyTInterval accepted T=0")
+	}
+	if err := VerifyTInterval(g, markov, 5, 7); err == nil {
+		t.Error("VerifyTInterval accepted T > rounds+1")
+	}
+}

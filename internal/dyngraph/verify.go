@@ -1,0 +1,137 @@
+package dyngraph
+
+import (
+	"fmt"
+
+	"repro/internal/congest"
+	"repro/internal/graph"
+)
+
+// This file is the Kuhn–Lynch–Oshman T-interval-connectivity verifier: a
+// test utility that replays a TopologyProvider's rounds through
+// congest.Network.ProbeRounds (so it checks exactly the edge sets a real
+// Run would see) and decides whether every window of T consecutive rounds
+// shares a connected spanning subgraph. A dynamic network is T-interval
+// connected when for all r, the intersection of the edge sets of rounds
+// r..r+T-1 contains a spanning connected subgraph; 1-interval connectivity
+// is per-round connectivity.
+
+// edgeBitsets captures each probed round's active edge set as a bitset over
+// canonical edge indices.
+func edgeBitsets(g *graph.Graph, prov congest.TopologyProvider, rounds int) ([][]uint64, []edge, error) {
+	net, err := congest.NewNetwork(g, congest.Config{Topology: prov, Workers: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	es := edgesOf(g)
+	words := (len(es) + 63) / 64
+	sets := make([][]uint64, 0, rounds+1)
+	err = net.ProbeRounds(rounds, func(round int, t *congest.Topology) {
+		w := make([]uint64, words)
+		for i := range es {
+			if t.EdgeOnAt(i) {
+				w[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+		sets = append(sets, w)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sets, es, nil
+}
+
+// spansConnected reports whether the edges whose bits are set span a
+// connected graph on n vertices.
+func spansConnected(n int, es []edge, set []uint64) bool {
+	adj := make([][]int32, n)
+	for i, e := range es {
+		if set[i>>6]&(1<<(uint(i)&63)) != 0 {
+			adj[e.u] = append(adj[e.u], e.v)
+			adj[e.v] = append(adj[e.v], e.u)
+		}
+	}
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	queue = append(queue, 0)
+	seen[0] = true
+	reached := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				reached++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reached == n
+}
+
+// VerifyTInterval replays prov over rounds 0..rounds on the superset g and
+// checks T-interval connectivity: every window of T consecutive probed
+// rounds must share a connected spanning subgraph. Returns nil when the
+// property holds, and an error naming the first violating window otherwise.
+// T must be ≥ 1 and ≤ rounds+1 (the number of probed rounds).
+func VerifyTInterval(g *graph.Graph, prov congest.TopologyProvider, rounds, T int) error {
+	if T < 1 || T > rounds+1 {
+		return fmt.Errorf("dyngraph: interval T=%d out of range [1,%d]", T, rounds+1)
+	}
+	sets, es, err := edgeBitsets(g, prov, rounds)
+	if err != nil {
+		return err
+	}
+	inter := make([]uint64, len(sets[0]))
+	for start := 0; start+T <= len(sets); start++ {
+		copy(inter, sets[start])
+		for r := start + 1; r < start+T; r++ {
+			for w := range inter {
+				inter[w] &= sets[r][w]
+			}
+		}
+		if !spansConnected(g.N(), es, inter) {
+			return fmt.Errorf("dyngraph: rounds [%d,%d] share no connected spanning subgraph (not %d-interval connected)", start, start+T-1, T)
+		}
+	}
+	return nil
+}
+
+// MaxTInterval replays prov over rounds 0..rounds and returns the largest T
+// for which the probed schedule is T-interval connected, or 0 when even
+// single rounds disconnect (T-interval connectivity is monotone: a T-window
+// is contained in a (T+1)-window, and a smaller window's intersection is a
+// superset of the bigger one's, so (T+1)-connected implies T-connected —
+// which makes binary search valid).
+func MaxTInterval(g *graph.Graph, prov congest.TopologyProvider, rounds int) (int, error) {
+	sets, es, err := edgeBitsets(g, prov, rounds)
+	if err != nil {
+		return 0, err
+	}
+	holds := func(T int) bool {
+		inter := make([]uint64, len(sets[0]))
+		for start := 0; start+T <= len(sets); start++ {
+			copy(inter, sets[start])
+			for r := start + 1; r < start+T; r++ {
+				for w := range inter {
+					inter[w] &= sets[r][w]
+				}
+			}
+			if !spansConnected(g.N(), es, inter) {
+				return false
+			}
+		}
+		return true
+	}
+	lo, hi := 0, len(sets) // invariant: holds(lo) (lo=0 vacuous), !holds(hi+1) conceptually
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if holds(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}

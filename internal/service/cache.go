@@ -39,6 +39,10 @@ type counters struct {
 	resultEvictions atomic.Int64
 	resultBytes     atomic.Int64
 	batches         atomic.Int64
+	queued          atomic.Int64
+	runnerPanics    atomic.Int64
+	shedRequests    atomic.Int64
+	tokenRetries    atomic.Int64
 }
 
 // GraphCache is a thread-safe LRU of built graphs keyed by the canonical
@@ -206,16 +210,17 @@ func (e *cacheEntry) churn(t spec.TaskSpec) (*churnVal, error) {
 
 // churnKey renders the canonical key of a fully-resolved churn spec.
 func churnKey(cs spec.ChurnSpec) string {
-	return fmt.Sprintf("%s/r=%g/on=%g/ev=%d/sn=%d/d=%d/seed=%d",
-		cs.Model, cs.Rate, cs.On, cs.Every, cs.Snapshots, cs.Degree, cs.Seed)
+	return fmt.Sprintf("%s/r=%g/on=%g/ev=%d/sn=%d/d=%d/bu=%d/dn=%d/seed=%d",
+		cs.Model, cs.Rate, cs.On, cs.Every, cs.Snapshots, cs.Degree, cs.Budget, cs.Down, cs.Seed)
 }
 
 // buildChurn constructs the provider named by a resolved churn spec over
-// the superset g. Rate, On and Every are passed verbatim — On = 0 is the
-// legitimate "edges never reactivate" chain and a missing Every is the
-// model's own validation error, exactly as the dyngraph constructors have
-// always behaved. Only the snapshot count and degree, which have no prior
-// CLI semantics, carry defaults (3 samples of degree 4).
+// the superset g. Rate, On, Every, Budget and Down are passed verbatim —
+// On = 0 is the legitimate "edges never reactivate" chain and a missing
+// Every (or crash Down) is the model's own validation error, exactly as
+// the dyngraph constructors have always behaved. Only the snapshot count
+// and degree, which have no prior CLI semantics, carry defaults (3 samples
+// of degree 4).
 func buildChurn(g *graph.Graph, cs spec.ChurnSpec) (congest.TopologyProvider, *graph.Graph, error) {
 	switch cs.Model {
 	case "markov":
@@ -238,6 +243,15 @@ func buildChurn(g *graph.Graph, cs spec.ChurnSpec) (congest.TopologyProvider, *g
 			return nil, nil, err
 		}
 		return prov, super, nil
+	case "chaser":
+		prov, err := dyngraph.NewTokenChaser(g, cs.Seed, cs.Budget)
+		return prov, g, err
+	case "cutter":
+		prov, err := dyngraph.NewUniformCutter(g, cs.Seed, cs.Budget)
+		return prov, g, err
+	case "crash":
+		prov, err := dyngraph.NewCrashRestart(g, cs.Seed, cs.Rate, cs.Down)
+		return prov, g, err
 	default:
 		return nil, nil, fmt.Errorf("service: unknown churn model %q", cs.Model)
 	}

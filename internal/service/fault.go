@@ -1,0 +1,109 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRunnerPanic tags the error a request receives when its runner (or a
+// fault injector standing in for one) panicked. The panic is recovered at
+// the invocation boundary, so one poisoned request can never take down the
+// process, never caches anything, and releases every singleflight waiter
+// with this same error — a waiter must not recompute a deterministic
+// request whose leader just crashed on it. Transports map it to a
+// 500-class status.
+var ErrRunnerPanic = errors.New("service: runner panicked")
+
+// ErrOverloaded tags a request shed at admission because the wait queue
+// was full (Options.MaxQueued). Nothing was computed; the request is safe
+// to retry after backing off. Transports map it to a 503 with Retry-After.
+var ErrOverloaded = errors.New("service: overloaded, retry later")
+
+// FaultInjector injects faults into runner invocations for chaos testing:
+// panics, errors, and latency, all deterministic (counter-based, no RNG)
+// so a soak run is reproducible. Configure the exported fields before the
+// service starts taking traffic; the Arm methods are safe at any time. A
+// nil injector injects nothing.
+type FaultInjector struct {
+	// PanicEvery makes every Nth invocation panic (0 = never).
+	PanicEvery int64
+	// ErrorEvery makes every Nth invocation fail with an injected error
+	// (0 = never).
+	ErrorEvery int64
+	// Latency is added to every invocation before the runner starts
+	// (0 = none).
+	Latency time.Duration
+	// Hold, when non-nil, blocks every invocation until the channel is
+	// closed — a deterministic way for tests to pin requests in flight.
+	Hold chan struct{}
+
+	calls       atomic.Int64
+	armedPanics atomic.Int64
+	armedErrors atomic.Int64
+}
+
+// ArmPanic arms n one-shot panics: the next n invocations panic before
+// their runner starts, independent of PanicEvery.
+func (f *FaultInjector) ArmPanic(n int64) { f.armedPanics.Add(n) }
+
+// ArmError arms n one-shot injected errors, independent of ErrorEvery.
+func (f *FaultInjector) ArmError(n int64) { f.armedErrors.Add(n) }
+
+// Calls reports how many invocations the injector has intercepted.
+func (f *FaultInjector) Calls() int64 { return f.calls.Load() }
+
+// takeArmed consumes one armed fault from a, reporting whether one fired.
+func takeArmed(a *atomic.Int64) bool {
+	for {
+		n := a.Load()
+		if n <= 0 {
+			return false
+		}
+		if a.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+// before runs the injector's faults ahead of a runner invocation: sleep
+// the latency, then panic or return an injected error per the armed
+// one-shots and the Every counters. Nil-safe.
+func (f *FaultInjector) before() error {
+	if f == nil {
+		return nil
+	}
+	n := f.calls.Add(1)
+	if f.Hold != nil {
+		<-f.Hold
+	}
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if takeArmed(&f.armedPanics) || (f.PanicEvery > 0 && n%f.PanicEvery == 0) {
+		panic(fmt.Sprintf("fault injector: chaos panic (invocation %d)", n))
+	}
+	if takeArmed(&f.armedErrors) || (f.ErrorEvery > 0 && n%f.ErrorEvery == 0) {
+		return fmt.Errorf("fault injector: injected error (invocation %d)", n)
+	}
+	return nil
+}
+
+// safeRun invokes the runner behind the fault injector with a panic
+// barrier: a panic — injected or real — is recovered, counted, and
+// converted into an ErrRunnerPanic-tagged error, so the caller (and every
+// singleflight waiter downstream) sees an ordinary failed request instead
+// of a crashed process.
+func safeRun(run Runner, inv *Invocation, inj *FaultInjector, ctr *counters) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ctr.runnerPanics.Add(1)
+			res, err = nil, fmt.Errorf("%w: %v", ErrRunnerPanic, r)
+		}
+	}()
+	if err := inj.before(); err != nil {
+		return nil, err
+	}
+	return run(inv)
+}

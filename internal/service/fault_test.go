@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/spec"
+)
+
+// TestSingleflightLeaderPanicReleasesWaiters: a panicking singleflight
+// leader must complete its flight — all 8 waiters receive the same
+// ErrRunnerPanic-tagged error promptly instead of hanging or recomputing,
+// nothing is cached, and the flight entry is cleaned up so the next clean
+// request leads fresh.
+func TestSingleflightLeaderPanicReleasesWaiters(t *testing.T) {
+	ctr := &counters{}
+	c := newResultCache(4, ctr)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	const waiters = 8
+	errs := make(chan error, waiters+1)
+	go func() { // the leader
+		_, _, _, err := c.do(context.Background(), "k", func() (*cachedResult, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+		errs <- err
+	}()
+	<-entered // the leader's flight is registered and computing
+	var recomputed atomic.Int64
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, _, _, err := c.do(context.Background(), "k", func() (*cachedResult, error) {
+				recomputed.Add(1)
+				return &cachedResult{result: "recomputed"}, nil
+			})
+			errs <- err
+		}()
+	}
+	for ctr.sfShared.Load() < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < waiters+1; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrRunnerPanic) {
+				t.Errorf("request %d: err = %v, want an ErrRunnerPanic-tagged error", i, err)
+			}
+		case <-deadline:
+			t.Fatalf("%d of %d requests still blocked long after the leader panicked", waiters+1-i, waiters+1)
+		}
+	}
+	if n := recomputed.Load(); n != 0 {
+		t.Errorf("%d waiters recomputed a computation whose leader panicked", n)
+	}
+	if c.len() != 0 {
+		t.Fatalf("panicked flight cached %d results, want 0", c.len())
+	}
+	// The flight map must be clean: a fresh request leads and succeeds.
+	val, hit, shared, err := c.do(context.Background(), "k", func() (*cachedResult, error) {
+		return &cachedResult{result: "ok"}, nil
+	})
+	if err != nil || hit || shared || val == nil || val.result != "ok" {
+		t.Fatalf("clean request after panic: val=%+v hit=%t shared=%t err=%v", val, hit, shared, err)
+	}
+}
+
+// TestServiceSurvivesRunnerPanic: an injected runner panic surfaces as an
+// ErrRunnerPanic failure (not a crash), poisons no cache, bumps the panic
+// counter, and the identical next request computes cleanly.
+func TestServiceSurvivesRunnerPanic(t *testing.T) {
+	inj := &FaultInjector{}
+	svc := New(Options{Fault: inj})
+	req := Request{Graph: ringSpec, Task: spec.TaskSpec{Kind: spec.KindWalk, Steps: 10, Seed: 7}}
+
+	inj.ArmPanic(1)
+	if _, err := svc.Run(context.Background(), req); !errors.Is(err, ErrRunnerPanic) {
+		t.Fatalf("poisoned request: err = %v, want ErrRunnerPanic", err)
+	}
+	m := svc.Metrics()
+	if m.RunnerPanics != 1 {
+		t.Fatalf("RunnerPanics = %d, want 1", m.RunnerPanics)
+	}
+	if m.CachedResults != 0 {
+		t.Fatalf("panicked run left %d entries in the result cache", m.CachedResults)
+	}
+	resp := mustRun(t, svc, req)
+	if resp.ResultHit || resp.Shared {
+		t.Fatal("post-panic request was served from a cache that should be empty")
+	}
+	if resp.Result == nil {
+		t.Fatal("post-panic recomputation returned a nil result")
+	}
+}
+
+// TestServiceInjectedErrorIsNotCached: injected (non-panic) runner errors
+// follow the existing failed-run contract — returned to the caller, never
+// memoized.
+func TestServiceInjectedErrorIsNotCached(t *testing.T) {
+	inj := &FaultInjector{}
+	svc := New(Options{Fault: inj})
+	req := Request{Graph: ringSpec, Task: spec.TaskSpec{Kind: spec.KindWalk, Steps: 10, Seed: 11}}
+	inj.ArmError(1)
+	if _, err := svc.Run(context.Background(), req); err == nil {
+		t.Fatal("armed injected error did not fail the request")
+	}
+	if m := svc.Metrics(); m.CachedResults != 0 || m.RunnerPanics != 0 {
+		t.Fatalf("injected error: cached=%d panics=%d, want 0/0", m.CachedResults, m.RunnerPanics)
+	}
+	if resp := mustRun(t, svc, req); resp.ResultHit {
+		t.Fatal("request after injected error claims a result hit from an empty cache")
+	}
+}
+
+// TestLoadSheddingFastRejects: with MaxInFlight=1 and MaxQueued=1, a third
+// concurrent request is refused immediately with ErrOverloaded while the
+// queue is full, and the held requests complete normally once released.
+func TestLoadSheddingFastRejects(t *testing.T) {
+	inj := &FaultInjector{Hold: make(chan struct{})}
+	svc := New(Options{MaxInFlight: 1, MaxQueued: 1, Fault: inj})
+	mk := func(seed int64) Request {
+		return Request{Graph: ringSpec, Task: spec.TaskSpec{Kind: spec.KindWalk, Steps: 5, Seed: seed}}
+	}
+	done := make(chan error, 2)
+	go func() { _, err := svc.Run(context.Background(), mk(1)); done <- err }()
+	for svc.Metrics().InFlight < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() { _, err := svc.Run(context.Background(), mk(2)); done <- err }()
+	for svc.Metrics().Queued < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	if !svc.Shedding() {
+		t.Error("Shedding() = false with a full admission queue")
+	}
+
+	start := time.Now()
+	_, err := svc.Run(context.Background(), mk(3))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow request: err = %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("shed took %v; shedding must be a fast rejection, not a queue wait", elapsed)
+	}
+	if m := svc.Metrics(); m.ShedRequests != 1 {
+		t.Fatalf("ShedRequests = %d, want 1", m.ShedRequests)
+	}
+
+	close(inj.Hold)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("held request failed after release: %v", err)
+		}
+	}
+	if svc.Shedding() {
+		t.Error("Shedding() = true after the queue drained")
+	}
+}
+
+// TestWalkChurnSpecsAndRetryMetric: the adversary churn models are
+// reachable through the declarative spec path, the walk retry counter
+// accumulates into the service metrics, and the crash model enforces its
+// own parameter validation.
+func TestWalkChurnSpecsAndRetryMetric(t *testing.T) {
+	svc := New(Options{})
+	mustRun(t, svc, Request{Graph: ringSpec, Task: spec.TaskSpec{
+		Kind: spec.KindWalk, Steps: 30, Seed: 8,
+		Churn: &spec.ChurnSpec{Model: "chaser", Budget: 3},
+	}})
+	if m := svc.Metrics(); m.TokenRetries == 0 {
+		t.Error("adaptive chaser walk recorded zero token retries")
+	}
+	mustRun(t, svc, Request{Graph: ringSpec, Task: spec.TaskSpec{
+		Kind: spec.KindWalk, Steps: 20, Seed: 9, RetryBudget: 5000,
+		Churn: &spec.ChurnSpec{Model: "crash", Rate: 0.02, Down: 5},
+	}})
+	mustRun(t, svc, Request{Graph: ringSpec, Task: spec.TaskSpec{
+		Kind: spec.KindWalk, Steps: 20, Seed: 10,
+		Churn: &spec.ChurnSpec{Model: "cutter", Budget: 2},
+	}})
+	if _, err := svc.Run(context.Background(), Request{Graph: ringSpec, Task: spec.TaskSpec{
+		Kind: spec.KindWalk, Steps: 5, Seed: 4,
+		Churn: &spec.ChurnSpec{Model: "crash", Rate: 0.1},
+	}}); err == nil {
+		t.Error("crash model without a down duration was accepted")
+	}
+	if _, err := svc.Run(context.Background(), Request{Graph: ringSpec, Task: spec.TaskSpec{
+		Kind: spec.KindWalk, Steps: 5, RetryBudget: -1,
+	}}); !errors.Is(err, ErrInvalidRequest) {
+		t.Error("negative retryBudget passed spec validation")
+	}
+}

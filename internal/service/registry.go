@@ -47,6 +47,9 @@ type Invocation struct {
 	// churnKey tags cached sweep pools with the resolved churn model; set
 	// by Service.Run alongside Churn.
 	churnKey string
+	// ctr, when set (the service path), lets runners report fault counters
+	// (e.g. token-walk retries); nil on the facade path.
+	ctr *counters
 }
 
 // Context returns the invocation's context, Background when unset.

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/spec"
@@ -18,9 +20,12 @@ import (
 // no oracle run behind it.
 //
 // Only successful results are stored. Errors — including deadline
-// cancellations, which abort a run midway — complete their flight and are
-// returned to that flight's waiters' retry loop, but never enter the LRU:
-// the cache cannot be poisoned by a partial or failed computation.
+// cancellations, which abort a run midway, and recovered runner panics —
+// complete their flight and are returned to that flight's waiters, but
+// never enter the LRU: the cache cannot be poisoned by a partial or failed
+// computation. A panicking leader still completes its flight (lead's
+// deferred cleanup), so waiters can never be stranded on a crashed
+// computation.
 type ResultCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -110,7 +115,9 @@ func (c *ResultCache) join(key string) (*flight, bool) {
 // shared reports that the result came from another request's flight. A
 // failed flight is never served to other requests — its waiters loop and
 // recompute with their own context, so one request's deadline abort cannot
-// fail an identical request that had the budget to finish.
+// fail an identical request that had the budget to finish. The one
+// exception is a panicked leader (ErrRunnerPanic): the waiters fail with
+// the same tagged error instead of re-running a computation that crashes.
 func (c *ResultCache) do(ctx context.Context, key string, compute func() (*cachedResult, error)) (val *cachedResult, hit, shared bool, err error) {
 	for {
 		c.mu.Lock()
@@ -131,14 +138,35 @@ func (c *ResultCache) do(ctx context.Context, key string, compute func() (*cache
 			if f.err == nil {
 				return f.val, false, true, nil
 			}
-			continue // the leader failed; retry under our own context
+			if errors.Is(f.err, ErrRunnerPanic) {
+				// The request is deterministic: a leader that panicked on it
+				// would panic for us too. Fail with the leader's tagged error
+				// instead of recomputing the crash.
+				return nil, false, true, f.err
+			}
+			continue // the leader failed (e.g. its own deadline); retry under our own context
 		}
 		f := &flight{done: make(chan struct{})}
 		c.flights[key] = f
 		c.mu.Unlock()
 
 		c.ctr.resultMisses.Add(1)
-		f.val, f.err = compute()
+		c.lead(key, f, compute)
+		return f.val, false, false, f.err
+	}
+}
+
+// lead runs one computation as the flight's leader. The flight completes on
+// every exit path — including a compute panic escaping its own recovery —
+// via the deferred cleanup: the panic is converted to an ErrRunnerPanic
+// error first, then the flight is deleted, a success is memoized, and done
+// is closed, so waiters always unblock and a crashed leader leaks nothing.
+func (c *ResultCache) lead(key string, f *flight, compute func() (*cachedResult, error)) {
+	panicked := true
+	defer func() {
+		if panicked {
+			f.val, f.err = nil, fmt.Errorf("%w: %v", ErrRunnerPanic, recover())
+		}
 		c.mu.Lock()
 		delete(c.flights, key)
 		if f.err == nil {
@@ -146,8 +174,9 @@ func (c *ResultCache) do(ctx context.Context, key string, compute func() (*cache
 		}
 		c.mu.Unlock()
 		close(f.done)
-		return f.val, false, false, f.err
-	}
+	}()
+	f.val, f.err = compute()
+	panicked = false
 }
 
 // insertLocked stores a completed result and evicts from the LRU tail past

@@ -100,6 +100,9 @@ func taskOptions(t spec.TaskSpec) []core.Option {
 	if t.MaxRounds != 0 {
 		o = append(o, core.WithMaxRounds(t.MaxRounds))
 	}
+	if t.RetryBudget != 0 {
+		o = append(o, core.WithRetryBudget(t.RetryBudget))
+	}
 	return o
 }
 
@@ -214,7 +217,14 @@ func runDynamic(inv *Invocation) (any, error) {
 
 func runWalk(inv *Invocation) (any, error) {
 	t := inv.Task
-	return core.TokenWalk(inv.Env.Graph(), t.Source, t.Steps, distOptions(inv)...)
+	res, err := core.TokenWalk(inv.Env.Graph(), t.Source, t.Steps, distOptions(inv)...)
+	if err != nil {
+		return nil, err
+	}
+	if inv.ctr != nil {
+		inv.ctr.tokenRetries.Add(int64(res.Retries))
+	}
+	return res, nil
 }
 
 func runEstimate(inv *Invocation) (any, error) {

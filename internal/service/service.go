@@ -74,11 +74,20 @@ type Options struct {
 	// requests queue on the admission semaphore (≤ 0 means
 	// max(8, GOMAXPROCS)).
 	MaxInFlight int
+	// MaxQueued bounds the requests waiting at admission while every
+	// execution slot is busy; past it, new requests are shed immediately
+	// with ErrOverloaded instead of queueing — a fast failure the client
+	// can back off and retry, rather than a slow one that ties up its
+	// deadline budget. ≤ 0 (the default) keeps the unbounded legacy queue.
+	MaxQueued int
 	// BaseSeed feeds the per-request seed derivation for requests that
 	// omit a task seed (0 means 1).
 	BaseSeed int64
 	// Registry resolves task kinds (nil means Default()).
 	Registry *Registry
+	// Fault, when non-nil, injects chaos (panics, errors, latency) into
+	// every runner invocation — test and soak harness use only.
+	Fault *FaultInjector
 }
 
 // Service is the long-running job layer: a registry, a graph cache, and an
@@ -197,17 +206,21 @@ func (s *Service) run(ctx context.Context, req Request) (*Response, error) {
 				s.ctr.graphHits.Add(1)
 				return servedResponse(entry, task, f.val, false, true), nil
 			}
+			if errors.Is(f.err, ErrRunnerPanic) {
+				// Deterministic request, crashed leader: recomputing would
+				// crash identically. Fail with the leader's tagged error.
+				return nil, f.err
+			}
 			// The leader failed (possibly on its own deadline); fall through
 			// and compute under our own admission slot and context.
 		}
 	}
 
 	// Admission: at most MaxInFlight requests execute; the rest wait here
-	// until a slot frees or the caller gives up.
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	// until a slot frees, the caller gives up, or the bounded wait queue
+	// overflows and the request is shed.
+	if err := s.admit(ctx); err != nil {
+		return nil, err
 	}
 	defer func() { <-s.sem }()
 	in := s.ctr.inFlight.Add(1)
@@ -220,6 +233,40 @@ func (s *Service) run(ctx context.Context, req Request) (*Response, error) {
 	}
 
 	return s.execute(ctx, run, req)
+}
+
+// admit acquires an execution slot. When every slot is busy the request
+// queues; with Options.MaxQueued set, a full queue sheds the request
+// immediately with ErrOverloaded instead — load the service cannot serve
+// within a useful latency is refused at the door, where it is cheapest.
+func (s *Service) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil // a free slot: no queueing at all
+	default:
+	}
+	if m := s.opts.MaxQueued; m > 0 {
+		if q := s.ctr.queued.Add(1); q > int64(m) {
+			s.ctr.queued.Add(-1)
+			s.ctr.shedRequests.Add(1)
+			return fmt.Errorf("%w: %d requests executing and %d queued", ErrOverloaded, cap(s.sem), m)
+		}
+		defer s.ctr.queued.Add(-1)
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shedding reports whether the admission wait queue is currently full —
+// the readiness signal cmd/lmtd's /readyz exposes: a shedding instance is
+// alive but should not receive new traffic.
+func (s *Service) Shedding() bool {
+	m := s.opts.MaxQueued
+	return m > 0 && s.ctr.queued.Load() >= int64(m)
 }
 
 // servedResponse assembles a Response around a memoized result. The graph
@@ -250,7 +297,7 @@ func (s *Service) execute(ctx context.Context, run Runner, req Request) (*Respon
 	key := resultKey(entry.key, task)
 	var runGraph *GraphInfo
 	cr, resultHit, shared, err := s.results.do(ctx, key, func() (*cachedResult, error) {
-		inv := &Invocation{Env: &Env{g: entry.g, entry: entry}, Task: task, Ctx: ctx}
+		inv := &Invocation{Env: &Env{g: entry.g, entry: entry}, Task: task, Ctx: ctx, ctr: &s.ctr}
 		if task.Churn != nil {
 			cv, err := entry.churn(task)
 			if err != nil {
@@ -263,7 +310,7 @@ func (s *Service) execute(ctx context.Context, run Runner, req Request) (*Respon
 				runGraph = &GraphInfo{Name: cv.runG.Name(), N: cv.runG.N(), M: cv.runG.M()}
 			}
 		}
-		res, err := run(inv)
+		res, err := safeRun(run, inv, s.opts.Fault, &s.ctr)
 		if err != nil {
 			return nil, err
 		}
@@ -339,6 +386,18 @@ type Metrics struct {
 	ResultEvictions, ResultBytes int64
 	// Batches counts RunBatch calls (each fans into Requests).
 	Batches int64
+	// Queued is the current number of requests waiting at admission;
+	// bounded by Options.MaxQueued when set.
+	Queued int64
+	// RunnerPanics counts runner invocations that panicked and were
+	// recovered into ErrRunnerPanic-tagged failures.
+	RunnerPanics int64
+	// ShedRequests counts requests refused at admission with ErrOverloaded
+	// because the wait queue was full.
+	ShedRequests int64
+	// TokenRetries accumulates the edge-loss retries of every completed
+	// walk task — how hard churn is hitting the token walks.
+	TokenRetries int64
 	// CachedGraphs is the current graph-cache size; CachedResults the
 	// current result-cache size.
 	CachedGraphs  int
@@ -364,6 +423,10 @@ func (s *Service) Metrics() Metrics {
 		ResultEvictions:    s.ctr.resultEvictions.Load(),
 		ResultBytes:        s.ctr.resultBytes.Load(),
 		Batches:            s.ctr.batches.Load(),
+		Queued:             s.ctr.queued.Load(),
+		RunnerPanics:       s.ctr.runnerPanics.Load(),
+		ShedRequests:       s.ctr.shedRequests.Load(),
+		TokenRetries:       s.ctr.tokenRetries.Load(),
 		CachedGraphs:       s.cache.len(),
 		CachedResults:      s.results.len(),
 	}

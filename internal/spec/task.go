@@ -67,13 +67,17 @@ func Kinds() []Kind {
 const DefaultEps = 1.0 / 21.746
 
 // ChurnSpec selects a deterministic churn model for the distributed kinds
-// (see internal/dyngraph). All models derive every round's decisions from
-// (Seed, round) alone, so a spec'd dynamic run is reproducible.
+// (see internal/dyngraph). The oblivious models (markov, interval,
+// snapshot, cutter, crash) derive every round's decisions from
+// (Seed, round) alone; the adaptive adversaries (chaser) additionally read
+// the protocol's round-boundary published state — still deterministically,
+// so a spec'd dynamic run is reproducible either way.
 type ChurnSpec struct {
-	// Model is markov, interval, or snapshot.
+	// Model is markov, interval, snapshot, chaser, cutter, or crash.
 	Model string `json:"model"`
 	// Rate is the churn intensity: markov P(on→off); interval, the
-	// fraction of non-backbone edges down per window (keep = 1−Rate).
+	// fraction of non-backbone edges down per window (keep = 1−Rate);
+	// crash, the per-vertex per-round crash probability.
 	Rate float64 `json:"rate,omitempty"`
 	// On is the markov P(off→on) reactivation probability, verbatim:
 	// 0 (or omitted) means deactivated edges never come back.
@@ -87,6 +91,12 @@ type ChurnSpec struct {
 	Snapshots int `json:"snapshots,omitempty"`
 	// Degree is the snapshot model's random-regular sample degree (0 = 4).
 	Degree int `json:"degree,omitempty"`
+	// Budget is the adversary's per-round edge-cut budget for the chaser
+	// and cutter models (0 = a toothless adversary that cuts nothing).
+	Budget int `json:"budget,omitempty"`
+	// Down is the crash model's outage length in rounds; required ≥ 1 for
+	// that model (cmd/lmt supplies its -churndown flag default of 8).
+	Down int `json:"down,omitempty"`
 	// Seed seeds the model; 0 falls back to the task seed.
 	Seed int64 `json:"seed,omitempty"`
 }
@@ -134,6 +144,11 @@ type TaskSpec struct {
 	FullScan bool `json:"fullScan,omitempty"`
 	// Steps is the walk length ℓ for KindWalk and KindEstimate.
 	Steps int `json:"steps,omitempty"`
+	// RetryBudget bounds a KindWalk run's cumulative edge-loss retries
+	// under churn (core.WithRetryBudget): stuck holders checkpoint-restart
+	// the walk at the source, and exhausting the budget fails the run fast.
+	// 0 keeps the unlimited-patience default.
+	RetryBudget int `json:"retryBudget,omitempty"`
 	// Seed seeds the engine (distributed kinds) or the gossip RNG
 	// (spread, leader, coverage). When 0 the service derives a
 	// deterministic per-request seed from its base seed and the request
@@ -210,6 +225,9 @@ func (t TaskSpec) Validate() error {
 	if t.DeadlineMS < 0 {
 		return fmt.Errorf("spec: deadlineMS must be ≥ 0 (0 = none), got %d", t.DeadlineMS)
 	}
+	if t.RetryBudget < 0 {
+		return fmt.Errorf("spec: retryBudget must be ≥ 0 (0 = unlimited), got %d", t.RetryBudget)
+	}
 	if t.Sources != nil && len(t.Sources) == 0 {
 		// An explicit empty source list has always been a sweep error; reject
 		// it here so it cannot share a canonical key (JSON omits empty
@@ -221,9 +239,9 @@ func (t TaskSpec) Validate() error {
 			return fmt.Errorf("spec: kind %s does not accept a churn model", t.Kind)
 		}
 		switch t.Churn.Model {
-		case "markov", "interval", "snapshot":
+		case "markov", "interval", "snapshot", "chaser", "cutter", "crash":
 		default:
-			return fmt.Errorf("spec: unknown churn model %q (want markov, interval or snapshot)", t.Churn.Model)
+			return fmt.Errorf("spec: unknown churn model %q (want markov, interval, snapshot, chaser, cutter or crash)", t.Churn.Model)
 		}
 	}
 	switch t.Kind {

@@ -136,19 +136,27 @@ func LocalMixingTime(g *Graph, source int, beta, eps float64, o LocalMixingOptio
 type DistributedResult = core.Result
 
 // DistributedOption tweaks a distributed run (WithLazy, WithSeed, WithC,
-// WithMaxLength, WithIrregular, WithWorkers).
+// WithMaxLength, WithIrregular, WithWorkers, WithTopology,
+// WithRetryBudget).
 type DistributedOption = core.Option
 
 // Re-exported distributed options.
 var (
-	WithLazy      = core.WithLazy
-	WithSeed      = core.WithSeed
-	WithC         = core.WithC
-	WithMaxLength = core.WithMaxLength
-	WithIrregular = core.WithIrregular
-	WithWorkers   = core.WithWorkers
-	WithTopology  = core.WithTopology
+	WithLazy        = core.WithLazy
+	WithSeed        = core.WithSeed
+	WithC           = core.WithC
+	WithMaxLength   = core.WithMaxLength
+	WithIrregular   = core.WithIrregular
+	WithWorkers     = core.WithWorkers
+	WithTopology    = core.WithTopology
+	WithRetryBudget = core.WithRetryBudget
 )
+
+// ErrRetryBudget is returned by DynamicWalk when the cumulative count of
+// churn-forced retries (bounces plus crash restarts) exceeds the
+// WithRetryBudget bound — the walk fails fast instead of grinding against
+// an adversary that keeps destroying its progress.
+var ErrRetryBudget = core.ErrRetryBudget
 
 // DistributedLocalMixingTime runs the paper's Algorithm 2 (LOCAL-MIXING-
 // TIME) in a simulated CONGEST network: a 2-approximation of τ_s(β, ε) in
@@ -239,10 +247,12 @@ func DistributedGraphMixingTime(g *Graph, eps float64, o SweepOptions, opts ...D
 type TopologyProvider = congest.TopologyProvider
 
 // Seeded deterministic churn models (internal/dyngraph). All of them
-// protect a BFS spanning backbone so every round's topology stays connected
-// — the standing assumption of the dynamic-network literature — and derive
-// every round's decisions from (model seed, round) alone, so one model
-// instance is shareable across the worker networks of a sweep.
+// protect a BFS spanning backbone (the adversaries until WithoutBackbone
+// lifts it; the crash model via its protect list) so every round's topology
+// stays connected — the standing assumption of the dynamic-network
+// literature — and derive every round's decisions from (model seed, round,
+// published state) alone, so one model instance is shareable across the
+// worker networks of a sweep.
 var (
 	// EdgeMarkovChurn builds the edge-Markovian evolving graph: each edge
 	// flips on→off with probability pOff and off→on with pOn, per round.
@@ -257,6 +267,34 @@ var (
 	// GraphUnion builds the superset of several same-vertex-set graphs —
 	// the static graph a snapshot-churned network is sized for.
 	GraphUnion = dyngraph.Union
+
+	// TokenChaserChurn builds the adaptive token-chasing adversary: each
+	// round it reads the protocol-published token position and spends its
+	// edge budget cutting the holder's incident edges. The strongest
+	// walk-slowing adversary in the suite.
+	TokenChaserChurn = dyngraph.NewTokenChaser
+	// UniformCutterChurn is the rate-matched oblivious control for the
+	// chaser: the same per-round budget, spent on uniformly random edges
+	// with no knowledge of protocol state.
+	UniformCutterChurn = dyngraph.NewUniformCutter
+	// BoundaryAttackerChurn targets the sparse-cut boundary around the
+	// source's neighborhood, attacking the conductance the local mixing
+	// time measures.
+	BoundaryAttackerChurn = dyngraph.NewBoundaryAttacker
+	// CrashRestartChurn builds the crash-stop/restart vertex-fault model:
+	// each unprotected vertex crashes with probability pCrash per round
+	// (dropping all incident edges) and restarts after down rounds.
+	CrashRestartChurn = dyngraph.NewCrashRestart
+
+	// VerifyTInterval checks the Kuhn–Lynch–Oshman property: a provider
+	// satisfies T-interval connectivity over `rounds` rounds if every
+	// window of T consecutive topologies shares a stable connected
+	// spanning subgraph.
+	VerifyTInterval = dyngraph.VerifyTInterval
+	// MaxTInterval reports the largest T for which the provider is
+	// T-interval connected over the horizon (0 if some single round is
+	// already disconnected).
+	MaxTInterval = dyngraph.MaxTInterval
 )
 
 // DynamicLocalMixingTime runs Algorithm 2 on a dynamic network: the walk
@@ -296,8 +334,11 @@ type DynamicWalkResult = core.TokenWalkResult
 // per round — the Das Sarma–Molla–Pandurangan dynamic-walk primitive. The
 // walker picks uniformly among its superset neighbors without advance
 // knowledge of the round's edges; a hop over a vanished edge bounces back
-// and is restarted. Combine with WithTopology for churn; on a static graph
-// it is the classical ℓ-round walk with zero retries.
+// and is restarted, and a crash of the holder restarts the walk from its
+// last checkpoint. Combine with WithTopology for churn and WithRetryBudget
+// to bound how much adversarial interference the walk tolerates before
+// failing fast with ErrRetryBudget; on a static graph it is the classical
+// ℓ-round walk with zero retries.
 func DynamicWalk(g *Graph, source, steps int, opts ...DistributedOption) (*DynamicWalkResult, error) {
 	return call[*DynamicWalkResult](spec.KindWalk, &service.Invocation{
 		Env:  service.DirectEnv(g),
