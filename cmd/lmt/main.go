@@ -30,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/exact"
@@ -69,6 +70,7 @@ type cliFlags struct {
 	deadline     *time.Duration
 	repeat       *int
 	retry        *int
+	peers        *int
 }
 
 // registerFlags declares every lmt flag on fs. cmd/lmt's flags_test.go
@@ -103,6 +105,7 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		deadline:     fs.Duration("deadline", 0, "per-computation deadline (0 = none); runs exceeding it abort with a timeout error"),
 		repeat:       fs.Int("repeat", 1, "submit each computation as a batch of this many identical requests (> 1 prints the batch cache summary; repeats are result-cache hits)"),
 		retry:        fs.Int("retry", 0, "retry budget for 503-class failures (shed or timed-out requests): exponential backoff with jitter, the same discipline lmtd's Retry-After advertises (0 = fail fast)"),
+		peers:        fs.Int("peers", 0, "shard the single-source distributed modes across this many cluster peers over localhost TCP (0 = in-process; results are identical either way — sweeps, oracle and churn stay in-process)"),
 	}
 }
 
@@ -180,8 +183,35 @@ func run(f *cliFlags) error {
 	if err != nil {
 		return err
 	}
-	svc := service.New(service.Options{CacheSize: 4})
 	ctx := context.Background()
+	opts := service.Options{CacheSize: 4}
+	if *f.peers > 0 {
+		// -peers stands up a real localhost cluster — coordinator plus N
+		// peer runtimes exchanging message frames over TCP — and routes the
+		// single-source distributed modes through it. The determinism
+		// contract makes this a pure schedule change: every τ below is the
+		// same number the in-process run prints.
+		if *f.peers < 2 {
+			return fmt.Errorf("-peers %d: a cluster needs at least 2 peers", *f.peers)
+		}
+		coord, err := cluster.NewCoordinator("127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("start cluster coordinator: %w", err)
+		}
+		defer coord.Close()
+		for i := 0; i < *f.peers; i++ {
+			go cluster.Serve(ctx, coord.Addr())
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err = coord.WaitForPeers(waitCtx, *f.peers)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("cluster peers never registered: %w", err)
+		}
+		opts.Cluster = coord
+		fmt.Printf("cluster: %d peers over localhost TCP (coordinator %s)\n", *f.peers, coord.Addr())
+	}
+	svc := service.New(opts)
 
 	g, _, err := svc.Graph(gs)
 	if err != nil {
@@ -257,6 +287,16 @@ func run(f *cliFlags) error {
 		}
 	}
 
+	// clusterize routes a single-source distributed task over the -peers
+	// cluster. Churned tasks stay in-process (cluster v1 is static-topology
+	// only), as the flag help promises.
+	clusterize := func(t spec.TaskSpec) spec.TaskSpec {
+		if *f.peers > 0 && t.Churn == nil {
+			t.Cluster = &spec.ClusterSpec{}
+		}
+		return t
+	}
+
 	// Multi-source sweep mode (-all / -sample): the distributed modes
 	// compute the graph-wide max over sources on the warm sweep pools
 	// instead of a single-source run.
@@ -316,7 +356,7 @@ func run(f *cliFlags) error {
 				printSweep("Alg 2 sweep (Thm 1)", resp.Result.(*core.MultiResult))
 				return nil
 			}
-			t := baseTask(f, churn)
+			t := clusterize(baseTask(f, churn))
 			t.Kind = spec.KindLocal
 			resp, err := submit(t)
 			if err != nil {
@@ -339,7 +379,7 @@ func run(f *cliFlags) error {
 				printSweep("exact sweep (Thm 2)", resp.Result.(*core.MultiResult))
 				return nil
 			}
-			t := baseTask(f, churn)
+			t := clusterize(baseTask(f, churn))
 			t.Kind = spec.KindLocal
 			t.Exact = true
 			resp, err := submit(t)
@@ -363,7 +403,7 @@ func run(f *cliFlags) error {
 				printSweep("mixing sweep [18]", resp.Result.(*core.MultiResult))
 				return nil
 			}
-			t := baseTask(f, churn)
+			t := clusterize(baseTask(f, churn))
 			t.Kind = spec.KindMixing
 			resp, err := submit(t)
 			if err != nil {

@@ -26,6 +26,14 @@
 //
 // The answer is byte-identical to `lmt -graph ringcliques -beta 8 -k 16
 // -mode mixing` — both are one service.Run of the same spec.
+//
+// Cluster mode splits one CONGEST run across processes: a coordinator
+// (`lmtd -addr :8080 -cluster :9090`) serves HTTP as usual and additionally
+// accepts compute peers (`lmtd -peer host:9090`, no HTTP server). A request
+// whose task carries `"cluster": {}` is sharded across the registered peers,
+// which exchange per-round message frames over a TCP mesh; the determinism
+// contract of internal/cluster guarantees the answer is DeepEqual to the
+// single-process run, so cluster and in-process results share one cache.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -42,12 +51,15 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/spec"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	clusterAddr := flag.String("cluster", "", "coordinator listen address for cluster mode (empty = off); tasks carrying a cluster spec run across the registered peers")
+	peerAddr := flag.String("peer", "", "run as a compute peer of the cluster coordinator at this address (no HTTP server)")
 	cache := flag.Int("cache", 16, "graph-cache capacity (entries)")
 	resultCache := flag.Int("resultcache", 256, "result-cache capacity (memoized responses)")
 	inflight := flag.Int("maxinflight", 0, "admission cap on concurrently executing requests (0 = max(8, GOMAXPROCS))")
@@ -59,20 +71,58 @@ func main() {
 	chaosLatency := flag.Duration("chaoslatency", 0, "chaos testing: add this latency to every runner invocation (0 = off)")
 	flag.Parse()
 
+	if *peerAddr != "" {
+		// Peer mode: no HTTP surface at all — just the cluster control
+		// connection. The peer computes shards of jobs the coordinator
+		// dispatches until signaled (or the coordinator goes away).
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		log.Printf("lmtd: peer mode, registering with coordinator at %s", *peerAddr)
+		// A refused dial usually means the coordinator is still coming up
+		// (or restarting) — keep knocking for a while before giving up, so
+		// peer and coordinator processes can be launched in any order.
+		var err error
+		for i := 0; i < 40; i++ {
+			err = cluster.Serve(ctx, *peerAddr)
+			if err == nil || ctx.Err() != nil || !errors.Is(err, syscall.ECONNREFUSED) {
+				break
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		if err != nil {
+			log.Fatalf("lmtd: peer: %v", err)
+		}
+		log.Printf("lmtd: peer shut down cleanly")
+		return
+	}
+
 	var inj *service.FaultInjector
 	if *chaosPanic > 0 || *chaosError > 0 || *chaosLatency > 0 {
 		inj = &service.FaultInjector{PanicEvery: *chaosPanic, ErrorEvery: *chaosError, Latency: *chaosLatency}
 		log.Printf("lmtd: CHAOS MODE: panic every %d, error every %d, latency %s", *chaosPanic, *chaosError, *chaosLatency)
 	}
-	svc := service.New(service.Options{
+	opts := service.Options{
 		CacheSize:       *cache,
 		ResultCacheSize: *resultCache,
 		MaxInFlight:     *inflight,
 		MaxQueued:       *maxQueued,
 		BaseSeed:        *seed,
 		Fault:           inj,
-	})
+	}
+	var coord *cluster.Coordinator
+	if *clusterAddr != "" {
+		var err error
+		coord, err = cluster.NewCoordinator(*clusterAddr)
+		if err != nil {
+			log.Fatalf("lmtd: cluster coordinator: %v", err)
+		}
+		defer coord.Close()
+		opts.Cluster = coord
+		log.Printf("lmtd: cluster coordinator on %s (peers register with -peer %s)", coord.Addr(), coord.Addr())
+	}
+	svc := service.New(opts)
 	d := newDaemon(svc)
+	d.cluster = coord
 	srv := &http.Server{Addr: *addr, Handler: d.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -103,6 +153,7 @@ func main() {
 // progress) and not shedding (admission queue full).
 type daemon struct {
 	svc      *service.Service
+	cluster  *cluster.Coordinator // nil unless -cluster was given
 	draining atomic.Bool
 }
 
@@ -172,6 +223,9 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		writeMetrics(w, svc.Metrics())
+		if d.cluster != nil {
+			metricGauge(w, "lmtd_cluster_peers", "Compute peers currently registered with the coordinator.", int64(d.cluster.Peers()))
+		}
 	})
 	return mux
 }
@@ -225,15 +279,21 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// metricGauge and metricCounter emit one metric in the Prometheus text
+// exposition format.
+func metricGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+func metricCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
 // writeMetrics renders the service counters in the Prometheus text
 // exposition format.
 func writeMetrics(w http.ResponseWriter, m service.Metrics) {
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
+	gauge := func(name, help string, v int64) { metricGauge(w, name, help, v) }
+	counter := func(name, help string, v int64) { metricCounter(w, name, help, v) }
 	counter("lmtd_requests_total", "Requests received by service.Run.", m.Requests)
 	counter("lmtd_errors_total", "Requests that failed.", m.Errors)
 	gauge("lmtd_in_flight", "Requests currently executing.", m.InFlight)
@@ -252,6 +312,10 @@ func writeMetrics(w http.ResponseWriter, m service.Metrics) {
 	counter("lmtd_runner_panics_total", "Runner invocations that panicked and were recovered into 500s.", m.RunnerPanics)
 	counter("lmtd_shed_requests_total", "Requests shed at admission with a fast 503 (wait queue full).", m.ShedRequests)
 	counter("lmtd_token_retries_total", "Cumulative token-walk edge-loss retries across completed walk tasks.", m.TokenRetries)
+	counter("lmtd_cluster_runs_total", "Tasks dispatched to the attached peer cluster.", m.ClusterRuns)
+	counter("lmtd_transport_wire_bytes_total", "Frame bytes moved over cluster transports, both directions (zero for loopback runs).", m.WireBytes)
+	counter("lmtd_transport_frames_sent_total", "Message frames written to cluster transports.", m.FramesSent)
+	counter("lmtd_transport_frames_recv_total", "Message frames read from cluster transports.", m.FramesRecv)
 	gauge("lmtd_queued", "Requests waiting at admission.", m.Queued)
 	gauge("lmtd_result_cache_bytes", "JSON-encoded size of the memoized results.", m.ResultBytes)
 	gauge("lmtd_cached_results", "Results currently memoized.", int64(m.CachedResults))

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// BenchmarkTransportLoopbackVsTCP runs the same flooding task through the
+// in-process loopback transport and through a 2-peer localhost TCP cluster,
+// reporting rounds/sec (the barrier + frame-exchange cost per round) and
+// bytes/round (the halo traffic the frame codec batches). The computed
+// result is identical on both paths — the determinism contract — so the
+// delta is pure transport overhead.
+func BenchmarkTransportLoopbackVsTCP(b *testing.B) {
+	bgs := spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 8} // n = 32
+	g, err := bgs.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("loopback", func(b *testing.B) {
+		var rounds int64
+		for i := 0; i < b.N; i++ {
+			res, err := core.ApproxLocalMixingTime(g, 0, 4, 0.05, core.WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds += int64(res.Stats.Rounds)
+		}
+		b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/sec")
+		b.ReportMetric(0, "bytes/round") // loopback moves no wire bytes
+	})
+
+	b.Run("tcp", func(b *testing.B) {
+		c := startCluster(b, 2)
+		ctx := context.Background()
+		task := spec.TaskSpec{Kind: spec.KindLocal, Beta: 4, Eps: 0.05, Seed: 1}
+		b.ResetTimer()
+		var rounds, wire int64
+		for i := 0; i < b.N; i++ {
+			got, err := c.Run(ctx, bgs, task)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := got.(*core.Result)
+			rounds += int64(res.Stats.Rounds)
+			wire += res.Stats.WireBytes
+		}
+		b.ReportMetric(float64(rounds)/b.Elapsed().Seconds(), "rounds/sec")
+		b.ReportMetric(float64(wire)/float64(rounds), "bytes/round")
+	})
+}

@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/spec"
+)
+
+// Coordinator accepts peer registrations and executes cluster jobs over
+// them: it dispatches the job spec, folds the per-round reports
+// (congest.MergeReports), collects the per-peer results, and assembles the
+// single-process-equivalent answer. One job runs at a time; concurrent Run
+// calls serialize.
+type Coordinator struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	peers  []*peerConn
+	closed bool
+
+	runMu sync.Mutex
+}
+
+// peerConn is one registered peer's control connection.
+type peerConn struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// NewCoordinator listens on addr (e.g. ":9300", "127.0.0.1:0") and starts
+// accepting peer registrations.
+func NewCoordinator(addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: coordinator listen on %s: %w", addr, err)
+	}
+	c := &Coordinator{ln: ln}
+	c.cond = sync.NewCond(&c.mu)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address — what peers dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Peers returns the number of currently registered peers.
+func (c *Coordinator) Peers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers)
+}
+
+// WaitForPeers blocks until at least n peers are registered, the context
+// expires, or the coordinator closes.
+func (c *Coordinator) WaitForPeers(ctx context.Context, n int) error {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.peers) < n && !c.closed && ctx.Err() == nil {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return errors.New("cluster: coordinator closed")
+	}
+	return ctx.Err()
+}
+
+// Close stops accepting registrations and drops every peer (their Serve
+// loops return).
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	peers := c.peers
+	c.peers = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, pc := range peers {
+		pc.conn.Close()
+	}
+	return err
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.admit(conn)
+	}
+}
+
+// admit registers one peer after its hello. Registration order assigns the
+// peer indices of subsequent jobs.
+func (c *Coordinator) admit(conn net.Conn) {
+	dec := json.NewDecoder(conn)
+	var m ctrlMsg
+	if err := dec.Decode(&m); err != nil || m.Type != msgHello {
+		conn.Close()
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return
+	}
+	c.peers = append(c.peers, &peerConn{conn: conn, enc: json.NewEncoder(conn), dec: dec})
+	c.cond.Broadcast()
+}
+
+// drop removes a failed peer from the registry and closes its connection.
+func (c *Coordinator) drop(pc *peerConn) {
+	c.mu.Lock()
+	for i, p := range c.peers {
+		if p == pc {
+			c.peers = append(c.peers[:i], c.peers[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	pc.conn.Close()
+}
+
+// foldBarrier is the coordinator half of the round barrier: each runPeer
+// goroutine submits its peer's report; the last arrival folds the
+// generation with congest.MergeReports and releases the rest. fail breaks
+// the barrier permanently — current and future waiters receive a report
+// carrying the failure, which every healthy peer turns into a clean abort.
+type foldBarrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	peers  int
+	reps   []congest.RoundReport
+	merged congest.RoundReport
+	gen    int
+	broken string
+}
+
+func newFoldBarrier(peers int) *foldBarrier {
+	b := &foldBarrier{peers: peers}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *foldBarrier) sync(r congest.RoundReport) congest.RoundReport {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken != "" {
+		return congest.RoundReport{Round: r.Round, MinWake: congest.NoWake, Err: b.broken}
+	}
+	gen := b.gen
+	b.reps = append(b.reps, r)
+	if len(b.reps) == b.peers {
+		b.merged = congest.MergeReports(b.reps)
+		b.reps = b.reps[:0]
+		b.gen++
+		b.cond.Broadcast()
+		return b.merged
+	}
+	for b.gen == gen && b.broken == "" {
+		b.cond.Wait()
+	}
+	if b.gen == gen { // released by fail, not by the fold
+		return congest.RoundReport{Round: r.Round, MinWake: congest.NoWake, Err: b.broken}
+	}
+	return b.merged
+}
+
+func (b *foldBarrier) fail(msg string) {
+	b.mu.Lock()
+	if b.broken == "" {
+		b.broken = msg
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// peerOutcome is what one runPeer goroutine collected.
+type peerOutcome struct {
+	result json.RawMessage
+	stats  *congest.Stats
+	auth   bool
+	errS   string // peer-reported run error
+	err    error  // control-transport error
+}
+
+// Run executes one cluster job: the task over the graph, sharded across the
+// first ts.Cluster.Peers registered peers (or all of them when the field is
+// nil or zero). The returned value is exactly what the in-process runner
+// family returns — *core.Result for local and mixing, *core.TokenWalkResult
+// for walk — with Stats swapped for the congest.MergeStats fold of every
+// peer's counters; the cluster determinism contract makes the rest of the
+// result identical to the single-process run with the same seed.
+//
+// Cancelling ctx aborts the job at its next round barrier (peers stay
+// registered); peer-side errors and dropped peers abort it the same way.
+func (c *Coordinator) Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSpec) (any, error) {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+
+	want := 0
+	if ts.Cluster != nil {
+		want = ts.Cluster.Peers
+	}
+	ts.Cluster = nil // peers run the task directly; the routing field is spent
+	c.mu.Lock()
+	peers := append([]*peerConn(nil), c.peers...)
+	c.mu.Unlock()
+	if want == 0 {
+		want = len(peers)
+	}
+	if len(peers) < want || want < 2 {
+		return nil, fmt.Errorf("cluster: job wants %d peers, %d registered", max(want, 2), len(peers))
+	}
+	peers = peers[:want]
+	if err := validateJob(&ts, want); err != nil {
+		return nil, err
+	}
+	// Build the graph here too: a bad graph spec (or more peers than
+	// vertices) fails fast with a direct error instead of a peer's relayed
+	// one.
+	g, err := gs.Build()
+	if err != nil {
+		return nil, err
+	}
+	if want > g.N() {
+		return nil, fmt.Errorf("cluster: %d peers over %d vertices: every peer must own a vertex", want, g.N())
+	}
+
+	// Prepare/ready/start handshake, sequentially: dispatch the job, gather
+	// every peer's fresh mesh listener, then release them into the mesh.
+	var firstErr error
+	prepared := 0
+	for p, pc := range peers {
+		if err := pc.enc.Encode(ctrlMsg{Type: msgPrepare, Peer: p, Peers: want, Graph: &gs, Task: &ts}); err != nil {
+			firstErr = fmt.Errorf("cluster: peer %d: send prepare: %w", p, err)
+			c.drop(pc)
+			break
+		}
+		prepared++
+	}
+	addrs := make([]string, prepared)
+	alive := make([]bool, prepared)
+	for p, pc := range peers[:prepared] {
+		var m ctrlMsg
+		if err := pc.dec.Decode(&m); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: peer %d: await ready: %w", p, err)
+			}
+			c.drop(pc)
+			continue
+		}
+		alive[p] = true
+		if m.Type != msgReady {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: peer %d: unexpected %q awaiting ready", p, m.Type)
+			}
+			continue
+		}
+		if m.Err != "" && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: peer %d: %s", p, m.Err)
+		}
+		addrs[p] = m.Mesh
+	}
+	if firstErr != nil {
+		for p, pc := range peers[:prepared] {
+			if alive[p] {
+				pc.enc.Encode(ctrlMsg{Type: msgAbort}) // best effort; job is dead
+			}
+		}
+		return nil, firstErr
+	}
+
+	bar := newFoldBarrier(want)
+	started := 0
+	for p, pc := range peers {
+		if err := pc.enc.Encode(ctrlMsg{Type: msgStart, Addrs: addrs}); err != nil {
+			firstErr = fmt.Errorf("cluster: peer %d: send start: %w", p, err)
+			c.drop(pc)
+			// Peers 0..p-1 are already meshing; break the barrier so they
+			// abort at round 0, and abort the unstarted rest outright.
+			bar.fail(firstErr.Error())
+			for _, rest := range peers[p+1:] {
+				rest.enc.Encode(ctrlMsg{Type: msgAbort})
+			}
+			break
+		}
+		started++
+	}
+
+	// Collection: one goroutine per started peer answers its round syncs
+	// with the barrier fold and terminates on its result message. Every
+	// failure path — dropped peer, peer-reported error, ctx cancellation —
+	// converges through bar.fail, which the healthy peers observe at their
+	// next barrier and abort cleanly.
+	stopCancel := context.AfterFunc(ctx, func() {
+		bar.fail("cluster: run canceled: " + context.Cause(ctx).Error())
+	})
+	defer stopCancel()
+	outs := make([]peerOutcome, started)
+	var wg sync.WaitGroup
+	for p, pc := range peers[:started] {
+		wg.Add(1)
+		go func(p int, pc *peerConn) {
+			defer wg.Done()
+			c.runPeer(p, pc, bar, &outs[p])
+		}(p, pc)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return assemble(ts, outs)
+}
+
+// runPeer drives one peer's control connection through a job: fold each
+// sync into the barrier, reply with the merged round report, stop at the
+// peer's result. A peer-reported result error breaks the barrier too, so
+// peers still mid-run (e.g. when this one failed mesh setup before its
+// first report) abort instead of waiting for its reports forever.
+func (c *Coordinator) runPeer(p int, pc *peerConn, bar *foldBarrier, out *peerOutcome) {
+	fail := func(err error) {
+		bar.fail(fmt.Sprintf("peer %d: %v", p, err))
+		c.drop(pc)
+		out.err = err
+	}
+	for {
+		var m ctrlMsg
+		if err := pc.dec.Decode(&m); err != nil {
+			fail(fmt.Errorf("control connection: %w", err))
+			return
+		}
+		switch m.Type {
+		case msgSync:
+			if m.Report == nil {
+				fail(errors.New("sync without a report"))
+				return
+			}
+			merged := bar.sync(*m.Report)
+			if err := pc.enc.Encode(ctrlMsg{Type: msgRound, Report: &merged}); err != nil {
+				fail(fmt.Errorf("send merged report: %w", err))
+				return
+			}
+		case msgResult:
+			out.result = m.Result
+			out.stats = m.Stats
+			out.auth = m.Authoritative
+			out.errS = m.Err
+			if m.Err != "" {
+				bar.fail(fmt.Sprintf("peer %d: %s", p, m.Err))
+			}
+			return
+		default:
+			fail(fmt.Errorf("unexpected control message %q mid-run", m.Type))
+			return
+		}
+	}
+}
+
+// assemble folds the per-peer outcomes into the single-process-equivalent
+// result: the authoritative (source-owning) peer's result JSON, with the
+// stats — and, for walks, the stats-derived fields — replaced by the
+// cluster-wide merge.
+func assemble(ts spec.TaskSpec, outs []peerOutcome) (any, error) {
+	// Error precedence: the authoritative peer's own failure is the run's
+	// error (it matches the single-process error text); any other peer's
+	// failure aborts with attribution.
+	for p := range outs {
+		if outs[p].auth && outs[p].errS != "" {
+			return nil, fmt.Errorf("cluster: %s", outs[p].errS)
+		}
+	}
+	for p := range outs {
+		o := &outs[p]
+		switch {
+		case o.err != nil:
+			return nil, fmt.Errorf("cluster: peer %d: %w", p, o.err)
+		case o.errS != "":
+			return nil, fmt.Errorf("cluster: peer %d: %s", p, o.errS)
+		case o.stats == nil:
+			return nil, fmt.Errorf("cluster: peer %d returned no engine stats", p)
+		}
+	}
+	sts := make([]congest.Stats, len(outs))
+	var auth json.RawMessage
+	for p := range outs {
+		sts[p] = *outs[p].stats
+		if outs[p].auth {
+			auth = outs[p].result
+		}
+	}
+	if auth == nil {
+		return nil, errors.New("cluster: no peer claimed the source (protocol bug)")
+	}
+	merged := congest.MergeStats(sts)
+	if ts.Kind == spec.KindWalk {
+		var r core.TokenWalkResult
+		if err := json.Unmarshal(auth, &r); err != nil {
+			return nil, fmt.Errorf("cluster: decode walk result: %w", err)
+		}
+		// Rounds is lockstep-identical everywhere, but Retries counts
+		// bounced volatile sends wherever they happened — sum over peers.
+		r.Rounds = merged.Rounds
+		r.Retries = merged.DroppedSends
+		r.Stats = &merged
+		return &r, nil
+	}
+	var r core.Result
+	if err := json.Unmarshal(auth, &r); err != nil {
+		return nil, fmt.Errorf("cluster: decode %s result: %w", ts.Kind, err)
+	}
+	r.Stats = &merged
+	return &r, nil
+}

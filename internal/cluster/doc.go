@@ -1,0 +1,32 @@
+// Package cluster runs one CONGEST computation across N lmtd processes: a
+// coordinator that owns job dispatch, the per-round control barrier and
+// result collection, and peer runtimes that each drive the congest engine
+// over a contiguous vertex shard, exchanging per-round halo traffic
+// directly with each other as binary frames (internal/congest/frame).
+//
+// Two planes, two codecs. The control plane — registration, job dispatch,
+// round reports and directives, results — is newline-delimited JSON between
+// each peer and the coordinator: low rate, debuggable with a pipe. The data
+// plane — every cross-shard message of every round — is the length-prefixed
+// binary frame codec over a full peer-to-peer TCP mesh (peer i dials every
+// j < i, accepts every j > i), one frame per (peer, round), never relayed
+// through the coordinator.
+//
+// Per round, each peer: steps its shard; exchanges frames with every other
+// peer (congest.Exchanger); delivers, merging inbound frames around its
+// local mailbox matrix in ascending peer order; then submits a
+// congest.RoundReport to the coordinator (congest.Barrier), which folds the
+// N reports with congest.MergeReports and broadcasts the merged report.
+// Every peer replicates the global decision — stop, error abort,
+// fast-forward — from the same merged values, so round counters advance in
+// lockstep with no decision logic in the coordinator at all.
+//
+// The determinism contract is inherited from the engine (see
+// internal/congest cluster mode): a job's results are DeepEqual to the
+// single-process run with the same seed, for any peer count. The
+// coordinator therefore returns the source-owning peer's result verbatim,
+// swapping in the congest.MergeStats fold of all peers' engine statistics.
+//
+// Supported task kinds are the distributed single-source ones whose state
+// is message-driven end to end: local, mixing, and walk.
+package cluster

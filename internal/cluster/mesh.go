@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/congest/frame"
+)
+
+// meshLink is one open data-plane connection to a remote peer: buffered
+// writes (one explicit flush per round) and a frame reader whose buffers are
+// reused across rounds.
+type meshLink struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	w    *frame.Writer
+	r    *frame.Reader
+}
+
+func newMeshLink(conn net.Conn) *meshLink {
+	bw := bufio.NewWriter(conn)
+	return &meshLink{
+		conn: conn,
+		bw:   bw,
+		w:    frame.NewWriter(bw),
+		r:    frame.NewReader(bufio.NewReader(conn)),
+	}
+}
+
+func closeLinks(links []*meshLink) {
+	for _, l := range links {
+		if l != nil {
+			l.conn.Close()
+		}
+	}
+}
+
+// setupMesh establishes this peer's full mesh: dial every lower-indexed
+// peer (identifying ourselves with the preamble), then accept every
+// higher-indexed one (identified by theirs). Dials succeed as soon as the
+// remote listener exists — the TCP handshake does not wait for Accept — so
+// the sequential dial-then-accept order cannot deadlock across peers.
+func setupMesh(self int, addrs []string, ln net.Listener) ([]*meshLink, error) {
+	links := make([]*meshLink, len(addrs))
+	fail := func(err error) ([]*meshLink, error) {
+		closeLinks(links)
+		return nil, err
+	}
+	for q := 0; q < self; q++ {
+		conn, err := net.DialTimeout("tcp", addrs[q], meshDialTimeout)
+		if err != nil {
+			return fail(fmt.Errorf("cluster: peer %d: dial mesh peer %d at %s: %w", self, q, addrs[q], err))
+		}
+		if err := writeMeshPreamble(conn, self); err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("cluster: peer %d: mesh preamble to peer %d: %w", self, q, err))
+		}
+		links[q] = newMeshLink(conn)
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(meshSetupBudget))
+	}
+	for q := self + 1; q < len(addrs); q++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("cluster: peer %d: accept mesh connection: %w", self, err))
+		}
+		id, err := readMeshPreamble(conn)
+		if err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("cluster: peer %d: read mesh preamble: %w", self, err))
+		}
+		if id <= self || id >= len(addrs) || links[id] != nil {
+			conn.Close()
+			return fail(fmt.Errorf("cluster: peer %d: unexpected mesh preamble id %d", self, id))
+		}
+		links[id] = newMeshLink(conn)
+	}
+	return links, nil
+}
+
+// meshExchanger is the congest.Exchanger over the TCP mesh: one frame per
+// remote peer per round, each way. A goroutine writes (and flushes) every
+// outbound frame while the caller reads one inbound frame per link — the
+// concurrent write/read split that keeps two peers pushing large frames at
+// each other from deadlocking on full TCP buffers.
+type meshExchanger struct {
+	self  int
+	links []*meshLink // indexed by peer; nil at self
+	in    [][]frame.Record
+}
+
+func (e *meshExchanger) Exchange(round int, out [][]frame.Record) ([][]frame.Record, error) {
+	done := make(chan error, 1)
+	go func() {
+		for q, l := range e.links {
+			if l == nil {
+				continue
+			}
+			if _, err := l.w.WriteFrame(round, e.self, out[q]); err != nil {
+				done <- fmt.Errorf("to peer %d: %w", q, err)
+				return
+			}
+			if err := l.bw.Flush(); err != nil {
+				done <- fmt.Errorf("to peer %d: flush: %w", q, err)
+				return
+			}
+		}
+		done <- nil
+	}()
+	if e.in == nil {
+		e.in = make([][]frame.Record, len(e.links))
+	}
+	fail := func(err error) ([][]frame.Record, error) {
+		// Unblock the writer goroutine (its Write fails once the conns
+		// close) before surfacing the read-side error.
+		closeLinks(e.links)
+		<-done
+		return nil, err
+	}
+	for q, l := range e.links {
+		if l == nil {
+			e.in[q] = nil
+			continue
+		}
+		r, p, recs, _, err := l.r.ReadFrame()
+		if err != nil {
+			return fail(fmt.Errorf("cluster: read frame from peer %d: %w", q, err))
+		}
+		if r != round || p != q {
+			return fail(fmt.Errorf("cluster: peer %d sent frame (round %d, peer %d), want (round %d, peer %d)", q, r, p, round, q))
+		}
+		// recs aliases the link reader's buffer: valid until the next
+		// ReadFrame on this link, i.e. until the next round's exchange —
+		// exactly the congest.Exchanger lifetime contract.
+		e.in[q] = recs
+	}
+	if err := <-done; err != nil {
+		return nil, fmt.Errorf("cluster: mesh write: %w", err)
+	}
+	return e.in, nil
+}

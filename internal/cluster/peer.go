@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/congest"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/spec"
+)
+
+// Serve registers this process as one cluster peer and serves jobs until
+// the coordinator closes the connection (returns nil) or the context is
+// canceled (returns the context error). Each prepared job opens a fresh
+// data-plane listener, meshes with the other peers, drives the engine over
+// this peer's vertex shard, and reports the result back on the control
+// connection.
+func Serve(ctx context.Context, coordAddr string) error {
+	d := net.Dialer{Timeout: ctrlDialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial coordinator %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	enc, dec := json.NewEncoder(conn), json.NewDecoder(conn)
+	if err := enc.Encode(ctrlMsg{Type: msgHello}); err != nil {
+		return fmt.Errorf("cluster: register with coordinator: %w", err)
+	}
+	for {
+		var m ctrlMsg
+		if err := dec.Decode(&m); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // coordinator shut down: a clean exit
+			}
+			return fmt.Errorf("cluster: control connection: %w", err)
+		}
+		if m.Type != msgPrepare {
+			return fmt.Errorf("cluster: unexpected control message %q awaiting a job", m.Type)
+		}
+		if err := runJob(conn, enc, dec, &m); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+	}
+}
+
+// ctrlBarrier is the peer half of the round barrier, riding the control
+// connection: one sync up, one merged round report down, per engine round.
+// The engine calls Sync from exactly one goroutine, and nothing else uses
+// the connection during a run.
+type ctrlBarrier struct {
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+func (b *ctrlBarrier) Sync(r congest.RoundReport) (congest.RoundReport, error) {
+	if err := b.enc.Encode(ctrlMsg{Type: msgSync, Report: &r}); err != nil {
+		return congest.RoundReport{}, fmt.Errorf("cluster: send round report: %w", err)
+	}
+	var m ctrlMsg
+	if err := b.dec.Decode(&m); err != nil {
+		return congest.RoundReport{}, fmt.Errorf("cluster: await merged report: %w", err)
+	}
+	if m.Type != msgRound || m.Report == nil {
+		return congest.RoundReport{}, fmt.Errorf("cluster: unexpected control message %q awaiting merged report", m.Type)
+	}
+	return *m.Report, nil
+}
+
+// runJob executes one prepare→result cycle. The returned error is a
+// control-transport failure (the peer cannot continue); job-local failures
+// — bad spec, mesh trouble, engine errors — are reported to the coordinator
+// in the ready or result message and leave the peer serving.
+func runJob(conn net.Conn, enc *json.Encoder, dec *json.Decoder, m *ctrlMsg) error {
+	self, peers := m.Peer, m.Peers
+
+	// Validate and stand up the job-scoped mesh listener; a failure still
+	// answers ready (with Err) so the coordinator's handshake never stalls.
+	var g *graph.Graph
+	var jobErr error
+	switch {
+	case m.Graph == nil || m.Task == nil:
+		jobErr = errors.New("cluster: prepare carried no graph or task")
+	case self < 0 || self >= peers:
+		jobErr = fmt.Errorf("cluster: prepare names peer %d of %d", self, peers)
+	default:
+		if jobErr = validateJob(m.Task, peers); jobErr == nil {
+			g, jobErr = m.Graph.Build()
+		}
+	}
+	var ln net.Listener
+	mesh := ""
+	if jobErr == nil {
+		// Listen on the interface the coordinator reached us through, so
+		// the advertised address is dialable by the other peers.
+		host := "127.0.0.1"
+		if ta, ok := conn.LocalAddr().(*net.TCPAddr); ok {
+			host = ta.IP.String()
+		}
+		if ln, jobErr = net.Listen("tcp", net.JoinHostPort(host, "0")); jobErr == nil {
+			defer ln.Close()
+			mesh = ln.Addr().String()
+		}
+	}
+	if err := enc.Encode(ctrlMsg{Type: msgReady, Peer: self, Mesh: mesh, Err: errString(jobErr)}); err != nil {
+		return fmt.Errorf("cluster: send ready: %w", err)
+	}
+
+	var sm ctrlMsg
+	if err := dec.Decode(&sm); err != nil {
+		return fmt.Errorf("cluster: await start: %w", err)
+	}
+	switch sm.Type {
+	case msgAbort:
+		return nil // another peer's prepare failed; back to idle
+	case msgStart:
+	default:
+		return fmt.Errorf("cluster: unexpected control message %q awaiting start", sm.Type)
+	}
+	res := ctrlMsg{Type: msgResult, Peer: self}
+	if jobErr != nil {
+		// A coordinator bug: it started a job we reported unready. Answer
+		// with the error rather than meshing.
+		res.Err = jobErr.Error()
+		return sendResult(enc, &res)
+	}
+
+	links, err := setupMesh(self, sm.Addrs, ln)
+	if err != nil {
+		res.Err = err.Error()
+		return sendResult(enc, &res)
+	}
+	defer closeLinks(links)
+	out, stats, auth, runErr := runClusterTask(g, *m.Task, &congest.ClusterConfig{
+		Peer:     self,
+		Peers:    peers,
+		Exchange: &meshExchanger{self: self, links: links},
+		Barrier:  &ctrlBarrier{enc: enc, dec: dec},
+	})
+	res.Stats = stats
+	res.Authoritative = auth
+	if runErr != nil {
+		res.Err = runErr.Error()
+	} else if auth {
+		b, err := json.Marshal(out)
+		if err != nil {
+			res.Err = fmt.Sprintf("cluster: encode result: %v", err)
+		} else {
+			res.Result = b
+		}
+	}
+	return sendResult(enc, &res)
+}
+
+func sendResult(enc *json.Encoder, res *ctrlMsg) error {
+	if err := enc.Encode(res); err != nil {
+		return fmt.Errorf("cluster: send result: %w", err)
+	}
+	return nil
+}
+
+// runClusterTask runs the task as this peer's shard through the same core
+// entry points the in-process service runners use, plus the cluster config.
+// authoritative reports whether this peer owns the source vertex — its
+// result carries the answer; the other peers contribute engine statistics.
+func runClusterTask(g *graph.Graph, t spec.TaskSpec, cl *congest.ClusterConfig) (out any, stats *congest.Stats, authoritative bool, err error) {
+	if t.Eps == 0 {
+		t.Eps = spec.DefaultEps // the service normalization, replicated identically on every peer
+	}
+	n, p, P := g.N(), cl.Peer, cl.Peers
+	authoritative = t.Source >= p*n/P && t.Source < (p+1)*n/P
+	opts := append(taskOptions(t), core.WithCluster(cl))
+	switch t.Kind {
+	case spec.KindWalk:
+		var r *core.TokenWalkResult
+		r, err = core.TokenWalk(g, t.Source, t.Steps, opts...)
+		if r != nil {
+			out, stats = r, r.Stats
+		}
+	case spec.KindMixing:
+		var r *core.Result
+		r, err = core.MixingTime(g, t.Source, t.Eps, opts...)
+		if r != nil {
+			out, stats = r, r.Stats
+		}
+	case spec.KindLocal:
+		var r *core.Result
+		if t.Exact {
+			r, err = core.ExactLocalMixingTime(g, t.Source, t.Beta, t.Eps, opts...)
+		} else {
+			r, err = core.ApproxLocalMixingTime(g, t.Source, t.Beta, t.Eps, opts...)
+		}
+		if r != nil {
+			out, stats = r, r.Stats
+		}
+	default:
+		err = fmt.Errorf("cluster: kind %s does not distribute", t.Kind)
+	}
+	return out, stats, authoritative, err
+}
+
+// taskOptions renders the spec's engine knobs as core options — the
+// cluster-relevant subset of the service's option mapping (kept in sync
+// with internal/service taskOptions for the ClusterKinds fields).
+func taskOptions(t spec.TaskSpec) []core.Option {
+	var o []core.Option
+	if t.Lazy {
+		o = append(o, core.WithLazy())
+	}
+	if t.Seed != 0 {
+		o = append(o, core.WithSeed(t.Seed))
+	}
+	if t.C != 0 {
+		o = append(o, core.WithC(t.C))
+	}
+	if t.MaxLength != 0 {
+		o = append(o, core.WithMaxLength(t.MaxLength))
+	}
+	if t.Irregular {
+		o = append(o, core.WithIrregular())
+	}
+	if t.Workers != 0 {
+		o = append(o, core.WithWorkers(t.Workers))
+	}
+	if t.TieBreakBits != 0 {
+		o = append(o, core.WithRandomTieBreak(t.TieBreakBits))
+	}
+	if t.MaxRounds != 0 {
+		o = append(o, core.WithMaxRounds(t.MaxRounds))
+	}
+	if t.RetryBudget != 0 {
+		o = append(o, core.WithRetryBudget(t.RetryBudget))
+	}
+	return o
+}

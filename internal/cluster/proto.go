@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/congest"
+	"repro/internal/spec"
+)
+
+// Control-plane message types. Per job, the coordinator and each peer
+// exchange:
+//
+//	peer → coord   hello                       once, on connect
+//	coord → peer   prepare{peer, peers, graph, task}
+//	peer → coord   ready{mesh}                 mesh listener address, or err
+//	coord → peer   start{addrs} | abort        abort when any peer's ready failed
+//	peer → coord   sync{report}                once per engine round
+//	coord → peer   round{report}               the MergeReports fold
+//	peer → coord   result{result, stats, authoritative} or result{err}
+//
+// Every message is one JSON object; the stream framing is encoding/json's
+// value boundaries (newline-delimited in practice).
+const (
+	msgHello   = "hello"
+	msgPrepare = "prepare"
+	msgReady   = "ready"
+	msgStart   = "start"
+	msgAbort   = "abort"
+	msgSync    = "sync"
+	msgRound   = "round"
+	msgResult  = "result"
+)
+
+// ctrlMsg is the control-plane envelope; Type selects which fields are
+// meaningful (see the message table above).
+type ctrlMsg struct {
+	Type  string `json:"type"`
+	Peer  int    `json:"peer,omitempty"`
+	Peers int    `json:"peers,omitempty"`
+	// Mesh is the peer's freshly opened data-plane listener (ready).
+	Mesh string `json:"mesh,omitempty"`
+	// Addrs lists every peer's mesh address, indexed by peer (start).
+	Addrs []string `json:"addrs,omitempty"`
+	// Graph and Task describe the job (prepare).
+	Graph *spec.GraphSpec `json:"graph,omitempty"`
+	Task  *spec.TaskSpec  `json:"task,omitempty"`
+	// Report is one peer's round report (sync) or the merged fold (round).
+	Report *congest.RoundReport `json:"report,omitempty"`
+	// Result is the kind-specific result JSON, sent only by the
+	// authoritative (source-owning) peer.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Stats are the peer's engine counters (result).
+	Stats         *congest.Stats `json:"stats,omitempty"`
+	Authoritative bool           `json:"authoritative,omitempty"`
+	// Err reports a peer-local failure (ready, result).
+	Err string `json:"err,omitempty"`
+}
+
+// Connection-establishment budgets. Once a job is running, rounds have no
+// deadline — the engine computes as long as it computes — but setup steps
+// against unreachable peers must fail instead of hanging the job.
+const (
+	ctrlDialTimeout = 10 * time.Second
+	meshDialTimeout = 10 * time.Second
+	meshSetupBudget = 30 * time.Second
+)
+
+// writeMeshPreamble identifies the dialing peer on a fresh mesh connection:
+// a 4-byte little-endian peer index, the only non-frame bytes the data
+// plane ever carries.
+func writeMeshPreamble(c net.Conn, peer int) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(peer))
+	_, err := c.Write(b[:])
+	return err
+}
+
+func readMeshPreamble(c net.Conn) (int, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return 0, err
+	}
+	return int(int32(binary.LittleEndian.Uint32(b[:]))), nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// validateJob enforces the cluster-computable envelope shared by the
+// coordinator's fast path and every peer's own check: a distributable kind,
+// no churn (providers are service-internal), and a sane peer count.
+func validateJob(ts *spec.TaskSpec, peers int) error {
+	if !spec.ClusterKinds[ts.Kind] {
+		return fmt.Errorf("cluster: kind %s does not distribute (want %s, %s or %s)",
+			ts.Kind, spec.KindLocal, spec.KindMixing, spec.KindWalk)
+	}
+	if ts.Churn != nil {
+		return fmt.Errorf("cluster: churn models are not supported over the wire yet")
+	}
+	if peers < 2 {
+		return fmt.Errorf("cluster: need at least 2 peers, have %d", peers)
+	}
+	return nil
+}

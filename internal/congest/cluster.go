@@ -1,0 +1,336 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/congest/frame"
+)
+
+// Cluster mode: one CONGEST run computed by N cooperating processes. Each
+// peer constructs the full Network (graph, edge index, topology overlay) but
+// owns — steps, seeds, delivers to — only a contiguous vertex range
+// [Peer·n/Peers, (Peer+1)·n/Peers). Remote-destined messages are batched
+// into one frame per peer per round (package frame) and exchanged through
+// the ClusterConfig.Exchange hook; global control decisions (stop,
+// round-limit abort, fast-forward) are replicated from the merged per-round
+// report returned by the ClusterConfig.Barrier hook.
+//
+// Determinism contract: a cluster run with any peer count produces results
+// DeepEqual to the single-process run with the same seed. Three properties
+// carry it: per-node RNG streams depend only on (seed, id); oblivious
+// topology providers are pure functions of (seed, round) and are replayed
+// identically on every peer; and the deliver phase reproduces the canonical
+// (ascending sender id, send order) inbox ordering across processes by
+// merging inbound peer frames around the local mailbox matrix in ascending
+// peer order (peers own ascending id ranges, and each frame is filled in
+// that same canonical order by its sender).
+
+// NoWake is the MinWake identity: the value a RoundReport carries when no
+// stepped-over sleeper exists. Merging reports takes the minimum, so the
+// identity is the maximum representable round.
+const NoWake = int32(math.MaxInt32)
+
+// RoundReport is one peer's contribution to a round's global control
+// decision, and — after merging — the decision's inputs. The engine applies
+// the stop/abort/fast-forward logic locally from the merged values, so the
+// barrier implementation stays a pure fold (MergeReports) with no protocol
+// knowledge.
+type RoundReport struct {
+	// Round is the round being reported (0 for the Init round).
+	Round int
+	// Stepped is the number of Step invocations this round.
+	Stepped int64
+	// Delivered is the number of messages delivered this round.
+	Delivered int64
+	// Halts is the number of nodes that halted this round.
+	Halts int
+	// MinWake is the earliest wake-up round among skipped sleepers, or
+	// NoWake when there are none.
+	MinWake int32
+	// Err is the peer's local run error ("" when healthy); the merged report
+	// carries the first non-empty one in peer order and aborts every peer.
+	Err string
+}
+
+// MergeReports folds per-peer reports of one round into the global report
+// every peer acts on. It is the entire round-barrier decision logic; the
+// coordinator applies it verbatim.
+func MergeReports(reps []RoundReport) RoundReport {
+	m := RoundReport{MinWake: NoWake}
+	for i := range reps {
+		r := &reps[i]
+		m.Round = r.Round
+		m.Stepped += r.Stepped
+		m.Delivered += r.Delivered
+		m.Halts += r.Halts
+		if r.MinWake < m.MinWake {
+			m.MinWake = r.MinWake
+		}
+		if m.Err == "" {
+			m.Err = r.Err
+		}
+	}
+	return m
+}
+
+// Exchanger moves one round's frames between peers. Exchange is called
+// exactly once per round by every peer — even when every outbox is empty —
+// after its step phase and before its deliver phase.
+type Exchanger interface {
+	// Exchange sends out[q] to every peer q (out[self] is ignored) and
+	// returns the frames the other peers sent this round (in[self] is nil).
+	// It blocks until every inbound frame for the round has arrived. The
+	// returned slices remain valid until the next Exchange call; the engine
+	// finishes delivering before it exchanges again.
+	Exchange(round int, out [][]frame.Record) (in [][]frame.Record, err error)
+}
+
+// Barrier synchronizes one global control decision per round. Sync is
+// called exactly once per round by every peer, after delivery.
+type Barrier interface {
+	// Sync submits this peer's report and blocks until every peer's report
+	// for the round has been merged (MergeReports), returning the merged
+	// report. A transport error aborts the run.
+	Sync(r RoundReport) (RoundReport, error)
+}
+
+// ClusterConfig makes a Network one peer of a multi-process run. Cluster
+// runs are restricted to what distributes without a global view: CONGEST
+// model only (payload slabs never cross the wire), no OnRound callback, and
+// no adaptive topology providers (published protocol state is per-peer);
+// oblivious providers work — every peer replays the same (seed, round)
+// deterministic churn on its own full overlay copy.
+type ClusterConfig struct {
+	// Peer is this process's index in [0, Peers).
+	Peer int
+	// Peers is the number of cooperating processes (≥ 2, ≤ the vertex
+	// count so every peer owns at least one vertex).
+	Peers int
+	// Exchange moves the per-round frames (required).
+	Exchange Exchanger
+	// Barrier merges the per-round control reports (required).
+	Barrier Barrier
+}
+
+// validate rejects configurations that cannot hold the determinism
+// contract; called by NewNetwork.
+func (cl *ClusterConfig) validate(n int, cfg *Config) error {
+	switch {
+	case cl.Peers < 2:
+		return errors.New("congest: cluster mode needs at least 2 peers")
+	case cl.Peer < 0 || cl.Peer >= cl.Peers:
+		return fmt.Errorf("congest: cluster peer %d out of range [0,%d)", cl.Peer, cl.Peers)
+	case cl.Peers > n:
+		return fmt.Errorf("congest: %d cluster peers over %d nodes: every peer must own a vertex", cl.Peers, n)
+	case cl.Exchange == nil || cl.Barrier == nil:
+		return errors.New("congest: cluster mode needs an Exchanger and a Barrier")
+	case cfg.Model != CONGEST:
+		return errors.New("congest: cluster mode is CONGEST-only (payload slabs do not cross the wire)")
+	case cfg.OnRound != nil:
+		return errors.New("congest: OnRound is unavailable in cluster mode (no peer sees the whole network)")
+	case IsAdaptive(cfg.Topology):
+		return errors.New("congest: adaptive topology providers are unavailable in cluster mode (published state is per-peer)")
+	}
+	return nil
+}
+
+// wireTransport is the cluster deliver phase: merge the shards' remote
+// outboxes into one record batch per peer, exchange frames, then run the
+// halo-aware local drain (shard.runDeliverWire) over the inbound frames.
+type wireTransport struct{}
+
+func (wireTransport) deliver(n *Network) error {
+	cl := n.cfg.Cluster
+	for p := range n.wireOut {
+		n.wireOut[p] = n.wireOut[p][:0]
+	}
+	for w := range n.shards {
+		sh := &n.shards[w]
+		for p := range sh.wireOut {
+			// Shards hold ascending id ranges and step in ascending id
+			// order, so appending shard by shard preserves the canonical
+			// frame order.
+			n.wireOut[p] = append(n.wireOut[p], sh.wireOut[p]...)
+			sh.wireOut[p] = sh.wireOut[p][:0]
+		}
+	}
+	in, err := cl.Exchange.Exchange(n.round, n.wireOut)
+	if err != nil {
+		return fmt.Errorf("congest: cluster exchange (round %d): %w", n.round, err)
+	}
+	n.wireIn = in
+	for p := range n.wireOut {
+		if p == cl.Peer {
+			continue
+		}
+		n.stats.FramesSent++
+		n.stats.WireBytes += int64(frame.OverheadBytes + frame.RecordBytes*len(n.wireOut[p]))
+	}
+	n.stats.FramesRecv += int64(cl.Peers - 1)
+	n.runPhase(phaseDeliver)
+	return nil
+}
+
+// runDeliverWire is the cluster variant of the deliver drain: inbound peer
+// frames merge around the local mailbox matrix in ascending peer order,
+// reproducing the canonical (ascending sender, send order) inbox ordering
+// across process boundaries. Bounces never cross the wire (they are
+// sender-local by construction), so inbound records all count as delivered
+// traffic.
+func (sh *shard) runDeliverWire() {
+	net := sh.net
+	cl := net.cfg.Cluster
+	rnd := int32(net.round + 1)
+	for p := 0; p < cl.Peers; p++ {
+		if p == cl.Peer {
+			sh.drainLocal()
+			continue
+		}
+		for _, r := range net.wireIn[p] {
+			if r.To < sh.lo || r.To >= sh.hi {
+				continue
+			}
+			sh.msgs++
+			sh.bits += int64(r.Bits)
+			dst := &net.ctxs[r.To]
+			if dst.halted {
+				continue
+			}
+			m := Message{
+				From: r.From, Round: rnd,
+				Kind: r.Kind, Flags: r.Flags, Seq: r.Seq,
+				Value: r.Value, Aux: r.Aux, Bits: r.Bits,
+			}
+			if dst.sleep > rnd && len(dst.inbox) == 0 {
+				sh.wakes++
+			}
+			if len(dst.inbox) == cap(dst.inbox) {
+				sh.deliverGrows++
+			}
+			dst.inbox = append(dst.inbox, m)
+		}
+	}
+}
+
+// runCluster is the cluster round loop, entered after the Init round's
+// delivery. Every global decision — stop, round-limit abort, error abort,
+// fast-forward — is computed from the barrier-merged report with the same
+// logic as the single-process loop, so all peers advance their round
+// counters in lockstep and a cluster run's Stats.Rounds/SkippedRounds match
+// the single-process run exactly.
+func (n *Network) runCluster(localHalts int, delivered0 int64) (*Stats, error) {
+	nn := n.g.N()
+	rep, err := n.barrierSync(RoundReport{Round: 0, Delivered: delivered0, Halts: localHalts, MinWake: NoWake})
+	if err != nil {
+		return n.finalize(), err
+	}
+	if rep.Err != "" {
+		return n.finalize(), fmt.Errorf("congest: cluster aborted in round 0: %s", rep.Err)
+	}
+	halted := rep.Halts
+	for halted < nn {
+		n.round++
+		if n.round > n.cfg.MaxRounds {
+			// Deterministic on every peer (same MaxRounds, same round), so
+			// no barrier is needed to abort together.
+			n.round--
+			return n.finalize(), fmt.Errorf("%w after %d rounds (%d/%d nodes halted)", ErrRoundLimit, n.cfg.MaxRounds, halted, nn)
+		}
+		if n.cfg.Topology != nil {
+			n.cfg.Topology.ApplyRound(n.round, &n.topo)
+		}
+		for i := range n.shards {
+			n.shards[i].arena.flip()
+		}
+		n.runPhase(phaseStep)
+		stepped, minWake, halts, stepErr := n.mergeStep()
+		// A local step error (illegal send, bandwidth violation) must not
+		// skip the exchange and barrier: the other peers are blocked on this
+		// round's frames. Complete the round, then report the error.
+		if err := n.transport.deliver(n); err != nil {
+			return n.finalize(), err
+		}
+		delivered := n.mergeDeliver()
+		rep, err := n.barrierSync(RoundReport{
+			Round: n.round, Stepped: stepped, Delivered: delivered,
+			Halts: halts, MinWake: minWake, Err: errString(stepErr),
+		})
+		if err != nil {
+			return n.finalize(), err
+		}
+		if rep.Err != "" {
+			if stepErr != nil {
+				return n.finalize(), stepErr
+			}
+			return n.finalize(), fmt.Errorf("congest: cluster aborted in round %d: %s", n.round, rep.Err)
+		}
+		halted += rep.Halts
+		if halted < nn && rep.Stepped == 0 && rep.Delivered == 0 && rep.MinWake != noWake && n.cfg.Topology == nil {
+			target := int(rep.MinWake)
+			if target > n.cfg.MaxRounds {
+				target = n.cfg.MaxRounds + 1
+			}
+			if target-1 > n.round {
+				n.stats.SkippedRounds += int64(target - 1 - n.round)
+				n.round = target - 1
+			}
+		}
+	}
+	st := n.finalize()
+	st.HaltedAll = true
+	return st, nil
+}
+
+func (n *Network) barrierSync(r RoundReport) (RoundReport, error) {
+	rep, err := n.cfg.Cluster.Barrier.Sync(r)
+	if err != nil {
+		return RoundReport{}, fmt.Errorf("congest: cluster barrier (round %d): %w", r.Round, err)
+	}
+	return rep, nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// MergeStats folds the per-peer Stats of one cluster run into the Stats the
+// single-process run would report — with three deliberate exceptions.
+// Traffic and liveness counters sum; MaxEdgeBits is a max; the lockstep
+// counters (Rounds, SkippedRounds, TopologyChanges) are identical on every
+// peer and taken from the first; HaltedAll holds only if it holds
+// everywhere. The exceptions are the execution-artifact counters: StepGrows
+// and DeliverGrows describe per-process buffer warmup (they already vary
+// with the worker count in loopback runs) and the wire counters
+// (WireBytes, FramesSent, FramesRecv) describe the transport itself — all
+// of which are zero in a single-process run's Stats only by accident of
+// execution, so comparisons should mask them (as the determinism tests do).
+func MergeStats(sts []Stats) Stats {
+	if len(sts) == 0 {
+		return Stats{}
+	}
+	m := sts[0]
+	for _, s := range sts[1:] {
+		m.Messages += s.Messages
+		m.Bits += s.Bits
+		m.ActiveSteps += s.ActiveSteps
+		m.SleepSkips += s.SleepSkips
+		m.Wakeups += s.Wakeups
+		m.PayloadWords += s.PayloadWords
+		m.DroppedSends += s.DroppedSends
+		m.StepGrows += s.StepGrows
+		m.DeliverGrows += s.DeliverGrows
+		m.WireBytes += s.WireBytes
+		m.FramesSent += s.FramesSent
+		m.FramesRecv += s.FramesRecv
+		if s.MaxEdgeBits > m.MaxEdgeBits {
+			m.MaxEdgeBits = s.MaxEdgeBits
+		}
+		m.HaltedAll = m.HaltedAll && s.HaltedAll
+	}
+	return m
+}

@@ -1,0 +1,310 @@
+package congest
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/congest/frame"
+	"repro/internal/graph"
+)
+
+// ---- in-memory cluster fabric ----
+//
+// The tests below run N peers as goroutines wired through channels: a
+// cap-1 channel per directed peer pair carries the per-round record
+// batches, and a generation barrier folds the round reports with
+// MergeReports — the exact contract the TCP fabric in internal/cluster
+// implements over the wire. A channel send can never block: the engine's
+// barrier-after-deliver guarantees the receiver drained round r before the
+// sender can produce round r+1.
+
+type memHub struct {
+	ch [][]chan []frame.Record // ch[from][to]
+}
+
+func newMemHub(peers int) *memHub {
+	h := &memHub{ch: make([][]chan []frame.Record, peers)}
+	for i := range h.ch {
+		h.ch[i] = make([]chan []frame.Record, peers)
+		for j := range h.ch[i] {
+			h.ch[i][j] = make(chan []frame.Record, 1)
+		}
+	}
+	return h
+}
+
+type memExchanger struct {
+	hub  *memHub
+	self int
+}
+
+func (e *memExchanger) Exchange(round int, out [][]frame.Record) ([][]frame.Record, error) {
+	for q := range out {
+		if q == e.self {
+			continue
+		}
+		e.hub.ch[e.self][q] <- append([]frame.Record(nil), out[q]...)
+	}
+	in := make([][]frame.Record, len(out))
+	for q := range out {
+		if q == e.self {
+			continue
+		}
+		in[q] = <-e.hub.ch[q][e.self]
+	}
+	return in, nil
+}
+
+type memBarrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	peers  int
+	reps   []RoundReport
+	gen    int
+	merged RoundReport
+}
+
+func newMemBarrier(peers int) *memBarrier {
+	b := &memBarrier{peers: peers}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *memBarrier) Sync(r RoundReport) (RoundReport, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.reps = append(b.reps, r)
+	if len(b.reps) == b.peers {
+		b.merged = MergeReports(b.reps)
+		b.reps = b.reps[:0]
+		b.gen++
+		b.cond.Broadcast()
+		return b.merged, nil
+	}
+	for b.gen == gen {
+		b.cond.Wait()
+	}
+	return b.merged, nil
+}
+
+// runClusterPeers executes one cluster run of newProc over g: `peers`
+// networks in goroutines, wired through the in-memory fabric. Returns the
+// per-peer stats in peer order and the first per-peer error.
+func runClusterPeers(t *testing.T, g *graph.Graph, peers, workers int, cfg Config, newProc func(id int) Process) ([]Stats, error) {
+	t.Helper()
+	hub := newMemHub(peers)
+	bar := newMemBarrier(peers)
+	stats := make([]Stats, peers)
+	errs := make([]error, peers)
+	var wg sync.WaitGroup
+	for p := 0; p < peers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			pc := cfg
+			pc.Workers = workers
+			pc.Cluster = &ClusterConfig{
+				Peer: p, Peers: peers,
+				Exchange: &memExchanger{hub: hub, self: p},
+				Barrier:  bar,
+			}
+			net, err := NewNetwork(g, pc)
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			st, err := net.Run(newProc)
+			stats[p] = *st
+			errs[p] = err
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// maskExecutionStats zeroes the counters that legitimately depend on how a
+// run executed rather than what it computed: buffer warmup and the wire
+// itself (see MergeStats).
+func maskExecutionStats(s Stats) Stats {
+	s.StepGrows, s.DeliverGrows = 0, 0
+	s.WireBytes, s.FramesSent, s.FramesRecv = 0, 0, 0
+	return s
+}
+
+// TestClusterDeterminism is the determinism contract of cluster mode: the
+// messy mixProc workload (RNG traffic, sleeps, replies, staggered halts)
+// must produce per-node results and merged engine statistics identical to
+// the single-process run, for several peer and worker counts.
+func TestClusterDeterminism(t *testing.T) {
+	g := torusGraph(12) // n = 144
+	ref := make([]*mixProc, g.N())
+	refNet, err := NewNetwork(g, Config{Workers: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStats, err := refNet.Run(func(id int) Process {
+		ref[id] = &mixProc{id: id}
+		return ref[id]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ peers, workers int }{
+		{2, 1}, {3, 1}, {3, 4}, {5, 2}, {144, 1},
+	} {
+		procs := make([]*mixProc, g.N())
+		stats, err := runClusterPeers(t, g, tc.peers, tc.workers, Config{Seed: 42}, func(id int) Process {
+			procs[id] = &mixProc{id: id}
+			return procs[id]
+		})
+		if err != nil {
+			t.Fatalf("peers=%d workers=%d: %v", tc.peers, tc.workers, err)
+		}
+		for u := range procs {
+			if procs[u] == nil {
+				t.Fatalf("peers=%d: node %d never constructed", tc.peers, u)
+			}
+			if procs[u].acc != ref[u].acc || len(procs[u].trace) != len(ref[u].trace) {
+				t.Fatalf("peers=%d workers=%d: node %d diverged (acc %d vs %d, %d vs %d trace entries)",
+					tc.peers, tc.workers, u, procs[u].acc, ref[u].acc, len(procs[u].trace), len(ref[u].trace))
+			}
+			for i := range procs[u].trace {
+				if procs[u].trace[i] != ref[u].trace[i] {
+					t.Fatalf("peers=%d: node %d trace[%d] diverged", tc.peers, u, i)
+				}
+			}
+		}
+		merged := MergeStats(stats)
+		if !merged.HaltedAll {
+			t.Fatalf("peers=%d: merged stats not HaltedAll", tc.peers)
+		}
+		if tc.peers > 1 && (merged.FramesSent == 0 || merged.WireBytes == 0) {
+			t.Fatalf("peers=%d: no wire traffic recorded: %+v", tc.peers, merged)
+		}
+		if merged.FramesSent != merged.FramesRecv {
+			t.Fatalf("peers=%d: %d frames sent, %d received", tc.peers, merged.FramesSent, merged.FramesRecv)
+		}
+		a, b := maskExecutionStats(merged), maskExecutionStats(*refStats)
+		if a != b {
+			t.Errorf("peers=%d workers=%d: merged stats\n %+v\nwant\n %+v", tc.peers, tc.workers, a, b)
+		}
+	}
+	if refStats.WireBytes != 0 || refStats.FramesSent != 0 || refStats.FramesRecv != 0 {
+		t.Errorf("loopback run recorded wire traffic: %+v", refStats)
+	}
+}
+
+// sleeperProc sleeps far ahead and halts on wake; the whole network goes
+// quiet, so the engine must fast-forward — and in cluster mode every peer
+// must skip the same rounds from the barrier-merged MinWake.
+type sleeperProc struct{ id int }
+
+func (p *sleeperProc) Init(ctx *Context) {}
+func (p *sleeperProc) Step(ctx *Context) {
+	if ctx.Round() < 2 {
+		ctx.Sleep(40 + p.id%3)
+		return
+	}
+	ctx.Halt()
+}
+
+func TestClusterFastForwardMatchesLoopback(t *testing.T) {
+	g := torusGraph(8)
+	newProc := func(id int) Process { return &sleeperProc{id: id} }
+	refNet, err := NewNetwork(g, Config{Workers: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStats, err := refNet.Run(newProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refStats.SkippedRounds == 0 {
+		t.Fatal("workload did not exercise fast-forward")
+	}
+	stats, err := runClusterPeers(t, g, 3, 1, Config{Seed: 7}, newProc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeStats(stats)
+	if a, b := maskExecutionStats(merged), maskExecutionStats(*refStats); a != b {
+		t.Errorf("cluster fast-forward stats\n %+v\nwant\n %+v", a, b)
+	}
+	for p, st := range stats {
+		if st.Rounds != refStats.Rounds || st.SkippedRounds != refStats.SkippedRounds {
+			t.Errorf("peer %d: rounds %d (skipped %d), want %d (%d)",
+				p, st.Rounds, st.SkippedRounds, refStats.Rounds, refStats.SkippedRounds)
+		}
+	}
+}
+
+// overSender floods one edge far past the budget in round 3: the peer
+// owning node 0 hits a BandwidthError mid-run and every peer must abort —
+// through the barrier, without deadlocking the others.
+type overSender struct{ id int }
+
+func (p *overSender) Init(ctx *Context) {}
+func (p *overSender) Step(ctx *Context) {
+	if p.id == 0 && ctx.Round() == 3 {
+		for i := 0; i < 64; i++ {
+			ctx.SendNbr(0, Message{Kind: 1, Seq: int32(i), Bits: 1 << 20})
+		}
+		return
+	}
+	if ctx.Round() > 10 {
+		ctx.Halt()
+	}
+}
+
+func TestClusterPropagatesRunErrors(t *testing.T) {
+	g := torusGraph(8)
+	stats, err := runClusterPeers(t, g, 3, 1, Config{Seed: 1}, func(id int) Process { return &overSender{id: id} })
+	if err == nil {
+		t.Fatalf("cluster run swallowed the bandwidth violation: %+v", stats)
+	}
+	var bw *BandwidthError
+	if !errors.As(err, &bw) && !strings.Contains(err.Error(), "bandwidth violation") {
+		t.Fatalf("error lost the violation: %v", err)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	g := torusGraph(4)
+	ex := &memExchanger{hub: newMemHub(2), self: 0}
+	bar := newMemBarrier(2)
+	ok := ClusterConfig{Peer: 0, Peers: 2, Exchange: ex, Barrier: bar}
+	cases := map[string]Config{
+		"one peer":       {Cluster: &ClusterConfig{Peer: 0, Peers: 1, Exchange: ex, Barrier: bar}},
+		"peer range":     {Cluster: &ClusterConfig{Peer: 2, Peers: 2, Exchange: ex, Barrier: bar}},
+		"too many peers": {Cluster: &ClusterConfig{Peer: 0, Peers: 17, Exchange: ex, Barrier: bar}},
+		"missing fabric": {Cluster: &ClusterConfig{Peer: 0, Peers: 2}},
+		"local model":    {Model: LOCAL, Cluster: &ok},
+		"onround":        {OnRound: func(int) bool { return false }, Cluster: &ok},
+		"adaptive churn": {Topology: adaptiveStub{}, Cluster: &ok},
+	}
+	for name, cfg := range cases {
+		if _, err := NewNetwork(g, cfg); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+	if _, err := NewNetwork(g, Config{Cluster: &ok}); err != nil {
+		t.Errorf("valid cluster config rejected: %v", err)
+	}
+}
+
+// adaptiveStub is the minimal AdaptiveProvider: validation must reject it
+// in cluster mode.
+type adaptiveStub struct{}
+
+func (adaptiveStub) Start(*Topology)           {}
+func (adaptiveStub) ApplyRound(int, *Topology) {}
+func (adaptiveStub) Adaptive() bool            { return true }

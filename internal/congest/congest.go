@@ -113,6 +113,13 @@ type Config struct {
 	// statelessness contract may be shared across the worker networks of a
 	// sweep.
 	Topology TopologyProvider
+	// Cluster, when non-nil, makes this network one peer of a multi-process
+	// run: only the peer's contiguous vertex range is computed here, and the
+	// deliver phase exchanges frames with the other peers (see
+	// ClusterConfig). Results are DeepEqual to the single-process run for
+	// any peer count. Cluster runs are CONGEST-only and exclude OnRound and
+	// adaptive topology providers.
+	Cluster *ClusterConfig
 }
 
 // BandwidthFactor is the constant in the default per-edge budget
@@ -190,4 +197,13 @@ type Stats struct {
 	// Dynamic-topology counters (zero on static networks).
 	TopologyChanges int64 // edge activations/deactivations applied by the provider
 	DroppedSends    int64 // volatile sends bounced off inactive edges
+
+	// Cluster transport counters (zero on loopback runs). Like the Grows
+	// counters they describe the execution, not the simulation: WireBytes is
+	// the frame bytes this peer put on the wire, FramesSent/FramesRecv the
+	// per-round peer frames exchanged (one frame per remote peer per round,
+	// empty or not).
+	WireBytes  int64
+	FramesSent int64
+	FramesRecv int64
 }

@@ -1,6 +1,10 @@
 package congest
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/congest/frame"
+)
 
 // Context is the per-node view of the network, passed to Init and Step.
 // Contexts are owned by the engine; algorithms must not retain them across
@@ -199,6 +203,24 @@ func (c *Context) deposit(slot, to int32, m Message) {
 	}
 	m.From = c.id
 	s := c.net.owner[to]
+	if s < 0 {
+		// Cluster mode: the destination lives on peer -1-s. Queue the wire
+		// record in this shard's per-peer outbox; the transport batches the
+		// shard outboxes into one frame per peer at the round boundary. The
+		// bandwidth charge already happened above — the sender owns the
+		// directed edge's accounting regardless of where the receiver runs.
+		p := -1 - s
+		buf := c.sh.wireOut[p]
+		if len(buf) == cap(buf) {
+			c.sh.stepGrows++
+		}
+		c.sh.wireOut[p] = append(buf, frame.Record{
+			To: to, From: c.id, Seq: m.Seq,
+			Value: m.Value, Aux: m.Aux, Bits: m.Bits,
+			Kind: m.Kind, Flags: m.Flags,
+		})
+		return
+	}
 	buf := c.sh.out[s]
 	if len(buf) == cap(buf) {
 		c.sh.stepGrows++

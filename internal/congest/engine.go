@@ -2,16 +2,11 @@ package congest
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sync"
-)
 
-// pend is one queued message in a sharded mailbox.
-type pend struct {
-	to  int32
-	msg Message
-}
+	"repro/internal/congest/frame"
+)
 
 const (
 	phaseStep int8 = iota
@@ -25,7 +20,7 @@ const (
 	// result — is identical either way).
 	parallelMin = 64
 
-	noWake = int32(math.MaxInt32)
+	noWake = NoWake
 )
 
 // shard owns a contiguous range of nodes: it steps them, receives their
@@ -48,6 +43,11 @@ type shard struct {
 
 	// arena stores this shard's outgoing []int32 payload slabs.
 	arena payloadArena
+
+	// wireOut[p] buffers this shard's records destined to cluster peer p, in
+	// send order (nil outside cluster mode). Truncated (never freed) when
+	// the transport merges them into the per-peer frames.
+	wireOut [][]frame.Record
 
 	// Per-phase accumulators, merged and reset by the control loop.
 	steps        int64
@@ -97,41 +97,6 @@ func (sh *shard) runStep() {
 		w++
 	}
 	sh.live = sh.live[:w]
-}
-
-// runDeliver drains every shard's mailbox destined to this shard, in shard
-// order. Because shards are contiguous ascending id ranges and each shard
-// steps in ascending id order, the drain reproduces the canonical
-// (ascending sender, send order) inbox ordering for any worker count.
-func (sh *shard) runDeliver() {
-	net := sh.net
-	rnd := int32(net.round + 1)
-	for w := range net.shards {
-		src := &net.shards[w]
-		buf := src.out[sh.idx]
-		for i := range buf {
-			if buf[i].msg.Flags&FlagBounced == 0 {
-				// Bounces are excluded from the message/bit accounting:
-				// nothing traversed an edge (Stats.DroppedSends counts them).
-				sh.msgs++
-				sh.bits += int64(buf[i].msg.Bits)
-			}
-			dst := &net.ctxs[buf[i].to]
-			if dst.halted {
-				continue // counted, never read: drop instead of hoarding
-			}
-			m := buf[i].msg
-			m.Round = rnd
-			if dst.sleep > rnd && len(dst.inbox) == 0 {
-				sh.wakes++
-			}
-			if len(dst.inbox) == cap(dst.inbox) {
-				sh.deliverGrows++
-			}
-			dst.inbox = append(dst.inbox, m)
-		}
-		src.out[sh.idx] = buf[:0]
-	}
 }
 
 // workerPool keeps one goroutine per shard alive for the whole run; phases
@@ -264,9 +229,19 @@ func (n *Network) finalize() *Stats {
 // unaffected by later runs. Concurrent Runs on one network are not allowed.
 func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 	nn := n.g.N()
+	// lo/hi is the vertex range this process owns: the whole graph in
+	// single-process mode, this peer's contiguous slice in cluster mode.
+	// Only owned vertices are seeded, initialized, stepped and delivered to;
+	// shards partition the owned range.
+	lo, hi := 0, nn
+	cl := n.cfg.Cluster
+	if cl != nil {
+		lo, hi = cl.Peer*nn/cl.Peers, (cl.Peer+1)*nn/cl.Peers
+	}
+	local := hi - lo
 	nw := n.cfg.Workers
-	if nw > nn {
-		nw = nn
+	if nw > local {
+		nw = local
 	}
 	if nw > maxShards {
 		nw = maxShards
@@ -288,17 +263,34 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 		n.owner = make([]int32, nn)
 		n.shards = make([]shard, nw)
 		for w := range n.shards {
-			lo, hi := w*nn/nw, (w+1)*nn/nw
+			slo, shi := lo+w*local/nw, lo+(w+1)*local/nw
 			sh := &n.shards[w]
 			sh.net = n
 			sh.idx = int32(w)
-			sh.lo, sh.hi = int32(lo), int32(hi)
+			sh.lo, sh.hi = int32(slo), int32(shi)
 			sh.out = make([][]pend, nw)
 			sh.minWake = noWake
-			sh.live = make([]int32, 0, hi-lo)
-			for u := lo; u < hi; u++ {
+			sh.live = make([]int32, 0, shi-slo)
+			for u := slo; u < shi; u++ {
 				n.owner[u] = int32(w)
 			}
+			if cl != nil {
+				sh.wireOut = make([][]frame.Record, cl.Peers)
+			}
+		}
+		if cl != nil {
+			// Remote vertices carry their owning peer in the owner slab,
+			// encoded as -1-peer so deposit distinguishes local shard
+			// routing (≥ 0) from wire routing (< 0) with one comparison.
+			for p := 0; p < cl.Peers; p++ {
+				if p == cl.Peer {
+					continue
+				}
+				for u := p * nn / cl.Peers; u < (p+1)*nn/cl.Peers; u++ {
+					n.owner[u] = int32(-1 - p)
+				}
+			}
+			n.wireOut = make([][]frame.Record, cl.Peers)
 		}
 		n.rngSrcs = make([]splitmix64, nn)
 		n.rngs = make([]rand.Rand, nn)
@@ -321,10 +313,12 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 		n.resetTopology()
 		n.cfg.Topology.Start(&n.topo)
 	}
-	for u := 0; u < nn; u++ {
+	for u := lo; u < hi; u++ {
 		// Reseed in place: splitmix64 seeds in one word, so per-run RNG
 		// setup is two slab passes, no allocation. rand.New's temporary
 		// stays on the stack because only the dereferenced value is stored.
+		// Cluster peers seed only their owned range; nodeSeed depends only
+		// on (seed, id), so node u's stream is identical wherever it runs.
 		n.rngSrcs[u].x = uint64(nodeSeed(n.cfg.Seed, u))
 		n.rngs[u] = *rand.New(&n.rngSrcs[u])
 		inbox := n.ctxs[u].inbox[:0] // keep the warm capacity across runs
@@ -337,7 +331,7 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 		}
 		n.procs[u] = newProc(u)
 	}
-	if nw > 1 && nn >= parallelMin {
+	if nw > 1 && local >= parallelMin {
 		n.startPool()
 		defer func() {
 			n.pool.stop()
@@ -345,12 +339,21 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 		}()
 	}
 
-	// Round 0: Init everyone (sequential: Init is cheap and often empty).
+	// Round 0: Init every owned node (sequential: Init is cheap and often
+	// empty).
 	n.round = 0
-	for u := 0; u < nn; u++ {
+	var initErr error
+	for u := lo; u < hi; u++ {
 		n.procs[u].Init(&n.ctxs[u])
 		if err := n.ctxs[u].err; err != nil {
-			return n.finalize(), err
+			if cl == nil {
+				return n.finalize(), err
+			}
+			// A cluster peer cannot bail here: the others are already
+			// blocked on the round-0 exchange. Complete the round and
+			// report the error through the barrier.
+			initErr = err
+			break
 		}
 	}
 	halted := 0
@@ -364,8 +367,19 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 			}
 		}
 	}
-	n.runPhase(phaseDeliver)
-	n.mergeDeliver()
+	if err := n.transport.deliver(n); err != nil {
+		return n.finalize(), err
+	}
+	delivered0 := n.mergeDeliver()
+	if cl != nil {
+		if initErr != nil {
+			if _, err := n.barrierSync(RoundReport{Round: 0, MinWake: NoWake, Err: initErr.Error()}); err != nil {
+				return n.finalize(), err
+			}
+			return n.finalize(), initErr
+		}
+		return n.runCluster(halted, delivered0)
+	}
 
 	for halted < nn {
 		n.round++
@@ -387,7 +401,7 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 			return n.finalize(), err
 		}
 		halted += halts
-		n.runPhase(phaseDeliver)
+		n.transport.deliver(n) // loopback: never errors
 		delivered := n.mergeDeliver()
 		if n.cfg.OnRound != nil {
 			if n.cfg.OnRound(n.round) {

@@ -1,0 +1,28 @@
+// Package frame is the wire codec of cluster mode: a length-prefixed binary
+// framing of one shard group's per-round CONGEST traffic to one peer.
+//
+// A frame is the unit the transport sends per (peer, round): every message a
+// cluster peer's local shards queued for one remote peer in one round,
+// batched into a single write. The layout is fixed-width little-endian:
+//
+//	offset  size  field
+//	0       4     payload length L (bytes after this prefix; ≤ MaxFrameBytes)
+//	4       4     magic "LMF1" (rejects cross-protocol and misframed reads)
+//	8       4     round the traffic was sent in
+//	12      4     sending peer index
+//	16      4     record count C (L = 16 + C·RecordBytes)
+//	20      C·34  records
+//
+// Each record is one congest.Message with its destination vertex — the fixed
+// fields only; payload slabs are a LOCAL-model facility and never cross the
+// wire (cluster runs are CONGEST-only). Records preserve send order: the
+// engine fills frames in (ascending sender id, send order) and the receiver
+// replays them in peer order, which is what keeps a cluster run's delivery
+// order — and therefore its results — byte-identical to the single-process
+// run.
+//
+// Decoding is defensive end to end: a bad magic, an oversized or undersized
+// length prefix, a count disagreeing with the length, or a truncated record
+// slab all return errors (never panic, never over-allocate), enforced by
+// FuzzFrameDecode.
+package frame

@@ -1,0 +1,208 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record is one CONGEST message on the wire: the fixed congest.Message
+// fields plus the destination vertex. Field order matches the encoded
+// layout; all multi-byte fields are little-endian.
+type Record struct {
+	// To is the destination vertex (owned by the receiving peer).
+	To int32
+	// From is the sending vertex (owned by the sending peer), or — for the
+	// engine's bounce of a volatile send — the unreachable neighbor.
+	From int32
+	// Seq is the message sequence number.
+	Seq int32
+	// Value and Aux are the two integer payload words.
+	Value int64
+	Aux   int64
+	// Bits is the size charged against the CONGEST bandwidth budget.
+	Bits int32
+	// Kind is the protocol message tag.
+	Kind uint8
+	// Flags carries the congest message flags (FlagVolatile, FlagBounced).
+	Flags uint8
+}
+
+// RecordBytes is the encoded size of one Record.
+const RecordBytes = 34
+
+// headerBytes is the fixed post-prefix header size: magic, round, peer, count.
+const headerBytes = 20
+
+// MaxFrameBytes bounds the payload length a decoder will accept: a guard
+// against allocating attacker-controlled (or corrupted) sizes. 1 GiB of
+// records is far beyond any round's traffic on a graph that fits in memory.
+const MaxFrameBytes = 1 << 30
+
+// magic tags every frame; a mismatch means the stream is not (or no longer)
+// frame-aligned.
+const magic = uint32('L') | uint32('M')<<8 | uint32('F')<<16 | uint32('1')<<24
+
+// ErrFrame tags every decoding failure.
+var ErrFrame = errors.New("frame: malformed frame")
+
+// Append encodes one frame — prefix, header and records — onto dst and
+// returns the extended slice. The records are written in the order given;
+// the engine's contract is (ascending sender id, send order).
+func Append(dst []byte, round, peer int, recs []Record) []byte {
+	payload := headerBytes - 4 + len(recs)*RecordBytes
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payload))
+	dst = binary.LittleEndian.AppendUint32(dst, magic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(round))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(peer))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for i := range recs {
+		dst = appendRecord(dst, &recs[i])
+	}
+	return dst
+}
+
+func appendRecord(dst []byte, r *Record) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.To))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Seq))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Value))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Aux))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Bits))
+	return append(dst, r.Kind, r.Flags)
+}
+
+func decodeRecord(b []byte, r *Record) {
+	r.To = int32(binary.LittleEndian.Uint32(b))
+	r.From = int32(binary.LittleEndian.Uint32(b[4:]))
+	r.Seq = int32(binary.LittleEndian.Uint32(b[8:]))
+	r.Value = int64(binary.LittleEndian.Uint64(b[12:]))
+	r.Aux = int64(binary.LittleEndian.Uint64(b[20:]))
+	r.Bits = int32(binary.LittleEndian.Uint32(b[28:]))
+	r.Kind = b[32]
+	r.Flags = b[33]
+}
+
+// Decode parses one whole frame from the front of b, appending its records
+// onto recs (pass a truncated reusable slice to amortize). It returns the
+// frame's round and sending peer, the extended record slice, and the rest of
+// b past the frame. Every malformation — short prefix, bad magic, oversized
+// or inconsistent length, truncated records — is an ErrFrame-tagged error.
+func Decode(b []byte, recs []Record) (round, peer int, out []Record, rest []byte, err error) {
+	if len(b) < 4 {
+		return 0, 0, recs, b, fmt.Errorf("%w: %d bytes, need a 4-byte length prefix", ErrFrame, len(b))
+	}
+	payload := binary.LittleEndian.Uint32(b)
+	if payload > MaxFrameBytes {
+		return 0, 0, recs, b, fmt.Errorf("%w: length prefix %d exceeds the %d-byte cap", ErrFrame, payload, MaxFrameBytes)
+	}
+	if uint32(len(b)-4) < payload {
+		return 0, 0, recs, b, fmt.Errorf("%w: truncated frame: prefix says %d bytes, %d available", ErrFrame, payload, len(b)-4)
+	}
+	body := b[4 : 4+payload]
+	round, peer, n, err := parseHeader(body)
+	if err != nil {
+		return 0, 0, recs, b, err
+	}
+	body = body[headerBytes-4:]
+	for i := 0; i < n; i++ {
+		var r Record
+		decodeRecord(body[i*RecordBytes:], &r)
+		recs = append(recs, r)
+	}
+	return round, peer, recs, b[4+payload:], nil
+}
+
+// parseHeader validates a frame body (everything after the length prefix)
+// and returns round, peer and record count.
+func parseHeader(body []byte) (round, peer, n int, err error) {
+	if len(body) < headerBytes-4 {
+		return 0, 0, 0, fmt.Errorf("%w: %d-byte body, need a %d-byte header", ErrFrame, len(body), headerBytes-4)
+	}
+	if m := binary.LittleEndian.Uint32(body); m != magic {
+		return 0, 0, 0, fmt.Errorf("%w: bad magic %#x", ErrFrame, m)
+	}
+	round = int(int32(binary.LittleEndian.Uint32(body[4:])))
+	peer = int(int32(binary.LittleEndian.Uint32(body[8:])))
+	count := binary.LittleEndian.Uint32(body[12:])
+	want := uint64(count) * RecordBytes
+	if got := uint64(len(body) - (headerBytes - 4)); got != want {
+		return 0, 0, 0, fmt.Errorf("%w: count %d wants %d record bytes, body carries %d", ErrFrame, count, want, got)
+	}
+	if round < 0 || peer < 0 {
+		return 0, 0, 0, fmt.Errorf("%w: negative round %d or peer %d", ErrFrame, round, peer)
+	}
+	return round, peer, int(count), nil
+}
+
+// Writer frames records onto an io.Writer, reusing one encode buffer across
+// frames. Not safe for concurrent use.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteFrame encodes and writes one frame, returning the bytes put on the
+// wire.
+func (fw *Writer) WriteFrame(round, peer int, recs []Record) (int, error) {
+	fw.buf = Append(fw.buf[:0], round, peer, recs)
+	n, err := fw.w.Write(fw.buf)
+	if err != nil {
+		return n, fmt.Errorf("frame: write: %w", err)
+	}
+	return n, nil
+}
+
+// Reader reads frames from an io.Reader, reusing its buffers across frames.
+// Not safe for concurrent use.
+type Reader struct {
+	r    io.Reader
+	head [4]byte
+	buf  []byte
+	recs []Record
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadFrame reads one whole frame and returns its round, sending peer,
+// records and wire size. The record slice is reused by the next ReadFrame;
+// the engine consumes it before the next round's exchange. Oversized length
+// prefixes fail before any allocation.
+func (fr *Reader) ReadFrame() (round, peer int, recs []Record, n int, err error) {
+	if _, err := io.ReadFull(fr.r, fr.head[:]); err != nil {
+		return 0, 0, nil, 0, fmt.Errorf("frame: read length prefix: %w", err)
+	}
+	payload := binary.LittleEndian.Uint32(fr.head[:])
+	if payload > MaxFrameBytes {
+		return 0, 0, nil, 0, fmt.Errorf("%w: length prefix %d exceeds the %d-byte cap", ErrFrame, payload, MaxFrameBytes)
+	}
+	if cap(fr.buf) < int(payload) {
+		fr.buf = make([]byte, payload)
+	}
+	fr.buf = fr.buf[:payload]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		return 0, 0, nil, 0, fmt.Errorf("frame: read %d-byte body: %w", payload, err)
+	}
+	round, peer, cnt, err := parseHeader(fr.buf)
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	fr.recs = fr.recs[:0]
+	body := fr.buf[headerBytes-4:]
+	for i := 0; i < cnt; i++ {
+		var r Record
+		decodeRecord(body[i*RecordBytes:], &r)
+		fr.recs = append(fr.recs, r)
+	}
+	return round, peer, fr.recs, 4 + int(payload), nil
+}
+
+// OverheadBytes is the on-wire size of an empty frame: the length prefix
+// plus the header. A frame carrying C records occupies
+// OverheadBytes + C·RecordBytes bytes.
+const OverheadBytes = headerBytes

@@ -1,0 +1,178 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randRecords(rng *rand.Rand, n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			To:    rng.Int31(),
+			From:  rng.Int31(),
+			Seq:   rng.Int31(),
+			Value: rng.Int63() - rng.Int63(),
+			Aux:   rng.Int63() - rng.Int63(),
+			Bits:  rng.Int31(),
+			Kind:  uint8(rng.Intn(256)),
+			Flags: uint8(rng.Intn(256)),
+		}
+	}
+	return recs
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 100} {
+		recs := randRecords(rng, n)
+		b := Append(nil, 42, 3, recs)
+		round, peer, got, rest, err := Decode(b, nil)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if round != 42 || peer != 3 {
+			t.Fatalf("n=%d: got round %d peer %d, want 42/3", n, round, peer)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("n=%d: %d trailing bytes", n, len(rest))
+		}
+		if n == 0 {
+			if len(got) != 0 {
+				t.Fatalf("empty frame decoded %d records", len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, recs) {
+			t.Fatalf("n=%d: records differ after round trip", n)
+		}
+	}
+}
+
+func TestDecodeConcatenated(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randRecords(rng, 4)
+	b := randRecords(rng, 2)
+	buf := Append(Append(nil, 1, 0, a), 1, 1, b)
+	_, peer, got, rest, err := Decode(buf, nil)
+	if err != nil || peer != 0 || !reflect.DeepEqual(got, a) {
+		t.Fatalf("first frame: peer=%d err=%v", peer, err)
+	}
+	_, peer, got, rest, err = Decode(rest, got[:0])
+	if err != nil || peer != 1 || !reflect.DeepEqual(got, b) {
+		t.Fatalf("second frame: peer=%d err=%v", peer, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestReaderWriterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := [][]Record{randRecords(rng, 5), nil, randRecords(rng, 17)}
+	wrote := 0
+	for r, recs := range frames {
+		n, err := w.WriteFrame(r, 2, recs)
+		if err != nil {
+			t.Fatalf("write frame %d: %v", r, err)
+		}
+		wrote += n
+	}
+	if wrote != buf.Len() {
+		t.Fatalf("reported %d bytes, wrote %d", wrote, buf.Len())
+	}
+	rd := NewReader(&buf)
+	for r, want := range frames {
+		round, peer, got, _, err := rd.ReadFrame()
+		if err != nil {
+			t.Fatalf("read frame %d: %v", r, err)
+		}
+		if round != r || peer != 2 {
+			t.Fatalf("frame %d: got round %d peer %d", r, round, peer)
+		}
+		if len(want) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("frame %d: want empty, got %d records", r, len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(append([]Record(nil), got...), want) {
+			t.Fatalf("frame %d: records differ", r)
+		}
+	}
+	if _, _, _, _, err := rd.ReadFrame(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	good := Append(nil, 5, 1, randRecords(rand.New(rand.NewSource(3)), 3))
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short prefix":   good[:3],
+		"truncated body": good[:len(good)-1],
+		"truncated head": good[:8],
+		"trailing body": func() []byte {
+			b := append([]byte(nil), good...)
+			b = append(b, 0xFF)
+			binary.LittleEndian.PutUint32(b, uint32(len(b)-4))
+			return b
+		}(),
+		"bad magic": func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] ^= 0xFF
+			return b
+		}(),
+		"oversized prefix": func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(b, MaxFrameBytes+1)
+			return b
+		}(),
+		"count mismatch": func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(b[16:], 2)
+			return b
+		}(),
+		"negative round": func() []byte {
+			b := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(b[8:], 0xFFFFFFFF)
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, _, _, _, err := Decode(b, nil); !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: want ErrFrame, got %v", name, err)
+		}
+	}
+}
+
+func TestReaderRejectsOversizedPrefixBeforeAllocating(t *testing.T) {
+	var head [4]byte
+	binary.LittleEndian.PutUint32(head[:], MaxFrameBytes+7)
+	rd := NewReader(bytes.NewReader(head[:]))
+	if _, _, _, _, err := rd.ReadFrame(); !errors.Is(err, ErrFrame) {
+		t.Fatalf("want ErrFrame on oversized prefix, got %v", err)
+	}
+}
+
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	recs := randRecords(rand.New(rand.NewSource(4)), 64)
+	b := Append(nil, 1, 0, recs)
+	scratch := make([]Record, 0, 128)
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _, out, _, err := Decode(b, scratch[:0])
+		if err != nil || len(out) != 64 {
+			t.Fatalf("decode: %v (%d records)", err, len(out))
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Decode allocates %.1f times per frame", allocs)
+	}
+}

@@ -1,0 +1,48 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary byte strings at both decode paths. The
+// contract under fuzzing: decoding either succeeds or returns an error —
+// never panics, never allocates beyond the declared frame cap — and
+// whatever Decode accepts must re-encode to the identical bytes it consumed
+// (the codec has no redundant representations).
+func FuzzFrameDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	f.Add([]byte(nil))
+	f.Add(Append(nil, 0, 0, nil))
+	f.Add(Append(nil, 3, 1, randRecords(rng, 2)))
+	f.Add(Append(nil, 1<<30, 255, randRecords(rng, 9)))
+	long := Append(nil, 7, 2, randRecords(rng, 40))
+	f.Add(long[:len(long)-5]) // truncated record slab
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		round, peer, recs, rest, err := Decode(b, nil)
+		if err != nil {
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("Decode error not tagged ErrFrame: %v", err)
+			}
+		} else {
+			consumed := b[:len(b)-len(rest)]
+			re := Append(nil, round, peer, recs)
+			if !bytes.Equal(re, consumed) {
+				t.Fatalf("accepted frame does not re-encode to its input: %d vs %d bytes", len(re), len(consumed))
+			}
+		}
+
+		rd := NewReader(bytes.NewReader(b))
+		if _, _, _, _, rerr := rd.ReadFrame(); rerr != nil {
+			ok := errors.Is(rerr, ErrFrame) || errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF)
+			if !ok {
+				t.Fatalf("ReadFrame error not frame/io-tagged: %v", rerr)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"repro/internal/congest/frame"
 	"repro/internal/graph"
 )
 
@@ -59,12 +60,23 @@ type Network struct {
 	// once per source.
 	ctxs       []Context
 	procs      []Process
-	owner      []int32 // owner[u] = index of the shard that owns node u
+	owner      []int32 // owner[u] = owning shard index, or -1-peer for remote vertices
 	shards     []shard
 	pool       *workerPool
 	rngSrcs    []splitmix64
 	rngs       []rand.Rand
 	inboxArena []Message
+
+	// transport executes the deliver phase: the in-memory mailbox drain
+	// (loopbackTransport) or the cluster frame exchange (wireTransport).
+	// Selected once at construction from Config.Cluster.
+	transport transport
+	// wireOut[p] is the merged per-round record batch headed to peer p;
+	// wireIn[p] the decoded batch received from p, both nil outside cluster
+	// mode. wireIn aliases the Exchanger's buffers and is valid only during
+	// the deliver phase it was fetched for.
+	wireOut [][]frame.Record
+	wireIn  [][]frame.Record
 
 	stats Stats
 }
@@ -84,6 +96,11 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cl := cfg.Cluster; cl != nil {
+		if err := cl.validate(g.N(), &cfg); err != nil {
+			return nil, err
+		}
+	}
 	n := g.N()
 	net := &Network{
 		g:         g,
@@ -100,6 +117,11 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 		net.rowOff[v+1] = net.rowOff[v] + int32(g.Degree(v))
 	}
 	net.slots = buildEdgeSlots(g, net.rowOff)
+	if cfg.Cluster != nil {
+		net.transport = wireTransport{}
+	} else {
+		net.transport = loopbackTransport{}
+	}
 	if cfg.Topology != nil {
 		net.active = make([]bool, 2*g.M())
 		net.activeDeg = make([]int32, n)
@@ -162,7 +184,14 @@ func (n *Network) resetRunState() {
 		sh.maxEdgeBits = 0
 		sh.minWake = noWake
 		sh.err = nil
+		for p := range sh.wireOut {
+			sh.wireOut[p] = sh.wireOut[p][:0]
+		}
 	}
+	for p := range n.wireOut {
+		n.wireOut[p] = n.wireOut[p][:0]
+	}
+	n.wireIn = nil
 }
 
 // Bandwidth returns the per-edge budget in bits (CONGEST mode).

@@ -78,6 +78,13 @@ func (p *prepared) runOn(net *congest.Network, source int, seed int64, nodes []n
 	if err != nil {
 		return nil, fmt.Errorf("core: %s run failed: %w", cfg.Mode, err)
 	}
+	if drv == nil {
+		// Cluster peer that does not own the source: the engine constructs
+		// processes only for this peer's vertex range, so no driver ran
+		// here. The peer contributes its engine statistics; the source
+		// owner's result carries the answer (internal/cluster merges).
+		return &Result{Mode: cfg.Mode, Stats: stats}, nil
+	}
 	if drv.failErr != nil {
 		return &drv.res, drv.failErr
 	}
@@ -212,4 +219,15 @@ func WithRetryBudget(n int) Option { return func(c *Config) { c.RetryBudget = n 
 // is the default).
 func WithRandomTieBreak(bits int) Option {
 	return func(c *Config) { c.TieBreakBits = bits }
+}
+
+// WithCluster makes the run one peer of a multi-process cluster
+// (congest.ClusterConfig): this process computes only the peer's vertex
+// range and exchanges round traffic through the config's fabric. The peer
+// owning the source returns the full Result; the others return a Result
+// carrying only their engine statistics. The determinism contract makes
+// the merged outcome identical to the single-process run with the same
+// seed. Used by the internal/cluster peer runtime.
+func WithCluster(cl *congest.ClusterConfig) Option {
+	return func(c *Config) { c.Engine.Cluster = cl }
 }

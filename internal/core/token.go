@@ -353,6 +353,22 @@ func TokenWalk(g *graph.Graph, source, steps int, opts ...Option) (*TokenWalkRes
 		return nil, fmt.Errorf("core: token walk failed: %w", err)
 	}
 	src := &procs[source]
+	if src.sh == nil {
+		// Cluster peer that does not own the source (the engine constructs
+		// processes only for its vertex range): every halted node learned
+		// the outcome from the termination/abort flood, so report from any
+		// local process. Restarts are source-side knowledge; the source
+		// owner's result is authoritative (internal/cluster merges).
+		for i := range procs {
+			if procs[i].sh != nil {
+				src = &procs[i]
+				break
+			}
+		}
+		if src.sh == nil {
+			return nil, errors.New("core: token walk constructed no local processes")
+		}
+	}
 	if src.aborted {
 		return nil, fmt.Errorf("core: token walk gave up after %d edge-loss retries and %d restarts (budget %d): %w",
 			src.bounces, src.restarts, cfg.RetryBudget, ErrRetryBudget)

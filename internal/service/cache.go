@@ -43,6 +43,10 @@ type counters struct {
 	runnerPanics    atomic.Int64
 	shedRequests    atomic.Int64
 	tokenRetries    atomic.Int64
+	clusterRuns     atomic.Int64
+	wireBytes       atomic.Int64
+	framesSent      atomic.Int64
+	framesRecv      atomic.Int64
 }
 
 // GraphCache is a thread-safe LRU of built graphs keyed by the canonical

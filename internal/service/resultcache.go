@@ -71,10 +71,12 @@ func newResultCache(capEntries int, ctr *counters) *ResultCache {
 // resultKey renders the canonical key of a normalized task over a graph.
 // The task must already carry its resolved seed and filled defaults
 // (Service.normalize); the schedule-only fields — Workers, SweepWorkers,
-// DeadlineMS — are zeroed out, exactly as the derived-seed hashing zeroes
-// them, because they never change a completed result.
+// DeadlineMS, Cluster — are zeroed out, exactly as the derived-seed hashing
+// zeroes them, because they never change a completed result (for Cluster,
+// that is the determinism contract of internal/cluster).
 func resultKey(graphKey string, t spec.TaskSpec) string {
 	t.Workers, t.SweepWorkers, t.DeadlineMS = 0, 0, 0
+	t.Cluster = nil
 	return graphKey + "|" + t.Key()
 }
 

@@ -7,6 +7,8 @@ import (
 	"hash/fnv"
 	"runtime"
 
+	"repro/internal/congest"
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/spec"
 	"repro/internal/sweep"
@@ -88,6 +90,23 @@ type Options struct {
 	// Fault, when non-nil, injects chaos (panics, errors, latency) into
 	// every runner invocation — test and soak harness use only.
 	Fault *FaultInjector
+	// Cluster, when non-nil, executes tasks that carry a ClusterSpec on an
+	// attached peer cluster (cmd/lmtd wires the internal/cluster
+	// coordinator here). Requests without the spec field never touch it.
+	Cluster ClusterRunner
+}
+
+// ClusterRunner executes one task across a set of registered peer
+// processes; *cluster.Coordinator implements it. The cluster determinism
+// contract requires Run to return exactly what the in-process runner for
+// the kind would return with the same seed (modulo the execution-artifact
+// stats counters), which is what lets the service treat TaskSpec.Cluster as
+// schedule-only.
+type ClusterRunner interface {
+	// Peers reports how many peers are currently registered.
+	Peers() int
+	// Run executes the task over the graph on the cluster.
+	Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSpec) (any, error)
 }
 
 // Service is the long-running job layer: a registry, a graph cache, and an
@@ -297,6 +316,13 @@ func (s *Service) execute(ctx context.Context, run Runner, req Request) (*Respon
 	key := resultKey(entry.key, task)
 	var runGraph *GraphInfo
 	cr, resultHit, shared, err := s.results.do(ctx, key, func() (*cachedResult, error) {
+		if task.Cluster != nil {
+			res, err := s.runCluster(ctx, req.Graph, task)
+			if err != nil {
+				return nil, err
+			}
+			return &cachedResult{result: res}, nil
+		}
 		inv := &Invocation{Env: &Env{g: entry.g, entry: entry}, Task: task, Ctx: ctx, ctr: &s.ctr}
 		if task.Churn != nil {
 			cv, err := entry.churn(task)
@@ -324,6 +350,34 @@ func (s *Service) execute(ctx context.Context, run Runner, req Request) (*Respon
 	return resp, nil
 }
 
+// runCluster dispatches a ClusterSpec-carrying task to the attached peer
+// cluster and accumulates the transport counters from the merged engine
+// stats the result carries.
+func (s *Service) runCluster(ctx context.Context, gs spec.GraphSpec, task spec.TaskSpec) (any, error) {
+	if s.opts.Cluster == nil {
+		return nil, fmt.Errorf("%w: no peer cluster attached to this service", ErrInvalidRequest)
+	}
+	s.ctr.clusterRuns.Add(1)
+	res, err := s.opts.Cluster.Run(ctx, gs, task)
+	if err != nil {
+		return nil, err
+	}
+	var st *congest.Stats
+	switch r := res.(type) {
+	case *core.Result:
+		st = r.Stats
+	case *core.TokenWalkResult:
+		st = r.Stats
+		s.ctr.tokenRetries.Add(r.Retries)
+	}
+	if st != nil {
+		s.ctr.wireBytes.Add(st.WireBytes)
+		s.ctr.framesSent.Add(st.FramesSent)
+		s.ctr.framesRecv.Add(st.FramesRecv)
+	}
+	return res, nil
+}
+
 // normalize fills the spec-path defaults: ε, the oracle step budget, and —
 // when the request omits a seed — the deterministic per-request seed
 // derived from the service base seed and the request content, so identical
@@ -347,6 +401,7 @@ func (s *Service) normalize(req Request, n int) spec.TaskSpec {
 		// derive the same seed (and therefore the same results).
 		hashed := t
 		hashed.Workers, hashed.SweepWorkers, hashed.DeadlineMS = 0, 0, 0
+		hashed.Cluster = nil // schedule-only, like Workers: same results either way
 		h := fnv.New64a()
 		h.Write([]byte(req.Graph.Key()))
 		h.Write([]byte{'|'})
@@ -398,6 +453,12 @@ type Metrics struct {
 	// TokenRetries accumulates the edge-loss retries of every completed
 	// walk task — how hard churn is hitting the token walks.
 	TokenRetries int64
+	// ClusterRuns counts tasks dispatched to the attached peer cluster.
+	ClusterRuns int64
+	// WireBytes, FramesSent and FramesRecv accumulate the cluster transport
+	// counters of every completed cluster run (summed over peers; zero when
+	// everything runs in-process).
+	WireBytes, FramesSent, FramesRecv int64
 	// CachedGraphs is the current graph-cache size; CachedResults the
 	// current result-cache size.
 	CachedGraphs  int
@@ -427,6 +488,10 @@ func (s *Service) Metrics() Metrics {
 		RunnerPanics:       s.ctr.runnerPanics.Load(),
 		ShedRequests:       s.ctr.shedRequests.Load(),
 		TokenRetries:       s.ctr.tokenRetries.Load(),
+		ClusterRuns:        s.ctr.clusterRuns.Load(),
+		WireBytes:          s.ctr.wireBytes.Load(),
+		FramesSent:         s.ctr.framesSent.Load(),
+		FramesRecv:         s.ctr.framesRecv.Load(),
 		CachedGraphs:       s.cache.len(),
 		CachedResults:      s.results.len(),
 	}

@@ -101,6 +101,17 @@ type ChurnSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
+// ClusterSpec routes a distributed task to the service's attached peer
+// cluster (internal/cluster) instead of computing it in-process. Like
+// Workers it is schedule-only: the cluster determinism contract makes the
+// results identical to the in-process run, so the field is excluded from
+// derived seeds and result-cache keys.
+type ClusterSpec struct {
+	// Peers is how many registered peers the run spans (0 = every peer
+	// currently registered with the coordinator).
+	Peers int `json:"peers,omitempty"`
+}
+
 // CoverageSpec describes the random maximum-coverage instance of a
 // coverage task.
 type CoverageSpec struct {
@@ -192,6 +203,9 @@ type TaskSpec struct {
 	// Churn attaches a dynamic-network churn model (distributed kinds;
 	// required for KindDynamic).
 	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Cluster runs the task on the service's attached peer cluster
+	// (KindLocal, KindMixing, KindWalk; incompatible with Churn).
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
 	// Coverage describes the KindCoverage instance.
 	Coverage *CoverageSpec `json:"coverage,omitempty"`
 }
@@ -209,6 +223,13 @@ var knownKinds = func() map[Kind]bool {
 var distributedKinds = map[Kind]bool{
 	KindMixing: true, KindLocal: true, KindSweep: true,
 	KindDynamic: true, KindWalk: true,
+}
+
+// ClusterKinds are the task kinds a peer cluster can compute: the
+// single-source distributed runs whose state is message-driven end to end,
+// so a vertex shard per peer reconstructs the exact single-process results.
+var ClusterKinds = map[Kind]bool{
+	KindLocal: true, KindMixing: true, KindWalk: true,
 }
 
 // Validate checks kind membership and the cross-field constraints that do
@@ -242,6 +263,18 @@ func (t TaskSpec) Validate() error {
 		case "markov", "interval", "snapshot", "chaser", "cutter", "crash":
 		default:
 			return fmt.Errorf("spec: unknown churn model %q (want markov, interval, snapshot, chaser, cutter or crash)", t.Churn.Model)
+		}
+	}
+	if t.Cluster != nil {
+		if !ClusterKinds[t.Kind] {
+			return fmt.Errorf("spec: kind %s does not distribute across a cluster (want %s, %s or %s)",
+				t.Kind, KindLocal, KindMixing, KindWalk)
+		}
+		if t.Churn != nil {
+			return fmt.Errorf("spec: churn models are not supported on a cluster yet")
+		}
+		if p := t.Cluster.Peers; p < 0 || p == 1 {
+			return fmt.Errorf("spec: cluster peers must be 0 (all registered) or ≥ 2, got %d", p)
 		}
 	}
 	switch t.Kind {
