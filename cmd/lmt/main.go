@@ -105,7 +105,7 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		deadline:     fs.Duration("deadline", 0, "per-computation deadline (0 = none); runs exceeding it abort with a timeout error"),
 		repeat:       fs.Int("repeat", 1, "submit each computation as a batch of this many identical requests (> 1 prints the batch cache summary; repeats are result-cache hits)"),
 		retry:        fs.Int("retry", 0, "retry budget for 503-class failures (shed or timed-out requests): exponential backoff with jitter, the same discipline lmtd's Retry-After advertises (0 = fail fast)"),
-		peers:        fs.Int("peers", 0, "shard the single-source distributed modes across this many cluster peers over localhost TCP (0 = in-process; results are identical either way — sweeps, oracle and churn stay in-process)"),
+		peers:        fs.Int("peers", 0, "run the distributed modes over this many cluster peers on localhost TCP: single-source runs shard the engine, -all/-sample sweeps fan source chunks out (0 = in-process; results are identical either way — oracle and churn stay in-process)"),
 	}
 }
 
@@ -307,7 +307,9 @@ func run(f *cliFlags) error {
 		t.Mode = mode
 		t.Sample = *f.sample
 		t.SweepWorkers = *f.sweepWorkers
-		return t
+		// Sweeps distribute too: the coordinator fans source chunks across
+		// the peers' warm pools (same chunk grid, same per-source seeds).
+		return clusterize(t)
 	}
 	printSweep := func(label string, multi *core.MultiResult) {
 		fmt.Printf("%-22s τ=%d  argmax=%d  sources=%d  Σrounds=%d  Σmsgs=%d  Σbits=%d\n",

@@ -225,6 +225,8 @@ func (d *daemon) handler() http.Handler {
 		writeMetrics(w, svc.Metrics())
 		if d.cluster != nil {
 			metricGauge(w, "lmtd_cluster_peers", "Compute peers currently registered with the coordinator.", int64(d.cluster.Peers()))
+			metricCounter(w, "lmtd_cluster_sweep_chunks_total", "Source chunks dispatched to peers by distributed sweeps.", d.cluster.SweepChunks())
+			writePeerResident(w, d.cluster.PeerResidentBytes())
 		}
 	})
 	return mux
@@ -287,6 +289,20 @@ func metricGauge(w io.Writer, name, help string, v int64) {
 
 func metricCounter(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// writePeerResident emits one labeled gauge line per cluster peer with the
+// CSR bytes it reported resident for the most recent job — the observable
+// for the sharded-build memory contract (≈ full/P on shardable families).
+func writePeerResident(w io.Writer, resident []int64) {
+	if len(resident) == 0 {
+		return
+	}
+	const name = "lmtd_cluster_peer_resident_graph_bytes"
+	fmt.Fprintf(w, "# HELP %s Graph bytes resident on each peer for the last cluster job.\n# TYPE %s gauge\n", name, name)
+	for p, r := range resident {
+		fmt.Fprintf(w, "%s{peer=\"%d\"} %d\n", name, p, r)
+	}
 }
 
 // writeMetrics renders the service counters in the Prometheus text

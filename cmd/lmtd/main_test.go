@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -11,7 +12,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/service"
 	"repro/internal/spec"
@@ -122,6 +125,71 @@ func TestServerTasksHealthzMetrics(t *testing.T) {
 	} {
 		if !strings.Contains(body, name) {
 			t.Errorf("/metrics lacks %s", name)
+		}
+	}
+}
+
+// TestServerClusterSweepMetrics drives a distributed sweep through the HTTP
+// surface with a real loopback cluster attached and checks the coordinator's
+// scheduling observables — registered peers, dispatched chunks, per-peer
+// resident graph bytes — appear on /metrics.
+func TestServerClusterSweepMetrics(t *testing.T) {
+	coord, err := cluster.NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const peers = 2
+	errs := make(chan error, peers)
+	for i := 0; i < peers; i++ {
+		go func() { errs <- cluster.Serve(context.Background(), coord.Addr()) }()
+	}
+	t.Cleanup(func() {
+		coord.Close()
+		for i := 0; i < peers; i++ {
+			if err := <-errs; err != nil {
+				t.Errorf("peer serve: %v", err)
+			}
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := coord.WaitForPeers(ctx, peers); err != nil {
+		t.Fatal(err)
+	}
+
+	d := newDaemon(service.New(service.Options{Cluster: coord}))
+	d.cluster = coord
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	gs := spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5}
+	out, status := postRun(t, ts.URL, service.Request{Graph: gs,
+		Task: spec.TaskSpec{Kind: spec.KindSweep, Beta: 4, Eps: 0.05, Seed: 5,
+			Cluster: &spec.ClusterSpec{}}})
+	if status != http.StatusOK {
+		t.Fatalf("cluster sweep returned %d: %v", status, out)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(b)
+	// n = 20 sources on the ChunkSize = 8 grid is exactly 3 chunks.
+	for _, line := range []string{
+		"lmtd_cluster_peers 2",
+		"lmtd_cluster_runs_total 1",
+		"lmtd_cluster_sweep_chunks_total 3",
+		`lmtd_cluster_peer_resident_graph_bytes{peer="0"} `,
+		`lmtd_cluster_peer_resident_graph_bytes{peer="1"} `,
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("/metrics lacks %q", line)
 		}
 	}
 }

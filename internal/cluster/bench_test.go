@@ -53,3 +53,52 @@ func BenchmarkTransportLoopbackVsTCP(b *testing.B) {
 		b.ReportMetric(float64(wire)/float64(rounds), "bytes/round")
 	})
 }
+
+// BenchmarkClusterSweep runs the same all-sources sweep in-process and over
+// a 2-peer localhost TCP cluster, reporting per-source throughput and the
+// chunk count the coordinator dispatched. Results are DeepEqual on both
+// paths, so the delta is chunk fan-out overhead: one control round-trip per
+// sweep.ChunkSize sources.
+func BenchmarkClusterSweep(b *testing.B) {
+	bgs := spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 8} // n = 32
+	g, err := bgs.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("inprocess", func(b *testing.B) {
+		cfg := core.Config{Mode: core.ApproxLocal, Beta: 4, Eps: 0.05}
+		core.WithSeed(1)(&cfg)
+		pool, err := core.NewSweepPool(g, cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var sources int64
+		for i := 0; i < b.N; i++ {
+			res, err := pool.Sweep(core.SweepOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sources += int64(len(res.Sources))
+		}
+		b.ReportMetric(float64(sources)/b.Elapsed().Seconds(), "sources/sec")
+	})
+
+	b.Run("tcp", func(b *testing.B) {
+		c := startCluster(b, 2)
+		ctx := context.Background()
+		task := spec.TaskSpec{Kind: spec.KindSweep, Beta: 4, Eps: 0.05, Seed: 1}
+		b.ResetTimer()
+		var sources int64
+		for i := 0; i < b.N; i++ {
+			got, err := c.Run(ctx, bgs, task)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sources += int64(len(got.(*core.MultiResult).Sources))
+		}
+		b.ReportMetric(float64(sources)/b.Elapsed().Seconds(), "sources/sec")
+		b.ReportMetric(float64(c.SweepChunks())/float64(b.N), "chunks/sweep")
+	})
+}

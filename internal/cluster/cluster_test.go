@@ -14,8 +14,18 @@ import (
 )
 
 // graphSpec is the shared test graph: 4 cliques of 5 on a ring, n = 20 —
-// small enough for fast rounds, lumpy enough that τ is nontrivial.
+// small enough for fast rounds, lumpy enough that τ is nontrivial. The
+// family shards, so every engine-kind test here also exercises the
+// shard-built CSR path on the peers.
 var graphSpec = spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5}
+
+// testCtx caps every cluster exchange in this suite with a deadline, so a
+// wedged barrier or handshake fails the test instead of hanging it.
+func testCtx(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
 
 // startCluster stands up a coordinator on loopback with n Serve goroutines
 // registered against it, and tears everything down (asserting clean peer
@@ -66,7 +76,7 @@ func TestClusterRunMatchesSingleProcess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx := context.Background()
+	ctx := testCtx(t)
 
 	t.Run("local", func(t *testing.T) {
 		got, err := c.Run(ctx, graphSpec, spec.TaskSpec{Kind: spec.KindLocal, Beta: 4, Eps: 0.05, Seed: 5})
@@ -144,7 +154,7 @@ func TestClusterRunMatchesSingleProcess(t *testing.T) {
 // per-job mesh teardown/rebuild must leave the control plane serving.
 func TestClusterSequentialJobs(t *testing.T) {
 	c := startCluster(t, 2)
-	ctx := context.Background()
+	ctx := testCtx(t)
 	var prev *core.TokenWalkResult
 	for i := 0; i < 3; i++ {
 		got, err := c.Run(ctx, graphSpec, spec.TaskSpec{Kind: spec.KindWalk, Source: 3, Steps: 8, Seed: 11})
@@ -163,13 +173,13 @@ func TestClusterSequentialJobs(t *testing.T) {
 // instead of) a run, and the peer set survives to serve the next job.
 func TestClusterRejectsBadJobs(t *testing.T) {
 	c := startCluster(t, 2)
-	ctx := context.Background()
+	ctx := testCtx(t)
 	for name, tc := range map[string]struct {
 		graph spec.GraphSpec
 		task  spec.TaskSpec
 		want  string
 	}{
-		"kind":  {graphSpec, spec.TaskSpec{Kind: spec.KindSweep}, "does not distribute"},
+		"kind":  {graphSpec, spec.TaskSpec{Kind: spec.KindEstimate, Steps: 4}, "does not distribute"},
 		"churn": {graphSpec, spec.TaskSpec{Kind: spec.KindWalk, Steps: 4, Churn: &spec.ChurnSpec{Model: "markov", Rate: 0.1}}, "churn"},
 		"graph": {spec.GraphSpec{Family: "moebius"}, spec.TaskSpec{Kind: spec.KindWalk, Steps: 4}, "unknown graph family"},
 		"width": {spec.GraphSpec{Family: "path", N: 20}, spec.TaskSpec{Kind: spec.KindWalk, Steps: 4,
@@ -191,7 +201,7 @@ func TestClusterRejectsBadJobs(t *testing.T) {
 // authoritative peer's error and leaves the cluster serving.
 func TestClusterRunErrorPropagates(t *testing.T) {
 	c := startCluster(t, 2)
-	ctx := context.Background()
+	ctx := testCtx(t)
 	_, err := c.Run(ctx, graphSpec, spec.TaskSpec{Kind: spec.KindWalk, Source: 0, Steps: 1 << 20, Seed: 3, MaxRounds: 50})
 	if err == nil || !strings.Contains(err.Error(), "round limit") {
 		t.Fatalf("error %v, want a round-limit failure", err)
@@ -209,7 +219,7 @@ func TestClusterRunErrorPropagates(t *testing.T) {
 func TestServiceClusterDispatch(t *testing.T) {
 	c := startCluster(t, 3)
 	svc := service.New(service.Options{Cluster: c})
-	ctx := context.Background()
+	ctx := testCtx(t)
 	req := service.Request{Graph: graphSpec,
 		Task: spec.TaskSpec{Kind: spec.KindLocal, Beta: 4, Eps: 0.05, Seed: 5,
 			Cluster: &spec.ClusterSpec{}}}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/congest"
 	"repro/internal/core"
@@ -27,13 +28,21 @@ type Coordinator struct {
 	closed bool
 
 	runMu sync.Mutex
+
+	// chunks counts sweep chunks dispatched to peers, cumulatively across
+	// jobs (the lmtd_cluster_sweep_chunks_total metric).
+	chunks atomic.Int64
+	// resident holds the per-peer resident graph bytes reported in the last
+	// job's ready messages, guarded by statMu.
+	statMu   sync.Mutex
+	resident []int64
 }
 
 // peerConn is one registered peer's control connection.
 type peerConn struct {
 	conn net.Conn
 	enc  *json.Encoder
-	dec  *json.Decoder
+	rd   *ctrlReader
 }
 
 // NewCoordinator listens on addr (e.g. ":9300", "127.0.0.1:0") and starts
@@ -108,9 +117,9 @@ func (c *Coordinator) acceptLoop() {
 // admit registers one peer after its hello. Registration order assigns the
 // peer indices of subsequent jobs.
 func (c *Coordinator) admit(conn net.Conn) {
-	dec := json.NewDecoder(conn)
+	rd := newCtrlReader(conn)
 	var m ctrlMsg
-	if err := dec.Decode(&m); err != nil || m.Type != msgHello {
+	if err := rd.next(&m); err != nil || m.Type != msgHello {
 		conn.Close()
 		return
 	}
@@ -120,8 +129,28 @@ func (c *Coordinator) admit(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	c.peers = append(c.peers, &peerConn{conn: conn, enc: json.NewEncoder(conn), dec: dec})
+	c.peers = append(c.peers, &peerConn{conn: conn, enc: json.NewEncoder(conn), rd: rd})
 	c.cond.Broadcast()
+}
+
+// SweepChunks returns the number of sweep chunks dispatched to peers since
+// the coordinator started, across all jobs.
+func (c *Coordinator) SweepChunks() int64 { return c.chunks.Load() }
+
+// PeerResidentBytes returns the per-peer resident graph bytes the last
+// job's ready messages reported (index = peer index of that job): the CSR
+// footprint of each peer's build — the full graph, or ~1/P of it when the
+// family shards. Nil before the first job.
+func (c *Coordinator) PeerResidentBytes() []int64 {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return append([]int64(nil), c.resident...)
+}
+
+func (c *Coordinator) setResident(r []int64) {
+	c.statMu.Lock()
+	c.resident = r
+	c.statMu.Unlock()
 }
 
 // drop removes a failed peer from the registry and closes its connection.
@@ -204,12 +233,14 @@ type peerOutcome struct {
 // first ts.Cluster.Peers registered peers (or all of them when the field is
 // nil or zero). The returned value is exactly what the in-process runner
 // family returns — *core.Result for local and mixing, *core.TokenWalkResult
-// for walk — with Stats swapped for the congest.MergeStats fold of every
-// peer's counters; the cluster determinism contract makes the rest of the
-// result identical to the single-process run with the same seed.
+// for walk, *core.MultiResult for sweeps — with engine kinds' Stats swapped
+// for the congest.MergeStats fold of every peer's counters; the cluster
+// determinism contract makes the rest of the result identical to the
+// single-process run with the same seed.
 //
-// Cancelling ctx aborts the job at its next round barrier (peers stay
-// registered); peer-side errors and dropped peers abort it the same way.
+// Cancelling ctx aborts an engine job at its next round barrier and a sweep
+// job at its next chunk boundary (peers stay registered); peer-side errors
+// and dropped peers abort it the same way.
 func (c *Coordinator) Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSpec) (any, error) {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
@@ -225,22 +256,34 @@ func (c *Coordinator) Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSp
 	if want == 0 {
 		want = len(peers)
 	}
-	if len(peers) < want || want < 2 {
-		return nil, fmt.Errorf("cluster: job wants %d peers, %d registered", max(want, 2), len(peers))
+	if min := minPeers(ts.Kind); len(peers) < want || want < min {
+		return nil, fmt.Errorf("cluster: job wants %d peers, %d registered", max(want, min), len(peers))
 	}
 	peers = peers[:want]
 	if err := validateJob(&ts, want); err != nil {
 		return nil, err
 	}
-	// Build the graph here too: a bad graph spec (or more peers than
-	// vertices) fails fast with a direct error instead of a peer's relayed
-	// one.
-	g, err := gs.Build()
-	if err != nil {
+	// Resolve the vertex count here too: a bad graph spec (or more peers
+	// than vertices) fails fast with a direct error instead of a peer's
+	// relayed one. Shardable families answer from the sharder — the
+	// coordinator never materializes their graphs.
+	var n int
+	if sh, err := gs.Sharder(); err != nil {
 		return nil, err
+	} else if sh != nil {
+		n = sh.N
+	} else {
+		g, err := gs.Build()
+		if err != nil {
+			return nil, err
+		}
+		n = g.N()
 	}
-	if want > g.N() {
-		return nil, fmt.Errorf("cluster: %d peers over %d vertices: every peer must own a vertex", want, g.N())
+	if ts.Kind == spec.KindSweep {
+		return c.runSweep(ctx, gs, ts, peers, n)
+	}
+	if want > n {
+		return nil, fmt.Errorf("cluster: %d peers over %d vertices: every peer must own a vertex", want, n)
 	}
 
 	// Prepare/ready/start handshake, sequentially: dispatch the job, gather
@@ -256,10 +299,11 @@ func (c *Coordinator) Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSp
 		prepared++
 	}
 	addrs := make([]string, prepared)
+	resident := make([]int64, prepared)
 	alive := make([]bool, prepared)
 	for p, pc := range peers[:prepared] {
 		var m ctrlMsg
-		if err := pc.dec.Decode(&m); err != nil {
+		if err := pc.rd.next(&m); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("cluster: peer %d: await ready: %w", p, err)
 			}
@@ -277,7 +321,9 @@ func (c *Coordinator) Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSp
 			firstErr = fmt.Errorf("cluster: peer %d: %s", p, m.Err)
 		}
 		addrs[p] = m.Mesh
+		resident[p] = m.Resident
 	}
+	c.setResident(resident)
 	if firstErr != nil {
 		for p, pc := range peers[:prepared] {
 			if alive[p] {
@@ -345,7 +391,7 @@ func (c *Coordinator) runPeer(p int, pc *peerConn, bar *foldBarrier, out *peerOu
 	}
 	for {
 		var m ctrlMsg
-		if err := pc.dec.Decode(&m); err != nil {
+		if err := pc.rd.next(&m); err != nil {
 			fail(fmt.Errorf("control connection: %w", err))
 			return
 		}

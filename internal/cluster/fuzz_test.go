@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// FuzzControlPlane throws arbitrary byte streams at the newline-JSON
+// control-plane decoder — the single path every coordinator and peer read
+// goes through. The contract under fuzzing: next either decodes a typed
+// message or returns a tagged error — clean io.EOF at a message boundary,
+// ErrCtrl for everything malformed, truncated, type-less, or oversized —
+// and it never panics or loops forever on finite input.
+func FuzzControlPlane(f *testing.F) {
+	mustJSON := func(m ctrlMsg) []byte {
+		b, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return append(b, '\n')
+	}
+	gs := spec.GraphSpec{Family: "ringcliques", Blocks: 4, K: 5}
+	ts := spec.TaskSpec{Kind: spec.KindSweep, Beta: 4, Eps: 0.05, Seed: 5}
+	f.Add([]byte(nil))
+	f.Add([]byte("\n"))
+	f.Add(mustJSON(ctrlMsg{Type: msgHello}))
+	f.Add(mustJSON(ctrlMsg{Type: msgPrepare, Peer: 1, Peers: 3, Graph: &gs, Task: &ts}))
+	f.Add(mustJSON(ctrlMsg{Type: msgChunk, Sources: []int{0, 5, 9}}))
+	f.Add(mustJSON(ctrlMsg{Type: msgReady, Mesh: "127.0.0.1:9", Resident: 1 << 20}))
+	f.Add([]byte(`{"type":"chunkres","result":[{"tau":3}]}` + "\n"))
+	f.Add([]byte(`{}` + "\n"))                           // type-less
+	f.Add([]byte(`{"type":"hello"`))                     // truncated mid-object
+	f.Add([]byte(`{"type":"sync","peer":"NaN"}` + "\n")) // wrong field type
+	f.Add([]byte("garbage\nmore garbage\n"))
+	f.Add(bytes.Repeat([]byte{'['}, 4096))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rd := newCtrlReader(bytes.NewReader(b))
+		var m ctrlMsg
+		// One message per newline at most, so len(b)+1 iterations always
+		// reach EOF — a longer loop means the reader failed to make progress.
+		for i := 0; i <= len(b); i++ {
+			err := rd.next(&m)
+			if err == nil {
+				if m.Type == "" {
+					t.Fatal("decoder accepted a message without a type")
+				}
+				continue
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, ErrCtrl) {
+				return
+			}
+			t.Fatalf("error neither io.EOF nor ErrCtrl-tagged: %v", err)
+		}
+		t.Fatalf("decoder made no progress over %d bytes", len(b))
+	})
+}
+
+// TestCtrlReaderOversized: a single line beyond maxCtrlLine is rejected
+// with a tagged error instead of being buffered without bound — the
+// hostile-stream cap FuzzControlPlane cannot practically reach.
+func TestCtrlReaderOversized(t *testing.T) {
+	huge := io.MultiReader(
+		strings.NewReader(`{"type":"hello","mesh":"`),
+		strings.NewReader(strings.Repeat("a", maxCtrlLine+2)),
+		strings.NewReader(`"}`+"\n"),
+	)
+	var m ctrlMsg
+	err := newCtrlReader(huge).next(&m)
+	if !errors.Is(err, ErrCtrl) || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized line: error %v, want an ErrCtrl size rejection", err)
+	}
+}
+
+// TestCtrlReaderTruncation: bytes after the last newline are a tagged
+// truncation error, not a silent EOF — the coordinator must be able to tell
+// a clean hangup from a peer dying mid-message.
+func TestCtrlReaderTruncation(t *testing.T) {
+	rd := newCtrlReader(strings.NewReader(`{"type":"hello"}` + "\n" + `{"type":"re`))
+	var m ctrlMsg
+	if err := rd.next(&m); err != nil || m.Type != msgHello {
+		t.Fatalf("first message: %v / %+v", err, m)
+	}
+	err := rd.next(&m)
+	if !errors.Is(err, ErrCtrl) || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("partial trailing message: error %v, want an ErrCtrl truncation", err)
+	}
+}

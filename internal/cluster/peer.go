@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 
 	"repro/internal/congest"
@@ -16,10 +17,12 @@ import (
 
 // Serve registers this process as one cluster peer and serves jobs until
 // the coordinator closes the connection (returns nil) or the context is
-// canceled (returns the context error). Each prepared job opens a fresh
-// data-plane listener, meshes with the other peers, drives the engine over
-// this peer's vertex shard, and reports the result back on the control
-// connection.
+// canceled (returns the context error). Each prepared engine job opens a
+// fresh data-plane listener, meshes with the other peers, drives the engine
+// over this peer's vertex shard, and reports the result back on the control
+// connection; sweep jobs skip the mesh and serve source chunks from a warm
+// sweep pool instead. Graphs and sweep pools stay cached across jobs, so
+// repeated jobs on one graph pay construction once.
 func Serve(ctx context.Context, coordAddr string) error {
 	d := net.Dialer{Timeout: ctrlDialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", coordAddr)
@@ -29,13 +32,14 @@ func Serve(ctx context.Context, coordAddr string) error {
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	enc, dec := json.NewEncoder(conn), json.NewDecoder(conn)
+	enc, rd := json.NewEncoder(conn), newCtrlReader(conn)
 	if err := enc.Encode(ctrlMsg{Type: msgHello}); err != nil {
 		return fmt.Errorf("cluster: register with coordinator: %w", err)
 	}
+	ps := &peerState{graphs: map[string]*graph.Graph{}, pools: map[string]*core.SweepPool{}}
 	for {
 		var m ctrlMsg
-		if err := dec.Decode(&m); err != nil {
+		if err := rd.next(&m); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -47,7 +51,7 @@ func Serve(ctx context.Context, coordAddr string) error {
 		if m.Type != msgPrepare {
 			return fmt.Errorf("cluster: unexpected control message %q awaiting a job", m.Type)
 		}
-		if err := runJob(conn, enc, dec, &m); err != nil {
+		if err := runJob(conn, enc, rd, ps, &m); err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
@@ -56,13 +60,83 @@ func Serve(ctx context.Context, coordAddr string) error {
 	}
 }
 
+// peerState is one peer's job-to-job warm state: built graphs (full or this
+// peer's shard) and sweep pools, keyed by the specs that produced them.
+// Both caches are small and bounded — a peer serving many distinct specs
+// resets them rather than growing without limit.
+type peerState struct {
+	graphs map[string]*graph.Graph
+	pools  map[string]*core.SweepPool
+}
+
+// peerCacheCap bounds each warm cache; exceeding it clears the cache (the
+// next job rebuilds — correctness never depends on a warm hit).
+const peerCacheCap = 8
+
+// graphFor returns the job's graph: the full build for sweep jobs (chunks
+// run from any source), this peer's CSR shard when the family shards, and
+// the full build — with a logged reason — when it does not.
+func (ps *peerState) graphFor(gs *spec.GraphSpec, self, peers int, kind spec.Kind) (*graph.Graph, error) {
+	key := gs.Key() + "|full"
+	build := gs.Build
+	if kind != spec.KindSweep {
+		sh, err := gs.Sharder()
+		if err != nil {
+			return nil, err
+		}
+		if sh == nil {
+			log.Printf("cluster: peer %d: graph family %q has no sharded builder; building the full graph", self, gs.Normalized().Family)
+		} else {
+			key = fmt.Sprintf("%s|shard=%d/%d", gs.Key(), self, peers)
+			build = func() (*graph.Graph, error) { return graph.BuildShard(*sh, self, peers) }
+		}
+	}
+	if g := ps.graphs[key]; g != nil {
+		return g, nil
+	}
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if len(ps.graphs) >= peerCacheCap {
+		ps.graphs = map[string]*graph.Graph{}
+	}
+	ps.graphs[key] = g
+	return g, nil
+}
+
+// sweepPoolFor returns the warm sweep pool for (graph, task), building it
+// like the service's sweep runner does. The cache key strips the per-sweep
+// source selection (already cleared by the coordinator) so every chunk and
+// every repeat sweep of one spec hits the same pool.
+func (ps *peerState) sweepPoolFor(graphKey string, g *graph.Graph, t spec.TaskSpec) (*core.SweepPool, error) {
+	cfg, err := sweepConfig(t)
+	if err != nil {
+		return nil, err
+	}
+	t.Cluster = nil
+	key := graphKey + "|" + t.Key()
+	if p := ps.pools[key]; p != nil {
+		return p, nil
+	}
+	p, err := core.NewSweepPool(g, cfg, t.SweepWorkers)
+	if err != nil {
+		return nil, err
+	}
+	if len(ps.pools) >= peerCacheCap {
+		ps.pools = map[string]*core.SweepPool{}
+	}
+	ps.pools[key] = p
+	return p, nil
+}
+
 // ctrlBarrier is the peer half of the round barrier, riding the control
 // connection: one sync up, one merged round report down, per engine round.
 // The engine calls Sync from exactly one goroutine, and nothing else uses
 // the connection during a run.
 type ctrlBarrier struct {
 	enc *json.Encoder
-	dec *json.Decoder
+	rd  *ctrlReader
 }
 
 func (b *ctrlBarrier) Sync(r congest.RoundReport) (congest.RoundReport, error) {
@@ -70,7 +144,7 @@ func (b *ctrlBarrier) Sync(r congest.RoundReport) (congest.RoundReport, error) {
 		return congest.RoundReport{}, fmt.Errorf("cluster: send round report: %w", err)
 	}
 	var m ctrlMsg
-	if err := b.dec.Decode(&m); err != nil {
+	if err := b.rd.next(&m); err != nil {
 		return congest.RoundReport{}, fmt.Errorf("cluster: await merged report: %w", err)
 	}
 	if m.Type != msgRound || m.Report == nil {
@@ -79,12 +153,14 @@ func (b *ctrlBarrier) Sync(r congest.RoundReport) (congest.RoundReport, error) {
 	return *m.Report, nil
 }
 
-// runJob executes one prepare→result cycle. The returned error is a
-// control-transport failure (the peer cannot continue); job-local failures
-// — bad spec, mesh trouble, engine errors — are reported to the coordinator
-// in the ready or result message and leave the peer serving.
-func runJob(conn net.Conn, enc *json.Encoder, dec *json.Decoder, m *ctrlMsg) error {
+// runJob executes one prepare→result (or prepare→chunks→done) cycle. The
+// returned error is a control-transport failure (the peer cannot continue);
+// job-local failures — bad spec, mesh trouble, engine errors — are reported
+// to the coordinator in the ready, result, or chunkres message and leave
+// the peer serving.
+func runJob(conn net.Conn, enc *json.Encoder, rd *ctrlReader, ps *peerState, m *ctrlMsg) error {
 	self, peers := m.Peer, m.Peers
+	sweepJob := m.Task != nil && m.Task.Kind == spec.KindSweep
 
 	// Validate and stand up the job-scoped mesh listener; a failure still
 	// answers ready (with Err) so the coordinator's handshake never stalls.
@@ -97,12 +173,12 @@ func runJob(conn net.Conn, enc *json.Encoder, dec *json.Decoder, m *ctrlMsg) err
 		jobErr = fmt.Errorf("cluster: prepare names peer %d of %d", self, peers)
 	default:
 		if jobErr = validateJob(m.Task, peers); jobErr == nil {
-			g, jobErr = m.Graph.Build()
+			g, jobErr = ps.graphFor(m.Graph, self, peers, m.Task.Kind)
 		}
 	}
 	var ln net.Listener
 	mesh := ""
-	if jobErr == nil {
+	if jobErr == nil && !sweepJob {
 		// Listen on the interface the coordinator reached us through, so
 		// the advertised address is dialable by the other peers.
 		host := "127.0.0.1"
@@ -114,12 +190,16 @@ func runJob(conn net.Conn, enc *json.Encoder, dec *json.Decoder, m *ctrlMsg) err
 			mesh = ln.Addr().String()
 		}
 	}
-	if err := enc.Encode(ctrlMsg{Type: msgReady, Peer: self, Mesh: mesh, Err: errString(jobErr)}); err != nil {
+	var resident int64
+	if g != nil {
+		resident = g.ResidentBytes()
+	}
+	if err := enc.Encode(ctrlMsg{Type: msgReady, Peer: self, Mesh: mesh, Resident: resident, Err: errString(jobErr)}); err != nil {
 		return fmt.Errorf("cluster: send ready: %w", err)
 	}
 
 	var sm ctrlMsg
-	if err := dec.Decode(&sm); err != nil {
+	if err := rd.next(&sm); err != nil {
 		return fmt.Errorf("cluster: await start: %w", err)
 	}
 	switch sm.Type {
@@ -128,6 +208,13 @@ func runJob(conn net.Conn, enc *json.Encoder, dec *json.Decoder, m *ctrlMsg) err
 	case msgStart:
 	default:
 		return fmt.Errorf("cluster: unexpected control message %q awaiting start", sm.Type)
+	}
+	if sweepJob {
+		var pool *core.SweepPool
+		if jobErr == nil {
+			pool, jobErr = ps.sweepPoolFor(m.Graph.Key(), g, *m.Task)
+		}
+		return serveSweep(enc, rd, pool, jobErr)
 	}
 	res := ctrlMsg{Type: msgResult, Peer: self}
 	if jobErr != nil {
@@ -147,7 +234,7 @@ func runJob(conn net.Conn, enc *json.Encoder, dec *json.Decoder, m *ctrlMsg) err
 		Peer:     self,
 		Peers:    peers,
 		Exchange: &meshExchanger{self: self, links: links},
-		Barrier:  &ctrlBarrier{enc: enc, dec: dec},
+		Barrier:  &ctrlBarrier{enc: enc, rd: rd},
 	})
 	res.Stats = stats
 	res.Authoritative = auth
@@ -179,8 +266,8 @@ func runClusterTask(g *graph.Graph, t spec.TaskSpec, cl *congest.ClusterConfig) 
 	if t.Eps == 0 {
 		t.Eps = spec.DefaultEps // the service normalization, replicated identically on every peer
 	}
-	n, p, P := g.N(), cl.Peer, cl.Peers
-	authoritative = t.Source >= p*n/P && t.Source < (p+1)*n/P
+	lo, hi := graph.ShardRange(g.N(), cl.Peer, cl.Peers)
+	authoritative = t.Source >= lo && t.Source < hi
 	opts := append(taskOptions(t), core.WithCluster(cl))
 	switch t.Kind {
 	case spec.KindWalk:

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/congest/frame"
+	"repro/internal/graph"
 )
 
 const (
@@ -236,7 +237,7 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 	lo, hi := 0, nn
 	cl := n.cfg.Cluster
 	if cl != nil {
-		lo, hi = cl.Peer*nn/cl.Peers, (cl.Peer+1)*nn/cl.Peers
+		lo, hi = graph.ShardRange(nn, cl.Peer, cl.Peers)
 	}
 	local := hi - lo
 	nw := n.cfg.Workers
@@ -286,7 +287,8 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 				if p == cl.Peer {
 					continue
 				}
-				for u := p * nn / cl.Peers; u < (p+1)*nn/cl.Peers; u++ {
+				plo, phi := graph.ShardRange(nn, p, cl.Peers)
+				for u := plo; u < phi; u++ {
 					n.owner[u] = int32(-1 - p)
 				}
 			}
@@ -295,7 +297,8 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 		n.rngSrcs = make([]splitmix64, nn)
 		n.rngs = make([]rand.Rand, nn)
 		const inboxArenaCap = 1 << 20 // Message slots (~48 MB) — covers every bench-scale graph
-		if slots := 2 * n.g.M(); slots <= inboxArenaCap {
+		// Sized by the materialized rows (2·M full, ~1/P on a graph shard).
+		if slots := int(n.rowOff[nn]); slots <= inboxArenaCap {
 			n.inboxArena = make([]Message, slots)
 		}
 		for u := 0; u < nn; u++ {

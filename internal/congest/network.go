@@ -107,14 +107,18 @@ func NewNetwork(g *graph.Graph, cfg Config) (*Network, error) {
 		cfg:       cfg,
 		bandwidth: cfg.BandwidthBits,
 		rowOff:    make([]int32, n+1),
-		edgeBits:  make([]int32, 2*g.M()),
-		edgeStamp: make([]int32, 2*g.M()),
-	}
-	for i := range net.edgeStamp {
-		net.edgeStamp[i] = -1
 	}
 	for v := 0; v < n; v++ {
 		net.rowOff[v+1] = net.rowOff[v] + int32(g.Degree(v))
+	}
+	// Per-directed-edge accounting is sized by the materialized rows
+	// (rowOff[n]): exactly 2·M on a full graph, and ~1/P of that on a
+	// cluster peer's graph shard, where only owned and halo rows exist.
+	local := int(net.rowOff[n])
+	net.edgeBits = make([]int32, local)
+	net.edgeStamp = make([]int32, local)
+	for i := range net.edgeStamp {
+		net.edgeStamp[i] = -1
 	}
 	net.slots = buildEdgeSlots(g, net.rowOff)
 	if cfg.Cluster != nil {
@@ -226,7 +230,7 @@ func pairKey(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v
 func hashKey(k uint64) uint64 { return k * 0x9E3779B97F4A7C15 }
 
 func buildEdgeSlots(g *graph.Graph, rowOff []int32) edgeSlotIndex {
-	directed := 2 * g.M()
+	directed := int(rowOff[len(rowOff)-1]) // materialized directed edges (2·M on a full graph)
 	size := 2
 	for size < 2*directed {
 		size <<= 1

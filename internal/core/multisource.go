@@ -98,6 +98,16 @@ func (sp *SweepPool) Sweep(o SweepOptions) (*MultiResult, error) {
 	return mergeSweep(out), nil
 }
 
+// MergeSweep folds per-source results, already in canonical source order,
+// into a MultiResult — the exact fold Sweep performs. The cluster
+// coordinator uses it to assemble a distributed sweep from per-chunk results
+// so the merged answer is DeepEqual to the single-process sweep. Each
+// result's StepGrows/DeliverGrows counters are zeroed (they count pool
+// warm-up, which is execution-dependent).
+func MergeSweep(sources []int, results []*Result) *MultiResult {
+	return mergeSweep(&sweep.Outcome[*Result]{Sources: sources, Results: results})
+}
+
 // mergeSweep folds a sweep outcome into a MultiResult in canonical source
 // order.
 func mergeSweep(out *sweep.Outcome[*Result]) *MultiResult {

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// This file provides closed-form row sharders for the coordinate-structured
+// families — cycle, torus, grid, ring of cliques — whose adjacency is a
+// formula of the vertex id. A cluster peer uses these to materialize only
+// its CSR shard (graph.BuildShard) instead of building the whole graph and
+// slicing. Every sharder's rows are ascending and duplicate-free, byte-equal
+// to the full Builder CSR (enforced by the shard property tests), and its
+// Meta carries the analytically-known whole-graph facts.
+
+// CycleSharder shards the cycle C_n (n ≥ 3), matching Cycle(n).
+func CycleSharder(n int) (graph.Sharder, error) {
+	if n < 3 {
+		return graph.Sharder{}, fmt.Errorf("gen: Cycle needs n ≥ 3, got %d", n)
+	}
+	return graph.Sharder{
+		Name: fmt.Sprintf("cycle(n=%d)", n),
+		N:    n,
+		Meta: graph.Meta{
+			M: n, MinDeg: 2, MaxDeg: 2, RegularDeg: 2,
+			Connected: true, Bipartite: n%2 == 0,
+		},
+		Row: func(u int, buf []int32) []int32 {
+			buf = append(buf, int32((u+n-1)%n), int32((u+1)%n))
+			slices.Sort(buf)
+			return buf
+		},
+	}, nil
+}
+
+// TorusSharder shards the rows×cols torus (rows, cols ≥ 3), matching
+// Torus(rows, cols).
+func TorusSharder(rows, cols int) (graph.Sharder, error) {
+	if rows < 3 || cols < 3 {
+		return graph.Sharder{}, fmt.Errorf("gen: Torus needs rows, cols ≥ 3, got %d×%d", rows, cols)
+	}
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	return graph.Sharder{
+		Name: fmt.Sprintf("torus(%dx%d)", rows, cols),
+		N:    rows * cols,
+		Meta: graph.Meta{
+			M: 2 * rows * cols, MinDeg: 4, MaxDeg: 4, RegularDeg: 4,
+			Connected: true, Bipartite: rows%2 == 0 && cols%2 == 0,
+		},
+		Row: func(u int, buf []int32) []int32 {
+			r, c := u/cols, u%cols
+			buf = append(buf,
+				id((r+rows-1)%rows, c), id((r+1)%rows, c),
+				id(r, (c+cols-1)%cols), id(r, (c+1)%cols))
+			slices.Sort(buf)
+			return buf
+		},
+	}, nil
+}
+
+// GridSharder shards the rows×cols grid (rows, cols ≥ 2), matching
+// Grid(rows, cols).
+func GridSharder(rows, cols int) (graph.Sharder, error) {
+	if rows < 2 || cols < 2 {
+		return graph.Sharder{}, fmt.Errorf("gen: Grid needs rows, cols ≥ 2, got %d×%d", rows, cols)
+	}
+	maxDeg := 4
+	regular := -1
+	switch {
+	case rows == 2 && cols == 2:
+		maxDeg, regular = 2, 2 // the 2×2 grid is the 4-cycle
+	case rows == 2 || cols == 2:
+		maxDeg = 3
+	}
+	return graph.Sharder{
+		Name: fmt.Sprintf("grid(%dx%d)", rows, cols),
+		N:    rows * cols,
+		Meta: graph.Meta{
+			M: rows*(cols-1) + cols*(rows-1), MinDeg: 2, MaxDeg: maxDeg,
+			RegularDeg: regular, Connected: true, Bipartite: true,
+		},
+		Row: func(u int, buf []int32) []int32 {
+			r, c := u/cols, u%cols
+			// Appended in ascending id order: up < left < right < down.
+			if r > 0 {
+				buf = append(buf, int32(u-cols))
+			}
+			if c > 0 {
+				buf = append(buf, int32(u-1))
+			}
+			if c+1 < cols {
+				buf = append(buf, int32(u+1))
+			}
+			if r+1 < rows {
+				buf = append(buf, int32(u+cols))
+			}
+			return buf
+		},
+	}, nil
+}
+
+// RingOfCliquesSharder shards the ring of beta cliques of size cliqueSize
+// with the port-port edge removed, matching RingOfCliques(beta, cliqueSize).
+func RingOfCliquesSharder(beta, cliqueSize int) (graph.Sharder, error) {
+	if beta < 3 || cliqueSize < 4 {
+		return graph.Sharder{}, fmt.Errorf("gen: RingOfCliques needs beta ≥ 3, cliqueSize ≥ 4, got %d, %d", beta, cliqueSize)
+	}
+	k := cliqueSize
+	return graph.Sharder{
+		Name: fmt.Sprintf("ringcliques(beta=%d,k=%d)", beta, k),
+		N:    beta * k,
+		Meta: graph.Meta{
+			M: beta * k * (k - 1) / 2, MinDeg: k - 1, MaxDeg: k - 1, RegularDeg: k - 1,
+			Connected: true, Bipartite: false, // k ≥ 4 leaves a triangle in every clique
+		},
+		Row: func(u int, buf []int32) []int32 {
+			i, j := u/k, u%k
+			base := i * k
+			switch j {
+			case 0: // left port: clique minus the right port, plus the previous ring edge
+				for v := base + 1; v < base+k-1; v++ {
+					buf = append(buf, int32(v))
+				}
+				buf = append(buf, int32(((i+beta-1)%beta)*k+k-1))
+			case k - 1: // right port: clique minus the left port, plus the next ring edge
+				for v := base + 1; v < base+k-1; v++ {
+					buf = append(buf, int32(v))
+				}
+				buf = append(buf, int32(((i+1)%beta)*k))
+			default: // interior: the whole clique minus self
+				for v := base; v < base+k; v++ {
+					if v != u {
+						buf = append(buf, int32(v))
+					}
+				}
+			}
+			slices.Sort(buf)
+			return buf
+		},
+	}, nil
+}

@@ -1,0 +1,207 @@
+package gen
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// shardCase pairs a family's sharder with its full generator — the
+// reference every shard-built row must match byte for byte.
+type shardCase struct {
+	name string
+	sh   graph.Sharder
+	full *graph.Graph
+}
+
+func shardCases(t *testing.T) []shardCase {
+	t.Helper()
+	var cases []shardCase
+	add := func(name string, sh graph.Sharder, shErr error, full *graph.Graph, fullErr error) {
+		if shErr != nil || fullErr != nil {
+			t.Fatalf("%s: sharder %v / full %v", name, shErr, fullErr)
+		}
+		cases = append(cases, shardCase{name: name, sh: sh, full: full})
+	}
+	for _, n := range []int{3, 5, 8} {
+		sh, err := CycleSharder(n)
+		full, ferr := Cycle(n)
+		add(sh.Name, sh, err, full, ferr)
+	}
+	for _, rc := range [][2]int{{3, 3}, {4, 5}, {6, 3}} {
+		sh, err := TorusSharder(rc[0], rc[1])
+		full, ferr := Torus(rc[0], rc[1])
+		add(sh.Name, sh, err, full, ferr)
+	}
+	for _, rc := range [][2]int{{2, 2}, {2, 5}, {3, 4}} {
+		sh, err := GridSharder(rc[0], rc[1])
+		full, ferr := Grid(rc[0], rc[1])
+		add(sh.Name, sh, err, full, ferr)
+	}
+	for _, bk := range [][2]int{{3, 4}, {4, 6}} {
+		sh, err := RingOfCliquesSharder(bk[0], bk[1])
+		full, ferr := RingOfCliques(bk[0], bk[1])
+		add(sh.Name, sh, err, full, ferr)
+	}
+	return cases
+}
+
+// TestShardProperties is the shard-math property sweep over a grid of
+// (family, P) including P = 1, P ∤ n, and P > n: the owned ranges are
+// contiguous, disjoint, and cover [0, n); every materialized row of a shard
+// — owned and halo alike — is byte-equal to the full build's CSR row;
+// everything else is empty; and the shard's global accessors answer the
+// full graph's facts.
+func TestShardProperties(t *testing.T) {
+	for _, tc := range shardCases(t) {
+		n := tc.full.N()
+		if tc.sh.N != n {
+			t.Fatalf("%s: sharder N = %d, full build N = %d", tc.name, tc.sh.N, n)
+		}
+		for _, P := range []int{1, 2, 3, 5, n, n + 3} {
+			covered := 0
+			for p := 0; p < P; p++ {
+				lo, hi := graph.ShardRange(n, p, P)
+				if lo != covered || hi < lo || hi > n {
+					t.Fatalf("%s P=%d: shard %d range [%d,%d) breaks contiguous cover at %d",
+						tc.name, P, p, lo, hi, covered)
+				}
+				covered = hi
+				g, err := graph.BuildShard(tc.sh, p, P)
+				if err != nil {
+					t.Fatalf("%s P=%d p=%d: %v", tc.name, P, p, err)
+				}
+				checkShard(t, tc, g, lo, hi, P)
+			}
+			if covered != n {
+				t.Fatalf("%s P=%d: shards cover [0,%d), want [0,%d)", tc.name, P, covered, n)
+			}
+		}
+	}
+}
+
+func checkShard(t *testing.T, tc shardCase, g *graph.Graph, lo, hi, P int) {
+	t.Helper()
+	full := tc.full
+	n := full.N()
+	if g.N() != n || g.Name() != full.Name() {
+		t.Fatalf("%s: shard is %q n=%d, full is %q n=%d", tc.name, g.Name(), g.N(), full.Name(), n)
+	}
+	// The materialized set: owned rows plus their remote endpoints (halo).
+	materialized := make([]bool, n)
+	for u := lo; u < hi; u++ {
+		materialized[u] = true
+		for _, v := range full.Neighbors(u) {
+			materialized[v] = true
+		}
+	}
+	for u := 0; u < n; u++ {
+		row := g.Neighbors(u)
+		if !materialized[u] {
+			if len(row) != 0 {
+				t.Fatalf("%s [%d,%d): non-materialized row %d has %d edges", tc.name, lo, hi, u, len(row))
+			}
+			continue
+		}
+		if !slices.Equal(row, full.Neighbors(u)) {
+			t.Fatalf("%s [%d,%d): row %d = %v, full build has %v", tc.name, lo, hi, u, row, full.Neighbors(u))
+		}
+	}
+	// Global facts answered from Meta must match the full build's computed
+	// answers (for P = 1 this also pins BuildFull against the generator).
+	if g.M() != full.M() {
+		t.Fatalf("%s: shard M = %d, full M = %d", tc.name, g.M(), full.M())
+	}
+	if g.MinDegree() != full.MinDegree() || g.MaxDegree() != full.MaxDegree() {
+		t.Fatalf("%s: shard degrees [%d,%d], full [%d,%d]", tc.name,
+			g.MinDegree(), g.MaxDegree(), full.MinDegree(), full.MaxDegree())
+	}
+	gd, gok := g.Regular()
+	fd, fok := full.Regular()
+	if gok != fok || (gok && gd != fd) {
+		t.Fatalf("%s: shard Regular = (%d,%t), full = (%d,%t)", tc.name, gd, gok, fd, fok)
+	}
+	if g.IsConnected() != full.IsConnected() || g.IsBipartite() != full.IsBipartite() {
+		t.Fatalf("%s: shard connected/bipartite = %t/%t, full = %t/%t", tc.name,
+			g.IsConnected(), g.IsBipartite(), full.IsConnected(), full.IsBipartite())
+	}
+	if !g.Sharded() {
+		t.Fatalf("%s: shard does not report Sharded", tc.name)
+	}
+	if r, f := g.ResidentBytes(), full.ResidentBytes(); P > 1 && r > f {
+		t.Fatalf("%s [%d,%d): shard resident %d exceeds full build's %d", tc.name, lo, hi, r, f)
+	}
+}
+
+// TestShardResidentScales pins the memory contract at an anchor size: a
+// torus shard's resident CSR bytes stay within 2× of full/P, offsets
+// overhead included.
+func TestShardResidentScales(t *testing.T) {
+	sh, err := TorusSharder(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := graph.BuildFull(sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, P := range []int{2, 3, 4} {
+		for p := 0; p < P; p++ {
+			g, err := graph.BuildShard(sh, p, P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r, cap := g.ResidentBytes(), 2*full.ResidentBytes()/int64(P); r > cap {
+				t.Errorf("torus 64×64, shard %d/%d: resident %d bytes > 2·full/P = %d", p, P, r, cap)
+			}
+		}
+	}
+}
+
+// TestBuildFullMatchesGenerator: the closed-form one-peer build is
+// CSR-identical to the incremental generator output for every sharded
+// family.
+func TestBuildFullMatchesGenerator(t *testing.T) {
+	for _, tc := range shardCases(t) {
+		g, err := graph.BuildFull(tc.sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go1, ge1 := g.CSR()
+		fo, fe := tc.full.CSR()
+		if !slices.Equal(go1, fo) || !slices.Equal(ge1, fe) {
+			t.Fatalf("%s: BuildFull CSR differs from generator output", tc.name)
+		}
+	}
+}
+
+// TestSharderValidation: sharder constructors reject the same degenerate
+// parameters as their full generators, with errors naming the parameter.
+func TestSharderValidation(t *testing.T) {
+	if _, err := CycleSharder(2); err == nil {
+		t.Error("CycleSharder(2) accepted")
+	}
+	if _, err := TorusSharder(2, 5); err == nil {
+		t.Error("TorusSharder(2,5) accepted")
+	}
+	if _, err := GridSharder(1, 5); err == nil {
+		t.Error("GridSharder(1,5) accepted")
+	}
+	if _, err := RingOfCliquesSharder(2, 5); err == nil {
+		t.Error("RingOfCliquesSharder(2,5) accepted")
+	}
+	if _, err := RingOfCliquesSharder(3, 3); err == nil {
+		t.Error("RingOfCliquesSharder(3,3) accepted")
+	}
+	sh, err := CycleSharder(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graph.BuildShard(sh, 3, 3); err == nil {
+		t.Error("BuildShard with p = P accepted")
+	}
+	if _, err := graph.BuildShard(sh, -1, 3); err == nil {
+		t.Error("BuildShard with negative p accepted")
+	}
+}

@@ -9,10 +9,18 @@ import (
 
 // Graph is an immutable simple undirected graph in CSR form.
 // The zero value is the empty graph.
+//
+// A graph normally materializes every adjacency row. A shard built by
+// BuildShard materializes only its owned rows plus halo rows and carries a
+// Meta with the whole-graph facts (edge count, degree bounds, connectivity,
+// bipartiteness); the global accessors — M, MinDegree, MaxDegree, Regular,
+// IsConnected, IsBipartite — answer from the Meta so shard-local code sees
+// the full graph's invariants without holding its edges.
 type Graph struct {
 	name    string
 	offsets []int32 // len n+1; neighbors of u are edges[offsets[u]:offsets[u+1]]
 	edges   []int32 // len 2m, sorted within each row
+	meta    *Meta   // non-nil only for sharded builds; whole-graph facts
 }
 
 // ErrNotConnected is returned by operations that require a connected graph.
@@ -26,8 +34,15 @@ func (g *Graph) N() int {
 	return len(g.offsets) - 1
 }
 
-// M returns the number of undirected edges.
-func (g *Graph) M() int { return len(g.edges) / 2 }
+// M returns the number of undirected edges of the whole graph. For a shard
+// this is the full graph's edge count (from the Meta), not the number of
+// materialized rows' edges.
+func (g *Graph) M() int {
+	if g.meta != nil {
+		return g.meta.M
+	}
+	return len(g.edges) / 2
+}
 
 // Name returns the human-readable label attached at construction time
 // (for example "barbell(beta=8,k=128)"). It may be empty.
@@ -61,6 +76,9 @@ func (g *Graph) HasEdge(u, v int) bool {
 
 // MinDegree returns the minimum degree, or 0 for the empty graph.
 func (g *Graph) MinDegree() int {
+	if g.meta != nil {
+		return g.meta.MinDeg
+	}
 	if g.N() == 0 {
 		return 0
 	}
@@ -75,6 +93,9 @@ func (g *Graph) MinDegree() int {
 
 // MaxDegree returns the maximum degree, or 0 for the empty graph.
 func (g *Graph) MaxDegree() int {
+	if g.meta != nil {
+		return g.meta.MaxDeg
+	}
 	max := 0
 	for u := 0; u < g.N(); u++ {
 		if d := g.Degree(u); d > max {
@@ -86,6 +107,12 @@ func (g *Graph) MaxDegree() int {
 
 // Regular reports whether every vertex has the same degree, and that degree.
 func (g *Graph) Regular() (d int, ok bool) {
+	if g.meta != nil {
+		if g.meta.RegularDeg >= 0 {
+			return g.meta.RegularDeg, true
+		}
+		return g.meta.MinDeg, false
+	}
 	if g.N() == 0 {
 		return 0, true
 	}
@@ -292,7 +319,12 @@ func (g *Graph) Clone(name string) *Graph {
 	copy(off, g.offsets)
 	ed := make([]int32, len(g.edges))
 	copy(ed, g.edges)
-	return &Graph{name: name, offsets: off, edges: ed}
+	var meta *Meta
+	if g.meta != nil {
+		m := *g.meta
+		meta = &m
+	}
+	return &Graph{name: name, offsets: off, edges: ed, meta: meta}
 }
 
 // DegreeHistogram returns a map from degree to the number of vertices with

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Meta carries the whole-graph facts a shard cannot recompute from its
+// materialized rows. Generators with closed-form structure (torus, grid,
+// cycle, ring of cliques) know these analytically; BuildShard attaches them
+// so the global accessors on Graph keep answering for the full graph.
+type Meta struct {
+	// M is the undirected edge count of the whole graph.
+	M int
+	// MinDeg and MaxDeg bound the whole graph's degrees.
+	MinDeg, MaxDeg int
+	// RegularDeg is the common degree when the graph is regular, else -1.
+	RegularDeg int
+	// Connected reports whole-graph connectivity.
+	Connected bool
+	// Bipartite reports whether the whole graph is 2-colorable.
+	Bipartite bool
+}
+
+// RowFunc produces the sorted adjacency row of vertex u, appending into
+// buf[:0] (which may be nil). The returned slice must be ascending and
+// duplicate-free — byte-equal to the full Builder CSR row — and is only
+// read before the next call, so implementations can reuse buf.
+type RowFunc func(u int, buf []int32) []int32
+
+// Sharder is a closed-form row generator for one graph: enough to build any
+// contiguous CSR shard without materializing the rest. Generators in
+// internal/gen provide these for the coordinate-structured families.
+type Sharder struct {
+	// Name labels the graph exactly as the full build would (so shard
+	// results are indistinguishable from full-build results).
+	Name string
+	// N is the vertex count.
+	N int
+	// Meta holds the whole-graph facts served by the shard's accessors.
+	Meta Meta
+	// Row materializes one adjacency row.
+	Row RowFunc
+}
+
+// ShardRange returns the contiguous vertex range [lo, hi) owned by peer p of
+// P: the canonical cluster partition lo = p·n/P, hi = (p+1)·n/P. Ranges are
+// contiguous, disjoint, and cover [0, n) for every P ≥ 1 (empty ranges are
+// legal when n < P).
+func ShardRange(n, p, P int) (lo, hi int) {
+	return p * n / P, (p + 1) * n / P
+}
+
+// BuildShard materializes the CSR shard owned by peer p of P: the rows of
+// the owned range ShardRange(n, p, P) plus every halo row (a remote vertex
+// adjacent to an owned one). All other rows are empty; offsets keeps its
+// full length n+1 so vertex ids, N(), and the engine's owner arithmetic are
+// unchanged. The shard's global accessors (M, degrees, connectivity,
+// bipartiteness) answer from s.Meta.
+func BuildShard(s Sharder, p, P int) (*Graph, error) {
+	if s.Row == nil || s.N <= 0 {
+		return nil, fmt.Errorf("graph: BuildShard: sharder %q has no rows", s.Name)
+	}
+	if P < 1 || p < 0 || p >= P {
+		return nil, fmt.Errorf("graph: BuildShard: peer %d of %d out of range", p, P)
+	}
+	n := s.N
+	lo, hi := ShardRange(n, p, P)
+
+	// Pass 1: owned degrees and the halo set (remote endpoints of owned rows).
+	deg := make([]int32, n)
+	var halo []int32
+	inHalo := make(map[int32]bool)
+	var buf []int32
+	for u := lo; u < hi; u++ {
+		row := s.Row(u, buf[:0])
+		buf = row
+		deg[u] = int32(len(row))
+		for _, v := range row {
+			if (int(v) < lo || int(v) >= hi) && !inHalo[v] {
+				inHalo[v] = true
+				halo = append(halo, v)
+			}
+		}
+	}
+	slices.Sort(halo)
+	for _, v := range halo {
+		deg[v] = int32(len(s.Row(int(v), buf[:0])))
+	}
+
+	offsets := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		offsets[u+1] = offsets[u] + deg[u]
+	}
+	edges := make([]int32, offsets[n])
+	for u := lo; u < hi; u++ {
+		copy(edges[offsets[u]:offsets[u+1]], s.Row(u, buf[:0]))
+	}
+	for _, v := range halo {
+		copy(edges[offsets[v]:offsets[v+1]], s.Row(int(v), buf[:0]))
+	}
+	meta := s.Meta
+	return &Graph{name: s.Name, offsets: offsets, edges: edges, meta: &meta}, nil
+}
+
+// BuildFull materializes the whole graph from the sharder — the one-peer
+// shard. It is the reference the shard property tests compare against and
+// a closed-form fast path for full builds of sharded families.
+func BuildFull(s Sharder) (*Graph, error) {
+	return BuildShard(s, 0, 1)
+}
+
+// ResidentBytes reports the graph's CSR footprint in bytes — what a peer
+// actually holds resident. Shards of the same graph shrink roughly as 1/P
+// (the offsets array stays full-length; the edge slab is shard-local).
+func (g *Graph) ResidentBytes() int64 {
+	return int64(len(g.offsets)+len(g.edges)) * 4
+}
+
+// Sharded reports whether this graph is a shard (only part of its rows are
+// materialized and global facts come from a Meta).
+func (g *Graph) Sharded() bool { return g.meta != nil }

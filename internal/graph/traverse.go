@@ -56,8 +56,11 @@ func (g *Graph) Eccentricity(u int) (int, error) {
 }
 
 // IsConnected reports whether the graph is connected. The empty graph is
-// considered connected.
+// considered connected. A shard answers for the whole graph from its Meta.
 func (g *Graph) IsConnected() bool {
+	if g.meta != nil {
+		return g.meta.Connected
+	}
 	n := g.N()
 	if n == 0 {
 		return true
@@ -73,8 +76,12 @@ func (g *Graph) IsConnected() bool {
 
 // IsBipartite reports whether the graph is 2-colorable. Mixing of the simple
 // (non-lazy) random walk is undefined on bipartite graphs (paper footnote 5);
-// callers use this to decide whether laziness is required.
+// callers use this to decide whether laziness is required. A shard answers
+// for the whole graph from its Meta.
 func (g *Graph) IsBipartite() bool {
+	if g.meta != nil {
+		return g.meta.Bipartite
+	}
 	n := g.N()
 	color := make([]int8, n) // 0 = uncolored, 1 / 2 = sides
 	var queue []int32

@@ -142,6 +142,37 @@ func (s GraphSpec) Key() string {
 		n.Family, n.N, n.K, n.Blocks, n.Bridge, n.D, n.Dim, n.Rows, n.Cols, n.P, n.Seed)
 }
 
+// Sharder returns the closed-form row sharder for coordinate-structured
+// families — cycle, torus, grid, ringcliques — whose adjacency is a formula
+// of the vertex id, letting a cluster peer materialize only its CSR shard
+// (graph.BuildShard) instead of the whole graph. It returns (nil, nil) for
+// families without one (callers fall back to Build), and an error only when
+// the family is shardable but its parameters are invalid — the same
+// validation failure Build would report.
+func (s GraphSpec) Sharder() (*graph.Sharder, error) {
+	n := s.Normalized()
+	var (
+		sh  graph.Sharder
+		err error
+	)
+	switch n.Family {
+	case "cycle":
+		sh, err = gen.CycleSharder(n.N)
+	case "torus":
+		sh, err = gen.TorusSharder(n.Rows, n.Cols)
+	case "grid":
+		sh, err = gen.GridSharder(n.Rows, n.Cols)
+	case "ringcliques":
+		sh, err = gen.RingOfCliquesSharder(n.Blocks, n.K)
+	default:
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &sh, nil
+}
+
 // Build constructs the graph. Deterministic: the randomized families seed
 // their own RNG from the spec.
 func (s GraphSpec) Build() (*graph.Graph, error) {

@@ -204,7 +204,8 @@ type TaskSpec struct {
 	// required for KindDynamic).
 	Churn *ChurnSpec `json:"churn,omitempty"`
 	// Cluster runs the task on the service's attached peer cluster
-	// (KindLocal, KindMixing, KindWalk; incompatible with Churn).
+	// (KindLocal, KindMixing, KindWalk, KindSweep; incompatible with
+	// Churn).
 	Cluster *ClusterSpec `json:"cluster,omitempty"`
 	// Coverage describes the KindCoverage instance.
 	Coverage *CoverageSpec `json:"coverage,omitempty"`
@@ -226,10 +227,12 @@ var distributedKinds = map[Kind]bool{
 }
 
 // ClusterKinds are the task kinds a peer cluster can compute: the
-// single-source distributed runs whose state is message-driven end to end,
-// so a vertex shard per peer reconstructs the exact single-process results.
+// single-source distributed runs whose state is message-driven end to end
+// (so a vertex shard per peer reconstructs the exact single-process
+// results), plus the multi-source sweep, which fans source chunks across
+// peers with no data plane at all.
 var ClusterKinds = map[Kind]bool{
-	KindLocal: true, KindMixing: true, KindWalk: true,
+	KindLocal: true, KindMixing: true, KindWalk: true, KindSweep: true,
 }
 
 // Validate checks kind membership and the cross-field constraints that do
@@ -267,13 +270,16 @@ func (t TaskSpec) Validate() error {
 	}
 	if t.Cluster != nil {
 		if !ClusterKinds[t.Kind] {
-			return fmt.Errorf("spec: kind %s does not distribute across a cluster (want %s, %s or %s)",
-				t.Kind, KindLocal, KindMixing, KindWalk)
+			return fmt.Errorf("spec: kind %s does not distribute across a cluster (want %s, %s, %s or %s)",
+				t.Kind, KindLocal, KindMixing, KindWalk, KindSweep)
 		}
 		if t.Churn != nil {
 			return fmt.Errorf("spec: churn models are not supported on a cluster yet")
 		}
-		if p := t.Cluster.Peers; p < 0 || p == 1 {
+		// Sweeps fan whole source chunks across peers, so even a single
+		// peer is a legitimate (if pointless) cluster; the engine kinds
+		// shard one run and need at least two.
+		if p := t.Cluster.Peers; p < 0 || (p == 1 && t.Kind != KindSweep) {
 			return fmt.Errorf("spec: cluster peers must be 0 (all registered) or ≥ 2, got %d", p)
 		}
 	}

@@ -12,11 +12,14 @@ import (
 	"repro/internal/graph"
 )
 
-// chunkSize is the dispatch grain: workers claim this many consecutive
+// ChunkSize is the dispatch grain: workers claim this many consecutive
 // sources of the canonical list at a time. Fixed (never derived from the
 // worker count) so the chunk grid is part of the sweep's deterministic
-// contract; small enough to balance heavy-tailed per-source costs.
-const chunkSize = 8
+// contract; small enough to balance heavy-tailed per-source costs. The
+// cluster coordinator partitions distributed sweeps on the same grid.
+const ChunkSize = 8
+
+const chunkSize = ChunkSize
 
 // Options selects the sources and the parallelism of a sweep.
 type Options struct {
@@ -77,6 +80,15 @@ func (s *Stream) Next() uint64 {
 
 // Float returns a uniform draw in [0, 1) with 53 random bits.
 func (s *Stream) Float() float64 { return float64(s.Next()>>11) / (1 << 53) }
+
+// ResolveSources materializes the canonical source list of a sweep over an
+// n-vertex graph: the explicit sources verbatim, a deterministic Sample-sized
+// draw from baseSeed, or every vertex ascending. It is exactly the
+// resolution Pool.Sweep performs, exported so the cluster coordinator can
+// partition a distributed sweep on the same canonical list.
+func ResolveSources(n int, baseSeed int64, sources []int, sample int) ([]int, error) {
+	return Options{Sources: sources, Sample: sample}.resolve(n, baseSeed)
+}
 
 // resolve materializes the canonical source list for an n-vertex graph.
 func (o Options) resolve(n int, baseSeed int64) ([]int, error) {
