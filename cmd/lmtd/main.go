@@ -226,6 +226,8 @@ func (d *daemon) handler() http.Handler {
 		if d.cluster != nil {
 			metricGauge(w, "lmtd_cluster_peers", "Compute peers currently registered with the coordinator.", int64(d.cluster.Peers()))
 			metricCounter(w, "lmtd_cluster_sweep_chunks_total", "Source chunks dispatched to peers by distributed sweeps.", d.cluster.SweepChunks())
+			metricCounter(w, "lmtd_cluster_sync_batches_total", "Control-plane sync barriers folded by the coordinator (one per RoundsPerSync window).", d.cluster.SyncBatches())
+			metricCounter(w, "lmtd_cluster_round_wait_ns_total", "Nanoseconds peer engines spent blocked on inbound round frames, summed across peers and jobs.", d.cluster.RoundWaitNs())
 			writePeerResident(w, d.cluster.PeerResidentBytes())
 		}
 	})

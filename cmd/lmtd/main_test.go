@@ -169,6 +169,14 @@ func TestServerClusterSweepMetrics(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("cluster sweep returned %d: %v", status, out)
 	}
+	// An engine task barriers per speculation window, so the sync-batch and
+	// round-wait counters move off zero (sweeps never touch them).
+	out, status = postRun(t, ts.URL, service.Request{Graph: gs,
+		Task: spec.TaskSpec{Kind: spec.KindWalk, Source: 0, Steps: 16, Seed: 5,
+			Cluster: &spec.ClusterSpec{RoundsPerSync: 4}}})
+	if status != http.StatusOK {
+		t.Fatalf("cluster walk returned %d: %v", status, out)
+	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -183,13 +191,23 @@ func TestServerClusterSweepMetrics(t *testing.T) {
 	// n = 20 sources on the ChunkSize = 8 grid is exactly 3 chunks.
 	for _, line := range []string{
 		"lmtd_cluster_peers 2",
-		"lmtd_cluster_runs_total 1",
+		"lmtd_cluster_runs_total 2",
 		"lmtd_cluster_sweep_chunks_total 3",
 		`lmtd_cluster_peer_resident_graph_bytes{peer="0"} `,
 		`lmtd_cluster_peer_resident_graph_bytes{peer="1"} `,
+		"lmtd_cluster_sync_batches_total ",
+		"lmtd_cluster_round_wait_ns_total ",
 	} {
 		if !strings.Contains(body, line) {
 			t.Errorf("/metrics lacks %q", line)
+		}
+	}
+	for _, zero := range []string{
+		"lmtd_cluster_sync_batches_total 0\n",
+		"lmtd_cluster_round_wait_ns_total 0\n",
+	} {
+		if strings.Contains(body, zero) {
+			t.Errorf("/metrics counter stuck at zero after an engine run: %q", zero)
 		}
 	}
 }

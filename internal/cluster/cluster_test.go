@@ -132,6 +132,60 @@ func TestClusterRunMatchesSingleProcess(t *testing.T) {
 		}
 	})
 
+	t.Run("sync-batch", func(t *testing.T) {
+		// The any-R determinism contract over real TCP: batching the
+		// control barrier must not change a byte of the result, for every
+		// distributable kind, peer subset and cadence.
+		wantLocal, err := core.ApproxLocalMixingTime(g, 0, 4, 0.05, core.WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMixing, err := core.MixingTime(g, 0, 0.05, core.WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantWalk, err := core.TokenWalk(g, 13, 16, core.WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		maskStats(wantLocal.Stats)
+		maskStats(wantMixing.Stats)
+		maskStats(wantWalk.Stats)
+		for _, rps := range []int{1, 4, 8} {
+			for _, peers := range []int{2, 3} {
+				cl := &spec.ClusterSpec{Peers: peers, RoundsPerSync: rps}
+				for kind, want := range map[string]any{"local": wantLocal, "mixing": wantMixing, "walk": wantWalk} {
+					var task spec.TaskSpec
+					switch kind {
+					case "local":
+						task = spec.TaskSpec{Kind: spec.KindLocal, Beta: 4, Eps: 0.05, Seed: 5, Cluster: cl}
+					case "mixing":
+						task = spec.TaskSpec{Kind: spec.KindMixing, Eps: 0.05, Seed: 7, Cluster: cl}
+					case "walk":
+						task = spec.TaskSpec{Kind: spec.KindWalk, Source: 13, Steps: 16, Seed: 5, Cluster: cl}
+					}
+					got, err := c.Run(ctx, graphSpec, task)
+					if err != nil {
+						t.Fatalf("rps=%d peers=%d %s: %v", rps, peers, kind, err)
+					}
+					switch r := got.(type) {
+					case *core.Result:
+						maskStats(r.Stats)
+					case *core.TokenWalkResult:
+						maskStats(r.Stats)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("rps=%d peers=%d: %s result differs from single-process:\n  cluster %+v\n  direct  %+v",
+							rps, peers, kind, got, want)
+					}
+				}
+			}
+		}
+		if c.SyncBatches() == 0 {
+			t.Error("coordinator recorded no barrier folds")
+		}
+	})
+
 	t.Run("peer-subset", func(t *testing.T) {
 		got, err := c.Run(ctx, graphSpec, spec.TaskSpec{Kind: spec.KindLocal, Beta: 4, Eps: 0.05, Seed: 5,
 			Cluster: &spec.ClusterSpec{Peers: 2}})

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,13 @@ type Coordinator struct {
 	// chunks counts sweep chunks dispatched to peers, cumulatively across
 	// jobs (the lmtd_cluster_sweep_chunks_total metric).
 	chunks atomic.Int64
+	// syncBatches counts barrier folds — one per speculation window, so
+	// RoundsPerSync=8 folds ~1/8th as often as every-round syncing
+	// (the lmtd_cluster_sync_batches_total metric).
+	syncBatches atomic.Int64
+	// roundWait accumulates the nanoseconds peers reported blocked on
+	// inbound frames (the lmtd_cluster_round_wait_ns_total metric).
+	roundWait atomic.Int64
 	// resident holds the per-peer resident graph bytes reported in the last
 	// job's ready messages, guarded by statMu.
 	statMu   sync.Mutex
@@ -117,6 +125,7 @@ func (c *Coordinator) acceptLoop() {
 // admit registers one peer after its hello. Registration order assigns the
 // peer indices of subsequent jobs.
 func (c *Coordinator) admit(conn net.Conn) {
+	conn = wrapConn(conn)
 	rd := newCtrlReader(conn)
 	var m ctrlMsg
 	if err := rd.next(&m); err != nil || m.Type != msgHello {
@@ -136,6 +145,15 @@ func (c *Coordinator) admit(conn net.Conn) {
 // SweepChunks returns the number of sweep chunks dispatched to peers since
 // the coordinator started, across all jobs.
 func (c *Coordinator) SweepChunks() int64 { return c.chunks.Load() }
+
+// SyncBatches returns the number of round-barrier folds performed since
+// the coordinator started: one per speculation window, across all jobs.
+func (c *Coordinator) SyncBatches() int64 { return c.syncBatches.Load() }
+
+// RoundWaitNs returns the cumulative nanoseconds peers reported blocked on
+// inbound frames, across all jobs — the coarse measure of how much wire
+// latency the pipelined exchange failed to hide.
+func (c *Coordinator) RoundWaitNs() int64 { return c.roundWait.Load() }
 
 // PeerResidentBytes returns the per-peer resident graph bytes the last
 // job's ready messages reported (index = peer index of that job): the CSR
@@ -167,38 +185,54 @@ func (c *Coordinator) drop(pc *peerConn) {
 }
 
 // foldBarrier is the coordinator half of the round barrier: each runPeer
-// goroutine submits its peer's report; the last arrival folds the
-// generation with congest.MergeReports and releases the rest. fail breaks
-// the barrier permanently — current and future waiters receive a report
-// carrying the failure, which every healthy peer turns into a clean abort.
+// goroutine submits its peer's report batch (one speculation window); the
+// last arrival folds the generation with congest.MergeReportBatch and
+// releases the rest. fail breaks the barrier permanently — current and
+// future waiters receive a batch carrying the failure, which every healthy
+// peer turns into a clean abort.
 type foldBarrier struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	peers  int
-	reps   []congest.RoundReport
-	merged congest.RoundReport
-	gen    int
-	broken string
+	mu      sync.Mutex
+	cond    *sync.Cond
+	peers   int
+	batches [][]congest.RoundReport
+	merged  []congest.RoundReport
+	gen     int
+	broken  string
+	// folds counts completed generations into the coordinator's
+	// syncBatches metric.
+	folds *atomic.Int64
 }
 
-func newFoldBarrier(peers int) *foldBarrier {
-	b := &foldBarrier{peers: peers}
+func newFoldBarrier(peers int, folds *atomic.Int64) *foldBarrier {
+	b := &foldBarrier{peers: peers, folds: folds}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-func (b *foldBarrier) sync(r congest.RoundReport) congest.RoundReport {
+// poisoned mirrors the submitted batch with every report carrying the
+// breakage, so the engine aborts at the window's first round. Callers hold
+// b.mu.
+func (b *foldBarrier) poisoned(batch []congest.RoundReport) []congest.RoundReport {
+	out := make([]congest.RoundReport, len(batch))
+	for i := range out {
+		out[i] = congest.RoundReport{Round: batch[i].Round, MinWake: congest.NoWake, Err: b.broken}
+	}
+	return out
+}
+
+func (b *foldBarrier) sync(batch []congest.RoundReport) []congest.RoundReport {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.broken != "" {
-		return congest.RoundReport{Round: r.Round, MinWake: congest.NoWake, Err: b.broken}
+		return b.poisoned(batch)
 	}
 	gen := b.gen
-	b.reps = append(b.reps, r)
-	if len(b.reps) == b.peers {
-		b.merged = congest.MergeReports(b.reps)
-		b.reps = b.reps[:0]
+	b.batches = append(b.batches, batch)
+	if len(b.batches) == b.peers {
+		b.merged = congest.MergeReportBatch(b.batches)
+		b.batches = b.batches[:0]
 		b.gen++
+		b.folds.Add(1)
 		b.cond.Broadcast()
 		return b.merged
 	}
@@ -206,7 +240,7 @@ func (b *foldBarrier) sync(r congest.RoundReport) congest.RoundReport {
 		b.cond.Wait()
 	}
 	if b.gen == gen { // released by fail, not by the fold
-		return congest.RoundReport{Round: r.Round, MinWake: congest.NoWake, Err: b.broken}
+		return b.poisoned(batch)
 	}
 	return b.merged
 }
@@ -245,11 +279,11 @@ func (c *Coordinator) Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSp
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
 
-	want := 0
+	want, rps := 0, 0
 	if ts.Cluster != nil {
-		want = ts.Cluster.Peers
+		want, rps = ts.Cluster.Peers, ts.Cluster.RoundsPerSync
 	}
-	ts.Cluster = nil // peers run the task directly; the routing field is spent
+	ts.Cluster = nil // peers run the task directly; the routing fields are spent
 	c.mu.Lock()
 	peers := append([]*peerConn(nil), c.peers...)
 	c.mu.Unlock()
@@ -278,6 +312,11 @@ func (c *Coordinator) Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSp
 			return nil, err
 		}
 		n = g.N()
+		if ts.Kind != spec.KindSweep {
+			// One line per job here; the peers themselves only warn the
+			// first time they meet the family.
+			log.Printf("cluster: graph family %q has no sharded builder; peers build it in full", gs.Normalized().Family)
+		}
 	}
 	if ts.Kind == spec.KindSweep {
 		return c.runSweep(ctx, gs, ts, peers, n)
@@ -291,7 +330,7 @@ func (c *Coordinator) Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSp
 	var firstErr error
 	prepared := 0
 	for p, pc := range peers {
-		if err := pc.enc.Encode(ctrlMsg{Type: msgPrepare, Peer: p, Peers: want, Graph: &gs, Task: &ts}); err != nil {
+		if err := pc.enc.Encode(ctrlMsg{Type: msgPrepare, Peer: p, Peers: want, Graph: &gs, Task: &ts, Sync: rps}); err != nil {
 			firstErr = fmt.Errorf("cluster: peer %d: send prepare: %w", p, err)
 			c.drop(pc)
 			break
@@ -333,7 +372,7 @@ func (c *Coordinator) Run(ctx context.Context, gs spec.GraphSpec, ts spec.TaskSp
 		return nil, firstErr
 	}
 
-	bar := newFoldBarrier(want)
+	bar := newFoldBarrier(want, &c.syncBatches)
 	started := 0
 	for p, pc := range peers {
 		if err := pc.enc.Encode(ctrlMsg{Type: msgStart, Addrs: addrs}); err != nil {
@@ -397,13 +436,13 @@ func (c *Coordinator) runPeer(p int, pc *peerConn, bar *foldBarrier, out *peerOu
 		}
 		switch m.Type {
 		case msgSync:
-			if m.Report == nil {
-				fail(errors.New("sync without a report"))
+			if len(m.Reports) == 0 {
+				fail(errors.New("sync without reports"))
 				return
 			}
-			merged := bar.sync(*m.Report)
-			if err := pc.enc.Encode(ctrlMsg{Type: msgRound, Report: &merged}); err != nil {
-				fail(fmt.Errorf("send merged report: %w", err))
+			merged := bar.sync(m.Reports)
+			if err := pc.enc.Encode(ctrlMsg{Type: msgRound, Reports: merged}); err != nil {
+				fail(fmt.Errorf("send merged reports: %w", err))
 				return
 			}
 		case msgResult:
@@ -411,6 +450,7 @@ func (c *Coordinator) runPeer(p int, pc *peerConn, bar *foldBarrier, out *peerOu
 			out.stats = m.Stats
 			out.auth = m.Authoritative
 			out.errS = m.Err
+			c.roundWait.Add(m.WaitNs)
 			if m.Err != "" {
 				bar.fail(fmt.Sprintf("peer %d: %s", p, m.Err))
 			}

@@ -1,8 +1,8 @@
 // Package cluster runs one CONGEST computation across N lmtd processes: a
-// coordinator that owns job dispatch, the per-round control barrier and
-// result collection, and peer runtimes that each drive the congest engine
-// over a contiguous vertex shard, exchanging per-round halo traffic
-// directly with each other as binary frames (internal/congest/frame).
+// coordinator that owns job dispatch, the control barrier and result
+// collection, and peer runtimes that each drive the congest engine over a
+// contiguous vertex shard, exchanging per-round halo traffic directly with
+// each other as binary frames (internal/congest/frame).
 //
 // Two planes, two codecs. The control plane — registration, job dispatch,
 // round reports and directives, results — is newline-delimited JSON between
@@ -14,16 +14,25 @@
 //
 // Per round, each peer: steps its shard; exchanges frames with every other
 // peer (congest.Exchanger); delivers, merging inbound frames around its
-// local mailbox matrix in ascending peer order; then submits a
-// congest.RoundReport to the coordinator (congest.Barrier), which folds the
-// N reports with congest.MergeReports and broadcasts the merged report.
-// Every peer replicates the global decision — stop, error abort,
-// fast-forward — from the same merged values, so round counters advance in
-// lockstep with no decision logic in the coordinator at all.
+// local mailbox matrix in ascending peer order; and records a
+// congest.RoundReport. The frame I/O is pipelined (meshExchanger): a writer
+// and a reader goroutine per link overlap outbound flushes and inbound
+// decodes with the engine's compute, so the engine blocks only when a
+// frame genuinely has not arrived — that residual wait is measured and
+// exported as lmtd_cluster_round_wait_ns_total. Once per speculation
+// window of RoundsPerSync rounds, the reports are submitted to the
+// coordinator (congest.Barrier), which folds them per round with
+// congest.MergeReportBatch and broadcasts the merge. Every peer replicates
+// the global decisions — stop, error abort, fast-forward — from the same
+// merged values, so round counters advance in lockstep with no decision
+// logic in the coordinator at all; rounds speculated past a global
+// decision point are inert and are reconciled exactly (see
+// internal/congest's cluster mode).
 //
 // The determinism contract is inherited from the engine (see
 // internal/congest cluster mode): a job's results are DeepEqual to the
-// single-process run with the same seed, for any peer count. The
+// single-process run with the same seed, for any peer count and any
+// RoundsPerSync cadence. The
 // coordinator therefore returns the source-owning peer's result verbatim,
 // swapping in the congest.MergeStats fold of all peers' engine statistics.
 //

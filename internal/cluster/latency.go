@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// testConnWrap, when set, wraps every connection the cluster package opens
+// or accepts — control and mesh, both directions — before any bytes flow.
+// Benchmarks install a delayWrites factory to simulate long-haul links;
+// outside tests it stays unset. Install and clear it only while no cluster
+// is running.
+var testConnWrap atomic.Value // of func(net.Conn) net.Conn
+
+func setTestConnWrap(f func(net.Conn) net.Conn) {
+	testConnWrap.Store(f)
+}
+
+func wrapConn(c net.Conn) net.Conn {
+	if f, _ := testConnWrap.Load().(func(net.Conn) net.Conn); f != nil {
+		return f(c)
+	}
+	return c
+}
+
+// delayConn delays every Write by a fixed one-way latency while preserving
+// write order — a deterministic long-haul link for benchmarks and tests:
+// no jitter, no reordering, no loss. Reads pass through untouched, so
+// wrapping both ends of a connection pair yields a symmetric round trip of
+// 2×oneWay. Writes are acknowledged immediately (the bytes are queued, as
+// in a real send buffer); a forwarder goroutine releases each chunk onto
+// the underlying connection once its delay elapses.
+type delayConn struct {
+	net.Conn
+	oneWay time.Duration
+	ch     chan delayedWrite
+	done   chan struct{}
+	once   sync.Once
+	err    atomic.Value // of error: the first forwarder write failure
+}
+
+type delayedWrite struct {
+	b  []byte
+	at time.Time
+}
+
+// delayQueueCap bounds the in-flight chunk queue; a full queue applies
+// backpressure to Write, like a full send buffer would.
+const delayQueueCap = 256
+
+// delayWrites wraps c so every write arrives oneWay later.
+func delayWrites(c net.Conn, oneWay time.Duration) net.Conn {
+	d := &delayConn{
+		Conn:   c,
+		oneWay: oneWay,
+		ch:     make(chan delayedWrite, delayQueueCap),
+		done:   make(chan struct{}),
+	}
+	go d.forward()
+	return d
+}
+
+func (d *delayConn) forward() {
+	for {
+		select {
+		case w := <-d.ch:
+			if wait := time.Until(w.at); wait > 0 {
+				time.Sleep(wait)
+			}
+			if d.err.Load() == nil {
+				if _, err := d.Conn.Write(w.b); err != nil {
+					// Keep draining so blocked writers unwedge; they see
+					// the error on their next Write.
+					d.err.Store(err)
+				}
+			}
+		case <-d.done:
+			return
+		}
+	}
+}
+
+func (d *delayConn) Write(p []byte) (int, error) {
+	if err, _ := d.err.Load().(error); err != nil {
+		return 0, err
+	}
+	select {
+	case <-d.done:
+		return 0, net.ErrClosed
+	default:
+	}
+	w := delayedWrite{b: append([]byte(nil), p...), at: time.Now().Add(d.oneWay)}
+	select {
+	case d.ch <- w:
+		return len(p), nil
+	case <-d.done:
+		return 0, net.ErrClosed
+	}
+}
+
+func (d *delayConn) Close() error {
+	d.once.Do(func() { close(d.done) })
+	return d.Conn.Close()
+}

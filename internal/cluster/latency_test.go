@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns a connected loopback TCP pair (the kernel socket buffers
+// make writes complete without a concurrent reader, unlike net.Pipe).
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type acc struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan acc, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- acc{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := <-ch
+	if a.err != nil {
+		client.Close()
+		t.Fatal(a.err)
+	}
+	t.Cleanup(func() { client.Close(); a.c.Close() })
+	return client, a.c
+}
+
+// TestDelayConnDelaysAndPreservesOrder: every write arrives at least the
+// one-way latency late, bytes arrive in write order, and a burst of writes
+// is pipelined (delays overlap) rather than serialized (delays add up).
+func TestDelayConnDelaysAndPreservesOrder(t *testing.T) {
+	const oneWay = 30 * time.Millisecond
+	const writes = 20
+	raw, peer := tcpPair(t)
+	dc := delayWrites(raw, oneWay)
+	defer dc.Close()
+
+	start := time.Now()
+	for i := 0; i < writes; i++ {
+		if _, err := dc.Write([]byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	buf := make([]byte, writes)
+	if _, err := io.ReadFull(peer, buf); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	for i := range buf {
+		if buf[i] != byte(i) {
+			t.Fatalf("write %d arrived as %d: reordered", i, buf[i])
+		}
+	}
+	if elapsed < oneWay {
+		t.Fatalf("burst arrived after %v, before the %v one-way delay", elapsed, oneWay)
+	}
+	// Serialized delays would need ≥ writes·oneWay = 600ms; generous
+	// headroom below that still proves the pipeline overlaps them.
+	if limit := time.Duration(writes) * oneWay * 2 / 3; elapsed > limit {
+		t.Fatalf("burst took %v; delays are stacking instead of overlapping (limit %v)", elapsed, limit)
+	}
+}
+
+// TestDelayConnReadsPassThrough: the wrapper delays only its own writes;
+// inbound traffic is untouched.
+func TestDelayConnReadsPassThrough(t *testing.T) {
+	raw, peer := tcpPair(t)
+	dc := delayWrites(raw, time.Minute) // a delay the test would never survive
+	defer dc.Close()
+	if _, err := peer.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	dc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(dc, buf); err != nil {
+		t.Fatalf("read through wrapper: %v", err)
+	}
+	if string(buf) != "pong" {
+		t.Fatalf("read %q, want %q", buf, "pong")
+	}
+}
+
+// TestDelayConnCloseUnblocks: Close releases writers blocked on a full
+// queue and later writes fail instead of hanging.
+func TestDelayConnCloseUnblocks(t *testing.T) {
+	raw, _ := tcpPair(t)
+	dc := delayWrites(raw, time.Minute)
+	dc.Close()
+	if _, err := dc.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}

@@ -9,23 +9,31 @@ import (
 	"repro/internal/congest/frame"
 )
 
+// meshBufBytes sizes each link's buffered writer and reader: large enough
+// that a typical round's frame reaches the kernel in one syscall, small
+// enough to be irrelevant against the graph itself.
+const meshBufBytes = 64 << 10
+
 // meshLink is one open data-plane connection to a remote peer: buffered
-// writes (one explicit flush per round) and a frame reader whose buffers are
-// reused across rounds.
+// writes (one explicit flush per round) and a frame reader whose buffers
+// are reused across rounds.
 type meshLink struct {
 	conn net.Conn
 	bw   *bufio.Writer
-	w    *frame.Writer
 	r    *frame.Reader
 }
 
 func newMeshLink(conn net.Conn) *meshLink {
-	bw := bufio.NewWriter(conn)
+	if tc, ok := conn.(interface{ SetNoDelay(bool) error }); ok {
+		// Go's default, but set explicitly: frames flush exactly once per
+		// round and the next round blocks on their arrival, so Nagle-style
+		// coalescing could only ever add latency.
+		tc.SetNoDelay(true)
+	}
 	return &meshLink{
 		conn: conn,
-		bw:   bw,
-		w:    frame.NewWriter(bw),
-		r:    frame.NewReader(bufio.NewReader(conn)),
+		bw:   bufio.NewWriterSize(conn, meshBufBytes),
+		r:    frame.NewReader(bufio.NewReaderSize(conn, meshBufBytes)),
 	}
 }
 
@@ -53,6 +61,7 @@ func setupMesh(self int, addrs []string, ln net.Listener) ([]*meshLink, error) {
 		if err != nil {
 			return fail(fmt.Errorf("cluster: peer %d: dial mesh peer %d at %s: %w", self, q, addrs[q], err))
 		}
+		conn = wrapConn(conn)
 		if err := writeMeshPreamble(conn, self); err != nil {
 			conn.Close()
 			return fail(fmt.Errorf("cluster: peer %d: mesh preamble to peer %d: %w", self, q, err))
@@ -67,6 +76,7 @@ func setupMesh(self int, addrs []string, ln net.Listener) ([]*meshLink, error) {
 		if err != nil {
 			return fail(fmt.Errorf("cluster: peer %d: accept mesh connection: %w", self, err))
 		}
+		conn = wrapConn(conn)
 		id, err := readMeshPreamble(conn)
 		if err != nil {
 			conn.Close()
@@ -81,64 +91,163 @@ func setupMesh(self int, addrs []string, ln net.Listener) ([]*meshLink, error) {
 	return links, nil
 }
 
-// meshExchanger is the congest.Exchanger over the TCP mesh: one frame per
-// remote peer per round, each way. A goroutine writes (and flushes) every
-// outbound frame while the caller reads one inbound frame per link — the
-// concurrent write/read split that keeps two peers pushing large frames at
-// each other from deadlocking on full TCP buffers.
-type meshExchanger struct {
-	self  int
-	links []*meshLink // indexed by peer; nil at self
-	in    [][]frame.Record
+// inFrame is one decoded inbound frame, handed from a link's reader
+// goroutine to the engine.
+type inFrame struct {
+	round, peer int
+	recs        []frame.Record
+	err         error
 }
 
+// linkWriter owns the write side of one link. The engine encodes a round's
+// frame synchronously — the source records are reused the moment Exchange
+// returns — then hands the bytes to the goroutine, which pushes them onto
+// the wire while the engine moves on to reading inbound frames and
+// stepping the next round. At most one write is in flight per link; its
+// ack is collected before the encode buffer is reused.
+type linkWriter struct {
+	ch      chan []byte
+	ack     chan error
+	pending bool
+	buf     []byte
+}
+
+// linkReader owns the read side of one link: the goroutine decodes frames
+// ahead of the engine into three rotating record buffers. Three suffice —
+// at any moment one buffer is held by the engine, one sits decoded in the
+// channel, and one is being filled off the wire.
+type linkReader struct {
+	ch   chan inFrame
+	bufs [3][]frame.Record
+}
+
+// meshExchanger is the pipelined congest.Exchanger over the TCP mesh: one
+// frame per remote peer per round, each way, with per-link writer and
+// reader goroutines so serialization, syscalls and wire latency overlap
+// the engine's compute. Outbound frames start flowing the moment the step
+// phase ends; inbound frames for the next round are read off the wire
+// while the engine is still delivering the current one.
+type meshExchanger struct {
+	self   int
+	links  []*meshLink // indexed by peer; nil at self
+	wr     []*linkWriter
+	rd     []*linkReader
+	in     [][]frame.Record
+	done   chan struct{}
+	closed bool
+	// waitNs accumulates the time Exchange spent blocked on inbound frames
+	// (the lmtd_cluster_round_wait_ns_total metric): near zero when the
+	// pipeline hides the wire, one RTT per round when it cannot.
+	waitNs int64
+}
+
+func newMeshExchanger(self int, links []*meshLink) *meshExchanger {
+	e := &meshExchanger{
+		self:  self,
+		links: links,
+		wr:    make([]*linkWriter, len(links)),
+		rd:    make([]*linkReader, len(links)),
+		in:    make([][]frame.Record, len(links)),
+		done:  make(chan struct{}),
+	}
+	for q, l := range links {
+		if l == nil {
+			continue
+		}
+		w := &linkWriter{ch: make(chan []byte, 1), ack: make(chan error, 1)}
+		e.wr[q] = w
+		go writeLoop(l, w, e.done)
+		r := &linkReader{ch: make(chan inFrame, 1)}
+		e.rd[q] = r
+		go readLoop(l, r, e.done)
+	}
+	return e
+}
+
+func writeLoop(l *meshLink, w *linkWriter, done chan struct{}) {
+	for {
+		select {
+		case b := <-w.ch:
+			_, err := l.bw.Write(b)
+			if err == nil {
+				err = l.bw.Flush()
+			}
+			w.ack <- err // cap 1 and at most one write in flight: never blocks
+			if err != nil {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+func readLoop(l *meshLink, r *linkReader, done chan struct{}) {
+	for i := 0; ; i++ {
+		slot := i % len(r.bufs)
+		round, peer, recs, _, err := l.r.ReadFrameAppend(r.bufs[slot][:0])
+		r.bufs[slot] = recs
+		select {
+		case r.ch <- inFrame{round: round, peer: peer, recs: recs, err: err}:
+		case <-done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Exchange launches this round's writes, then collects one inbound frame
+// per link in ascending peer order. The returned slices are the reader
+// goroutines' rotating buffers: the slot handed out for round r is not
+// refilled before the engine takes round r+1's frame — exactly the
+// congest.Exchanger lifetime contract.
 func (e *meshExchanger) Exchange(round int, out [][]frame.Record) ([][]frame.Record, error) {
-	done := make(chan error, 1)
-	go func() {
-		for q, l := range e.links {
-			if l == nil {
-				continue
-			}
-			if _, err := l.w.WriteFrame(round, e.self, out[q]); err != nil {
-				done <- fmt.Errorf("to peer %d: %w", q, err)
-				return
-			}
-			if err := l.bw.Flush(); err != nil {
-				done <- fmt.Errorf("to peer %d: flush: %w", q, err)
-				return
+	for q, w := range e.wr {
+		if w == nil {
+			continue
+		}
+		if w.pending {
+			if err := <-w.ack; err != nil {
+				return e.fail(fmt.Errorf("cluster: mesh write to peer %d: %w", q, err))
 			}
 		}
-		done <- nil
-	}()
-	if e.in == nil {
-		e.in = make([][]frame.Record, len(e.links))
+		w.buf = frame.Append(w.buf[:0], round, e.self, out[q])
+		w.ch <- w.buf // cap 1, writer idle after the ack: never blocks
+		w.pending = true
 	}
-	fail := func(err error) ([][]frame.Record, error) {
-		// Unblock the writer goroutine (its Write fails once the conns
-		// close) before surfacing the read-side error.
-		closeLinks(e.links)
-		<-done
-		return nil, err
-	}
-	for q, l := range e.links {
-		if l == nil {
+	start := time.Now()
+	for q, r := range e.rd {
+		if r == nil {
 			e.in[q] = nil
 			continue
 		}
-		r, p, recs, _, err := l.r.ReadFrame()
-		if err != nil {
-			return fail(fmt.Errorf("cluster: read frame from peer %d: %w", q, err))
+		f := <-r.ch
+		if f.err != nil {
+			return e.fail(fmt.Errorf("cluster: read frame from peer %d: %w", q, f.err))
 		}
-		if r != round || p != q {
-			return fail(fmt.Errorf("cluster: peer %d sent frame (round %d, peer %d), want (round %d, peer %d)", q, r, p, round, q))
+		if f.round != round || f.peer != q {
+			return e.fail(fmt.Errorf("cluster: peer %d sent frame (round %d, peer %d), want (round %d, peer %d)", q, f.round, f.peer, round, q))
 		}
-		// recs aliases the link reader's buffer: valid until the next
-		// ReadFrame on this link, i.e. until the next round's exchange —
-		// exactly the congest.Exchanger lifetime contract.
-		e.in[q] = recs
+		e.in[q] = f.recs
 	}
-	if err := <-done; err != nil {
-		return nil, fmt.Errorf("cluster: mesh write: %w", err)
-	}
+	e.waitNs += time.Since(start).Nanoseconds()
 	return e.in, nil
+}
+
+func (e *meshExchanger) fail(err error) ([][]frame.Record, error) {
+	e.Close()
+	return nil, err
+}
+
+// Close tears down the mesh: stops the per-link goroutines and closes the
+// connections. Idempotent; the exchanger is unusable afterwards. Must be
+// called from the engine's goroutine (like Exchange).
+func (e *meshExchanger) Close() {
+	if !e.closed {
+		e.closed = true
+		close(e.done)
+	}
+	closeLinks(e.links)
 }

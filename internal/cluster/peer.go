@@ -29,6 +29,7 @@ func Serve(ctx context.Context, coordAddr string) error {
 	if err != nil {
 		return fmt.Errorf("cluster: dial coordinator %s: %w", coordAddr, err)
 	}
+	conn = wrapConn(conn)
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
@@ -36,7 +37,7 @@ func Serve(ctx context.Context, coordAddr string) error {
 	if err := enc.Encode(ctrlMsg{Type: msgHello}); err != nil {
 		return fmt.Errorf("cluster: register with coordinator: %w", err)
 	}
-	ps := &peerState{graphs: map[string]*graph.Graph{}, pools: map[string]*core.SweepPool{}}
+	ps := &peerState{graphs: map[string]*graph.Graph{}, pools: map[string]*core.SweepPool{}, warned: map[string]bool{}}
 	for {
 		var m ctrlMsg
 		if err := rd.next(&m); err != nil {
@@ -67,6 +68,9 @@ func Serve(ctx context.Context, coordAddr string) error {
 type peerState struct {
 	graphs map[string]*graph.Graph
 	pools  map[string]*core.SweepPool
+	// warned remembers graph families already reported as non-shardable, so
+	// the full-build fallback logs once per family, not once per job.
+	warned map[string]bool
 }
 
 // peerCacheCap bounds each warm cache; exceeding it clears the cache (the
@@ -85,7 +89,10 @@ func (ps *peerState) graphFor(gs *spec.GraphSpec, self, peers int, kind spec.Kin
 			return nil, err
 		}
 		if sh == nil {
-			log.Printf("cluster: peer %d: graph family %q has no sharded builder; building the full graph", self, gs.Normalized().Family)
+			if fam := gs.Normalized().Family; !ps.warned[fam] {
+				ps.warned[fam] = true
+				log.Printf("cluster: peer %d: graph family %q has no sharded builder; building the full graph", self, fam)
+			}
 		} else {
 			key = fmt.Sprintf("%s|shard=%d/%d", gs.Key(), self, peers)
 			build = func() (*graph.Graph, error) { return graph.BuildShard(*sh, self, peers) }
@@ -131,26 +138,27 @@ func (ps *peerState) sweepPoolFor(graphKey string, g *graph.Graph, t spec.TaskSp
 }
 
 // ctrlBarrier is the peer half of the round barrier, riding the control
-// connection: one sync up, one merged round report down, per engine round.
-// The engine calls Sync from exactly one goroutine, and nothing else uses
-// the connection during a run.
+// connection: one sync up, one merged batch down, per speculation window
+// (one window = up to RoundsPerSync engine rounds). The engine calls Sync
+// from exactly one goroutine, and nothing else uses the connection during
+// a run.
 type ctrlBarrier struct {
 	enc *json.Encoder
 	rd  *ctrlReader
 }
 
-func (b *ctrlBarrier) Sync(r congest.RoundReport) (congest.RoundReport, error) {
-	if err := b.enc.Encode(ctrlMsg{Type: msgSync, Report: &r}); err != nil {
-		return congest.RoundReport{}, fmt.Errorf("cluster: send round report: %w", err)
+func (b *ctrlBarrier) Sync(batch []congest.RoundReport) ([]congest.RoundReport, error) {
+	if err := b.enc.Encode(ctrlMsg{Type: msgSync, Reports: batch}); err != nil {
+		return nil, fmt.Errorf("cluster: send round reports: %w", err)
 	}
 	var m ctrlMsg
 	if err := b.rd.next(&m); err != nil {
-		return congest.RoundReport{}, fmt.Errorf("cluster: await merged report: %w", err)
+		return nil, fmt.Errorf("cluster: await merged reports: %w", err)
 	}
-	if m.Type != msgRound || m.Report == nil {
-		return congest.RoundReport{}, fmt.Errorf("cluster: unexpected control message %q awaiting merged report", m.Type)
+	if m.Type != msgRound || len(m.Reports) == 0 {
+		return nil, fmt.Errorf("cluster: unexpected control message %q awaiting merged reports", m.Type)
 	}
-	return *m.Report, nil
+	return m.Reports, nil
 }
 
 // runJob executes one prepare→result (or prepare→chunks→done) cycle. The
@@ -229,15 +237,18 @@ func runJob(conn net.Conn, enc *json.Encoder, rd *ctrlReader, ps *peerState, m *
 		res.Err = err.Error()
 		return sendResult(enc, &res)
 	}
-	defer closeLinks(links)
+	ex := newMeshExchanger(self, links)
+	defer ex.Close()
 	out, stats, auth, runErr := runClusterTask(g, *m.Task, &congest.ClusterConfig{
-		Peer:     self,
-		Peers:    peers,
-		Exchange: &meshExchanger{self: self, links: links},
-		Barrier:  &ctrlBarrier{enc: enc, rd: rd},
+		Peer:          self,
+		Peers:         peers,
+		Exchange:      ex,
+		Barrier:       &ctrlBarrier{enc: enc, rd: rd},
+		RoundsPerSync: m.Sync,
 	})
 	res.Stats = stats
 	res.Authoritative = auth
+	res.WaitNs = ex.waitNs
 	if runErr != nil {
 		res.Err = runErr.Error()
 	} else if auth {

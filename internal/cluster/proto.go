@@ -18,12 +18,12 @@ import (
 // exchange:
 //
 //	peer → coord   hello                       once, on connect
-//	coord → peer   prepare{peer, peers, graph, task}
+//	coord → peer   prepare{peer, peers, graph, task, sync}
 //	peer → coord   ready{mesh}                 mesh listener address, or err
 //	coord → peer   start{addrs} | abort        abort when any peer's ready failed
-//	peer → coord   sync{report}                once per engine round
-//	coord → peer   round{report}               the MergeReports fold
-//	peer → coord   result{result, stats, authoritative} or result{err}
+//	peer → coord   sync{reports}               once per speculation window (≤ sync rounds)
+//	coord → peer   round{reports}              the MergeReportBatch fold
+//	peer → coord   result{result, stats, waitNs, authoritative} or result{err}
 //
 // Sweep jobs replace the sync/round/result phase with a chunk loop — no
 // data-plane mesh, just source fan-out on the control connection:
@@ -62,14 +62,20 @@ type ctrlMsg struct {
 	// Graph and Task describe the job (prepare).
 	Graph *spec.GraphSpec `json:"graph,omitempty"`
 	Task  *spec.TaskSpec  `json:"task,omitempty"`
-	// Report is one peer's round report (sync) or the merged fold (round).
-	Report *congest.RoundReport `json:"report,omitempty"`
+	// Sync is the job's rounds-per-sync barrier cadence (prepare).
+	Sync int `json:"sync,omitempty"`
+	// Reports is one peer's report batch for a speculation window (sync) or
+	// the merged fold of every peer's batch (round).
+	Reports []congest.RoundReport `json:"reports,omitempty"`
 	// Result is the kind-specific result JSON: the authoritative peer's
 	// answer (result), or one chunk's []*core.Result (chunkres).
 	Result json.RawMessage `json:"result,omitempty"`
 	// Stats are the peer's engine counters (result).
 	Stats         *congest.Stats `json:"stats,omitempty"`
 	Authoritative bool           `json:"authoritative,omitempty"`
+	// WaitNs is the time the peer spent blocked on inbound frames during
+	// the run (result) — the lmtd_cluster_round_wait_ns_total metric.
+	WaitNs int64 `json:"waitNs,omitempty"`
 	// Sources is one sweep chunk's source list (chunk).
 	Sources []int `json:"sources,omitempty"`
 	// Resident is the peer's resident graph bytes for the prepared job

@@ -58,12 +58,12 @@ func (e *memExchanger) Exchange(round int, out [][]frame.Record) ([][]frame.Reco
 }
 
 type memBarrier struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	peers  int
-	reps   []RoundReport
-	gen    int
-	merged RoundReport
+	mu      sync.Mutex
+	cond    *sync.Cond
+	peers   int
+	batches [][]RoundReport
+	gen     int
+	merged  []RoundReport
 }
 
 func newMemBarrier(peers int) *memBarrier {
@@ -72,14 +72,14 @@ func newMemBarrier(peers int) *memBarrier {
 	return b
 }
 
-func (b *memBarrier) Sync(r RoundReport) (RoundReport, error) {
+func (b *memBarrier) Sync(batch []RoundReport) ([]RoundReport, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	gen := b.gen
-	b.reps = append(b.reps, r)
-	if len(b.reps) == b.peers {
-		b.merged = MergeReports(b.reps)
-		b.reps = b.reps[:0]
+	b.batches = append(b.batches, append([]RoundReport(nil), batch...))
+	if len(b.batches) == b.peers {
+		b.merged = MergeReportBatch(b.batches)
+		b.batches = b.batches[:0]
 		b.gen++
 		b.cond.Broadcast()
 		return b.merged, nil
@@ -91,9 +91,10 @@ func (b *memBarrier) Sync(r RoundReport) (RoundReport, error) {
 }
 
 // runClusterPeers executes one cluster run of newProc over g: `peers`
-// networks in goroutines, wired through the in-memory fabric. Returns the
-// per-peer stats in peer order and the first per-peer error.
-func runClusterPeers(t *testing.T, g *graph.Graph, peers, workers int, cfg Config, newProc func(id int) Process) ([]Stats, error) {
+// networks in goroutines, wired through the in-memory fabric, syncing the
+// barrier every rps rounds. Returns the per-peer stats in peer order and
+// the first per-peer error.
+func runClusterPeers(t *testing.T, g *graph.Graph, peers, workers, rps int, cfg Config, newProc func(id int) Process) ([]Stats, error) {
 	t.Helper()
 	hub := newMemHub(peers)
 	bar := newMemBarrier(peers)
@@ -108,8 +109,9 @@ func runClusterPeers(t *testing.T, g *graph.Graph, peers, workers int, cfg Confi
 			pc.Workers = workers
 			pc.Cluster = &ClusterConfig{
 				Peer: p, Peers: peers,
-				Exchange: &memExchanger{hub: hub, self: p},
-				Barrier:  bar,
+				Exchange:      &memExchanger{hub: hub, self: p},
+				Barrier:       bar,
+				RoundsPerSync: rps,
 			}
 			net, err := NewNetwork(g, pc)
 			if err != nil {
@@ -158,24 +160,24 @@ func TestClusterDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, tc := range []struct{ peers, workers int }{
-		{2, 1}, {3, 1}, {3, 4}, {5, 2}, {144, 1},
+	for _, tc := range []struct{ peers, workers, rps int }{
+		{2, 1, 1}, {3, 1, 1}, {3, 4, 4}, {5, 2, 8}, {144, 1, 3}, {3, 1, 8}, {2, 2, 1000},
 	} {
 		procs := make([]*mixProc, g.N())
-		stats, err := runClusterPeers(t, g, tc.peers, tc.workers, Config{Seed: 42}, func(id int) Process {
+		stats, err := runClusterPeers(t, g, tc.peers, tc.workers, tc.rps, Config{Seed: 42}, func(id int) Process {
 			procs[id] = &mixProc{id: id}
 			return procs[id]
 		})
 		if err != nil {
-			t.Fatalf("peers=%d workers=%d: %v", tc.peers, tc.workers, err)
+			t.Fatalf("peers=%d workers=%d rps=%d: %v", tc.peers, tc.workers, tc.rps, err)
 		}
 		for u := range procs {
 			if procs[u] == nil {
 				t.Fatalf("peers=%d: node %d never constructed", tc.peers, u)
 			}
 			if procs[u].acc != ref[u].acc || len(procs[u].trace) != len(ref[u].trace) {
-				t.Fatalf("peers=%d workers=%d: node %d diverged (acc %d vs %d, %d vs %d trace entries)",
-					tc.peers, tc.workers, u, procs[u].acc, ref[u].acc, len(procs[u].trace), len(ref[u].trace))
+				t.Fatalf("peers=%d workers=%d rps=%d: node %d diverged (acc %d vs %d, %d vs %d trace entries)",
+					tc.peers, tc.workers, tc.rps, u, procs[u].acc, ref[u].acc, len(procs[u].trace), len(ref[u].trace))
 			}
 			for i := range procs[u].trace {
 				if procs[u].trace[i] != ref[u].trace[i] {
@@ -185,7 +187,7 @@ func TestClusterDeterminism(t *testing.T) {
 		}
 		merged := MergeStats(stats)
 		if !merged.HaltedAll {
-			t.Fatalf("peers=%d: merged stats not HaltedAll", tc.peers)
+			t.Fatalf("peers=%d rps=%d: merged stats not HaltedAll", tc.peers, tc.rps)
 		}
 		if tc.peers > 1 && (merged.FramesSent == 0 || merged.WireBytes == 0) {
 			t.Fatalf("peers=%d: no wire traffic recorded: %+v", tc.peers, merged)
@@ -195,7 +197,7 @@ func TestClusterDeterminism(t *testing.T) {
 		}
 		a, b := maskExecutionStats(merged), maskExecutionStats(*refStats)
 		if a != b {
-			t.Errorf("peers=%d workers=%d: merged stats\n %+v\nwant\n %+v", tc.peers, tc.workers, a, b)
+			t.Errorf("peers=%d workers=%d rps=%d: merged stats\n %+v\nwant\n %+v", tc.peers, tc.workers, tc.rps, a, b)
 		}
 	}
 	if refStats.WireBytes != 0 || refStats.FramesSent != 0 || refStats.FramesRecv != 0 {
@@ -231,18 +233,23 @@ func TestClusterFastForwardMatchesLoopback(t *testing.T) {
 	if refStats.SkippedRounds == 0 {
 		t.Fatal("workload did not exercise fast-forward")
 	}
-	stats, err := runClusterPeers(t, g, 3, 1, Config{Seed: 7}, newProc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	merged := MergeStats(stats)
-	if a, b := maskExecutionStats(merged), maskExecutionStats(*refStats); a != b {
-		t.Errorf("cluster fast-forward stats\n %+v\nwant\n %+v", a, b)
-	}
-	for p, st := range stats {
-		if st.Rounds != refStats.Rounds || st.SkippedRounds != refStats.SkippedRounds {
-			t.Errorf("peer %d: rounds %d (skipped %d), want %d (%d)",
-				p, st.Rounds, st.SkippedRounds, refStats.Rounds, refStats.SkippedRounds)
+	// rps=1 applies the jump at every barrier; rps=8 speculates into the
+	// sleep gap and must rescind the speculated rounds' skip accounting;
+	// rps=64 swallows the whole gap in one window.
+	for _, rps := range []int{1, 8, 64} {
+		stats, err := runClusterPeers(t, g, 3, 1, rps, Config{Seed: 7}, newProc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := MergeStats(stats)
+		if a, b := maskExecutionStats(merged), maskExecutionStats(*refStats); a != b {
+			t.Errorf("rps=%d: cluster fast-forward stats\n %+v\nwant\n %+v", rps, a, b)
+		}
+		for p, st := range stats {
+			if st.Rounds != refStats.Rounds || st.SkippedRounds != refStats.SkippedRounds {
+				t.Errorf("rps=%d peer %d: rounds %d (skipped %d), want %d (%d)",
+					rps, p, st.Rounds, st.SkippedRounds, refStats.Rounds, refStats.SkippedRounds)
+			}
 		}
 	}
 }
@@ -267,13 +274,18 @@ func (p *overSender) Step(ctx *Context) {
 
 func TestClusterPropagatesRunErrors(t *testing.T) {
 	g := torusGraph(8)
-	stats, err := runClusterPeers(t, g, 3, 1, Config{Seed: 1}, func(id int) Process { return &overSender{id: id} })
-	if err == nil {
-		t.Fatalf("cluster run swallowed the bandwidth violation: %+v", stats)
-	}
-	var bw *BandwidthError
-	if !errors.As(err, &bw) && !strings.Contains(err.Error(), "bandwidth violation") {
-		t.Fatalf("error lost the violation: %v", err)
+	// rps=8 puts the round-3 violation mid-window: the erring peer must
+	// freeze (keep exchanging, stop stepping) until the batch syncs, then
+	// every peer must abort at the reconciled round.
+	for _, rps := range []int{1, 8} {
+		stats, err := runClusterPeers(t, g, 3, 1, rps, Config{Seed: 1}, func(id int) Process { return &overSender{id: id} })
+		if err == nil {
+			t.Fatalf("rps=%d: cluster run swallowed the bandwidth violation: %+v", rps, stats)
+		}
+		var bw *BandwidthError
+		if !errors.As(err, &bw) && !strings.Contains(err.Error(), "bandwidth violation") {
+			t.Fatalf("rps=%d: error lost the violation: %v", rps, err)
+		}
 	}
 }
 
@@ -287,6 +299,7 @@ func TestClusterConfigValidation(t *testing.T) {
 		"peer range":     {Cluster: &ClusterConfig{Peer: 2, Peers: 2, Exchange: ex, Barrier: bar}},
 		"too many peers": {Cluster: &ClusterConfig{Peer: 0, Peers: 17, Exchange: ex, Barrier: bar}},
 		"missing fabric": {Cluster: &ClusterConfig{Peer: 0, Peers: 2}},
+		"negative sync":  {Cluster: &ClusterConfig{Peer: 0, Peers: 2, Exchange: ex, Barrier: bar, RoundsPerSync: -1}},
 		"local model":    {Model: LOCAL, Cluster: &ok},
 		"onround":        {OnRound: func(int) bool { return false }, Cluster: &ok},
 		"adaptive churn": {Topology: adaptiveStub{}, Cluster: &ok},

@@ -376,7 +376,7 @@ func (n *Network) Run(newProc func(id int) Process) (*Stats, error) {
 	delivered0 := n.mergeDeliver()
 	if cl != nil {
 		if initErr != nil {
-			if _, err := n.barrierSync(RoundReport{Round: 0, MinWake: NoWake, Err: initErr.Error()}); err != nil {
+			if _, err := n.barrierSync([]RoundReport{{Round: 0, MinWake: NoWake, Err: initErr.Error()}}); err != nil {
 				return n.finalize(), err
 			}
 			return n.finalize(), initErr

@@ -174,32 +174,47 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 // the engine consumes it before the next round's exchange. Oversized length
 // prefixes fail before any allocation.
 func (fr *Reader) ReadFrame() (round, peer int, recs []Record, n int, err error) {
+	round, peer, recs, n, err = fr.ReadFrameAppend(fr.recs[:0])
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	fr.recs = recs // keep the (possibly grown) buffer warm for the next frame
+	return round, peer, recs, n, nil
+}
+
+// ReadFrameAppend reads one whole frame, appending its records onto recs
+// (pass a truncated reusable slice to amortize), and returns the round,
+// sending peer, extended record slice and wire size. Unlike ReadFrame the
+// returned records live in the caller's buffer, so a pipelined reader can
+// rotate several buffers and decode the next frame while earlier ones are
+// still being consumed. The Reader's internal byte buffers are still
+// reused: only one ReadFrameAppend may run at a time.
+func (fr *Reader) ReadFrameAppend(recs []Record) (round, peer int, out []Record, n int, err error) {
 	if _, err := io.ReadFull(fr.r, fr.head[:]); err != nil {
-		return 0, 0, nil, 0, fmt.Errorf("frame: read length prefix: %w", err)
+		return 0, 0, recs, 0, fmt.Errorf("frame: read length prefix: %w", err)
 	}
 	payload := binary.LittleEndian.Uint32(fr.head[:])
 	if payload > MaxFrameBytes {
-		return 0, 0, nil, 0, fmt.Errorf("%w: length prefix %d exceeds the %d-byte cap", ErrFrame, payload, MaxFrameBytes)
+		return 0, 0, recs, 0, fmt.Errorf("%w: length prefix %d exceeds the %d-byte cap", ErrFrame, payload, MaxFrameBytes)
 	}
 	if cap(fr.buf) < int(payload) {
 		fr.buf = make([]byte, payload)
 	}
 	fr.buf = fr.buf[:payload]
 	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
-		return 0, 0, nil, 0, fmt.Errorf("frame: read %d-byte body: %w", payload, err)
+		return 0, 0, recs, 0, fmt.Errorf("frame: read %d-byte body: %w", payload, err)
 	}
 	round, peer, cnt, err := parseHeader(fr.buf)
 	if err != nil {
-		return 0, 0, nil, 0, err
+		return 0, 0, recs, 0, err
 	}
-	fr.recs = fr.recs[:0]
 	body := fr.buf[headerBytes-4:]
 	for i := 0; i < cnt; i++ {
 		var r Record
 		decodeRecord(body[i*RecordBytes:], &r)
-		fr.recs = append(fr.recs, r)
+		recs = append(recs, r)
 	}
-	return round, peer, fr.recs, 4 + int(payload), nil
+	return round, peer, recs, 4 + int(payload), nil
 }
 
 // OverheadBytes is the on-wire size of an empty frame: the length prefix

@@ -112,6 +112,62 @@ func TestReaderWriterRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadFrameAppendRotatesBuffers: ReadFrameAppend decodes into the
+// caller's slice (reusing its capacity) instead of the Reader's internal
+// one, so several returned frames can be held live at once — the contract
+// the pipelined mesh reader's rotating buffers depend on.
+func TestReadFrameAppendRotatesBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := [][]Record{randRecords(rng, 6), randRecords(rng, 1), nil}
+	wrote := 0
+	for r, recs := range frames {
+		n, err := w.WriteFrame(r, 4, recs)
+		if err != nil {
+			t.Fatalf("write frame %d: %v", r, err)
+		}
+		wrote += n
+	}
+	rd := NewReader(&buf)
+	held := make([][]Record, len(frames))
+	read := 0
+	for r, want := range frames {
+		scratch := make([]Record, 0, 8)
+		base := &scratch[:1][0]
+		round, peer, out, n, err := rd.ReadFrameAppend(scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", r, err)
+		}
+		read += n
+		if round != r || peer != 4 {
+			t.Fatalf("frame %d: got round %d peer %d", r, round, peer)
+		}
+		if len(want) > 0 && &out[0] != base {
+			t.Fatalf("frame %d: decode did not reuse the caller's buffer", r)
+		}
+		if len(out) != len(want) || (len(want) > 0 && !reflect.DeepEqual(out, want)) {
+			t.Fatalf("frame %d: records differ after append decode", r)
+		}
+		held[r] = out
+	}
+	if read != wrote {
+		t.Fatalf("byte accounting: read %d, wrote %d", read, wrote)
+	}
+	// Every frame must still be intact — no shared backing arrays.
+	for r, want := range frames {
+		if len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(held[r], want) {
+			t.Fatalf("frame %d clobbered by a later read", r)
+		}
+	}
+	if _, _, _, _, err := rd.ReadFrameAppend(nil); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF after last frame, got %v", err)
+	}
+}
+
 func TestDecodeMalformed(t *testing.T) {
 	good := Append(nil, 5, 1, randRecords(rand.New(rand.NewSource(3)), 3))
 	cases := map[string][]byte{
